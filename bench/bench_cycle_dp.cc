@@ -1,0 +1,36 @@
+// E10 — the k-cycle exponent DP (Eq. 45-46, Table 2 row "k-cycle"):
+// our square-MM upper bound on the cycle-detection exponent for
+// k = 4..8 across omegas, against subw(C_k) = 2 - 1/ceil(k/2) (the
+// combinatorial ceiling) and the 4-cycle closed form.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "width/closed_forms.h"
+#include "width/cycle_dp.h"
+
+int main() {
+  using namespace fmmsw;
+  bench::Header("k-cycle exponents: square-MM DP bound vs subw ceiling");
+  std::printf("%6s %10s %12s %12s %12s\n", "k", "omega", "dp bound",
+              "subw(C_k)", "note");
+  for (int k = 4; k <= 8; ++k) {
+    for (double omega : {2.0, 2.371552, 2.8073549, 3.0}) {
+      auto r = CycleCsquare(k, omega, k <= 6 ? 32 : 20);
+      const double subw = closed_forms::SubwCycle(k).ToDouble();
+      std::string note;
+      if (k == 4) {
+        const double closed =
+            closed_forms::OmegaSubwCycle4(
+                Rational(static_cast<int64_t>(omega * 1000000), 1000000))
+                .ToDouble();
+        note = "closed form " + bench::Fmt(closed);
+      }
+      std::printf("%6d %10.4f %12.4f %12.4f %12s\n", k, omega, r.value,
+                  subw, note.c_str());
+    }
+  }
+  bench::Row("shape check", "dp <= subw, monotone in omega", "see table");
+  return 0;
+}

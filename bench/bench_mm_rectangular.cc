@@ -1,0 +1,98 @@
+// E8 — rectangular MM via square blocking (Eq. 6): measured runtime of the
+// blocked-Strassen kernel across (a, b, c) shapes vs the
+// n^{w-square(a,b,c)} prediction at w = log2 7. Uses google-benchmark for
+// the kernel timings plus a shape table on exit.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "mm/cost_model.h"
+#include "mm/matrix.h"
+#include "util/random.h"
+
+namespace fmmsw {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      m.At(i, j) = rng->Uniform(-3, 3);
+    }
+  }
+  return m;
+}
+
+void BM_Square(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Matrix a = RandomMatrix(n, n, &rng), b = RandomMatrix(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MultiplyStrassen(a, b));
+  }
+}
+BENCHMARK(BM_Square)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_RectangularWide(benchmark::State& state) {
+  // n^1 x n^{1/2} times n^{1/2} x n^1: w-square(1, 1/2, 1) at min 1/2.
+  const int n = static_cast<int>(state.range(0));
+  const int mid = static_cast<int>(std::sqrt(static_cast<double>(n)));
+  Rng rng(2);
+  Matrix a = RandomMatrix(n, mid, &rng), b = RandomMatrix(mid, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MultiplyRectangular(a, b));
+  }
+}
+BENCHMARK(BM_RectangularWide)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_Blocked(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  Matrix a = RandomMatrix(n, n, &rng), b = RandomMatrix(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MultiplyBlocked(a, b));
+  }
+}
+BENCHMARK(BM_Blocked)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_BooleanBit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  BitMatrix a(n, n), b(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (rng.Flip(0.3)) a.Set(i, j);
+      if (rng.Flip(0.3)) b.Set(i, j);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BitMatrix::Multiply(a, b));
+  }
+}
+BENCHMARK(BM_BooleanBit)->Arg(256)->Arg(512)->Arg(1024);
+
+}  // namespace
+}  // namespace fmmsw
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  // Shape table: predicted block count * d^w vs Eq. (6) exponent.
+  using fmmsw::bench::Fmt;
+  fmmsw::bench::Header("Eq. (6): w-square(a,b,c) predictions at w = log2 7");
+  const double w = std::log2(7.0);
+  struct Shape {
+    double a, b, c;
+  };
+  for (const Shape& s : {Shape{1, 1, 1}, Shape{1, 0.5, 1}, Shape{1, 1, 0.5},
+                         Shape{0.5, 1, 0.5}}) {
+    const double pred = fmmsw::OmegaSquareExponent(s.a, s.b, s.c, w);
+    std::printf("(a,b,c)=(%.1f,%.1f,%.1f)  paper=a+b+c-(3-w)min  ours=%s\n",
+                s.a, s.b, s.c, Fmt(pred).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E4 — triangle runtime shape: combinatorial WCOJ (N^{3/2}) vs the
+// Figure-1 MM hybrid at several omegas, over an N-sweep of triangle-free
+// dense-square instances (every value heavy — the Lemma C.5 hard regime).
+// Reports fitted log-log exponents; expect the MM hybrid's fit at or below
+// the combinatorial one, with predicted exponents 2w/(w+1) vs 1.5.
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.h"
+#include "engine/triangle.h"
+#include "panda/executor.h"
+#include "relation/generators.h"
+#include "util/stopwatch.h"
+
+namespace fmmsw {
+namespace {
+
+double TimeIt(const std::function<bool()>& f, int reps) {
+  Stopwatch sw;
+  bool sink = false;
+  for (int i = 0; i < reps; ++i) sink ^= f();
+  (void)sink;
+  return sw.Seconds() / reps;
+}
+
+/// The hard regime of Lemma C.5's witness: all three variables live on a
+/// domain of size ~sqrt(N), so every value is heavy (degree ~sqrt(N)) and
+/// the worst-case-optimal join must do N^{3/2} intersection work while the
+/// MM hybrid multiplies sqrt(N)-square matrices. Z is remapped to even
+/// values in S and odd values in T, so no triangle ever closes — every
+/// algorithm does its full work and the fitted slope is the exponent.
+Database MakeNegativeInstance(int64_t n) {
+  const int64_t d = std::max<int64_t>(
+      4, static_cast<int64_t>(std::sqrt(static_cast<double>(n))));
+  Rng rng(19);
+  Database db;
+  db.relations.push_back(UniformRelation(VarSet{0, 1}, n, d, &rng));
+  Relation raw_s = UniformRelation(VarSet{1, 2}, n, d, &rng);
+  Relation raw_t = UniformRelation(VarSet{0, 2}, n, d, &rng);
+  Relation s(VarSet{1, 2}), t(VarSet{0, 2});
+  for (size_t i = 0; i < raw_s.size(); ++i) {
+    s.Add({raw_s.Row(i)[0], 2 * raw_s.Row(i)[1]});
+  }
+  for (size_t i = 0; i < raw_t.size(); ++i) {
+    t.Add({raw_t.Row(i)[0], 2 * raw_t.Row(i)[1] + 1});
+  }
+  db.relations.push_back(std::move(s));
+  db.relations.push_back(std::move(t));
+  return db;
+}
+
+void Run() {
+  bench::Header(
+      "Triangle detection: runtime shape (dense-square, triangle-free)");
+  std::vector<double> ns, t_wcoj, t_mm2, t_mmstr, t_panda;
+  std::printf("%10s %12s %12s %12s %12s\n", "N", "wcoj(s)", "mm w=2.37",
+              "mm strassen", "panda-derived");
+  for (int64_t n : {4000, 8000, 16000, 32000, 64000, 128000}) {
+    Database db = MakeNegativeInstance(n);
+    const int reps = n <= 8000 ? 3 : 1;
+    const double a = TimeIt([&] { return TriangleCombinatorial(db); }, reps);
+    const double b = TimeIt([&] { return TriangleMm(db, 2.371552); }, reps);
+    const double c = TimeIt(
+        [&] { return TriangleMm(db, 2.8073549, MmKernel::kStrassen); },
+        reps);
+    const double d = TimeIt([&] { return PandaTriangleBoolean(db, 2.371552); },
+                            reps);
+    ns.push_back(static_cast<double>(db.TotalSize()));
+    t_wcoj.push_back(a);
+    t_mm2.push_back(b);
+    t_mmstr.push_back(c);
+    t_panda.push_back(d);
+    std::printf("%10lld %12.5f %12.5f %12.5f %12.5f\n",
+                static_cast<long long>(db.TotalSize()), a, b, c, d);
+  }
+  std::printf("\n");
+  bench::Row("combinatorial exponent", "1.5000",
+             bench::Fmt(bench::FitSlope(ns, t_wcoj)), "fitted");
+  bench::Row("MM hybrid exponent (w=2.3716)", "1.4068",
+             bench::Fmt(bench::FitSlope(ns, t_mm2)),
+             "fitted; 2w/(w+1)");
+  bench::Row("MM hybrid exponent (Strassen)", "1.4750",
+             bench::Fmt(bench::FitSlope(ns, t_mmstr)),
+             "fitted; 2w/(w+1) at w=log2 7");
+  bench::Row("proof-seq-derived exponent", "1.4068",
+             bench::Fmt(bench::FitSlope(ns, t_panda)), "fitted");
+}
+
+}  // namespace
+}  // namespace fmmsw
+
+int main() {
+  fmmsw::Run();
+  return 0;
+}

@@ -1,0 +1,51 @@
+#ifndef FMMSW_BENCH_BENCH_UTIL_H_
+#define FMMSW_BENCH_BENCH_UTIL_H_
+
+/// \file
+/// Shared helpers for the table/figure reproduction binaries: uniform
+/// "paper=... ours=..." rows (consumed by EXPERIMENTS.md) and log-log
+/// slope fitting for runtime shape checks.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fmmsw {
+namespace bench {
+
+inline void Header(const std::string& title) {
+  std::printf("==== %s ====\n", title.c_str());
+}
+
+inline void Row(const std::string& label, const std::string& paper,
+                const std::string& ours, const std::string& note = "") {
+  std::printf("%-34s paper=%-18s ours=%-18s %s\n", label.c_str(),
+              paper.c_str(), ours.c_str(), note.c_str());
+}
+
+inline std::string Fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+/// Least-squares slope of log(time) vs log(n) — the measured exponent.
+inline double FitSlope(const std::vector<double>& ns,
+                       const std::vector<double>& ts) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const int n = static_cast<int>(ns.size());
+  for (int i = 0; i < n; ++i) {
+    const double x = std::log(ns[i]), y = std::log(ts[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+}  // namespace bench
+}  // namespace fmmsw
+
+#endif  // FMMSW_BENCH_BENCH_UTIL_H_

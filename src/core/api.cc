@@ -1,0 +1,63 @@
+#include "core/api.h"
+
+#include "engine/td_eval.h"
+#include "engine/wcoj.h"
+
+namespace fmmsw {
+
+WidthReport ComputeWidths(const Hypergraph& h, const Rational& omega,
+                          const OmegaSubwOptions& opts) {
+  WidthReport out;
+  out.rho_star = RhoStar(h);
+  out.fhtw = Fhtw(h);
+  auto subw = SubmodularWidth(h);
+  out.subw = subw.value;
+  auto osubw = OmegaSubw(h, omega, opts);
+  out.omega_subw_lower = osubw.lower;
+  out.omega_subw_upper = osubw.upper;
+  out.omega_subw_exact = osubw.exact;
+  out.num_mm_terms = osubw.num_mm_terms;
+  out.lps_solved = osubw.lps_solved;
+  return out;
+}
+
+std::string FormatWidthReport(const Hypergraph& h, const Rational& omega,
+                              const WidthReport& r) {
+  std::string out;
+  out += "query      : " + h.ToString() + "\n";
+  out += "omega      : " + omega.ToString() + " (~" +
+         std::to_string(omega.ToDouble()) + ")\n";
+  out += "rho*       : " + r.rho_star.ToString() + " (~" +
+         std::to_string(r.rho_star.ToDouble()) + ")\n";
+  out += "fhtw       : " + r.fhtw.ToString() + " (~" +
+         std::to_string(r.fhtw.ToDouble()) + ")\n";
+  out += "subw       : " + r.subw.ToString() + " (~" +
+         std::to_string(r.subw.ToDouble()) + ")\n";
+  if (r.omega_subw_exact) {
+    out += "w-subw     : " + r.omega_subw_upper.ToString() + " (~" +
+           std::to_string(r.omega_subw_upper.ToDouble()) + ", exact)\n";
+  } else {
+    out += "w-subw     : in [" + r.omega_subw_lower.ToString() + ", " +
+           r.omega_subw_upper.ToString() + "] (~" +
+           std::to_string(r.omega_subw_lower.ToDouble()) + " .. ~" +
+           std::to_string(r.omega_subw_upper.ToDouble()) + ")\n";
+  }
+  return out;
+}
+
+bool EvaluateBoolean(const Hypergraph& h, const Database& db,
+                     EvalStrategy strategy) {
+  switch (strategy) {
+    case EvalStrategy::kWcoj:
+      return WcojBoolean(h, db);
+    case EvalStrategy::kBestTd:
+      return TdBooleanBest(h, db);
+    case EvalStrategy::kElimination: {
+      EliminationPlan plan = ForLoopPlan(h);
+      return ExecutePlan(h, db, plan);
+    }
+  }
+  return false;
+}
+
+}  // namespace fmmsw

@@ -1,0 +1,59 @@
+#ifndef FMMSW_CORE_API_H_
+#define FMMSW_CORE_API_H_
+
+/// \file
+/// Public facade of the fmmsw library. A downstream user needs three
+/// things: (1) define a Boolean conjunctive query as a hypergraph plus a
+/// database, (2) ask for its widths (subw / w-subw, Tables 1-2), and
+/// (3) evaluate it with the engine of their choice. See
+/// examples/quickstart.cpp.
+
+#include <string>
+
+#include "engine/elimination.h"
+#include "hypergraph/hypergraph.h"
+#include "relation/relation.h"
+#include "util/rational.h"
+#include "width/omega_subw.h"
+#include "width/subw.h"
+
+namespace fmmsw {
+
+/// Width report for a query at a given MM exponent.
+struct WidthReport {
+  Rational rho_star;
+  Rational fhtw;
+  Rational subw;
+  Rational omega_subw_lower;
+  Rational omega_subw_upper;
+  bool omega_subw_exact = false;
+  int num_mm_terms = 0;
+  long lps_solved = 0;
+};
+
+/// Computes every width of the query hypergraph at the given omega.
+/// For clustered hypergraphs (cliques, pyramids, Lemma C.15) the w-subw is
+/// exact; otherwise certified bounds are returned (add witnesses via
+/// OmegaSubwOptions to tighten the lower bound).
+WidthReport ComputeWidths(const Hypergraph& h, const Rational& omega,
+                          const OmegaSubwOptions& opts = {});
+
+/// Renders the report as a human-readable table.
+std::string FormatWidthReport(const Hypergraph& h, const Rational& omega,
+                              const WidthReport& report);
+
+enum class EvalStrategy {
+  kWcoj,        ///< generic worst-case optimal join (for-loops)
+  kBestTd,      ///< fhtw-optimal tree decomposition plan
+  kElimination, ///< GVEO interpreter with kAuto for-loop/MM choice
+};
+
+/// Evaluates the Boolean query with the chosen strategy. Specialized
+/// faster algorithms for the paper's query classes live in
+/// engine/{triangle,four_cycle,clique,pyramid}.h.
+bool EvaluateBoolean(const Hypergraph& h, const Database& db,
+                     EvalStrategy strategy = EvalStrategy::kWcoj);
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_CORE_API_H_

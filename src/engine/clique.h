@@ -1,0 +1,34 @@
+#ifndef FMMSW_ENGINE_CLIQUE_H_
+#define FMMSW_ENGINE_CLIQUE_H_
+
+/// \file
+/// k-clique detection (Table 1 rows 2-5; Lemmas C.6-C.8): the vertex set is
+/// split into three groups A, B, C of sizes ceil(k/3), ceil((k-1)/3),
+/// floor(k/3); group sub-cliques are enumerated with the combinatorial
+/// join, and a matrix product over (A-cliques) x (B-cliques) x (C-cliques)
+/// detects a full clique — the Nesetril-Poljak / Eisenbrand-Grandoni
+/// scheme realized through square MM, matching the paper's exponent
+/// ceil(k/3)/2 + ceil((k-1)/3)/2 + floor(k/3)/2 * (w - 2).
+///
+/// The database layout follows Hypergraph::Clique(k): one relation per
+/// vertex pair (i, j), i < j, in lexicographic order.
+
+#include "engine/elimination.h"
+#include "relation/relation.h"
+
+namespace fmmsw {
+
+struct CliqueStats {
+  int64_t group_cliques[3] = {0, 0, 0};  ///< matrix dimensions
+};
+
+/// Combinatorial baseline: generic join, O(N^{k/2}).
+bool CliqueCombinatorial(int k, const Database& db);
+
+/// MM-based detection via the 3-group split.
+bool CliqueMm(int k, const Database& db, MmKernel kernel = MmKernel::kBoolean,
+              CliqueStats* stats = nullptr);
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_ENGINE_CLIQUE_H_

@@ -1,0 +1,236 @@
+#include "engine/four_cycle.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "mm/matrix.h"
+#include "relation/degree.h"
+#include "relation/ops.h"
+#include "util/check.h"
+
+namespace fmmsw {
+
+namespace {
+
+constexpr int kX = 0, kY = 1, kZ = 2, kW = 3;
+
+/// Heavy values of `mid` (the middle vertex of a 2-path) in either of its
+/// two incident relations, at the given threshold; returns the unary heavy
+/// relation plus the light remainders of both relations.
+struct MiddleSplit {
+  Relation heavy;        // unary over {mid}
+  Relation left_light;   // left relation restricted to light mid values
+  Relation right_light;  // right relation restricted to light mid values
+};
+
+MiddleSplit SplitMiddle(const Relation& left, const Relation& right, int mid,
+                        VarSet left_other, VarSet right_other,
+                        int64_t delta) {
+  auto pl = PartitionByDegree(left, left_other, VarSet::Singleton(mid),
+                              delta);
+  auto pr = PartitionByDegree(right, right_other, VarSet::Singleton(mid),
+                              delta);
+  MiddleSplit out;
+  out.heavy = Union(pl.heavy, pr.heavy);
+  out.left_light = Antijoin(left, out.heavy);
+  out.right_light = Antijoin(right, out.heavy);
+  return out;
+}
+
+/// For each heavy middle value m of path a-m-b, the endpoint sets are
+/// A_m = {a : left(a, m)} and B_m = {b : right(m, b)}; the callback
+/// receives them and returns true to stop (answer found).
+template <typename Check>
+bool ForEachHeavy(const Relation& heavy, const Relation& left,
+                  const Relation& right, int mid, VarSet left_other,
+                  VarSet right_other, const Check& check,
+                  FourCycleStats* stats) {
+  for (size_t r = 0; r < heavy.size(); ++r) {
+    const Value m = heavy.Row(r)[0];
+    Relation a_set = Project(SelectEq(left, mid, m), left_other);
+    Relation b_set = Project(SelectEq(right, mid, m), right_other);
+    if (stats != nullptr) ++stats->heavy_probes;
+    if (check(a_set, b_set)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FourCycleTd(const Database& db) {
+  // Single TD {XYZ}, {ZWX}: materialize both bags fully (O(N^2)).
+  const Relation& r = db.relations[0];
+  const Relation& s = db.relations[1];
+  const Relation& t = db.relations[2];
+  const Relation& u = db.relations[3];
+  Relation p = Project(Join(r, s), VarSet{kX, kZ});
+  Relation q = Project(Join(t, u), VarSet{kZ, kX});
+  return !Intersect(p, q).empty();
+}
+
+bool FourCycleCombinatorial(const Database& db, FourCycleStats* stats) {
+  FMMSW_CHECK(db.relations.size() == 4);
+  const Relation& r = db.relations[0];  // R(X,Y)
+  const Relation& s = db.relations[1];  // S(Y,Z)
+  const Relation& t = db.relations[2];  // T(Z,W)
+  const Relation& u = db.relations[3];  // U(W,X)
+  const double n = static_cast<double>(db.TotalSize());
+  if (n == 0) return false;
+  const int64_t delta =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(std::sqrt(n))));
+
+  // Middle vertices of the two 2-paths: y on the R-S side, w on T-U.
+  MiddleSplit ys = SplitMiddle(r, s, kY, VarSet{kX}, VarSet{kZ}, delta);
+  MiddleSplit ws = SplitMiddle(t, u, kW, VarSet{kZ}, VarSet{kX}, delta);
+
+  // Heavy y: O(N) probe per heavy value — find w adjacent to some z in
+  // S[y] (via T) and some x in R[y] (via U).
+  if (ForEachHeavy(ys.heavy, r, s, kY, VarSet{kX}, VarSet{kZ},
+                   [&](const Relation& xset, const Relation& zset) {
+                     Relation wt = Project(Semijoin(t, zset), VarSet{kW});
+                     Relation wu = Project(Semijoin(u, xset), VarSet{kW});
+                     return !Intersect(wt, wu).empty();
+                   },
+                   stats)) {
+    return true;
+  }
+  // Heavy w symmetric: find y adjacent to some x in U[w] and z in T[w].
+  if (ForEachHeavy(ws.heavy, t, u, kW, VarSet{kZ}, VarSet{kX},
+                   [&](const Relation& zset, const Relation& xset) {
+                     Relation yr = Project(Semijoin(r, xset), VarSet{kY});
+                     Relation yss = Project(Semijoin(s, zset), VarSet{kY});
+                     return !Intersect(yr, yss).empty();
+                   },
+                   stats)) {
+    return true;
+  }
+  // Residual: both middles light — two N*Delta 2-path sets intersected.
+  Relation p = Project(Join(ys.left_light, ys.right_light), VarSet{kX, kZ});
+  Relation q = Project(Join(ws.left_light, ws.right_light), VarSet{kZ, kX});
+  if (stats != nullptr) {
+    stats->light_pairs =
+        static_cast<int64_t>(p.size()) + static_cast<int64_t>(q.size());
+  }
+  return !Intersect(p, q).empty();
+}
+
+bool FourCycleMm(const Database& db, double omega, MmKernel kernel,
+                 FourCycleStats* stats) {
+  FMMSW_CHECK(db.relations.size() == 4);
+  const Relation& r = db.relations[0];
+  const Relation& s = db.relations[1];
+  const Relation& t = db.relations[2];
+  const Relation& u = db.relations[3];
+  const double n = static_cast<double>(db.TotalSize());
+  if (n == 0) return false;
+  // Lemma C.9 Case-2 threshold exponent 2(w-1)/(2w+1), capped at 1/2 (the
+  // w >= 5/2 regime where the combinatorial split is already optimal).
+  const double exp_delta =
+      std::min(0.5, 2.0 * (omega - 1.0) / (2.0 * omega + 1.0));
+  const int64_t delta = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(std::pow(n, exp_delta))));
+
+  MiddleSplit ys = SplitMiddle(r, s, kY, VarSet{kX}, VarSet{kZ}, delta);
+  MiddleSplit ws = SplitMiddle(t, u, kW, VarSet{kZ}, VarSet{kX}, delta);
+
+  // Light-light: intersect the two light 2-path sets (N * Delta each).
+  Relation p = Project(Join(ys.left_light, ys.right_light), VarSet{kX, kZ});
+  Relation q = Project(Join(ws.left_light, ws.right_light), VarSet{kZ, kX});
+  if (stats != nullptr) {
+    stats->light_pairs =
+        static_cast<int64_t>(p.size()) + static_cast<int64_t>(q.size());
+  }
+  if (!Intersect(p, q).empty()) return true;
+
+  // Mixed: light y, heavy w — probe P with each heavy w's neighborhoods.
+  if (ForEachHeavy(ws.heavy, t, u, kW, VarSet{kZ}, VarSet{kX},
+                   [&](const Relation& zset, const Relation& xset) {
+                     return !Semijoin(Semijoin(p, xset), zset).empty();
+                   },
+                   stats)) {
+    return true;
+  }
+  // Mixed: heavy y, light w.
+  if (ForEachHeavy(ys.heavy, r, s, kY, VarSet{kX}, VarSet{kZ},
+                   [&](const Relation& xset, const Relation& zset) {
+                     return !Semijoin(Semijoin(q, xset), zset).empty();
+                   },
+                   stats)) {
+    return true;
+  }
+
+  // Heavy-heavy core via rectangular MM: B1[w][y] over the shared x
+  // dimension, B2[y][w] over the shared z dimension.
+  Relation rh = Semijoin(r, ys.heavy);   // R(X,Y), heavy y
+  Relation uh = Semijoin(u, ws.heavy);   // U(W,X), heavy w
+  Relation sh = Semijoin(s, ys.heavy);   // S(Y,Z), heavy y
+  Relation th = Semijoin(t, ws.heavy);   // T(Z,W), heavy w
+  // A heavy-heavy cycle needs all four restricted relations non-empty.
+  if (rh.empty() || uh.empty() || sh.empty() || th.empty()) return false;
+
+  std::unordered_map<Value, int> yi, wi, xi, zi;
+  auto intern = [](std::unordered_map<Value, int>* m, Value v) {
+    auto [it, ins] = m->emplace(v, static_cast<int>(m->size()));
+    (void)ins;
+    return it->second;
+  };
+  for (size_t row = 0; row < ys.heavy.size(); ++row) {
+    intern(&yi, ys.heavy.Row(row)[0]);
+  }
+  for (size_t row = 0; row < ws.heavy.size(); ++row) {
+    intern(&wi, ws.heavy.Row(row)[0]);
+  }
+  for (size_t row = 0; row < rh.size(); ++row) {
+    intern(&xi, rh.Get(row, kX));
+  }
+  for (size_t row = 0; row < uh.size(); ++row) {
+    intern(&xi, uh.Get(row, kX));
+  }
+  for (size_t row = 0; row < sh.size(); ++row) {
+    intern(&zi, sh.Get(row, kZ));
+  }
+  for (size_t row = 0; row < th.size(); ++row) {
+    intern(&zi, th.Get(row, kZ));
+  }
+  if (yi.empty() || wi.empty()) return false;
+  if (stats != nullptr) {
+    stats->mm_dims[0] = static_cast<int64_t>(wi.size());
+    stats->mm_dims[1] = static_cast<int64_t>(xi.size() + zi.size());
+    stats->mm_dims[2] = static_cast<int64_t>(yi.size());
+  }
+  const int ny = static_cast<int>(yi.size());
+  const int nw = static_cast<int>(wi.size());
+  const int nx = static_cast<int>(xi.size());
+  const int nz = static_cast<int>(zi.size());
+
+  auto multiply = [&](const Matrix& a, const Matrix& b) {
+    return kernel == MmKernel::kStrassen ? MultiplyRectangular(a, b)
+                                         : MultiplyNaive(a, b);
+  };
+  // B1 = U_h (w by x) times R_h (x by y).
+  Matrix mu(nw, nx), mr(nx, ny);
+  for (size_t row = 0; row < uh.size(); ++row) {
+    mu.At(wi.at(uh.Get(row, kW)), xi.at(uh.Get(row, kX))) = 1;
+  }
+  for (size_t row = 0; row < rh.size(); ++row) {
+    mr.At(xi.at(rh.Get(row, kX)), yi.at(rh.Get(row, kY))) = 1;
+  }
+  Matrix b1 = multiply(mu, mr);
+  // B2 = S_h (y by z) times T_h (z by w).
+  Matrix ms(ny, nz), mt(nz, nw);
+  for (size_t row = 0; row < sh.size(); ++row) {
+    ms.At(yi.at(sh.Get(row, kY)), zi.at(sh.Get(row, kZ))) = 1;
+  }
+  for (size_t row = 0; row < th.size(); ++row) {
+    mt.At(zi.at(th.Get(row, kZ)), wi.at(th.Get(row, kW))) = 1;
+  }
+  Matrix b2 = multiply(ms, mt);
+  for (int y = 0; y < ny; ++y) {
+    for (int w = 0; w < nw; ++w) {
+      if (b1.At(w, y) != 0 && b2.At(y, w) != 0) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fmmsw

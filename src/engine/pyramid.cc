@@ -1,0 +1,188 @@
+#include "engine/pyramid.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "engine/wcoj.h"
+#include "hypergraph/hypergraph.h"
+#include "mm/matrix.h"
+#include "relation/degree.h"
+#include "relation/ops.h"
+#include "util/check.h"
+
+namespace fmmsw {
+
+namespace {
+
+constexpr int kApex = 0;  // Y
+constexpr int kX1 = 1, kX2 = 2, kX3 = 3;
+
+uint64_t PairKey(Value a, Value b) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+}  // namespace
+
+bool Pyramid3Combinatorial(const Database& db) {
+  return WcojBoolean(Hypergraph::Pyramid(3), db);
+}
+
+bool Pyramid3Mm(const Database& db, double omega, MmKernel kernel,
+                PyramidStats* stats) {
+  FMMSW_CHECK(db.relations.size() == 4);
+  const Relation& r1 = db.relations[0];  // R1(Y, X1)
+  const Relation& r2 = db.relations[1];  // R2(Y, X2)
+  const Relation& r3 = db.relations[2];  // R3(Y, X3)
+  const Relation& base = db.relations[3];  // B(X1, X2, X3)
+  const double n = static_cast<double>(db.TotalSize());
+  if (n == 0) return false;
+  const int64_t delta = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(std::pow(n, 1.0 - 1.0 / omega))));
+  const int64_t sqrt_delta = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(std::sqrt(
+             static_cast<double>(delta)))));
+
+  const Relation* apex_rels[3] = {&r1, &r2, &r3};
+  const int apex_vars[3] = {kX1, kX2, kX3};
+
+  // ---- Case 1: some x_i is light in its apex relation. Join the base
+  // with the light part (N * Delta tuples) and probe the other two.
+  for (int i = 0; i < 3; ++i) {
+    auto part = PartitionByDegree(*apex_rels[i], VarSet{kApex},
+                                  VarSet::Singleton(apex_vars[i]), delta);
+    Relation joined = Join(base, part.light);  // (X1,X2,X3,Y) with light xi
+    if (stats != nullptr) {
+      stats->case1_tuples += static_cast<int64_t>(joined.size());
+    }
+    for (int j = 0; j < 3; ++j) {
+      if (j != i) joined = Semijoin(joined, *apex_rels[j]);
+    }
+    if (!joined.empty()) return true;
+  }
+
+  // ---- Case 2: y has small apex degrees in R1 and R2. Enumerate
+  // (y, x3) in R3, loop over x1 in R1[y], x2 in R2[y], probe the base.
+  auto p1 = PartitionByDegree(r1, VarSet{kX1}, VarSet{kApex}, sqrt_delta);
+  auto p2 = PartitionByDegree(r2, VarSet{kX2}, VarSet{kApex}, sqrt_delta);
+  Relation heavy_y = Union(p1.heavy, p2.heavy);  // unary over {Y}
+  {
+    std::unordered_set<uint64_t> base_x1x2;
+    std::unordered_map<uint64_t, std::vector<Value>> base_by_x1x2;
+    for (size_t row = 0; row < base.size(); ++row) {
+      base_by_x1x2[PairKey(base.Get(row, kX1), base.Get(row, kX2))]
+          .push_back(base.Get(row, kX3));
+    }
+    // Index light-y apex values.
+    std::unordered_map<Value, std::vector<Value>> x1_of_y, x2_of_y;
+    for (size_t row = 0; row < p1.light.size(); ++row) {
+      x1_of_y[p1.light.Get(row, kApex)].push_back(p1.light.Get(row, kX1));
+    }
+    for (size_t row = 0; row < p2.light.size(); ++row) {
+      x2_of_y[p2.light.Get(row, kApex)].push_back(p2.light.Get(row, kX2));
+    }
+    std::unordered_set<Value> heavy_y_set;
+    for (size_t row = 0; row < heavy_y.size(); ++row) {
+      heavy_y_set.insert(heavy_y.Row(row)[0]);
+    }
+    std::unordered_set<uint64_t> r3_pairs;  // (y, x3)
+    for (size_t row = 0; row < r3.size(); ++row) {
+      const Value y = r3.Get(row, kApex);
+      if (heavy_y_set.count(y) > 0) continue;
+      auto it1 = x1_of_y.find(y);
+      auto it2 = x2_of_y.find(y);
+      if (it1 == x1_of_y.end() || it2 == x2_of_y.end()) continue;
+      const Value x3 = r3.Get(row, kX3);
+      for (Value x1 : it1->second) {
+        for (Value x2 : it2->second) {
+          if (stats != nullptr) ++stats->case2_tuples;
+          auto bit = base_by_x1x2.find(PairKey(x1, x2));
+          if (bit == base_by_x1x2.end()) continue;
+          for (Value bx3 : bit->second) {
+            if (bx3 == x3) return true;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Case 3: all x_i heavy and y heavy. Eliminate Y with
+  // MM(X2; X3; Y | X1): for each heavy x1, multiply the X2-by-Y and
+  // Y-by-X3 Boolean matrices, then probe the base.
+  auto h1 = PartitionByDegree(r1, VarSet{kApex}, VarSet{kX1}, delta).heavy;
+  auto h2 = PartitionByDegree(r2, VarSet{kApex}, VarSet{kX2}, delta).heavy;
+  auto h3 = PartitionByDegree(r3, VarSet{kApex}, VarSet{kX3}, delta).heavy;
+  Relation r1h = Semijoin(Semijoin(r1, h1), heavy_y);
+  Relation r2h = Semijoin(Semijoin(r2, h2), heavy_y);
+  Relation r3h = Semijoin(Semijoin(r3, h3), heavy_y);
+  if (r1h.empty() || r2h.empty() || r3h.empty()) return false;
+
+  std::unordered_map<Value, std::vector<Value>> y_of_x1;
+  for (size_t row = 0; row < r1h.size(); ++row) {
+    y_of_x1[r1h.Get(row, kX1)].push_back(r1h.Get(row, kApex));
+  }
+  std::unordered_map<Value, std::vector<Value>> x2_of_y, x3_of_y;
+  for (size_t row = 0; row < r2h.size(); ++row) {
+    x2_of_y[r2h.Get(row, kApex)].push_back(r2h.Get(row, kX2));
+  }
+  for (size_t row = 0; row < r3h.size(); ++row) {
+    x3_of_y[r3h.Get(row, kApex)].push_back(r3h.Get(row, kX3));
+  }
+  std::unordered_map<Value, std::vector<std::pair<Value, Value>>> base_by_x1;
+  for (size_t row = 0; row < base.size(); ++row) {
+    base_by_x1[base.Get(row, kX1)].emplace_back(base.Get(row, kX2),
+                                                base.Get(row, kX3));
+  }
+
+  for (const auto& [x1, ys] : y_of_x1) {
+    auto bit = base_by_x1.find(x1);
+    if (bit == base_by_x1.end()) continue;
+    if (stats != nullptr) ++stats->mm_groups;
+    // Local indices for this group.
+    std::unordered_map<Value, int> yi, x2i, x3i;
+    auto intern = [](std::unordered_map<Value, int>* m, Value v) {
+      auto [it, ins] = m->emplace(v, static_cast<int>(m->size()));
+      (void)ins;
+      return it->second;
+    };
+    for (Value y : ys) {
+      intern(&yi, y);
+      auto i2 = x2_of_y.find(y);
+      if (i2 != x2_of_y.end()) {
+        for (Value x2 : i2->second) intern(&x2i, x2);
+      }
+      auto i3 = x3_of_y.find(y);
+      if (i3 != x3_of_y.end()) {
+        for (Value x3 : i3->second) intern(&x3i, x3);
+      }
+    }
+    if (x2i.empty() || x3i.empty()) continue;
+    Matrix m1(static_cast<int>(x2i.size()), static_cast<int>(yi.size()));
+    Matrix m2(static_cast<int>(yi.size()), static_cast<int>(x3i.size()));
+    for (Value y : ys) {
+      const int yc = yi.at(y);
+      auto i2 = x2_of_y.find(y);
+      if (i2 != x2_of_y.end()) {
+        for (Value x2 : i2->second) m1.At(x2i.at(x2), yc) = 1;
+      }
+      auto i3 = x3_of_y.find(y);
+      if (i3 != x3_of_y.end()) {
+        for (Value x3 : i3->second) m2.At(yc, x3i.at(x3)) = 1;
+      }
+    }
+    Matrix prod = kernel == MmKernel::kStrassen ? MultiplyRectangular(m1, m2)
+                                                : MultiplyNaive(m1, m2);
+    for (const auto& [x2, x3] : bit->second) {
+      auto i2 = x2i.find(x2);
+      auto i3 = x3i.find(x3);
+      if (i2 != x2i.end() && i3 != x3i.end() &&
+          prod.At(i2->second, i3->second) != 0) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace fmmsw

@@ -1,0 +1,113 @@
+#include "engine/td_eval.h"
+
+#include <map>
+
+#include "engine/wcoj.h"
+#include "relation/ops.h"
+#include "util/check.h"
+#include "width/subw.h"
+
+namespace fmmsw {
+
+namespace {
+
+/// Materializes the bag relation: the WCOJ join over the projections onto
+/// the bag of every relation intersecting it. Sound (a superset of the
+/// projection of the full join onto the bag) and O(N^{rho*(bag)}).
+Relation MaterializeBag(const Hypergraph& h, const Database& db, VarSet bag) {
+  // Merge relations with the same projected schema by intersection so the
+  // sub-hypergraph's edges and relations stay aligned.
+  std::map<VarSet, Relation> by_schema;
+  for (size_t e = 0; e < h.edges().size(); ++e) {
+    const VarSet overlap = h.edges()[e] & bag;
+    if (overlap.empty()) continue;
+    Relation proj = Project(db.relations[e], bag);
+    auto it = by_schema.find(overlap);
+    if (it == by_schema.end()) {
+      by_schema.emplace(overlap, std::move(proj));
+    } else {
+      it->second = Intersect(it->second, proj);
+    }
+  }
+  Hypergraph sub(h.num_vars(), h.names());
+  Database sub_db;
+  // Restrict the vertex set to the bag by eliminating the complement.
+  sub = Hypergraph(h.num_vars(), h.names()).Eliminate(VarSet::Full(
+      h.num_vars()) - bag);
+  for (auto& [schema, rel] : by_schema) {
+    sub.AddEdge(schema);
+    sub_db.relations.push_back(std::move(rel));
+  }
+  FMMSW_CHECK(sub.edges().size() == sub_db.relations.size());
+  return WcojJoin(sub, sub_db, bag);
+}
+
+}  // namespace
+
+bool YannakakisBoolean(std::vector<Relation> bags,
+                       const std::vector<std::pair<int, int>>& tree_edges) {
+  if (bags.empty()) return true;
+  const int n = static_cast<int>(bags.size());
+  std::vector<std::vector<int>> adj(n);
+  for (auto [a, b] : tree_edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  // Bottom-up semijoin pass (iterative post-order from root 0).
+  std::vector<int> order, stack = {0}, parent(n, -1);
+  std::vector<bool> seen(n, false);
+  seen[0] = true;
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    order.push_back(cur);
+    for (int nx : adj[cur]) {
+      if (!seen[nx]) {
+        seen[nx] = true;
+        parent[nx] = cur;
+        stack.push_back(nx);
+      }
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int node = *it;
+    if (parent[node] < 0) continue;
+    bags[parent[node]] = Semijoin(bags[parent[node]], bags[node]);
+    if (bags[node].empty()) return false;
+  }
+  return !bags[0].empty();
+}
+
+bool TdBoolean(const Hypergraph& h, const Database& db,
+               const TreeDecomposition& td) {
+  FMMSW_CHECK(IsValidTd(h, td));
+  std::vector<Relation> bags;
+  bags.reserve(td.bags.size());
+  for (VarSet bag : td.bags) {
+    bags.push_back(MaterializeBag(h, db, bag));
+    if (bags.back().empty()) return false;
+  }
+  return YannakakisBoolean(std::move(bags), TreeEdges(td));
+}
+
+bool TdBooleanBest(const Hypergraph& h, const Database& db) {
+  auto tds = EnumerateTds(h);
+  FMMSW_CHECK(!tds.empty());
+  const TreeDecomposition* best = &tds[0];
+  Rational best_w;
+  bool first = true;
+  for (const auto& td : tds) {
+    Rational w(0);
+    for (VarSet bag : td.bags) {
+      w = Rational::Max(w, FractionalEdgeCover(h, bag));
+    }
+    if (first || w < best_w) {
+      best_w = w;
+      best = &td;
+      first = false;
+    }
+  }
+  return TdBoolean(h, db, *best);
+}
+
+}  // namespace fmmsw

@@ -1,0 +1,33 @@
+#ifndef FMMSW_ENGINE_TD_EVAL_H_
+#define FMMSW_ENGINE_TD_EVAL_H_
+
+/// \file
+/// Tree-decomposition evaluation (Section 1.1.1 "Tree Decompositions"):
+/// each bag's subquery is solved with the worst-case optimal join, then the
+/// bag relations are combined acyclically with Yannakakis semijoin passes.
+/// Runs in O(N^{fhtw}) for the best TD; the submodular-width algorithms
+/// run one TD per degree configuration instead.
+
+#include "hypergraph/decomposition.h"
+#include "hypergraph/hypergraph.h"
+#include "relation/relation.h"
+
+namespace fmmsw {
+
+/// Evaluates the Boolean query along the given TD: materializes each bag
+/// via WCOJ (using only relations intersecting the bag, semijoin-reduced to
+/// it), then runs Yannakakis over the join tree.
+bool TdBoolean(const Hypergraph& h, const Database& db,
+               const TreeDecomposition& td);
+
+/// Picks the minimum-fhtw TD and evaluates along it.
+bool TdBooleanBest(const Hypergraph& h, const Database& db);
+
+/// Yannakakis over already-materialized bag relations arranged in a join
+/// tree: a bottom-up semijoin pass suffices for the Boolean answer.
+bool YannakakisBoolean(std::vector<Relation> bags,
+                       const std::vector<std::pair<int, int>>& tree_edges);
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_ENGINE_TD_EVAL_H_

@@ -1,0 +1,172 @@
+#include "engine/triangle.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "engine/wcoj.h"
+#include "hypergraph/hypergraph.h"
+#include "mm/matrix.h"
+#include "relation/degree.h"
+#include "relation/ops.h"
+#include "util/check.h"
+
+namespace fmmsw {
+
+namespace {
+
+constexpr int kX = 0, kY = 1, kZ = 2;
+
+/// Dense index over the values appearing in a unary relation.
+class ValueIndex {
+ public:
+  explicit ValueIndex(const Relation& unary) {
+    for (size_t r = 0; r < unary.size(); ++r) {
+      map_.emplace(unary.Row(r)[0], static_cast<int>(map_.size()));
+    }
+  }
+  int Find(Value v) const {
+    auto it = map_.find(v);
+    return it == map_.end() ? -1 : it->second;
+  }
+  int size() const { return static_cast<int>(map_.size()); }
+
+ private:
+  std::unordered_map<Value, int> map_;
+};
+
+/// True if the join of `left` (over two vars) with `check` is non-empty.
+bool JoinedNonEmpty(const Relation& left, const Relation& check) {
+  return !Semijoin(left, check).empty();
+}
+
+}  // namespace
+
+bool TriangleCombinatorial(const Database& db) {
+  return WcojBoolean(Hypergraph::Triangle(), db);
+}
+
+bool TriangleMm(const Database& db, double omega, MmKernel kernel,
+                TriangleStats* stats) {
+  FMMSW_CHECK(db.relations.size() == 3);
+  const Relation& r = db.relations[0];  // R(X,Y)
+  const Relation& s = db.relations[1];  // S(Y,Z)
+  const Relation& t = db.relations[2];  // T(X,Z)
+  const double n = static_cast<double>(db.TotalSize());
+  if (n == 0) return false;
+  const int64_t delta = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(
+             std::pow(n, (omega - 1.0) / (omega + 1.0)))));
+
+  // Figure 1: three decomposition steps.
+  auto pr = PartitionByDegree(r, VarSet{kY}, VarSet{kX}, delta);  // Rh(X)
+  auto ps = PartitionByDegree(s, VarSet{kZ}, VarSet{kY}, delta);  // Sh(Y)
+  auto pt = PartitionByDegree(t, VarSet{kX}, VarSet{kZ}, delta);  // Th(Z)
+  if (stats != nullptr) {
+    stats->heavy_x = static_cast<int64_t>(pr.heavy.size());
+    stats->heavy_y = static_cast<int64_t>(ps.heavy.size());
+    stats->heavy_z = static_cast<int64_t>(pt.heavy.size());
+  }
+
+  // Light corners: Q_l1 = T join R_l (then S), Q_l2 = R join S_l (then T),
+  // Q_l3 = S join T_l (then R). Each join is at most N * Delta tuples.
+  {
+    Relation ql1 = Join(t, pr.light);
+    if (stats != nullptr) {
+      stats->light_join_tuples += static_cast<int64_t>(ql1.size());
+    }
+    if (JoinedNonEmpty(ql1, s)) {
+      if (stats != nullptr) stats->answer_from_light = true;
+      return true;
+    }
+    Relation ql2 = Join(r, ps.light);
+    if (stats != nullptr) {
+      stats->light_join_tuples += static_cast<int64_t>(ql2.size());
+    }
+    if (JoinedNonEmpty(ql2, t)) {
+      if (stats != nullptr) stats->answer_from_light = true;
+      return true;
+    }
+    Relation ql3 = Join(s, pt.light);
+    if (stats != nullptr) {
+      stats->light_join_tuples += static_cast<int64_t>(ql3.size());
+    }
+    if (JoinedNonEmpty(ql3, r)) {
+      if (stats != nullptr) stats->answer_from_light = true;
+      return true;
+    }
+  }
+
+  // All-heavy core: M1 = Rh x Sh x R, M2 = Sh x Th x S, multiply, join T.
+  Relation m1 = Semijoin(Semijoin(r, pr.heavy), ps.heavy);
+  Relation m2 = Semijoin(Semijoin(s, ps.heavy), pt.heavy);
+  if (m1.empty() || m2.empty()) return false;
+  ValueIndex xi(pr.heavy);
+  ValueIndex yi(ps.heavy);
+  ValueIndex zi(pt.heavy);
+  if (stats != nullptr) {
+    stats->mm_dim_x = xi.size();
+    stats->mm_dim_y = yi.size();
+    stats->mm_dim_z = zi.size();
+  }
+  // Boolean product over heavy X x heavy Y x heavy Z.
+  if (kernel == MmKernel::kBoolean) {
+    BitMatrix a(xi.size(), yi.size()), b(yi.size(), zi.size());
+    for (size_t row = 0; row < m1.size(); ++row) {
+      a.Set(xi.Find(m1.Get(row, kX)), yi.Find(m1.Get(row, kY)));
+    }
+    for (size_t row = 0; row < m2.size(); ++row) {
+      b.Set(yi.Find(m2.Get(row, kY)), zi.Find(m2.Get(row, kZ)));
+    }
+    BitMatrix m = BitMatrix::Multiply(a, b);
+    for (size_t row = 0; row < t.size(); ++row) {
+      const int x = xi.Find(t.Get(row, kX));
+      const int z = zi.Find(t.Get(row, kZ));
+      if (x >= 0 && z >= 0 && m.Get(x, z)) return true;
+    }
+    return false;
+  }
+  Matrix a(xi.size(), yi.size()), b(yi.size(), zi.size());
+  for (size_t row = 0; row < m1.size(); ++row) {
+    a.At(xi.Find(m1.Get(row, kX)), yi.Find(m1.Get(row, kY))) = 1;
+  }
+  for (size_t row = 0; row < m2.size(); ++row) {
+    b.At(yi.Find(m2.Get(row, kY)), zi.Find(m2.Get(row, kZ))) = 1;
+  }
+  Matrix m = kernel == MmKernel::kStrassen ? MultiplyRectangular(a, b)
+                                           : MultiplyNaive(a, b);
+  for (size_t row = 0; row < t.size(); ++row) {
+    const int x = xi.Find(t.Get(row, kX));
+    const int z = zi.Find(t.Get(row, kZ));
+    if (x >= 0 && z >= 0 && m.At(x, z) != 0) return true;
+  }
+  return false;
+}
+
+int64_t TriangleCountMm(const Database& db, MmKernel kernel) {
+  FMMSW_CHECK(db.relations.size() == 3);
+  const Relation& r = db.relations[0];
+  const Relation& s = db.relations[1];
+  const Relation& t = db.relations[2];
+  // Index all X and Z values of T plus those in R/S (counts need exact
+  // dimensions, not just the heavy part).
+  Relation xs = Union(Project(r, VarSet{kX}), Project(t, VarSet{kX}));
+  Relation ys = Union(Project(r, VarSet{kY}), Project(s, VarSet{kY}));
+  Relation zs = Union(Project(s, VarSet{kZ}), Project(t, VarSet{kZ}));
+  ValueIndex xi(xs), yi(ys), zi(zs);
+  Matrix a(xi.size(), yi.size()), b(yi.size(), zi.size());
+  for (size_t row = 0; row < r.size(); ++row) {
+    a.At(xi.Find(r.Get(row, kX)), yi.Find(r.Get(row, kY))) = 1;
+  }
+  for (size_t row = 0; row < s.size(); ++row) {
+    b.At(yi.Find(s.Get(row, kY)), zi.Find(s.Get(row, kZ))) = 1;
+  }
+  Matrix m = kernel == MmKernel::kStrassen ? MultiplyRectangular(a, b)
+                                           : MultiplyNaive(a, b);
+  int64_t count = 0;
+  for (size_t row = 0; row < t.size(); ++row) {
+    count += m.At(xi.Find(t.Get(row, kX)), zi.Find(t.Get(row, kZ)));
+  }
+  return count;
+}
+
+}  // namespace fmmsw

@@ -1,0 +1,47 @@
+#ifndef FMMSW_ENGINE_TRIANGLE_H_
+#define FMMSW_ENGINE_TRIANGLE_H_
+
+/// \file
+/// The triangle query Q_triangle (Eq. 2) — both the combinatorial
+/// O(N^{3/2}) worst-case-optimal join and the paper's Figure-1 algorithm
+/// running in ~O(N^{2w/(w+1)}):
+///
+///   partition R on deg(Y|X), S on deg(Z|Y), T on deg(X|Z) at
+///   Delta = N^{(w-1)/(w+1)}; triangles with a light corner are found by
+///   three N*Delta joins; the all-heavy core (at most N/Delta values per
+///   corner) is detected by one matrix multiplication.
+///
+/// The database layout follows Hypergraph::Triangle(): relations
+/// [R(X,Y), S(Y,Z), T(X,Z)] with X=0, Y=1, Z=2.
+
+#include "engine/elimination.h"
+#include "relation/relation.h"
+
+namespace fmmsw {
+
+struct TriangleStats {
+  int64_t heavy_x = 0, heavy_y = 0, heavy_z = 0;
+  int64_t light_join_tuples = 0;
+  int64_t mm_dim_x = 0, mm_dim_y = 0, mm_dim_z = 0;
+  bool answer_from_light = false;
+};
+
+/// Combinatorial baseline: generic join, O(N^{3/2}).
+bool TriangleCombinatorial(const Database& db);
+
+/// The Figure-1 algorithm. `omega` sets the partition threshold
+/// Delta = N^{(omega-1)/(omega+1)}; pass log2(7) when using the Strassen
+/// kernel so threshold and kernel agree.
+bool TriangleMm(const Database& db, double omega,
+                MmKernel kernel = MmKernel::kBoolean,
+                TriangleStats* stats = nullptr);
+
+/// Triangle counting via integer matrix multiplication (trace of A^3 on
+/// the heavy part is not enough for counts; this counts all triangles by
+/// summing the entrywise product of (M1 x M2) with T). Used by tests to
+/// cross-check against WcojCount.
+int64_t TriangleCountMm(const Database& db, MmKernel kernel);
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_ENGINE_TRIANGLE_H_

@@ -1,0 +1,159 @@
+#include "engine/wcoj.h"
+
+#include <algorithm>
+#include <map>
+
+#include "relation/ops.h"
+#include "util/check.h"
+
+namespace fmmsw {
+
+namespace {
+
+/// Trie over a relation's columns, nested in the global variable order, so
+/// that when GenericJoin reaches variable v every earlier variable of the
+/// relation is already bound and the children keys are exactly the
+/// candidate values.
+struct Trie {
+  std::map<Value, Trie> kids;
+};
+
+struct IndexedRelation {
+  std::vector<int> vars;  // schema vars in instantiation order
+  Trie root;
+};
+
+class GenericJoin {
+ public:
+  GenericJoin(const Hypergraph& h, const Database& db,
+              const std::vector<int>& order)
+      : order_(order) {
+    FMMSW_CHECK(db.relations.size() == h.edges().size());
+    // Position of each variable in the instantiation order.
+    std::vector<int> pos(kMaxVars, -1);
+    for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+    for (const Relation& r : db.relations) {
+      IndexedRelation ir;
+      ir.vars = r.vars();
+      std::sort(ir.vars.begin(), ir.vars.end(),
+                [&](int a, int b) { return pos[a] < pos[b]; });
+      std::vector<int> cols;
+      for (int v : ir.vars) cols.push_back(r.ColumnOf(v));
+      for (size_t row = 0; row < r.size(); ++row) {
+        Trie* node = &ir.root;
+        for (int c : cols) node = &node->kids[r.Row(row)[c]];
+      }
+      rels_.push_back(std::move(ir));
+    }
+    nodes_.assign(rels_.size(), {});
+    for (size_t i = 0; i < rels_.size(); ++i) {
+      nodes_[i].push_back(&rels_[i].root);
+    }
+    assignment_.assign(kMaxVars, 0);
+  }
+
+  /// Visits every satisfying assignment; `emit` returns false to stop the
+  /// enumeration early (Boolean mode).
+  template <typename Emit>
+  bool Run(const Emit& emit) {
+    return Recurse(0, emit);
+  }
+
+ private:
+  template <typename Emit>
+  bool Recurse(size_t depth, const Emit& emit) {
+    if (depth == order_.size()) return emit(assignment_);
+    const int v = order_[depth];
+    // Relations whose next trie level is v.
+    std::vector<size_t> active;
+    for (size_t i = 0; i < rels_.size(); ++i) {
+      const size_t level = nodes_[i].size() - 1;
+      if (level < rels_[i].vars.size() && rels_[i].vars[level] == v) {
+        active.push_back(i);
+      }
+    }
+    if (active.empty()) {
+      // Unconstrained variable (possible after projections); nothing to
+      // iterate — this only happens for vars absent from every relation.
+      return Recurse(depth + 1, emit);
+    }
+    // Iterate the smallest candidate set, probing the others.
+    size_t pivot = active[0];
+    for (size_t i : active) {
+      if (nodes_[i].back()->kids.size() < nodes_[pivot].back()->kids.size()) {
+        pivot = i;
+      }
+    }
+    for (const auto& [value, sub] : nodes_[pivot].back()->kids) {
+      bool ok = true;
+      for (size_t i : active) {
+        if (i == pivot) continue;
+        if (nodes_[i].back()->kids.find(value) ==
+            nodes_[i].back()->kids.end()) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      for (size_t i : active) {
+        nodes_[i].push_back(&nodes_[i].back()->kids.find(value)->second);
+      }
+      assignment_[v] = value;
+      const bool keep_going = Recurse(depth + 1, emit);
+      for (size_t i : active) nodes_[i].pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  std::vector<int> order_;
+  std::vector<IndexedRelation> rels_;
+  std::vector<std::vector<Trie*>> nodes_;
+  std::vector<Value> assignment_;
+};
+
+std::vector<int> DefaultOrder(const Hypergraph& h) {
+  return h.vertices().Members();
+}
+
+}  // namespace
+
+bool WcojBoolean(const Hypergraph& h, const Database& db) {
+  GenericJoin gj(h, db, DefaultOrder(h));
+  bool found = false;
+  gj.Run([&](const std::vector<Value>&) {
+    found = true;
+    return false;  // stop at the first witness
+  });
+  return found;
+}
+
+Relation WcojJoin(const Hypergraph& h, const Database& db, VarSet output_vars,
+                  const std::vector<int>* order) {
+  const std::vector<int> ord = order ? *order : DefaultOrder(h);
+  GenericJoin gj(h, db, ord);
+  Relation out(output_vars & h.vertices());
+  const std::vector<int> out_vars = out.vars();
+  std::vector<Value> tuple(out_vars.size());
+  gj.Run([&](const std::vector<Value>& assignment) {
+    for (size_t i = 0; i < out_vars.size(); ++i) {
+      tuple[i] = assignment[out_vars[i]];
+    }
+    out.Add(tuple);
+    return true;
+  });
+  out.SortAndDedupe();
+  return out;
+}
+
+int64_t WcojCount(const Hypergraph& h, const Database& db) {
+  GenericJoin gj(h, db, DefaultOrder(h));
+  int64_t count = 0;
+  gj.Run([&](const std::vector<Value>&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+}  // namespace fmmsw

@@ -1,0 +1,30 @@
+#ifndef FMMSW_ENGINE_WCOJ_H_
+#define FMMSW_ENGINE_WCOJ_H_
+
+/// \file
+/// Worst-case optimal join ("for-loops", Section 1.1.1): a GenericJoin-
+/// style backtracking search that instantiates variables one at a time,
+/// intersecting the candidate values from every relation covering the
+/// variable. Runs in O(N^{rho*(Q)}) data complexity and is the
+/// combinatorial building block for bag evaluation inside TD plans.
+
+#include "hypergraph/hypergraph.h"
+#include "relation/relation.h"
+
+namespace fmmsw {
+
+/// Evaluates the Boolean query: is the full natural join non-empty?
+bool WcojBoolean(const Hypergraph& h, const Database& db);
+
+/// Computes the full join result projected onto `output_vars` (pass the
+/// full vertex set for the complete join). Variables are instantiated in
+/// increasing index order unless `order` is given.
+Relation WcojJoin(const Hypergraph& h, const Database& db, VarSet output_vars,
+                  const std::vector<int>* order = nullptr);
+
+/// Counts the tuples of the full join without materializing projections.
+int64_t WcojCount(const Hypergraph& h, const Database& db);
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_ENGINE_WCOJ_H_

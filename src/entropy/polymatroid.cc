@@ -1,0 +1,43 @@
+#include "entropy/polymatroid.h"
+
+namespace fmmsw {
+
+std::vector<ElementalInequality> ElementalInequalities(VarSet universe) {
+  std::vector<ElementalInequality> out;
+  const std::vector<int> members = universe.Members();
+  // Elemental monotonicity: h(V) - h(V \ {i}) >= 0.
+  for (int i : members) {
+    ElementalInequality ineq;
+    ineq.is_monotonicity = true;
+    ineq.pos.push_back(universe);
+    VarSet rest = universe;
+    rest.Remove(i);
+    if (!rest.empty()) ineq.neg.push_back(rest);
+    out.push_back(std::move(ineq));
+  }
+  // Elemental submodularity: h(S+i) + h(S+j) - h(S+i+j) - h(S) >= 0.
+  for (size_t a = 0; a < members.size(); ++a) {
+    for (size_t b = a + 1; b < members.size(); ++b) {
+      const int i = members[a], j = members[b];
+      VarSet others = universe;
+      others.Remove(i);
+      others.Remove(j);
+      for (VarSet s : Subsets(others)) {
+        ElementalInequality ineq;
+        VarSet si = s, sj = s, sij = s;
+        si.Add(i);
+        sj.Add(j);
+        sij.Add(i);
+        sij.Add(j);
+        ineq.pos.push_back(si);
+        ineq.pos.push_back(sj);
+        ineq.neg.push_back(sij);
+        if (!s.empty()) ineq.neg.push_back(s);
+        out.push_back(std::move(ineq));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fmmsw

@@ -1,0 +1,143 @@
+#ifndef FMMSW_ENTROPY_POLYMATROID_H_
+#define FMMSW_ENTROPY_POLYMATROID_H_
+
+/// \file
+/// Polymatroids and the Shannon cone (paper Section 3, Eq. 14-16).
+///
+/// A polymatroid is a set function h : 2^V -> R+ with h(empty) = 0 that is
+/// monotone and submodular. The cone Gamma of all polymatroids is described
+/// exactly by the *elemental* Shannon inequalities, which is what the width
+/// LPs use:
+///   - monotonicity:   h(V) - h(V \ {i}) >= 0            (one per vertex)
+///   - submodularity:  h(Si) + h(Sj) - h(Sij) - h(S) >= 0
+///                     for i < j and S subset of V \ {i,j}.
+/// Edge-domination ED (h(e) <= 1 for every hyperedge) models relations of
+/// size N on a log_N scale.
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "lp/model.h"
+#include "util/rational.h"
+#include "util/varset.h"
+
+namespace fmmsw {
+
+/// A set function over subsets of a fixed universe, stored densely by mask.
+template <typename T>
+class SetFn {
+ public:
+  SetFn() : universe_() {}
+  explicit SetFn(VarSet universe)
+      : universe_(universe), values_(1u << kMaxVars, T{}) {}
+
+  VarSet universe() const { return universe_; }
+
+  T& operator[](VarSet s) { return values_[s.mask()]; }
+  const T& operator[](VarSet s) const { return values_[s.mask()]; }
+
+ private:
+  VarSet universe_;
+  std::vector<T> values_;
+};
+
+/// An elemental Shannon inequality sum(pos) - sum(neg) >= 0, with empty-set
+/// terms already dropped.
+struct ElementalInequality {
+  std::vector<VarSet> pos;
+  std::vector<VarSet> neg;
+  bool is_monotonicity = false;
+};
+
+/// All elemental inequalities generating Gamma over `universe`.
+std::vector<ElementalInequality> ElementalInequalities(VarSet universe);
+
+/// Checks h(empty)==0 plus every elemental inequality.
+template <typename T>
+bool IsPolymatroid(const SetFn<T>& h) {
+  if (!(h[VarSet::Empty()] == T(0))) return false;
+  for (const auto& ineq : ElementalInequalities(h.universe())) {
+    T lhs(0);
+    for (VarSet s : ineq.pos) lhs += h[s];
+    for (VarSet s : ineq.neg) lhs -= h[s];
+    if (lhs < T(0)) return false;
+  }
+  return true;
+}
+
+/// Checks h(e) <= 1 for every hyperedge of `hg`.
+template <typename T>
+bool IsEdgeDominated(const Hypergraph& hg, const SetFn<T>& h) {
+  for (const VarSet& e : hg.edges()) {
+    if (h[e] > T(1)) return false;
+  }
+  return true;
+}
+
+/// Builds LPs over Gamma intersect ED for a hypergraph: one LP variable per
+/// non-empty subset of the vertex set, Shannon + edge-domination rows, and
+/// helpers to append h(S) / h(Y|X) terms to further rows. This is the
+/// common substrate of the subw LPs (Eq. 39) and the w-subw LPs (Eq. 34).
+template <typename T>
+class PolymatroidLp {
+ public:
+  explicit PolymatroidLp(const Hypergraph& hg)
+      : universe_(hg.vertices()), var_of_(1u << kMaxVars, -1) {
+    for (VarSet s : Subsets(universe_)) {
+      if (s.empty()) continue;
+      var_of_[s.mask()] = model_.AddVar();
+    }
+    for (const auto& ineq : ElementalInequalities(universe_)) {
+      auto& row = model_.AddRow(Sense::kGe, T(0), "shannon");
+      for (VarSet s : ineq.pos) AppendH(&row.coeffs, s, T(1));
+      for (VarSet s : ineq.neg) AppendH(&row.coeffs, s, T(-1));
+    }
+    for (const VarSet& e : hg.edges()) {
+      auto& row = model_.AddRow(Sense::kLe, T(1), "edge-dom");
+      AppendH(&row.coeffs, e, T(1));
+    }
+  }
+
+  LpModel<T>& model() { return model_; }
+  const LpModel<T>& model() const { return model_; }
+  VarSet universe() const { return universe_; }
+
+  /// LP variable index of h(S); S must be a non-empty subset of the universe.
+  int Var(VarSet s) const {
+    FMMSW_CHECK(universe_.ContainsAll(s) && !s.empty());
+    return var_of_[s.mask()];
+  }
+
+  /// Appends coeff * h(s) (no-op for the empty set, whose h is 0).
+  void AppendH(std::vector<std::pair<int, T>>* coeffs, VarSet s,
+               T coeff) const {
+    if (s.empty()) return;
+    coeffs->emplace_back(Var(s), coeff);
+  }
+
+  /// Appends coeff * h(Y|X) = coeff * (h(XY) - h(X)).
+  void AppendConditional(std::vector<std::pair<int, T>>* coeffs, VarSet y,
+                         VarSet x, T coeff) const {
+    AppendH(coeffs, x | y, coeff);
+    AppendH(coeffs, x, -coeff);
+  }
+
+  /// Extracts the h solution of a solved LP into a SetFn.
+  SetFn<T> ExtractSolution(const LpResult<T>& res) const {
+    SetFn<T> h(universe_);
+    for (VarSet s : Subsets(universe_)) {
+      if (s.empty()) continue;
+      h[s] = res.primal[Var(s)];
+    }
+    return h;
+  }
+
+ private:
+  VarSet universe_;
+  LpModel<T> model_;
+  std::vector<int> var_of_;
+};
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_ENTROPY_POLYMATROID_H_

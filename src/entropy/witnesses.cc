@@ -1,0 +1,147 @@
+#include "entropy/witnesses.h"
+
+#include "util/check.h"
+
+namespace fmmsw {
+
+int AtomComposition::AddAtom(const Rational& entropy) {
+  atom_entropy_.push_back(entropy);
+  atom_vars_.emplace_back();
+  return static_cast<int>(atom_entropy_.size()) - 1;
+}
+
+void AtomComposition::Attach(int var, int atom) {
+  FMMSW_CHECK(atom >= 0 && atom < static_cast<int>(atom_vars_.size()));
+  atom_vars_[atom].push_back(var);
+}
+
+SetFn<Rational> AtomComposition::Build(VarSet universe) const {
+  SetFn<Rational> h(universe);
+  for (VarSet s : Subsets(universe)) {
+    Rational total(0);
+    for (size_t atom = 0; atom < atom_entropy_.size(); ++atom) {
+      bool owned = false;
+      for (int v : atom_vars_[atom]) {
+        if (s.Contains(v)) {
+          owned = true;
+          break;
+        }
+      }
+      if (owned) total += atom_entropy_[atom];
+    }
+    h[s] = total;
+  }
+  return h;
+}
+
+SetFn<Rational> TriangleWitness(const Rational& omega) {
+  const Rational denom = omega + Rational(1);
+  const Rational big = (omega - Rational(2)) + Rational(1);  // w - 1
+  AtomComposition c;
+  int a = c.AddAtom(big / denom);
+  int b = c.AddAtom(big / denom);
+  int cc = c.AddAtom(big / denom);
+  int d = c.AddAtom((Rational(3) - omega) / denom);
+  c.Attach(0, a);  // X = (a, d)
+  c.Attach(0, d);
+  c.Attach(1, b);  // Y = (b, d)
+  c.Attach(1, d);
+  c.Attach(2, cc);  // Z = (c, d)
+  c.Attach(2, d);
+  return c.Build(VarSet::Full(3));
+}
+
+SetFn<Rational> CliqueWitness(int k) {
+  AtomComposition c;
+  for (int v = 0; v < k; ++v) {
+    int a = c.AddAtom(Rational(1, 2));
+    c.Attach(v, a);
+  }
+  return c.Build(VarSet::Full(k));
+}
+
+SetFn<Rational> FourCycleWitnessHigh() {
+  // Variables of Hypergraph::Cycle(4): X=0, Y=1, Z=2, W=3 with edges
+  // XY, YZ, ZW, WX. Lemma C.9 Case 1: X=(ab), Y=(cd), Z=(de), W=(ae).
+  AtomComposition c;
+  int a = c.AddAtom(Rational(1, 4));
+  int b = c.AddAtom(Rational(1, 4));
+  int cc = c.AddAtom(Rational(1, 4));
+  int d = c.AddAtom(Rational(1, 4));
+  int e = c.AddAtom(Rational(1, 2));
+  c.Attach(0, a);
+  c.Attach(0, b);
+  c.Attach(1, cc);
+  c.Attach(1, d);
+  c.Attach(2, d);
+  c.Attach(2, e);
+  c.Attach(3, a);
+  c.Attach(3, e);
+  return c.Build(VarSet::Full(4));
+}
+
+SetFn<Rational> FourCycleWitnessLow(const Rational& omega) {
+  // Lemma C.9 Case 2: atoms a = 2(w-1)/(2w+1), b..e = (w-1)/(2w+1),
+  // f = (5-2w)/(2w+1); X=(bcf), Y=(def), Z=(aef), W=(abf).
+  const Rational denom = Rational(2) * omega + Rational(1);
+  const Rational w1 = (omega - Rational(1)) / denom;
+  AtomComposition c;
+  int a = c.AddAtom(Rational(2) * w1);  // 2(w-1)/(2w+1)
+  int b = c.AddAtom(w1);
+  int cc = c.AddAtom(w1);
+  int d = c.AddAtom(w1);
+  int e = c.AddAtom(w1);
+  int f = c.AddAtom((Rational(5) - Rational(2) * omega) / denom);
+  c.Attach(0, b);
+  c.Attach(0, cc);
+  c.Attach(0, f);
+  c.Attach(1, d);
+  c.Attach(1, e);
+  c.Attach(1, f);
+  c.Attach(2, a);
+  c.Attach(2, e);
+  c.Attach(2, f);
+  c.Attach(3, a);
+  c.Attach(3, b);
+  c.Attach(3, f);
+  return c.Build(VarSet::Full(4));
+}
+
+SetFn<Rational> Pyramid3Witness(const Rational& omega) {
+  // Lemma C.13, variable order Y=0, X1=1, X2=2, X3=3.
+  const Rational inv = Rational(1) / omega;
+  SetFn<Rational> h(VarSet::Full(4));
+  const VarSet y{0};
+  for (VarSet s : Subsets(VarSet::Full(4))) {
+    const bool has_y = s.ContainsAll(y);
+    const int nx = (s - y).size();
+    Rational v(0);
+    if (!has_y) {
+      // h of nx base variables: 1/w each, capped at 1 for all three.
+      if (nx == 3) {
+        v = Rational(1);
+      } else {
+        v = Rational(nx) * inv;
+      }
+    } else {
+      switch (nx) {
+        case 0:
+          v = Rational(1) - inv;  // h(Y)
+          break;
+        case 1:
+          v = Rational(1);  // h(Xi Y)
+          break;
+        case 2:
+          v = (omega + Rational(1)) * inv;  // h(Xi Xj Y)
+          break;
+        case 3:
+          v = Rational(2) - inv;  // h(all)
+          break;
+      }
+    }
+    h[s] = v;
+  }
+  return h;
+}
+
+}  // namespace fmmsw

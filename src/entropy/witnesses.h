@@ -1,0 +1,57 @@
+#ifndef FMMSW_ENTROPY_WITNESSES_H_
+#define FMMSW_ENTROPY_WITNESSES_H_
+
+/// \file
+/// The explicit lower-bound polymatroids the paper exhibits in Appendix C
+/// (Figures 2-4). Most are built from compositions of independent "atoms":
+/// each query variable is a tuple of atoms, and h(S) is the total entropy
+/// of the atoms underneath S — such functions are automatically entropic,
+/// hence polymatroids. The 3-pyramid witness (Lemma C.13) is given directly
+/// by its value table. Tests verify each witness is a valid edge-dominated
+/// polymatroid and that it attains the claimed width.
+
+#include "entropy/polymatroid.h"
+#include "util/rational.h"
+
+namespace fmmsw {
+
+/// Builds a polymatroid from independent atoms: variable v owns the atoms
+/// in var_atoms[v]; h(S) = sum of entropies of the union of owned atoms.
+class AtomComposition {
+ public:
+  /// Adds an atom with the given entropy; returns its id.
+  int AddAtom(const Rational& entropy);
+
+  /// Declares that variable `var` contains atom `atom`.
+  void Attach(int var, int atom);
+
+  /// Materializes h over the given universe.
+  SetFn<Rational> Build(VarSet universe) const;
+
+ private:
+  std::vector<Rational> atom_entropy_;
+  std::vector<std::vector<int>> atom_vars_;  // atom -> owning variables
+};
+
+/// Lemma C.5 / Figure 2: the triangle witness with h(X)=h(Y)=h(Z)=2/(w+1),
+/// pairwise 1, total 2w/(w+1). Valid for any w in [2,3].
+SetFn<Rational> TriangleWitness(const Rational& omega);
+
+/// Lemmas C.6-C.8: k independent variables of entropy 1/2 each (the clique
+/// witness; attains (w+1)/2, w/2+1 and the general k-clique value).
+SetFn<Rational> CliqueWitness(int k);
+
+/// Lemma C.9 Case 1 (w >= 5/2): the 4-cycle witness from atoms
+/// a..d = 1/4, e = 1/2.
+SetFn<Rational> FourCycleWitnessHigh();
+
+/// Lemma C.9 Case 2 (w < 5/2): the 4-cycle witness parameterized by w.
+SetFn<Rational> FourCycleWitnessLow(const Rational& omega);
+
+/// Lemma C.13 / Figure 4: the 3-pyramid witness (value table), attaining
+/// 2 - 1/w. Variable order: Y = 0, X1..X3 = 1..3 (Hypergraph::Pyramid(3)).
+SetFn<Rational> Pyramid3Witness(const Rational& omega);
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_ENTROPY_WITNESSES_H_

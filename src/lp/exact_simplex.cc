@@ -1,0 +1,9 @@
+#include "lp/simplex.h"
+
+#include "lp/simplex_impl.h"
+
+namespace fmmsw {
+
+template LpResult<Rational> SolveSimplex<Rational>(const LpModel<Rational>&);
+
+}  // namespace fmmsw

@@ -1,0 +1,53 @@
+#include "lp/model.h"
+
+#include <cmath>
+
+#include "lp/simplex.h"
+#include "util/check.h"
+
+namespace fmmsw {
+
+namespace {
+
+/// Snaps a double to the nearest p/q with q <= 1e6 via continued fractions.
+Rational Snap(double v) {
+  const bool neg = v < 0;
+  double x = std::fabs(v);
+  int64_t p0 = 0, q0 = 1, p1 = 1, q1 = 0;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double a_f = std::floor(x);
+    const int64_t a = static_cast<int64_t>(a_f);
+    int64_t p2 = a * p1 + p0;
+    int64_t q2 = a * q1 + q0;
+    if (q2 > 1000000) break;
+    p0 = p1;
+    q0 = q1;
+    p1 = p2;
+    q1 = q2;
+    const double frac = x - a_f;
+    if (frac < 1e-12) break;
+    x = 1.0 / frac;
+  }
+  FMMSW_CHECK(q1 > 0);
+  return Rational(neg ? -p1 : p1, q1);
+}
+
+}  // namespace
+
+LpModel<Rational> ToExactModel(const LpModel<double>& model) {
+  LpModel<Rational> out;
+  out.num_vars = model.num_vars;
+  out.maximize = model.maximize;
+  for (const auto& [var, coeff] : model.objective) {
+    out.objective.emplace_back(var, Snap(coeff));
+  }
+  for (const auto& row : model.rows) {
+    auto& r = out.AddRow(row.sense, Snap(row.rhs), row.name);
+    for (const auto& [var, coeff] : row.coeffs) {
+      r.coeffs.emplace_back(var, Snap(coeff));
+    }
+  }
+  return out;
+}
+
+}  // namespace fmmsw

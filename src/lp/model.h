@@ -1,0 +1,62 @@
+#ifndef FMMSW_LP_MODEL_H_
+#define FMMSW_LP_MODEL_H_
+
+/// \file
+/// Linear-program model shared by the double and exact-rational solvers.
+///
+/// The width calculators (src/width/) reduce submodular-width and
+/// w-submodular-width computation to families of small LPs over the
+/// polymatroid cone (paper Eq. 34 / Eq. 39); this header defines the model
+/// those builders emit. Variables are implicitly non-negative, which matches
+/// polymatroid values h(S) >= 0 and the auxiliary objective variable t.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fmmsw {
+
+enum class Sense { kLe, kGe, kEq };
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+/// A linear program: optimize c.x subject to rows, x >= 0.
+template <typename T>
+struct LpModel {
+  struct Row {
+    std::vector<std::pair<int, T>> coeffs;  // (variable index, coefficient)
+    Sense sense = Sense::kLe;
+    T rhs{};
+    std::string name;  // optional, for debugging / dual reporting
+  };
+
+  int num_vars = 0;
+  bool maximize = true;
+  std::vector<std::pair<int, T>> objective;
+  std::vector<Row> rows;
+
+  int AddVar() { return num_vars++; }
+
+  void AddObjective(int var, T coeff) { objective.emplace_back(var, coeff); }
+
+  Row& AddRow(Sense sense, T rhs, std::string name = "") {
+    rows.push_back(Row{{}, sense, std::move(rhs), std::move(name)});
+    return rows.back();
+  }
+};
+
+/// Solver output. `duals[i]` is the dual multiplier of `rows[i]` under the
+/// usual convention for a maximization LP with <=-rows (duals >= 0); rows
+/// entered as >= get duals <= 0. Only populated when status == kOptimal.
+template <typename T>
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  T objective{};
+  std::vector<T> primal;
+  std::vector<T> duals;
+  int pivots = 0;
+};
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_LP_MODEL_H_

@@ -1,0 +1,9 @@
+#include "lp/simplex.h"
+
+#include "lp/simplex_impl.h"
+
+namespace fmmsw {
+
+template LpResult<double> SolveSimplex<double>(const LpModel<double>&);
+
+}  // namespace fmmsw

@@ -1,0 +1,58 @@
+#ifndef FMMSW_LP_SIMPLEX_H_
+#define FMMSW_LP_SIMPLEX_H_
+
+/// \file
+/// Two-phase dense-tableau primal simplex, templated on the scalar type.
+///
+/// Instantiated for `double` (fast path: the 59049-LP sweep of Example D.1)
+/// and for exact `Rational` (certifying Table 2 closed forms). Bland's rule
+/// guarantees termination; the LPs here are tiny (tens of variables), so a
+/// dense tableau is the right tool.
+
+#include <cmath>
+#include <vector>
+
+#include "lp/model.h"
+#include "util/check.h"
+#include "util/rational.h"
+
+namespace fmmsw {
+
+template <typename T>
+struct ScalarTraits;
+
+template <>
+struct ScalarTraits<double> {
+  static constexpr double kEps = 1e-9;
+  static bool IsZero(double v) { return std::fabs(v) < kEps; }
+  static bool IsPos(double v) { return v > kEps; }
+  static bool IsNeg(double v) { return v < -kEps; }
+  static double Zero() { return 0.0; }
+  static double One() { return 1.0; }
+};
+
+template <>
+struct ScalarTraits<Rational> {
+  static bool IsZero(const Rational& v) { return v.IsZero(); }
+  static bool IsPos(const Rational& v) { return v.Sign() > 0; }
+  static bool IsNeg(const Rational& v) { return v.Sign() < 0; }
+  static Rational Zero() { return Rational(0); }
+  static Rational One() { return Rational(1); }
+};
+
+/// Solves the LP. See LpResult for conventions.
+template <typename T>
+LpResult<T> SolveSimplex(const LpModel<T>& model);
+
+extern template LpResult<double> SolveSimplex<double>(const LpModel<double>&);
+extern template LpResult<Rational> SolveSimplex<Rational>(
+    const LpModel<Rational>&);
+
+/// Convenience: converts a double model to an exact model by snapping each
+/// coefficient to the nearest rational with denominator <= kSnapDen. Only
+/// used by tests comparing the two solvers on hand-built models.
+LpModel<Rational> ToExactModel(const LpModel<double>& model);
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_LP_SIMPLEX_H_

@@ -1,0 +1,276 @@
+#ifndef FMMSW_LP_SIMPLEX_IMPL_H_
+#define FMMSW_LP_SIMPLEX_IMPL_H_
+
+/// \file
+/// Templated body of the two-phase primal simplex. Included by simplex.cc
+/// (double instantiation) and exact_simplex.cc (Rational instantiation);
+/// callers include lp/simplex.h.
+
+#include <algorithm>
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace fmmsw {
+namespace internal {
+
+template <typename T>
+class Tableau {
+  using Tr = ScalarTraits<T>;
+
+ public:
+  explicit Tableau(const LpModel<T>& model) : model_(model) {
+    Build();
+  }
+
+  LpResult<T> Solve() {
+    LpResult<T> res;
+    // Phase 1: maximize -(sum of artificials).
+    if (!artificial_cols_.empty()) {
+      std::vector<T> c1(num_cols_, Tr::Zero());
+      for (int j : artificial_cols_) c1[j] = -Tr::One();
+      SetObjective(c1);
+      RunPivots(&res.pivots);
+      if (Tr::IsNeg(Objective())) {
+        res.status = LpStatus::kInfeasible;
+        return res;
+      }
+      DriveOutArtificials();
+      for (int j : artificial_cols_) allowed_[j] = false;
+    }
+    // Phase 2: the real objective.
+    std::vector<T> c2(num_cols_, Tr::Zero());
+    for (const auto& [var, coeff] : model_.objective) {
+      c2[var] = model_.maximize ? c2[var] + coeff : c2[var] - coeff;
+    }
+    SetObjective(c2);
+    bool bounded = RunPivots(&res.pivots);
+    if (!bounded) {
+      res.status = LpStatus::kUnbounded;
+      return res;
+    }
+    res.status = LpStatus::kOptimal;
+    T z = -obj_[num_cols_];
+    res.objective = model_.maximize ? z : -z;
+    res.primal.assign(model_.num_vars, Tr::Zero());
+    for (int i = 0; i < num_rows_; ++i) {
+      if (basis_[i] < model_.num_vars) res.primal[basis_[i]] = Rhs(i);
+    }
+    res.duals.assign(num_rows_, Tr::Zero());
+    for (int i = 0; i < num_rows_; ++i) {
+      // The initial basis column of row i is an identity column with zero
+      // phase-2 cost, so its final reduced cost equals -y_i.
+      T y = -obj_[dual_col_[i]];
+      if (row_flipped_[i]) y = -y;
+      if (!model_.maximize) y = -y;
+      res.duals[i] = y;
+    }
+    return res;
+  }
+
+ private:
+  void Build() {
+    const int n = model_.num_vars;
+    const int m = static_cast<int>(model_.rows.size());
+    num_rows_ = m;
+    row_flipped_.assign(m, false);
+    // Count extra columns.
+    int extra = 0;
+    for (const auto& row : model_.rows) {
+      extra += (row.sense == Sense::kLe || row.sense == Sense::kGe) ? 1 : 0;
+    }
+    // Upper bound on artificials: one per row.
+    num_cols_ = n + extra + m;
+    tab_.assign(m, std::vector<T>(num_cols_ + 1, Tr::Zero()));
+    basis_.assign(m, -1);
+    dual_col_.assign(m, -1);
+    allowed_.assign(num_cols_, true);
+    int next = n;
+    for (int i = 0; i < m; ++i) {
+      const auto& row = model_.rows[i];
+      for (const auto& [var, coeff] : row.coeffs) {
+        FMMSW_CHECK(var >= 0 && var < n);
+        tab_[i][var] = tab_[i][var] + coeff;
+      }
+      tab_[i][num_cols_] = row.rhs;
+      Sense sense = row.sense;
+      // A >=-row with non-positive rhs is equivalent to a <=-row after
+      // negation, and the <=-form needs no artificial variable. This makes
+      // the all-slack basis feasible for the polymatroid LPs (all Shannon
+      // rows are ">= 0"), eliminating phase 1 entirely.
+      if (sense == Sense::kGe && !Tr::IsPos(tab_[i][num_cols_])) {
+        for (int j = 0; j <= num_cols_; ++j) tab_[i][j] = -tab_[i][j];
+        row_flipped_[i] = !row_flipped_[i];
+        sense = Sense::kLe;
+      }
+      if (Tr::IsNeg(tab_[i][num_cols_])) {
+        for (int j = 0; j <= num_cols_; ++j) tab_[i][j] = -tab_[i][j];
+        row_flipped_[i] = !row_flipped_[i];
+        if (sense == Sense::kLe) {
+          sense = Sense::kGe;
+        } else if (sense == Sense::kGe) {
+          sense = Sense::kLe;
+        }
+      }
+      if (sense == Sense::kLe) {
+        int slack = next++;
+        tab_[i][slack] = Tr::One();
+        basis_[i] = slack;
+        dual_col_[i] = slack;
+      } else if (sense == Sense::kGe) {
+        int surplus = next++;
+        tab_[i][surplus] = -Tr::One();
+        int art = next++;
+        tab_[i][art] = Tr::One();
+        basis_[i] = art;
+        dual_col_[i] = art;
+        artificial_cols_.push_back(art);
+      } else {
+        int art = next++;
+        tab_[i][art] = Tr::One();
+        basis_[i] = art;
+        dual_col_[i] = art;
+        artificial_cols_.push_back(art);
+      }
+    }
+    // Shrink to the columns actually created.
+    for (auto& r : tab_) {
+      r[next] = r[num_cols_];  // move rhs next to last used column
+      r.resize(next + 1);
+    }
+    allowed_.resize(next, true);
+    num_cols_ = next;
+  }
+
+  T Rhs(int i) const { return tab_[i][num_cols_]; }
+  T Objective() const { return -obj_[num_cols_]; }
+
+  /// Prices out the given cost vector against the current basis.
+  void SetObjective(const std::vector<T>& c) {
+    cost_ = c;
+    cost_.resize(num_cols_, Tr::Zero());
+    obj_.assign(num_cols_ + 1, Tr::Zero());
+    for (int j = 0; j < num_cols_; ++j) obj_[j] = cost_[j];
+    for (int i = 0; i < num_rows_; ++i) {
+      const T cb = cost_[basis_[i]];
+      if (Tr::IsZero(cb)) continue;
+      for (int j = 0; j <= num_cols_; ++j) {
+        obj_[j] = obj_[j] - cb * tab_[i][j];
+      }
+    }
+  }
+
+  /// Bland's rule pivoting until optimal (returns true) or unbounded
+  /// (returns false).
+  bool RunPivots(int* pivot_count) {
+    for (int iter = 0; iter < kMaxPivots; ++iter) {
+      int enter = -1;
+      for (int j = 0; j < num_cols_; ++j) {
+        if (allowed_[j] && Tr::IsPos(obj_[j])) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < 0) return true;  // optimal
+      int leave = -1;
+      for (int i = 0; i < num_rows_; ++i) {
+        if (!Tr::IsPos(tab_[i][enter])) continue;
+        if (leave < 0) {
+          leave = i;
+          continue;
+        }
+        // ratio(i) < ratio(leave)? Cross-multiplied to stay exact.
+        const T lhs = Rhs(i) * tab_[leave][enter];
+        const T rhs = Rhs(leave) * tab_[i][enter];
+        if (lhs < rhs || (!(rhs < lhs) && basis_[i] < basis_[leave])) {
+          leave = i;
+        }
+      }
+      if (leave < 0) return false;  // unbounded
+      Pivot(leave, enter);
+      ++*pivot_count;
+    }
+    FMMSW_CHECK(false && "simplex pivot limit exceeded");
+    return false;
+  }
+
+  void Pivot(int pr, int pc) {
+    const T inv_pivot = Tr::One() / tab_[pr][pc];
+    for (int j = 0; j <= num_cols_; ++j) {
+      tab_[pr][j] = tab_[pr][j] * inv_pivot;
+    }
+    tab_[pr][pc] = Tr::One();  // remove residual rounding in double mode
+    for (int i = 0; i < num_rows_; ++i) {
+      if (i == pr || Tr::IsZero(tab_[i][pc])) continue;
+      const T f = tab_[i][pc];
+      for (int j = 0; j <= num_cols_; ++j) {
+        tab_[i][j] = tab_[i][j] - f * tab_[pr][j];
+      }
+      tab_[i][pc] = Tr::Zero();
+    }
+    if (!Tr::IsZero(obj_[pc])) {
+      const T f = obj_[pc];
+      for (int j = 0; j <= num_cols_; ++j) {
+        obj_[j] = obj_[j] - f * tab_[pr][j];
+      }
+      obj_[pc] = Tr::Zero();
+    }
+    basis_[pr] = pc;
+  }
+
+  /// After phase 1, pivots basic artificials out on any eligible column so
+  /// phase 2 starts from a (possibly degenerate) feasible basis.
+  void DriveOutArtificials() {
+    for (int i = 0; i < num_rows_; ++i) {
+      bool is_art = false;
+      for (int a : artificial_cols_) {
+        if (basis_[i] == a) {
+          is_art = true;
+          break;
+        }
+      }
+      if (!is_art) continue;
+      for (int j = 0; j < num_cols_; ++j) {
+        bool j_art = false;
+        for (int a : artificial_cols_) {
+          if (j == a) {
+            j_art = true;
+            break;
+          }
+        }
+        if (j_art || Tr::IsZero(tab_[i][j])) continue;
+        Pivot(i, j);
+        break;
+      }
+      // If no eligible column exists the row is redundant; the artificial
+      // stays basic at value zero, which is harmless once barred from
+      // re-entering.
+    }
+  }
+
+  static constexpr int kMaxPivots = 200000;
+
+  const LpModel<T>& model_;
+  int num_rows_ = 0;
+  int num_cols_ = 0;
+  std::vector<std::vector<T>> tab_;
+  std::vector<T> obj_;   // reduced costs, plus -z in the rhs slot
+  std::vector<T> cost_;  // current cost vector
+  std::vector<int> basis_;
+  std::vector<int> dual_col_;
+  std::vector<bool> row_flipped_;
+  std::vector<bool> allowed_;
+  std::vector<int> artificial_cols_;
+};
+
+}  // namespace internal
+
+template <typename T>
+LpResult<T> SolveSimplex(const LpModel<T>& model) {
+  internal::Tableau<T> tableau(model);
+  return tableau.Solve();
+}
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_LP_SIMPLEX_IMPL_H_

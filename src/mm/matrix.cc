@@ -1,0 +1,76 @@
+#include "mm/matrix.h"
+
+#include <algorithm>
+
+namespace fmmsw {
+
+bool Matrix::AnyNonZero() const {
+  for (int64_t v : data_) {
+    if (v != 0) return true;
+  }
+  return false;
+}
+
+Matrix MultiplyNaive(const Matrix& a, const Matrix& b) {
+  FMMSW_CHECK(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const int64_t aik = a.At(i, k);
+      if (aik == 0) continue;
+      for (int j = 0; j < b.cols(); ++j) {
+        out.At(i, j) += aik * b.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MultiplyBlocked(const Matrix& a, const Matrix& b) {
+  FMMSW_CHECK(a.cols() == b.rows());
+  constexpr int kB = 48;
+  Matrix out(a.rows(), b.cols());
+  for (int ii = 0; ii < a.rows(); ii += kB) {
+    const int imax = std::min(ii + kB, a.rows());
+    for (int kk = 0; kk < a.cols(); kk += kB) {
+      const int kmax = std::min(kk + kB, a.cols());
+      for (int jj = 0; jj < b.cols(); jj += kB) {
+        const int jmax = std::min(jj + kB, b.cols());
+        for (int i = ii; i < imax; ++i) {
+          for (int k = kk; k < kmax; ++k) {
+            const int64_t aik = a.At(i, k);
+            if (aik == 0) continue;
+            for (int j = jj; j < jmax; ++j) {
+              out.At(i, j) += aik * b.At(k, j);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool BitMatrix::AnyNonZero() const {
+  for (uint64_t w : data_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+BitMatrix BitMatrix::Multiply(const BitMatrix& a, const BitMatrix& b) {
+  FMMSW_CHECK(a.cols() == b.rows());
+  BitMatrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    uint64_t* out_row = &out.data_[static_cast<size_t>(i) * out.words_];
+    const uint64_t* a_row = &a.data_[static_cast<size_t>(i) * a.words_];
+    for (int k = 0; k < a.cols(); ++k) {
+      if (!((a_row[k >> 6] >> (k & 63)) & 1ULL)) continue;
+      const uint64_t* b_row = &b.data_[static_cast<size_t>(k) * b.words_];
+      for (int w = 0; w < b.words_; ++w) out_row[w] |= b_row[w];
+    }
+  }
+  return out;
+}
+
+}  // namespace fmmsw

@@ -1,0 +1,108 @@
+#ifndef FMMSW_MM_MATRIX_H_
+#define FMMSW_MM_MATRIX_H_
+
+/// \file
+/// Dense matrices and multiplication kernels.
+///
+/// The engine reduces heavy-part joins to Boolean / counting matrix
+/// products (paper Section 2.5 and Appendix E.6). Kernels:
+///   - MultiplyNaive / MultiplyBlocked: cubic reference and cache-blocked,
+///   - MultiplyStrassen: Strassen recursion (omega = log2 7), the runnable
+///     stand-in for fast MM (see DESIGN.md "Substitutions"),
+///   - MultiplyRectangular: the square-blocking scheme realizing
+///     omega-square(a,b,c) from Eq. (6),
+///   - BitMatrix multiply: word-parallel Boolean product.
+/// Counting products use int64 (semiring (+, x)); Boolean products use the
+/// (OR, AND) semiring, which suffices for Boolean CQ evaluation.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fmmsw {
+
+/// Row-major dense int64 matrix.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, 0) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  int64_t& At(int r, int c) {
+    FMMSW_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  int64_t At(int r, int c) const {
+    FMMSW_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  const std::vector<int64_t>& data() const { return data_; }
+
+  bool operator==(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+  /// True if any entry is non-zero.
+  bool AnyNonZero() const;
+
+ private:
+  int rows_, cols_;
+  std::vector<int64_t> data_;
+};
+
+/// Reference O(n^3) product.
+Matrix MultiplyNaive(const Matrix& a, const Matrix& b);
+
+/// Cache-blocked cubic product (the combinatorial baseline kernel).
+Matrix MultiplyBlocked(const Matrix& a, const Matrix& b);
+
+/// Strassen's algorithm (cutoff to blocked below `cutoff`). Exact over
+/// int64; the realized exponent is log2 7 ~ 2.807.
+Matrix MultiplyStrassen(const Matrix& a, const Matrix& b, int cutoff = 64);
+
+/// Rectangular product via square blocking (Eq. 6): partitions both inputs
+/// into d x d square blocks, d = min(rows_a, cols_a, cols_b), and multiplies
+/// block pairs with Strassen. Realizes n^{omega-square(a,b,c)}.
+Matrix MultiplyRectangular(const Matrix& a, const Matrix& b,
+                           int cutoff = 64);
+
+/// Bit-packed Boolean matrix ((OR, AND) semiring).
+class BitMatrix {
+ public:
+  BitMatrix() : rows_(0), cols_(0), words_(0) {}
+  BitMatrix(int rows, int cols)
+      : rows_(rows), cols_(cols), words_((cols + 63) / 64),
+        data_(static_cast<size_t>(rows) * words_, 0) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  void Set(int r, int c) {
+    FMMSW_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    data_[static_cast<size_t>(r) * words_ + (c >> 6)] |= 1ULL << (c & 63);
+  }
+  bool Get(int r, int c) const {
+    FMMSW_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return (data_[static_cast<size_t>(r) * words_ + (c >> 6)] >>
+            (c & 63)) & 1ULL;
+  }
+
+  bool AnyNonZero() const;
+
+  /// Word-parallel Boolean product: out[i][j] = OR_k (a[i][k] AND b[k][j]).
+  static BitMatrix Multiply(const BitMatrix& a, const BitMatrix& b);
+
+ private:
+  int rows_, cols_, words_;
+  std::vector<uint64_t> data_;
+};
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_MM_MATRIX_H_

@@ -1,0 +1,173 @@
+#include <algorithm>
+
+#include "mm/matrix.h"
+
+namespace fmmsw {
+
+namespace {
+
+/// Square sub-matrix views are materialized as padded power-of-two square
+/// matrices for the recursion; sizes here are small enough (heavy parts of
+/// size N^{2/(w+1)}) that the copies are dwarfed by the multiply.
+struct Sq {
+  int n = 0;
+  std::vector<int64_t> d;
+  int64_t& At(int r, int c) { return d[static_cast<size_t>(r) * n + c]; }
+  int64_t At(int r, int c) const { return d[static_cast<size_t>(r) * n + c]; }
+};
+
+Sq MakeSq(int n) {
+  Sq s;
+  s.n = n;
+  s.d.assign(static_cast<size_t>(n) * n, 0);
+  return s;
+}
+
+Sq Add(const Sq& a, const Sq& b) {
+  Sq out = MakeSq(a.n);
+  for (size_t i = 0; i < out.d.size(); ++i) out.d[i] = a.d[i] + b.d[i];
+  return out;
+}
+
+Sq Sub(const Sq& a, const Sq& b) {
+  Sq out = MakeSq(a.n);
+  for (size_t i = 0; i < out.d.size(); ++i) out.d[i] = a.d[i] - b.d[i];
+  return out;
+}
+
+Sq Quadrant(const Sq& a, int qr, int qc) {
+  const int h = a.n / 2;
+  Sq out = MakeSq(h);
+  for (int i = 0; i < h; ++i) {
+    for (int j = 0; j < h; ++j) {
+      out.At(i, j) = a.At(qr * h + i, qc * h + j);
+    }
+  }
+  return out;
+}
+
+void PlaceQuadrant(Sq* a, const Sq& q, int qr, int qc) {
+  const int h = a->n / 2;
+  for (int i = 0; i < h; ++i) {
+    for (int j = 0; j < h; ++j) {
+      a->At(qr * h + i, qc * h + j) = q.At(i, j);
+    }
+  }
+}
+
+Sq MulBase(const Sq& a, const Sq& b) {
+  Sq out = MakeSq(a.n);
+  for (int i = 0; i < a.n; ++i) {
+    for (int k = 0; k < a.n; ++k) {
+      const int64_t aik = a.At(i, k);
+      if (aik == 0) continue;
+      for (int j = 0; j < a.n; ++j) out.At(i, j) += aik * b.At(k, j);
+    }
+  }
+  return out;
+}
+
+Sq StrassenRec(const Sq& a, const Sq& b, int cutoff) {
+  if (a.n <= cutoff) return MulBase(a, b);
+  const Sq a11 = Quadrant(a, 0, 0), a12 = Quadrant(a, 0, 1);
+  const Sq a21 = Quadrant(a, 1, 0), a22 = Quadrant(a, 1, 1);
+  const Sq b11 = Quadrant(b, 0, 0), b12 = Quadrant(b, 0, 1);
+  const Sq b21 = Quadrant(b, 1, 0), b22 = Quadrant(b, 1, 1);
+  const Sq m1 = StrassenRec(Add(a11, a22), Add(b11, b22), cutoff);
+  const Sq m2 = StrassenRec(Add(a21, a22), b11, cutoff);
+  const Sq m3 = StrassenRec(a11, Sub(b12, b22), cutoff);
+  const Sq m4 = StrassenRec(a22, Sub(b21, b11), cutoff);
+  const Sq m5 = StrassenRec(Add(a11, a12), b22, cutoff);
+  const Sq m6 = StrassenRec(Sub(a21, a11), Add(b11, b12), cutoff);
+  const Sq m7 = StrassenRec(Sub(a12, a22), Add(b21, b22), cutoff);
+  Sq out = MakeSq(a.n);
+  PlaceQuadrant(&out, Add(Sub(Add(m1, m4), m5), m7), 0, 0);
+  PlaceQuadrant(&out, Add(m3, m5), 0, 1);
+  PlaceQuadrant(&out, Add(m2, m4), 1, 0);
+  PlaceQuadrant(&out, Add(Add(Sub(m1, m2), m3), m6), 1, 1);
+  return out;
+}
+
+int NextPow2(int n) {
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Strassen on an arbitrary square size via zero padding.
+Sq StrassenSquare(const Sq& a, const Sq& b, int cutoff) {
+  const int p = NextPow2(a.n);
+  if (p == a.n) return StrassenRec(a, b, cutoff);
+  Sq pa = MakeSq(p), pb = MakeSq(p);
+  for (int i = 0; i < a.n; ++i) {
+    for (int j = 0; j < a.n; ++j) {
+      pa.At(i, j) = a.At(i, j);
+      pb.At(i, j) = b.At(i, j);
+    }
+  }
+  Sq pc = StrassenRec(pa, pb, cutoff);
+  Sq out = MakeSq(a.n);
+  for (int i = 0; i < a.n; ++i) {
+    for (int j = 0; j < a.n; ++j) out.At(i, j) = pc.At(i, j);
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix MultiplyStrassen(const Matrix& a, const Matrix& b, int cutoff) {
+  FMMSW_CHECK(a.cols() == b.rows());
+  // Embed into a square of the max dimension; fine for the near-square
+  // shapes the engine produces (use MultiplyRectangular otherwise).
+  const int n = std::max({a.rows(), a.cols(), b.cols()});
+  Sq sa = MakeSq(n), sb = MakeSq(n);
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) sa.At(i, j) = a.At(i, j);
+  }
+  for (int i = 0; i < b.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) sb.At(i, j) = b.At(i, j);
+  }
+  Sq sc = StrassenSquare(sa, sb, cutoff);
+  Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) out.At(i, j) = sc.At(i, j);
+  }
+  return out;
+}
+
+Matrix MultiplyRectangular(const Matrix& a, const Matrix& b, int cutoff) {
+  FMMSW_CHECK(a.cols() == b.rows());
+  const int d = std::min({a.rows(), a.cols(), b.cols()});
+  if (d == 0) return Matrix(a.rows(), b.cols());
+  // Partition into ceil(dim/d) blocks per axis and multiply d x d blocks
+  // with Strassen — the Eq. (6) scheme.
+  const int ra = (a.rows() + d - 1) / d;
+  const int ca = (a.cols() + d - 1) / d;
+  const int cb = (b.cols() + d - 1) / d;
+  Matrix out(a.rows(), b.cols());
+  for (int bi = 0; bi < ra; ++bi) {
+    const int i0 = bi * d, i1 = std::min(i0 + d, a.rows());
+    for (int bj = 0; bj < cb; ++bj) {
+      const int j0 = bj * d, j1 = std::min(j0 + d, b.cols());
+      for (int bk = 0; bk < ca; ++bk) {
+        const int k0 = bk * d, k1 = std::min(k0 + d, a.cols());
+        Matrix ablk(i1 - i0, k1 - k0), bblk(k1 - k0, j1 - j0);
+        for (int i = i0; i < i1; ++i) {
+          for (int k = k0; k < k1; ++k) ablk.At(i - i0, k - k0) = a.At(i, k);
+        }
+        for (int k = k0; k < k1; ++k) {
+          for (int j = j0; j < j1; ++j) bblk.At(k - k0, j - j0) = b.At(k, j);
+        }
+        Matrix cblk = MultiplyStrassen(ablk, bblk, cutoff);
+        for (int i = i0; i < i1; ++i) {
+          for (int j = j0; j < j1; ++j) {
+            out.At(i, j) += cblk.At(i - i0, j - j0);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fmmsw

@@ -1,0 +1,238 @@
+#include "panda/executor.h"
+
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "hypergraph/hypergraph.h"
+#include "mm/matrix.h"
+#include "relation/degree.h"
+#include "relation/ops.h"
+#include "util/check.h"
+
+namespace fmmsw {
+
+namespace {
+
+using TermKey = std::pair<uint32_t, uint32_t>;  // (given, total)
+
+TermKey Key(VarSet given, VarSet total) {
+  return {given.mask(), (given | total).mask()};
+}
+
+/// Tables currently associated with conditional terms. Several tables can
+/// share a key (e.g. the three Q_l tables of Figure 1 all sit on h(XYZ)).
+class TableMap {
+ public:
+  void Add(VarSet given, VarSet total, Relation table) {
+    tables_[Key(given, total)].push_back(std::move(table));
+  }
+  /// Last table registered for the key (the freshest derivation).
+  const Relation* Find(VarSet given, VarSet total) const {
+    auto it = tables_.find(Key(given, total));
+    if (it == tables_.end() || it->second.empty()) return nullptr;
+    return &it->second.back();
+  }
+  Relation Pop(VarSet given, VarSet total) {
+    auto it = tables_.find(Key(given, total));
+    FMMSW_CHECK(it != tables_.end() && !it->second.empty());
+    Relation out = std::move(it->second.back());
+    it->second.pop_back();
+    return out;
+  }
+  const std::vector<Relation>* All(VarSet given, VarSet total) const {
+    auto it = tables_.find(Key(given, total));
+    return it == tables_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<TermKey, std::vector<Relation>> tables_;
+};
+
+/// Finds an input relation with exactly the given schema.
+const Relation* AtomWithSchema(const Hypergraph& h, const Database& db,
+                               VarSet schema) {
+  for (size_t e = 0; e < h.edges().size(); ++e) {
+    if (h.edges()[e] == schema) return &db.relations[e];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
+                          const OmegaShannonInequality& ineq,
+                          const ProofSequence& seq, int64_t threshold,
+                          MmKernel kernel, PandaStats* stats) {
+  TableMap tables;
+  // RHS terms start as the input atoms (Theorem E.10's initial
+  // association). Unconditional terms must match an atom schema.
+  for (const CondTerm& t : ineq.rhs) {
+    const Relation* atom = AtomWithSchema(h, db, t.x | t.y);
+    FMMSW_CHECK(atom != nullptr &&
+                "RHS term does not correspond to an input atom");
+    tables.Add(t.x, t.x | t.y, *atom);
+  }
+
+  for (const ProofStep& s : seq.steps) {
+    switch (s.kind) {
+      case ProofStepKind::kDecomposition: {
+        // h(c,x,y): partition the table on deg(y | c x) at the threshold.
+        const Relation* t = tables.Find(s.c, s.c | s.x | s.y);
+        FMMSW_CHECK(t != nullptr);
+        auto part = PartitionByDegree(*t, s.y, s.c | s.x, threshold);
+        if (stats != nullptr) ++stats->partitions;
+        tables.Add(s.c, s.c | s.x, std::move(part.heavy));
+        tables.Add(s.c | s.x, s.c | s.x | s.y, std::move(part.light));
+        break;
+      }
+      case ProofStepKind::kComposition: {
+        const Relation* a = tables.Find(s.c, s.c | s.x);
+        const Relation* b = tables.Find(s.c | s.x, s.c | s.x | s.y);
+        FMMSW_CHECK(a != nullptr && b != nullptr);
+        // The composed table is the join; but compositions consuming a
+        // *heavy projection* table must instead join the light table's
+        // counterpart with the other input — Figure 1 composes
+        // h(XZ) + h(Y|XZ), where h(XZ) is the original atom T. Both cases
+        // are the same Join call.
+        Relation joined = Join(*a, *b);
+        if (stats != nullptr) ++stats->joins;
+        tables.Add(s.c, s.c | s.x | s.y, std::move(joined));
+        break;
+      }
+      case ProofStepKind::kMonotonicity: {
+        const Relation* t = tables.Find(s.c, s.c | s.x | s.y);
+        FMMSW_CHECK(t != nullptr);
+        tables.Add(s.c, s.c | s.x, Project(*t, s.c | s.x));
+        break;
+      }
+      case ProofStepKind::kSubmodularity: {
+        // Re-conditioning only: the same tuples witness the weaker bound
+        // h(y | c z) <= h(y | c).
+        const Relation* t = tables.Find(s.c, s.c | s.y);
+        FMMSW_CHECK(t != nullptr);
+        tables.Add(s.c | s.z, s.c | s.z | s.y, *t);
+        break;
+      }
+    }
+  }
+
+  // ---- Terminal checks. Plain LHS tables: any table on h(U) whose join
+  // with all atoms is non-empty answers true (the omega-query-plan
+  // semijoin of Appendix E.6).
+  for (const PlainLhsTerm& t : ineq.plain) {
+    const auto* all = tables.All(VarSet::Empty(), t.u);
+    if (all == nullptr) continue;
+    for (const Relation& p : *all) {
+      if (stats != nullptr) ++stats->plain_tables;
+      Relation reduced = p;
+      for (size_t e = 0; e < h.edges().size(); ++e) {
+        if (t.u.ContainsAll(h.edges()[e])) {
+          reduced = Semijoin(reduced, db.relations[e]);
+        }
+      }
+      if (!reduced.empty()) return true;
+    }
+  }
+
+  // ---- Terminal MM groups: heavy unary tables on h(x), h(y), h(z);
+  // matrices come from the atoms spanning (x,y) and (y,z); the result is
+  // checked against the atom spanning (x,z).
+  for (const MmLhsTerm& t : ineq.mm) {
+    FMMSW_CHECK(t.g.empty() &&
+                "executor scope: group-by-free MM groups (Figure 1 class)");
+    const Relation* rxy = AtomWithSchema(h, db, t.x | t.y);
+    const Relation* ryz = AtomWithSchema(h, db, t.y | t.z);
+    const Relation* rxz = AtomWithSchema(h, db, t.x | t.z);
+    FMMSW_CHECK(rxy != nullptr && ryz != nullptr && rxz != nullptr &&
+                "executor scope: MM group must align with binary atoms");
+    // A dimension with a zero coefficient (e.g. zeta = 0 at omega = 2) has
+    // no heavy table — its values stay unrestricted.
+    Relation all_x = Project(*rxy, t.x);
+    Relation all_y = Project(*rxy, t.y);
+    Relation all_z = Project(*ryz, t.z);
+    const Relation* hx = tables.Find(VarSet::Empty(), t.x);
+    const Relation* hy = tables.Find(VarSet::Empty(), t.y);
+    const Relation* hz = tables.Find(VarSet::Empty(), t.z);
+    if (hx == nullptr) hx = &all_x;
+    if (hy == nullptr) hy = &all_y;
+    if (hz == nullptr) hz = &all_z;
+    if (stats != nullptr) ++stats->mm_executed;
+    Relation m1 = Semijoin(Semijoin(*rxy, *hx), *hy);
+    Relation m2 = Semijoin(Semijoin(*ryz, *hy), *hz);
+    if (m1.empty() || m2.empty()) continue;
+    std::unordered_map<Value, int> xi, yi, zi;
+    auto intern = [](std::unordered_map<Value, int>* m, Value v) {
+      auto [it, ins] = m->emplace(v, static_cast<int>(m->size()));
+      (void)ins;
+      return it->second;
+    };
+    const int vx = t.x.First(), vy = t.y.First(), vz = t.z.First();
+    for (size_t r = 0; r < m1.size(); ++r) {
+      intern(&xi, m1.Get(r, vx));
+      intern(&yi, m1.Get(r, vy));
+    }
+    for (size_t r = 0; r < m2.size(); ++r) {
+      intern(&yi, m2.Get(r, vy));
+      intern(&zi, m2.Get(r, vz));
+    }
+    if (kernel == MmKernel::kBoolean) {
+      BitMatrix a(static_cast<int>(xi.size()), static_cast<int>(yi.size()));
+      BitMatrix b(static_cast<int>(yi.size()), static_cast<int>(zi.size()));
+      for (size_t r = 0; r < m1.size(); ++r) {
+        a.Set(xi.at(m1.Get(r, vx)), yi.at(m1.Get(r, vy)));
+      }
+      for (size_t r = 0; r < m2.size(); ++r) {
+        b.Set(yi.at(m2.Get(r, vy)), zi.at(m2.Get(r, vz)));
+      }
+      BitMatrix m = BitMatrix::Multiply(a, b);
+      for (size_t r = 0; r < rxz->size(); ++r) {
+        auto ix = xi.find(rxz->Get(r, vx));
+        auto iz = zi.find(rxz->Get(r, vz));
+        if (ix != xi.end() && iz != zi.end() &&
+            m.Get(ix->second, iz->second)) {
+          return true;
+        }
+      }
+    } else {
+      Matrix a(static_cast<int>(xi.size()), static_cast<int>(yi.size()));
+      Matrix b(static_cast<int>(yi.size()), static_cast<int>(zi.size()));
+      for (size_t r = 0; r < m1.size(); ++r) {
+        a.At(xi.at(m1.Get(r, vx)), yi.at(m1.Get(r, vy))) = 1;
+      }
+      for (size_t r = 0; r < m2.size(); ++r) {
+        b.At(yi.at(m2.Get(r, vy)), zi.at(m2.Get(r, vz))) = 1;
+      }
+      Matrix m = kernel == MmKernel::kStrassen ? MultiplyRectangular(a, b)
+                                               : MultiplyNaive(a, b);
+      for (size_t r = 0; r < rxz->size(); ++r) {
+        auto ix = xi.find(rxz->Get(r, vx));
+        auto iz = zi.find(rxz->Get(r, vz));
+        if (ix != xi.end() && iz != zi.end() &&
+            m.At(ix->second, iz->second) != 0) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool PandaTriangleBoolean(const Database& db, double omega, MmKernel kernel,
+                          PandaStats* stats) {
+  const double n = static_cast<double>(db.TotalSize());
+  if (n == 0) return false;
+  const int64_t threshold = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(
+             std::pow(n, (omega - 1.0) / (omega + 1.0)))));
+  // Snap omega to a small rational for the symbolic side.
+  const Rational omega_q(static_cast<int64_t>(std::llround(omega * 1000000)),
+                         1000000);
+  OmegaShannonInequality ineq = TriangleInequality(omega_q);
+  ProofSequence seq = TriangleProofSequence(omega_q);
+  FMMSW_CHECK(VerifyProofSequence(ineq, seq, omega_q));
+  return ExecuteProofSequence(Hypergraph::Triangle(), db, ineq, seq,
+                              threshold, kernel, stats);
+}
+
+}  // namespace fmmsw

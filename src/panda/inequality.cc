@@ -1,0 +1,93 @@
+#include "panda/inequality.h"
+
+#include "lp/simplex.h"
+#include "util/check.h"
+
+namespace fmmsw {
+
+bool CheckDominance(const OmegaShannonInequality& ineq,
+                    const Rational& omega) {
+  for (const PlainLhsTerm& t : ineq.plain) {
+    if (t.lambda < Rational(0)) return false;
+  }
+  for (const CondTerm& t : ineq.rhs) {
+    if (t.w < Rational(0)) return false;
+  }
+  for (const MmLhsTerm& t : ineq.mm) {
+    if (!(t.kappa > Rational(0))) return false;
+    const Rational a = t.alpha / t.kappa;
+    const Rational b = t.beta / t.kappa;
+    const Rational z = t.zeta / t.kappa;
+    // Definition E.1: alpha, beta >= 1, zeta >= 0, sum >= omega.
+    if (a < Rational(1) || b < Rational(1) || z < Rational(0)) return false;
+    if (a + b + z < omega) return false;
+  }
+  return true;
+}
+
+Rational InequalitySlack(const OmegaShannonInequality& ineq,
+                         const SetFn<Rational>& h) {
+  Rational lhs(0);
+  for (const PlainLhsTerm& t : ineq.plain) lhs += t.lambda * h[t.u];
+  for (const MmLhsTerm& t : ineq.mm) {
+    lhs += t.alpha * (h[t.x | t.g] - h[t.g]);
+    lhs += t.beta * (h[t.y | t.g] - h[t.g]);
+    lhs += t.zeta * (h[t.z | t.g] - h[t.g]);
+    lhs += t.kappa * h[t.g];
+  }
+  Rational rhs(0);
+  for (const CondTerm& t : ineq.rhs) rhs += t.w * (h[t.y | t.x] - h[t.x]);
+  return lhs - rhs;
+}
+
+bool VerifyShannon(const OmegaShannonInequality& ineq, VarSet universe) {
+  // Build max (LHS - RHS) over the Shannon cone (no edge domination: the
+  // inequality must hold for all polymatroids). The cone is scale
+  // invariant, so the optimum is 0 (valid) or unbounded (invalid); we add
+  // h(universe) <= 1 to keep the LP bounded and test optimum == 0.
+  Hypergraph cone(0);
+  {
+    // A hypergraph with the single edge = universe provides exactly the
+    // h(universe) <= 1 normalization via edge domination.
+    Hypergraph tmp(universe.size() == 0 ? 0 : universe.Members().back() + 1);
+    tmp = tmp.Eliminate(tmp.vertices() - universe);
+    tmp.AddEdge(universe);
+    cone = tmp;
+  }
+  PolymatroidLp<Rational> lp(cone);
+  auto append = [&](VarSet y, VarSet x, const Rational& coeff) {
+    // coeff * h(y|x) into the objective.
+    if (!(y | x).empty()) lp.model().AddObjective(lp.Var(y | x), coeff);
+    if (!x.empty()) lp.model().AddObjective(lp.Var(x), -coeff);
+  };
+  for (const PlainLhsTerm& t : ineq.plain) {
+    append(t.u, VarSet::Empty(), t.lambda);
+  }
+  for (const MmLhsTerm& t : ineq.mm) {
+    append(t.x, t.g, t.alpha);
+    append(t.y, t.g, t.beta);
+    append(t.z, t.g, t.zeta);
+    append(t.g, VarSet::Empty(), t.kappa);
+  }
+  for (const CondTerm& t : ineq.rhs) append(t.y, t.x, -t.w);
+  auto res = SolveSimplex(lp.model());
+  FMMSW_CHECK(res.status == LpStatus::kOptimal);
+  return res.objective <= Rational(0);
+}
+
+OmegaShannonInequality TriangleInequality(const Rational& omega) {
+  // Variables X=0, Y=1, Z=2 (Hypergraph::Triangle()).
+  OmegaShannonInequality ineq;
+  ineq.plain.push_back(PlainLhsTerm{VarSet::Full(3), omega});
+  ineq.mm.push_back(MmLhsTerm{VarSet{0}, VarSet{1}, VarSet{2},
+                              VarSet::Empty(), Rational(1), Rational(1),
+                              omega - Rational(2), Rational(1)});
+  ineq.rhs.push_back(CondTerm{VarSet{0, 1}, VarSet::Empty(), Rational(2)});
+  ineq.rhs.push_back(
+      CondTerm{VarSet{1, 2}, VarSet::Empty(), omega - Rational(1)});
+  ineq.rhs.push_back(
+      CondTerm{VarSet{0, 2}, VarSet::Empty(), omega - Rational(1)});
+  return ineq;
+}
+
+}  // namespace fmmsw

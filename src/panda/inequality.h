@@ -1,0 +1,72 @@
+#ifndef FMMSW_PANDA_INEQUALITY_H_
+#define FMMSW_PANDA_INEQUALITY_H_
+
+/// \file
+/// w-Shannon inequalities (Definition E.3): inequalities of the form
+///
+///   sum_l lambda_l h(U_l)
+///     + sum_j [a_j h(X_j|G_j) + b_j h(Y_j|G_j) + z_j h(Z_j|G_j)
+///              + k_j h(G_j)]
+///   <=  sum_i w_i h(Y_i | X_i)
+///
+/// with non-negative coefficients, k_j > 0 and every (a_j/k_j, b_j/k_j,
+/// z_j/k_j) w-dominant (Definition E.1). The RHS terms correspond to input
+/// relations (via degree bounds), the LHS groups to the cost of the
+/// subqueries solved by for-loops (plain terms) or matrix multiplication
+/// (MM groups). Validity is certified by LP: max over the Shannon cone of
+/// (LHS - RHS) must be 0.
+
+#include <vector>
+
+#include "entropy/polymatroid.h"
+#include "hypergraph/hypergraph.h"
+#include "util/rational.h"
+#include "util/varset.h"
+
+namespace fmmsw {
+
+/// w * h(y | x); x may be empty (unconditional).
+struct CondTerm {
+  VarSet y;
+  VarSet x;
+  Rational w;
+};
+
+/// lambda * h(u): cost of a for-loop subquery.
+struct PlainLhsTerm {
+  VarSet u;
+  Rational lambda;
+};
+
+/// a h(X|G) + b h(Y|G) + z h(Z|G) + k h(G): cost of one MM branch.
+struct MmLhsTerm {
+  VarSet x, y, z, g;
+  Rational alpha, beta, zeta, kappa;
+};
+
+struct OmegaShannonInequality {
+  std::vector<PlainLhsTerm> plain;
+  std::vector<MmLhsTerm> mm;
+  std::vector<CondTerm> rhs;
+};
+
+/// Checks the Definition E.1/E.3 side conditions for the given omega.
+bool CheckDominance(const OmegaShannonInequality& ineq,
+                    const Rational& omega);
+
+/// Evaluates LHS - RHS on a concrete set function.
+Rational InequalitySlack(const OmegaShannonInequality& ineq,
+                         const SetFn<Rational>& h);
+
+/// Certifies validity over all polymatroids on `universe` by solving
+/// max_{h in Gamma} (LHS - RHS); valid iff the optimum is 0.
+bool VerifyShannon(const OmegaShannonInequality& ineq, VarSet universe);
+
+/// The triangle inequality, Eq. (13):
+///   w h(XYZ) + [h(X) + h(Y) + (w-2) h(Z)]
+///     <= 2 h(XY) + (w-1) h(YZ) + (w-1) h(XZ).
+OmegaShannonInequality TriangleInequality(const Rational& omega);
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_PANDA_INEQUALITY_H_

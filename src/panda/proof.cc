@@ -1,0 +1,115 @@
+#include "panda/proof.h"
+
+#include <map>
+
+#include "util/check.h"
+
+namespace fmmsw {
+
+namespace {
+
+/// Key of a conditional term h(total | given), given a subset of total.
+using TermKey = std::pair<uint32_t, uint32_t>;  // (given, total)
+
+TermKey Key(VarSet given, VarSet total) {
+  return {given.mask(), (given | total).mask()};
+}
+
+/// Weighted multiset of conditional terms.
+class TermBag {
+ public:
+  void Add(VarSet given, VarSet total, const Rational& w) {
+    if (w.IsZero()) return;
+    bag_[Key(given, total)] += w;
+  }
+  /// Consumes weight w; returns false if not enough is available.
+  bool Take(VarSet given, VarSet total, const Rational& w) {
+    auto it = bag_.find(Key(given, total));
+    if (it == bag_.end() || it->second < w) return false;
+    it->second -= w;
+    if (it->second.IsZero()) bag_.erase(it);
+    return true;
+  }
+
+ private:
+  std::map<TermKey, Rational> bag_;
+};
+
+}  // namespace
+
+bool VerifyProofSequence(const OmegaShannonInequality& ineq,
+                         const ProofSequence& seq, const Rational& omega) {
+  TermBag bag;
+  for (const CondTerm& t : ineq.rhs) bag.Add(t.x, t.x | t.y, t.w);
+  for (const ProofStep& s : seq.steps) {
+    FMMSW_CHECK(s.weight > Rational(0));
+    switch (s.kind) {
+      case ProofStepKind::kDecomposition:
+        if (!bag.Take(s.c, s.c | s.x | s.y, s.weight)) return false;
+        bag.Add(s.c, s.c | s.x, s.weight);
+        bag.Add(s.c | s.x, s.c | s.x | s.y, s.weight);
+        break;
+      case ProofStepKind::kComposition:
+        if (!bag.Take(s.c, s.c | s.x, s.weight)) return false;
+        if (!bag.Take(s.c | s.x, s.c | s.x | s.y, s.weight)) return false;
+        bag.Add(s.c, s.c | s.x | s.y, s.weight);
+        break;
+      case ProofStepKind::kMonotonicity:
+        if (!bag.Take(s.c, s.c | s.x | s.y, s.weight)) return false;
+        bag.Add(s.c, s.c | s.x, s.weight);
+        break;
+      case ProofStepKind::kSubmodularity:
+        if (!bag.Take(s.c, s.c | s.y, s.weight)) return false;
+        bag.Add(s.c | s.z, s.c | s.z | s.y, s.weight);
+        break;
+    }
+  }
+  // The final bag must cover the LHS.
+  for (const PlainLhsTerm& t : ineq.plain) {
+    if (!bag.Take(VarSet::Empty(), t.u, t.lambda)) return false;
+  }
+  for (const MmLhsTerm& t : ineq.mm) {
+    if (!t.alpha.IsZero() && !bag.Take(t.g, t.g | t.x, t.alpha)) return false;
+    if (!t.beta.IsZero() && !bag.Take(t.g, t.g | t.y, t.beta)) return false;
+    if (!t.zeta.IsZero() && !bag.Take(t.g, t.g | t.z, t.zeta)) return false;
+    if (!t.g.empty() && !bag.Take(VarSet::Empty(), t.g, t.kappa)) {
+      return false;
+    }
+  }
+  (void)omega;
+  return true;
+}
+
+ProofSequence TriangleProofSequence(const Rational& omega) {
+  const Rational gamma = omega - Rational(2);
+  const VarSet x{0}, y{1}, z{2};
+  ProofSequence seq;
+  auto decomp = [&](VarSet a, VarSet b, VarSet c, Rational w) {
+    seq.steps.push_back({ProofStepKind::kDecomposition, a, b, {}, c, w});
+  };
+  auto submod = [&](VarSet b, VarSet c, VarSet zz, Rational w) {
+    seq.steps.push_back({ProofStepKind::kSubmodularity, {}, b, zz, c, w});
+  };
+  auto comp = [&](VarSet a, VarSet b, VarSet c, Rational w) {
+    seq.steps.push_back({ProofStepKind::kComposition, a, b, {}, c, w});
+  };
+  // Figure 1, expanded into primitive steps:
+  //   h(XY) -> h(X) + h(Y|X); h(Y|X) -> h(Y|XZ); h(XZ)+h(Y|XZ) -> h(XYZ)
+  decomp(x, y, VarSet::Empty(), Rational(1));
+  submod(y, x, z, Rational(1));
+  comp(x | z, y, VarSet::Empty(), Rational(1));
+  //   h(YZ) -> h(Y) + h(Z|Y); h(Z|Y) -> h(Z|XY); h(XY)+h(Z|XY) -> h(XYZ)
+  decomp(y, z, VarSet::Empty(), Rational(1));
+  submod(z, y, x, Rational(1));
+  comp(x | y, z, VarSet::Empty(), Rational(1));
+  //   gamma-weighted: h(XZ) -> h(Z) + h(X|Z); h(X|Z) -> h(X|YZ);
+  //   h(YZ)+h(X|YZ) -> h(XYZ)
+  if (!gamma.IsZero()) {
+    decomp(z, x, VarSet::Empty(), gamma);
+    submod(x, z, y, gamma);
+    comp(y | z, x, VarSet::Empty(), gamma);
+  }
+  return seq;
+}
+
+}  // namespace fmmsw

@@ -1,0 +1,66 @@
+#ifndef FMMSW_PANDA_PROOF_H_
+#define FMMSW_PANDA_PROOF_H_
+
+/// \file
+/// Proof sequences (Theorem E.8): step-by-step transformations of the RHS
+/// of an w-Shannon inequality into its LHS, using exactly the four
+/// primitive step kinds. Each step has a database-operation counterpart
+/// (Theorem E.10), which is what panda/executor.h runs:
+///
+///   decomposition  h(XY) -> h(X) + h(Y|X)    = degree partition
+///   composition    h(X) + h(Y|X) -> h(XY)    = join
+///   monotonicity   h(XY) -> h(X)             = projection
+///   submodularity  h(Y|X) -> h(Y|XZ)         = reinterpret conditioning
+///
+/// VerifyProofSequence replays the steps on a symbolic multiset of
+/// weighted conditional terms, checking every consumption is available and
+/// that the final multiset covers the inequality's LHS — a machine check
+/// that a sequence really proves its inequality.
+
+#include <vector>
+
+#include "panda/inequality.h"
+#include "util/rational.h"
+#include "util/varset.h"
+
+namespace fmmsw {
+
+enum class ProofStepKind {
+  kDecomposition,
+  kComposition,
+  kMonotonicity,
+  kSubmodularity,
+};
+
+struct ProofStep {
+  ProofStepKind kind;
+  /// Meaning per kind (see file comment): kDecomposition splits h(x|pre)
+  /// ... to keep the replay simple every step is expressed on conditional
+  /// terms:
+  ///   kDecomposition: consumes (x y | c), produces (x | c) and (y | c x)
+  ///   kComposition:   consumes (x | c) and (y | c x), produces (x y | c)
+  ///   kMonotonicity:  consumes (x y | c), produces (x | c)
+  ///   kSubmodularity: consumes (y | c), produces (y | c z)
+  VarSet x, y, z, c;
+  Rational weight;
+};
+
+struct ProofSequence {
+  std::vector<ProofStep> steps;
+};
+
+/// Replays the sequence from the inequality's RHS terms; returns true if
+/// every step's inputs are available and the final multiset covers the
+/// LHS (plain terms as (u|empty); each MM group as its alpha/beta/zeta
+/// conditionals). Exact rational bookkeeping.
+bool VerifyProofSequence(const OmegaShannonInequality& ineq,
+                         const ProofSequence& seq, const Rational& omega);
+
+/// The Figure-1 proof sequence for TriangleInequality(omega), with the
+/// fused "submodularity steps" of Figure 1 expanded into primitive
+/// submodularity + composition pairs.
+ProofSequence TriangleProofSequence(const Rational& omega);
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_PANDA_PROOF_H_

@@ -1,0 +1,92 @@
+#include "relation/degree.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "relation/ops.h"
+
+namespace fmmsw {
+
+namespace {
+
+/// Groups row indices by their X-value (restricted to r's schema).
+std::map<std::vector<Value>, std::vector<size_t>> GroupByX(const Relation& r,
+                                                           VarSet x) {
+  const VarSet xs = x & r.schema();
+  std::vector<int> cols;
+  for (int v : xs.Members()) cols.push_back(r.ColumnOf(v));
+  std::map<std::vector<Value>, std::vector<size_t>> groups;
+  std::vector<Value> key(cols.size());
+  for (size_t row = 0; row < r.size(); ++row) {
+    for (size_t i = 0; i < cols.size(); ++i) key[i] = r.Row(row)[cols[i]];
+    groups[key].push_back(row);
+  }
+  return groups;
+}
+
+/// Number of distinct Y\X projections among the given rows.
+int64_t DistinctY(const Relation& r, const std::vector<size_t>& rows,
+                  VarSet y, VarSet x) {
+  const VarSet ys = (y - x) & r.schema();
+  std::vector<int> cols;
+  for (int v : ys.Members()) cols.push_back(r.ColumnOf(v));
+  std::set<std::vector<Value>> seen;
+  std::vector<Value> key(cols.size());
+  for (size_t row : rows) {
+    for (size_t i = 0; i < cols.size(); ++i) key[i] = r.Row(row)[cols[i]];
+    seen.insert(key);
+  }
+  return static_cast<int64_t>(seen.size());
+}
+
+}  // namespace
+
+int64_t Degree(const Relation& r, VarSet y, VarSet x) {
+  int64_t best = 0;
+  for (const auto& [key, rows] : GroupByX(r, x)) {
+    best = std::max(best, DistinctY(r, rows, y, x));
+  }
+  return best;
+}
+
+DegreePartition PartitionByDegree(const Relation& r, VarSet y, VarSet x,
+                                  int64_t threshold) {
+  DegreePartition out;
+  out.heavy = Relation(x & r.schema());
+  out.light = Relation(r.schema());
+  std::vector<int> xcols;
+  for (int v : (x & r.schema()).Members()) xcols.push_back(r.ColumnOf(v));
+  std::vector<Value> tuple;
+  for (const auto& [key, rows] : GroupByX(r, x)) {
+    if (DistinctY(r, rows, y, x) > threshold) {
+      out.heavy.Add(key);
+    } else {
+      for (size_t row : rows) {
+        tuple.assign(r.Row(row), r.Row(row) + r.arity());
+        out.light.Add(tuple);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Relation> DegreeBuckets(const Relation& r, VarSet y, VarSet x) {
+  std::vector<Relation> buckets;
+  std::vector<Value> tuple;
+  for (const auto& [key, rows] : GroupByX(r, x)) {
+    const int64_t deg = DistinctY(r, rows, y, x);
+    int level = 0;
+    while ((1LL << (level + 1)) <= deg) ++level;
+    while (static_cast<int>(buckets.size()) <= level) {
+      buckets.emplace_back(r.schema());
+    }
+    for (size_t row : rows) {
+      tuple.assign(r.Row(row), r.Row(row) + r.arity());
+      buckets[level].Add(tuple);
+    }
+  }
+  return buckets;
+}
+
+}  // namespace fmmsw

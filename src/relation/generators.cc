@@ -1,0 +1,107 @@
+#include "relation/generators.h"
+
+#include "relation/ops.h"
+#include "util/check.h"
+
+namespace fmmsw {
+
+Relation UniformRelation(VarSet schema, int64_t tuples, int64_t domain,
+                         Rng* rng) {
+  Relation r(schema);
+  std::vector<Value> t(r.arity());
+  for (int64_t i = 0; i < tuples; ++i) {
+    for (Value& v : t) v = static_cast<Value>(rng->Uniform(0, domain - 1));
+    r.Add(t);
+  }
+  r.SortAndDedupe();
+  return r;
+}
+
+Relation ZipfRelation(VarSet schema, int64_t tuples, int64_t domain,
+                      double alpha, Rng* rng) {
+  Relation r(schema);
+  std::vector<Value> t(r.arity());
+  for (int64_t i = 0; i < tuples; ++i) {
+    for (int c = 0; c < r.arity(); ++c) {
+      t[c] = (c == 0)
+                 ? static_cast<Value>(rng->Zipf(domain, alpha))
+                 : static_cast<Value>(rng->Uniform(0, domain - 1));
+    }
+    r.Add(t);
+  }
+  r.SortAndDedupe();
+  return r;
+}
+
+Relation DenseRelation(VarSet schema, int64_t domain, double density,
+                       Rng* rng) {
+  Relation r(schema);
+  const int arity = r.arity();
+  FMMSW_CHECK(arity <= 3 && "dense generator supports arity <= 3");
+  std::vector<Value> t(arity);
+  std::vector<int64_t> idx(arity, 0);
+  while (true) {
+    if (rng->Flip(density)) {
+      for (int c = 0; c < arity; ++c) t[c] = static_cast<Value>(idx[c]);
+      r.Add(t);
+    }
+    int c = 0;
+    while (c < arity && ++idx[c] == domain) idx[c++] = 0;
+    if (c == arity) break;
+    if (arity == 0) break;
+  }
+  return r;
+}
+
+Database MakeWorkload(const Hypergraph& h, const WorkloadOptions& opts) {
+  Rng rng(opts.seed);
+  Database db;
+  for (const VarSet& e : h.edges()) {
+    switch (opts.kind) {
+      case WorkloadKind::kUniform:
+        db.relations.push_back(
+            UniformRelation(e, opts.tuples_per_relation, opts.domain, &rng));
+        break;
+      case WorkloadKind::kZipf:
+        db.relations.push_back(ZipfRelation(e, opts.tuples_per_relation,
+                                            opts.domain, opts.zipf_alpha,
+                                            &rng));
+        break;
+      case WorkloadKind::kDense:
+        db.relations.push_back(
+            DenseRelation(e, opts.domain, opts.dense_density, &rng));
+        break;
+    }
+  }
+  if (opts.plant_witness) {
+    // One consistent assignment across all variables.
+    std::vector<Value> assign(h.num_vars());
+    for (int v = 0; v < h.num_vars(); ++v) {
+      assign[v] = static_cast<Value>(rng.Uniform(0, opts.domain - 1));
+    }
+    for (size_t e = 0; e < h.edges().size(); ++e) {
+      std::vector<Value> t;
+      for (int v : h.edges()[e].Members()) t.push_back(assign[v]);
+      db.relations[e].Add(t);
+      db.relations[e].SortAndDedupe();
+    }
+  }
+  return db;
+}
+
+bool BruteForceBoolean(const Hypergraph& h, const Database& db) {
+  FMMSW_CHECK(db.relations.size() == h.edges().size());
+  Relation acc;  // nullary "true"
+  {
+    Relation t(VarSet::Empty());
+    t.Add({});
+    acc = t;
+  }
+  for (const Relation& r : db.relations) {
+    acc = Join(acc, r);
+    if (acc.empty()) return false;
+  }
+  return !acc.empty();
+}
+
+}  // namespace fmmsw

@@ -1,0 +1,190 @@
+#include "relation/ops.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace fmmsw {
+
+namespace {
+
+/// Hash of the values of `vars` (a subset of r's schema) in row `row`.
+uint64_t KeyHash(const Relation& r, size_t row, const std::vector<int>& cols) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (int c : cols) {
+    const uint64_t v = static_cast<uint32_t>(r.Row(row)[c]);
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool KeysEqual(const Relation& a, size_t ra, const std::vector<int>& ca,
+               const Relation& b, size_t rb, const std::vector<int>& cb) {
+  for (size_t i = 0; i < ca.size(); ++i) {
+    if (a.Row(ra)[ca[i]] != b.Row(rb)[cb[i]]) return false;
+  }
+  return true;
+}
+
+/// Column indices of the given query variables in r's schema.
+std::vector<int> ColumnsOf(const Relation& r, const std::vector<int>& vars) {
+  std::vector<int> cols;
+  cols.reserve(vars.size());
+  for (int v : vars) cols.push_back(r.ColumnOf(v));
+  return cols;
+}
+
+/// Builds a hash index over the shared-variable key of `r`.
+std::unordered_multimap<uint64_t, size_t> BuildIndex(
+    const Relation& r, const std::vector<int>& cols) {
+  std::unordered_multimap<uint64_t, size_t> index;
+  index.reserve(r.size() * 2);
+  for (size_t row = 0; row < r.size(); ++row) {
+    index.emplace(KeyHash(r, row, cols), row);
+  }
+  return index;
+}
+
+}  // namespace
+
+Relation Join(const Relation& a, const Relation& b) {
+  // Nullary relations are Boolean: true = {()} joins as identity, false
+  // annihilates.
+  if (a.arity() == 0) return a.empty() ? Relation(b.schema()) : b;
+  if (b.arity() == 0) return b.empty() ? Relation(a.schema()) : a;
+  const VarSet shared = a.schema() & b.schema();
+  const std::vector<int> shared_vars = shared.Members();
+  const std::vector<int> ca = ColumnsOf(a, shared_vars);
+  const std::vector<int> cb = ColumnsOf(b, shared_vars);
+
+  const VarSet out_schema = a.schema() | b.schema();
+  Relation out(out_schema);
+  const std::vector<int> out_vars = out_schema.Members();
+
+  // Probe the smaller side's index with the larger side.
+  const bool a_build = a.size() <= b.size();
+  const Relation& build = a_build ? a : b;
+  const Relation& probe = a_build ? b : a;
+  const std::vector<int>& cbuild = a_build ? ca : cb;
+  const std::vector<int>& cprobe = a_build ? cb : ca;
+  auto index = BuildIndex(build, cbuild);
+
+  std::vector<Value> tuple(out_vars.size());
+  for (size_t pr = 0; pr < probe.size(); ++pr) {
+    auto [lo, hi] = index.equal_range(KeyHash(probe, pr, cprobe));
+    for (auto it = lo; it != hi; ++it) {
+      const size_t br = it->second;
+      if (!KeysEqual(probe, pr, cprobe, build, br, cbuild)) continue;
+      for (size_t i = 0; i < out_vars.size(); ++i) {
+        const int v = out_vars[i];
+        if (probe.schema().Contains(v)) {
+          tuple[i] = probe.Row(pr)[probe.ColumnOf(v)];
+        } else {
+          tuple[i] = build.Row(br)[build.ColumnOf(v)];
+        }
+      }
+      out.Add(tuple);
+    }
+  }
+  out.SortAndDedupe();
+  return out;
+}
+
+Relation Semijoin(const Relation& a, const Relation& b) {
+  if (b.arity() == 0) return b.empty() ? Relation(a.schema()) : a;
+  if (a.arity() == 0) {
+    return (!a.empty() && !b.empty()) ? a : Relation(a.schema());
+  }
+  const VarSet shared = a.schema() & b.schema();
+  const std::vector<int> shared_vars = shared.Members();
+  const std::vector<int> ca = ColumnsOf(a, shared_vars);
+  const std::vector<int> cb = ColumnsOf(b, shared_vars);
+  auto index = BuildIndex(b, cb);
+  Relation out(a.schema());
+  std::vector<Value> tuple(a.arity());
+  for (size_t r = 0; r < a.size(); ++r) {
+    auto [lo, hi] = index.equal_range(KeyHash(a, r, ca));
+    bool match = false;
+    for (auto it = lo; it != hi && !match; ++it) {
+      match = KeysEqual(a, r, ca, b, it->second, cb);
+    }
+    if (match) {
+      tuple.assign(a.Row(r), a.Row(r) + a.arity());
+      out.Add(tuple);
+    }
+  }
+  return out;
+}
+
+Relation Antijoin(const Relation& a, const Relation& b) {
+  if (b.arity() == 0) return b.empty() ? a : Relation(a.schema());
+  if (a.arity() == 0) {
+    return (!a.empty() && b.empty()) ? a : Relation(a.schema());
+  }
+  const VarSet shared = a.schema() & b.schema();
+  const std::vector<int> shared_vars = shared.Members();
+  const std::vector<int> ca = ColumnsOf(a, shared_vars);
+  const std::vector<int> cb = ColumnsOf(b, shared_vars);
+  auto index = BuildIndex(b, cb);
+  Relation out(a.schema());
+  std::vector<Value> tuple(a.arity());
+  for (size_t r = 0; r < a.size(); ++r) {
+    auto [lo, hi] = index.equal_range(KeyHash(a, r, ca));
+    bool match = false;
+    for (auto it = lo; it != hi && !match; ++it) {
+      match = KeysEqual(a, r, ca, b, it->second, cb);
+    }
+    if (!match) {
+      tuple.assign(a.Row(r), a.Row(r) + a.arity());
+      out.Add(tuple);
+    }
+  }
+  return out;
+}
+
+Relation Project(const Relation& a, VarSet keep) {
+  const VarSet schema = a.schema() & keep;
+  Relation out(schema);
+  const std::vector<int> cols = ColumnsOf(a, schema.Members());
+  std::vector<Value> tuple(cols.size());
+  for (size_t r = 0; r < a.size(); ++r) {
+    for (size_t i = 0; i < cols.size(); ++i) tuple[i] = a.Row(r)[cols[i]];
+    out.Add(tuple);
+  }
+  out.SortAndDedupe();
+  return out;
+}
+
+Relation SelectEq(const Relation& a, int var, Value value) {
+  Relation out(a.schema());
+  const int col = a.ColumnOf(var);
+  std::vector<Value> tuple(a.arity());
+  for (size_t r = 0; r < a.size(); ++r) {
+    if (a.Row(r)[col] != value) continue;
+    tuple.assign(a.Row(r), a.Row(r) + a.arity());
+    out.Add(tuple);
+  }
+  return out;
+}
+
+Relation Intersect(const Relation& a, const Relation& b) {
+  FMMSW_CHECK(a.schema() == b.schema());
+  return Semijoin(a, b);
+}
+
+Relation Union(const Relation& a, const Relation& b) {
+  FMMSW_CHECK(a.schema() == b.schema());
+  Relation out(a.schema());
+  std::vector<Value> tuple(a.arity());
+  for (size_t r = 0; r < a.size(); ++r) {
+    tuple.assign(a.Row(r), a.Row(r) + a.arity());
+    out.Add(tuple);
+  }
+  for (size_t r = 0; r < b.size(); ++r) {
+    tuple.assign(b.Row(r), b.Row(r) + b.arity());
+    out.Add(tuple);
+  }
+  out.SortAndDedupe();
+  return out;
+}
+
+}  // namespace fmmsw

@@ -1,0 +1,39 @@
+#ifndef FMMSW_RELATION_OPS_H_
+#define FMMSW_RELATION_OPS_H_
+
+/// \file
+/// Relational operators: natural join (hash-based), semijoin, projection,
+/// intersection and union. These are the "for-loop" primitives of the
+/// engine; each elimination step in a query plan is compiled into a small
+/// sequence of these (or a matrix multiplication).
+
+#include "relation/relation.h"
+
+namespace fmmsw {
+
+/// Natural join of a and b on their shared variables (hash join on the
+/// smaller input). Output schema: union of schemas; duplicates removed.
+Relation Join(const Relation& a, const Relation& b);
+
+/// Tuples of `a` that join with at least one tuple of `b`.
+Relation Semijoin(const Relation& a, const Relation& b);
+
+/// Projection onto keep (which may include variables absent from the
+/// schema — they are ignored). Duplicates removed.
+Relation Project(const Relation& a, VarSet keep);
+
+/// Intersection of two relations with identical schemas.
+Relation Intersect(const Relation& a, const Relation& b);
+
+/// Union of two relations with identical schemas (deduplicated).
+Relation Union(const Relation& a, const Relation& b);
+
+/// Tuples of `a` NOT joining any tuple of `b` (anti-join).
+Relation Antijoin(const Relation& a, const Relation& b);
+
+/// Tuples of `a` whose variable `var` equals `value`.
+Relation SelectEq(const Relation& a, int var, Value value);
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_RELATION_OPS_H_

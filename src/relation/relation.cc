@@ -1,0 +1,60 @@
+#include "relation/relation.h"
+
+#include <algorithm>
+
+namespace fmmsw {
+
+void Relation::SortAndDedupe() {
+  const size_t a = vars_.size();
+  if (a == 0 || data_.empty()) return;
+  std::vector<size_t> order(size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return std::lexicographical_compare(
+        data_.begin() + x * a, data_.begin() + (x + 1) * a,
+        data_.begin() + y * a, data_.begin() + (y + 1) * a);
+  });
+  std::vector<Value> out;
+  out.reserve(data_.size());
+  for (size_t idx = 0; idx < order.size(); ++idx) {
+    const Value* row = &data_[order[idx] * a];
+    if (!out.empty() &&
+        std::equal(row, row + a, out.end() - static_cast<long>(a))) {
+      continue;
+    }
+    out.insert(out.end(), row, row + a);
+  }
+  data_ = std::move(out);
+}
+
+bool Relation::Contains(const std::vector<Value>& values) const {
+  FMMSW_DCHECK(static_cast<int>(values.size()) == arity());
+  if (vars_.empty()) return !empty_nullary_;
+  const size_t a = vars_.size();
+  for (size_t r = 0; r < size(); ++r) {
+    if (std::equal(values.begin(), values.end(), data_.begin() + r * a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Relation::ToString(int max_rows) const {
+  std::string out = "R" + schema_.ToString() + "[" + std::to_string(size()) +
+                    " rows]{";
+  const size_t limit = std::min<size_t>(size(), max_rows);
+  for (size_t r = 0; r < limit; ++r) {
+    if (r > 0) out += ", ";
+    out += "(";
+    for (int c = 0; c < arity(); ++c) {
+      if (c > 0) out += ",";
+      out += std::to_string(Row(r)[c]);
+    }
+    out += ")";
+  }
+  if (size() > limit) out += ", ...";
+  out += "}";
+  return out;
+}
+
+}  // namespace fmmsw

@@ -1,0 +1,101 @@
+#ifndef FMMSW_RELATION_RELATION_H_
+#define FMMSW_RELATION_RELATION_H_
+
+/// \file
+/// In-memory relations over query variables.
+///
+/// A Relation stores tuples over a schema given as a VarSet of query
+/// variables; columns are kept in increasing variable order, rows in a flat
+/// row-major buffer. This aligns relations with hypergraph edges: the
+/// relation for atom R(Z) has schema Z, and every engine operator
+/// (join, semijoin, project, degree partition) is schema-driven, so plans
+/// produced from GVEOs execute directly.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/varset.h"
+
+namespace fmmsw {
+
+using Value = int32_t;
+
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(VarSet schema)
+      : schema_(schema), vars_(schema.Members()) {}
+
+  VarSet schema() const { return schema_; }
+  /// Column order: schema variables in increasing index order.
+  const std::vector<int>& vars() const { return vars_; }
+  int arity() const { return static_cast<int>(vars_.size()); }
+  size_t size() const {
+    return vars_.empty() ? (empty_nullary_ ? 0 : 1)
+                         : data_.size() / vars_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Appends a tuple; `values` are in column (increasing-variable) order.
+  void Add(const std::vector<Value>& values) {
+    FMMSW_DCHECK(static_cast<int>(values.size()) == arity());
+    if (vars_.empty()) {
+      empty_nullary_ = false;
+      return;
+    }
+    data_.insert(data_.end(), values.begin(), values.end());
+  }
+
+  /// Value of query variable `var` in row `row`.
+  Value Get(size_t row, int var) const {
+    const int col = ColumnOf(var);
+    return data_[row * vars_.size() + col];
+  }
+
+  /// Raw access to row `row` (arity() consecutive values).
+  const Value* Row(size_t row) const { return &data_[row * vars_.size()]; }
+
+  /// Column index of a schema variable.
+  int ColumnOf(int var) const {
+    for (size_t i = 0; i < vars_.size(); ++i) {
+      if (vars_[i] == var) return static_cast<int>(i);
+    }
+    FMMSW_CHECK(false && "variable not in schema");
+    return -1;
+  }
+
+  /// Sorts rows lexicographically and removes duplicates.
+  void SortAndDedupe();
+
+  /// True if the relation contains the given tuple (column order).
+  bool Contains(const std::vector<Value>& values) const;
+
+  std::string ToString(int max_rows = 10) const;
+
+ private:
+  VarSet schema_;
+  std::vector<int> vars_;
+  std::vector<Value> data_;
+  // Nullary relations represent Boolean results: "true" holds one empty
+  // tuple. Default-constructed nullary relations are empty ("false").
+  bool empty_nullary_ = true;
+};
+
+/// A database instance for a query hypergraph: relations_[i] is the
+/// instance of the i-th hyperedge/atom.
+struct Database {
+  std::vector<Relation> relations;
+
+  /// Total input size N = sum of relation sizes.
+  size_t TotalSize() const {
+    size_t n = 0;
+    for (const Relation& r : relations) n += r.size();
+    return n;
+  }
+};
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_RELATION_RELATION_H_

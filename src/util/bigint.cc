@@ -1,0 +1,270 @@
+#include "util/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fmmsw {
+
+namespace {
+constexpr uint64_t kBase = 1ULL << 32;
+}  // namespace
+
+BigInt::BigInt(int64_t v) : negative_(v < 0) {
+  uint64_t mag;
+  if (v < 0) {
+    // Careful with INT64_MIN.
+    mag = static_cast<uint64_t>(-(v + 1)) + 1;
+  } else {
+    mag = static_cast<uint64_t>(v);
+  }
+  if (mag != 0) limbs_.push_back(static_cast<uint32_t>(mag & 0xffffffffULL));
+  if (mag >> 32) limbs_.push_back(static_cast<uint32_t>(mag >> 32));
+}
+
+void BigInt::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::CompareMagnitude(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt BigInt::AddMagnitude(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  const size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t s = carry;
+    if (i < a.limbs_.size()) s += a.limbs_[i];
+    if (i < b.limbs_.size()) s += b.limbs_[i];
+    out.limbs_[i] = static_cast<uint32_t>(s & 0xffffffffULL);
+    carry = s >> 32;
+  }
+  out.limbs_[n] = static_cast<uint32_t>(carry);
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::SubMagnitude(const BigInt& a, const BigInt& b) {
+  FMMSW_DCHECK(CompareMagnitude(a, b) >= 0);
+  BigInt out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    int64_t d = static_cast<int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) d -= static_cast<int64_t>(b.limbs_[i]);
+    if (d < 0) {
+      d += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<uint32_t>(d);
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.IsZero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  if (negative_ == o.negative_) {
+    BigInt out = AddMagnitude(*this, o);
+    out.negative_ = negative_ && !out.IsZero();
+    return out;
+  }
+  int cmp = CompareMagnitude(*this, o);
+  if (cmp == 0) return BigInt();
+  if (cmp > 0) {
+    BigInt out = SubMagnitude(*this, o);
+    out.negative_ = negative_ && !out.IsZero();
+    return out;
+  }
+  BigInt out = SubMagnitude(o, *this);
+  out.negative_ = o.negative_ && !out.IsZero();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const { return *this + (-o); }
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  if (IsZero() || o.IsZero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < o.limbs_.size(); ++j) {
+      uint64_t cur = static_cast<uint64_t>(limbs_[i]) * o.limbs_[j] +
+                     out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+    }
+    size_t k = i + o.limbs_.size();
+    while (carry != 0) {
+      uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.negative_ = negative_ != o.negative_;
+  out.Trim();
+  return out;
+}
+
+void BigInt::ShlBit() {
+  uint32_t carry = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint32_t next = limbs_[i] >> 31;
+    limbs_[i] = (limbs_[i] << 1) | carry;
+    carry = next;
+  }
+  if (carry != 0) limbs_.push_back(carry);
+}
+
+void BigInt::ShrBit() {
+  uint32_t carry = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    uint32_t next = limbs_[i] & 1u;
+    limbs_[i] = (limbs_[i] >> 1) | (carry << 31);
+    carry = next;
+  }
+  Trim();
+}
+
+void BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* q, BigInt* r) {
+  FMMSW_CHECK(!b.IsZero());
+  // Long division on magnitudes, bit by bit (schoolbook; fine for the limb
+  // counts reached by simplex pivoting on small LPs).
+  BigInt quot, rem;
+  const size_t nbits = a.limbs_.size() * 32;
+  quot.limbs_.assign(a.limbs_.size(), 0);
+  for (size_t i = nbits; i-- > 0;) {
+    rem.ShlBit();
+    uint32_t bit = (i / 32 < a.limbs_.size())
+                       ? ((a.limbs_[i / 32] >> (i % 32)) & 1u)
+                       : 0u;
+    if (bit != 0) {
+      if (rem.limbs_.empty()) rem.limbs_.push_back(0);
+      rem.limbs_[0] |= 1u;
+    }
+    if (CompareMagnitude(rem, b) >= 0) {
+      rem = SubMagnitude(rem, b);
+      quot.limbs_[i / 32] |= (1u << (i % 32));
+    }
+  }
+  quot.Trim();
+  rem.Trim();
+  quot.negative_ = (a.negative_ != b.negative_) && !quot.IsZero();
+  rem.negative_ = a.negative_ && !rem.IsZero();
+  *q = std::move(quot);
+  *r = std::move(rem);
+}
+
+BigInt BigInt::operator/(const BigInt& o) const {
+  BigInt q, r;
+  DivMod(*this, o, &q, &r);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& o) const {
+  BigInt q, r;
+  DivMod(*this, o, &q, &r);
+  return r;
+}
+
+bool BigInt::operator==(const BigInt& o) const {
+  return negative_ == o.negative_ && limbs_ == o.limbs_;
+}
+
+bool BigInt::operator<(const BigInt& o) const {
+  if (negative_ != o.negative_) return negative_;
+  int cmp = CompareMagnitude(*this, o);
+  return negative_ ? cmp > 0 : cmp < 0;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  if (a.IsZero()) return b;
+  if (b.IsZero()) return a;
+  // Binary GCD.
+  int shift = 0;
+  while (a.IsEven() && b.IsEven()) {
+    a.ShrBit();
+    b.ShrBit();
+    ++shift;
+  }
+  while (a.IsEven()) a.ShrBit();
+  while (!b.IsZero()) {
+    while (b.IsEven()) b.ShrBit();
+    if (CompareMagnitude(a, b) > 0) std::swap(a, b);
+    b = SubMagnitude(b, a);
+  }
+  for (int i = 0; i < shift; ++i) a.ShlBit();
+  return a;
+}
+
+double BigInt::ToDouble() const {
+  double v = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    v = v * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -v : v;
+}
+
+bool BigInt::FitsInt64() const {
+  if (limbs_.size() > 2) return false;
+  uint64_t mag = 0;
+  if (limbs_.size() >= 1) mag |= limbs_[0];
+  if (limbs_.size() == 2) mag |= static_cast<uint64_t>(limbs_[1]) << 32;
+  if (negative_) return mag <= (1ULL << 63);
+  return mag < (1ULL << 63);
+}
+
+int64_t BigInt::ToInt64() const {
+  FMMSW_CHECK(FitsInt64());
+  uint64_t mag = 0;
+  if (limbs_.size() >= 1) mag |= limbs_[0];
+  if (limbs_.size() == 2) mag |= static_cast<uint64_t>(limbs_[1]) << 32;
+  if (negative_) return -static_cast<int64_t>(mag - 1) - 1;
+  return static_cast<int64_t>(mag);
+}
+
+std::string BigInt::ToString() const {
+  if (IsZero()) return "0";
+  BigInt ten(10), cur = Abs();
+  std::string digits;
+  while (!cur.IsZero()) {
+    BigInt q, r;
+    DivMod(cur, ten, &q, &r);
+    int d = r.IsZero() ? 0 : static_cast<int>(r.limbs_[0]);
+    digits.push_back(static_cast<char>('0' + d));
+    cur = q;
+  }
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+}  // namespace fmmsw

@@ -1,0 +1,81 @@
+#ifndef FMMSW_UTIL_BIGINT_H_
+#define FMMSW_UTIL_BIGINT_H_
+
+/// \file
+/// BigInt: arbitrary-precision signed integers.
+///
+/// The exact-rational simplex (src/lp/exact_simplex.cc) certifies width
+/// values like 2w/(w+1) at w = 2371552/1000000 with zero rounding error;
+/// tableau entries grow well beyond int64 during pivoting, hence this class.
+/// Magnitude is stored as base-2^32 limbs, little-endian. The API covers
+/// exactly what Rational needs: +, -, *, divmod, gcd, comparison, printing.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fmmsw {
+
+class BigInt {
+ public:
+  BigInt() : negative_(false) {}
+  BigInt(int64_t v);  // NOLINT(google-explicit-constructor): numeric literal.
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsNegative() const { return negative_; }
+  int Sign() const { return IsZero() ? 0 : (negative_ ? -1 : 1); }
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  /// Truncated division (rounds toward zero), like C++ int64 division.
+  BigInt operator/(const BigInt& o) const;
+  BigInt operator%(const BigInt& o) const;
+
+  bool operator==(const BigInt& o) const;
+  bool operator!=(const BigInt& o) const { return !(*this == o); }
+  bool operator<(const BigInt& o) const;
+  bool operator<=(const BigInt& o) const { return !(o < *this); }
+  bool operator>(const BigInt& o) const { return o < *this; }
+  bool operator>=(const BigInt& o) const { return !(*this < o); }
+
+  BigInt Abs() const;
+
+  /// Greatest common divisor of |a| and |b|; Gcd(0,0) == 0.
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  /// Quotient and remainder with |r| < |b| and sign(r) == sign(a) (or zero).
+  static void DivMod(const BigInt& a, const BigInt& b, BigInt* q, BigInt* r);
+
+  /// Best-effort conversion; exact when the value fits in a double mantissa.
+  double ToDouble() const;
+
+  /// Returns the value if it fits in int64, otherwise aborts (CHECK).
+  int64_t ToInt64() const;
+
+  /// True if the value fits in int64.
+  bool FitsInt64() const;
+
+  std::string ToString() const;
+
+ private:
+  void Trim();
+  static int CompareMagnitude(const BigInt& a, const BigInt& b);
+  static BigInt AddMagnitude(const BigInt& a, const BigInt& b);
+  /// Requires |a| >= |b|.
+  static BigInt SubMagnitude(const BigInt& a, const BigInt& b);
+  /// Shift magnitude left by one bit (multiply by 2), in place.
+  void ShlBit();
+  /// Shift magnitude right by one bit (divide by 2), in place.
+  void ShrBit();
+  bool IsEven() const { return limbs_.empty() || (limbs_[0] & 1u) == 0; }
+
+  // Magnitude limbs, little-endian base 2^32; empty means zero.
+  std::vector<uint32_t> limbs_;
+  bool negative_;
+};
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_UTIL_BIGINT_H_

@@ -1,0 +1,37 @@
+#ifndef FMMSW_UTIL_CHECK_H_
+#define FMMSW_UTIL_CHECK_H_
+
+/// \file
+/// Lightweight invariant-checking macros in the spirit of glog/RocksDB
+/// assertions. CHECK is always on (cheap conditions guarding correctness of
+/// research results); DCHECK compiles out in NDEBUG builds.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fmmsw {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace fmmsw
+
+#define FMMSW_CHECK(expr)                              \
+  do {                                                 \
+    if (!(expr)) {                                     \
+      ::fmmsw::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define FMMSW_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define FMMSW_DCHECK(expr) FMMSW_CHECK(expr)
+#endif
+
+#endif  // FMMSW_UTIL_CHECK_H_

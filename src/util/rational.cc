@@ -1,0 +1,71 @@
+#include "util/rational.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace fmmsw {
+
+void Rational::Normalize() {
+  FMMSW_CHECK(!den_.IsZero());
+  if (den_.IsNegative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.IsZero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ = num_ / g;
+    den_ = den_ / g;
+  }
+}
+
+Rational Rational::operator-() const {
+  Rational out;
+  out.num_ = -num_;
+  out.den_ = den_;
+  return out;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return Rational(num_ * o.num_, den_ * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  FMMSW_CHECK(!o.IsZero());
+  return Rational(num_ * o.den_, den_ * o.num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  // Denominators are positive by invariant.
+  return num_ * o.den_ < o.num_ * den_;
+}
+
+std::string Rational::ToString() const {
+  if (den_ == BigInt(1)) return num_.ToString();
+  return num_.ToString() + "/" + den_.ToString();
+}
+
+Rational Rational::Parse(const std::string& s) {
+  size_t slash = s.find('/');
+  if (slash == std::string::npos) {
+    return Rational(std::strtoll(s.c_str(), nullptr, 10));
+  }
+  int64_t p = std::strtoll(s.substr(0, slash).c_str(), nullptr, 10);
+  int64_t q = std::strtoll(s.substr(slash + 1).c_str(), nullptr, 10);
+  FMMSW_CHECK(q != 0);
+  return Rational(p, q);
+}
+
+}  // namespace fmmsw

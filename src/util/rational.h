@@ -1,0 +1,73 @@
+#ifndef FMMSW_UTIL_RATIONAL_H_
+#define FMMSW_UTIL_RATIONAL_H_
+
+/// \file
+/// Rational: exact rational arithmetic over BigInt.
+///
+/// Widths in the paper are rational functions of the MM exponent w (e.g.
+/// 2w/(w+1) for the triangle); the exact simplex computes them with no
+/// floating error. Invariant: denominator > 0, gcd(num, den) == 1.
+
+#include <string>
+
+#include "util/bigint.h"
+
+namespace fmmsw {
+
+class Rational {
+ public:
+  Rational() : num_(0), den_(1) {}
+  Rational(int64_t v) : num_(v), den_(1) {}  // NOLINT: numeric literal.
+  Rational(int64_t num, int64_t den) : num_(num), den_(den) { Normalize(); }
+  Rational(BigInt num, BigInt den) : num_(std::move(num)), den_(std::move(den)) {
+    Normalize();
+  }
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+
+  bool IsZero() const { return num_.IsZero(); }
+  int Sign() const { return num_.Sign(); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const { return !(o < *this); }
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return !(*this < o); }
+
+  double ToDouble() const { return num_.ToDouble() / den_.ToDouble(); }
+  std::string ToString() const;
+
+  static Rational Min(const Rational& a, const Rational& b) {
+    return a < b ? a : b;
+  }
+  static Rational Max(const Rational& a, const Rational& b) {
+    return a < b ? b : a;
+  }
+
+  /// Parses "p/q" or "p"; aborts on malformed input (test/config use only).
+  static Rational Parse(const std::string& s);
+
+ private:
+  void Normalize();
+
+  BigInt num_;
+  BigInt den_;
+};
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_UTIL_RATIONAL_H_

@@ -1,0 +1,32 @@
+#ifndef FMMSW_UTIL_STOPWATCH_H_
+#define FMMSW_UTIL_STOPWATCH_H_
+
+/// \file
+/// Wall-clock stopwatch used by the benchmark harnesses for coarse phase
+/// timing (google-benchmark handles the fine-grained kernels).
+
+#include <chrono>
+
+namespace fmmsw {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_UTIL_STOPWATCH_H_

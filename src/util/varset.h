@@ -1,0 +1,153 @@
+#ifndef FMMSW_UTIL_VARSET_H_
+#define FMMSW_UTIL_VARSET_H_
+
+/// \file
+/// VarSet: a set of query variables represented as a 32-bit bitmask.
+///
+/// Queries in this library have at most kMaxVars variables, so every subset
+/// of vars(Q) fits in a machine word and set-function tables (polymatroids,
+/// entropy vectors) are plain vectors indexed by mask. All hypergraph,
+/// width and entropy code builds on this type.
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fmmsw {
+
+/// Maximum number of distinct variables in a query hypergraph.
+inline constexpr int kMaxVars = 16;
+
+/// A set of variables, each identified by an index in [0, kMaxVars).
+class VarSet {
+ public:
+  constexpr VarSet() : mask_(0) {}
+  constexpr explicit VarSet(uint32_t mask) : mask_(mask) {}
+  VarSet(std::initializer_list<int> vars) : mask_(0) {
+    for (int v : vars) Add(v);
+  }
+
+  /// The singleton set {v}.
+  static constexpr VarSet Singleton(int v) { return VarSet(1u << v); }
+  /// The full set {0, ..., k-1}.
+  static constexpr VarSet Full(int k) {
+    return VarSet(k == 32 ? ~0u : ((1u << k) - 1));
+  }
+  static constexpr VarSet Empty() { return VarSet(); }
+
+  constexpr uint32_t mask() const { return mask_; }
+  constexpr bool empty() const { return mask_ == 0; }
+  int size() const { return __builtin_popcount(mask_); }
+
+  bool Contains(int v) const {
+    FMMSW_DCHECK(v >= 0 && v < 32);
+    return (mask_ >> v) & 1u;
+  }
+  constexpr bool ContainsAll(VarSet s) const {
+    return (mask_ & s.mask_) == s.mask_;
+  }
+  constexpr bool Intersects(VarSet s) const { return (mask_ & s.mask_) != 0; }
+
+  void Add(int v) {
+    FMMSW_DCHECK(v >= 0 && v < kMaxVars);
+    mask_ |= (1u << v);
+  }
+  void Remove(int v) { mask_ &= ~(1u << v); }
+
+  constexpr VarSet Union(VarSet s) const { return VarSet(mask_ | s.mask_); }
+  constexpr VarSet Intersect(VarSet s) const {
+    return VarSet(mask_ & s.mask_);
+  }
+  constexpr VarSet Minus(VarSet s) const { return VarSet(mask_ & ~s.mask_); }
+
+  constexpr VarSet operator|(VarSet s) const { return Union(s); }
+  constexpr VarSet operator&(VarSet s) const { return Intersect(s); }
+  constexpr VarSet operator-(VarSet s) const { return Minus(s); }
+  constexpr bool operator==(VarSet s) const { return mask_ == s.mask_; }
+  constexpr bool operator!=(VarSet s) const { return mask_ != s.mask_; }
+  constexpr bool operator<(VarSet s) const { return mask_ < s.mask_; }
+
+  /// Index of the lowest-numbered variable; the set must be non-empty.
+  int First() const {
+    FMMSW_DCHECK(!empty());
+    return __builtin_ctz(mask_);
+  }
+
+  /// All member variable indices in increasing order.
+  std::vector<int> Members() const {
+    std::vector<int> out;
+    out.reserve(size());
+    uint32_t m = mask_;
+    while (m != 0) {
+      int v = __builtin_ctz(m);
+      out.push_back(v);
+      m &= m - 1;
+    }
+    return out;
+  }
+
+  /// Human-readable form using the given variable names (or indices).
+  std::string ToString(const std::vector<std::string>* names = nullptr) const {
+    if (empty()) return "{}";
+    std::string out = "{";
+    bool first = true;
+    for (int v : Members()) {
+      if (!first) out += ",";
+      first = false;
+      if (names != nullptr && v < static_cast<int>(names->size())) {
+        out += (*names)[v];
+      } else {
+        out += std::to_string(v);
+      }
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  uint32_t mask_;
+};
+
+/// Iterates over all subsets of `universe` (including empty and full), in
+/// increasing mask order. Usage: for (VarSet s : Subsets(u)) { ... }.
+class Subsets {
+ public:
+  explicit Subsets(VarSet universe) : universe_(universe) {}
+
+  class Iterator {
+   public:
+    Iterator(uint32_t sub, uint32_t universe, bool done)
+        : sub_(sub), universe_(universe), done_(done) {}
+    VarSet operator*() const { return VarSet(sub_); }
+    Iterator& operator++() {
+      if (sub_ == universe_) {
+        done_ = true;
+      } else {
+        sub_ = (sub_ - universe_) & universe_;
+      }
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const {
+      if (done_ != o.done_) return true;
+      return !done_ && sub_ != o.sub_;
+    }
+
+   private:
+    uint32_t sub_;
+    uint32_t universe_;
+    bool done_;
+  };
+
+  Iterator begin() const { return Iterator(0, universe_.mask(), false); }
+  Iterator end() const { return Iterator(0, universe_.mask(), true); }
+
+ private:
+  VarSet universe_;
+};
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_UTIL_VARSET_H_

@@ -1,0 +1,92 @@
+#include "width/closed_forms.h"
+
+#include "util/check.h"
+
+namespace fmmsw {
+namespace closed_forms {
+
+Rational OmegaSquare(const Rational& a, const Rational& b, const Rational& c,
+                     const Rational& omega) {
+  const Rational d = Rational::Min(a, Rational::Min(b, c));
+  return a + b + c - (Rational(3) - omega) * d;
+}
+
+Rational SubwTriangle() { return Rational(3, 2); }
+
+Rational SubwClique(int k) {
+  FMMSW_CHECK(k >= 3);
+  return Rational(k, 2);
+}
+
+Rational SubwCycle(int k) {
+  FMMSW_CHECK(k >= 4);
+  const int64_t half_up = (k + 1) / 2;
+  return Rational(2) - Rational(1, half_up);
+}
+
+Rational SubwPyramid(int k) {
+  FMMSW_CHECK(k >= 3);
+  return Rational(2) - Rational(1, k);
+}
+
+Rational SubwLemmaC15() { return Rational(9, 5); }
+
+Rational OmegaSubwTriangle(const Rational& omega) {
+  return Rational(2) * omega / (omega + Rational(1));
+}
+
+Rational OmegaSubwClique4(const Rational& omega) {
+  return (omega + Rational(1)) / Rational(2);
+}
+
+Rational OmegaSubwClique5(const Rational& omega) {
+  return omega / Rational(2) + Rational(1);
+}
+
+Rational OmegaSubwClique(int k, const Rational& omega) {
+  FMMSW_CHECK(k >= 3);
+  if (k == 3) return OmegaSubwTriangle(omega);
+  if (k == 4) return OmegaSubwClique4(omega);
+  if (k == 5) return OmegaSubwClique5(omega);
+  const int64_t a = (k + 2) / 3;  // ceil(k/3)
+  const int64_t b = (k + 1) / 3;  // ceil((k-1)/3)
+  const int64_t c = k / 3;        // floor(k/3)
+  return Rational(a, 2) + Rational(b, 2) +
+         Rational(c, 2) * (omega - Rational(2));
+}
+
+Rational OmegaSubwCycle4(const Rational& omega) {
+  const Rational w = Rational::Min(omega, Rational(5, 2));
+  return Rational(2) - Rational(3) / (Rational(2) * w + Rational(1));
+}
+
+Rational OmegaSubwPyramid3(const Rational& omega) {
+  return Rational(2) - Rational(1) / omega;
+}
+
+Rational OmegaSubwPyramidUpper(int k, const Rational& omega) {
+  FMMSW_CHECK(k >= 3);
+  return Rational(2) -
+         Rational(2) / (omega * Rational(k - 1) - Rational(k) + Rational(3));
+}
+
+Rational OmegaSubwLemmaC15Upper(const Rational& omega) {
+  return Rational(2) -
+         Rational(1) / (Rational(2) * (omega - Rational(2)) + Rational(3));
+}
+
+Rational PriorClique(int k, const Rational& omega) {
+  FMMSW_CHECK(k >= 6);
+  return OmegaSquare(Rational((k + 2) / 3, 2), Rational((k + 1) / 3, 2),
+                     Rational(k / 3, 2), omega);
+}
+
+Rational PriorCycle4(const Rational& omega) {
+  return (Rational(4) * omega - Rational(1)) /
+         (Rational(2) * omega + Rational(1));
+}
+
+Rational PriorPyramid(int k) { return SubwPyramid(k); }
+
+}  // namespace closed_forms
+}  // namespace fmmsw

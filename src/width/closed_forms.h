@@ -1,0 +1,53 @@
+#ifndef FMMSW_WIDTH_CLOSED_FORMS_H_
+#define FMMSW_WIDTH_CLOSED_FORMS_H_
+
+/// \file
+/// The closed-form width values proven in Appendix C (paper Table 2) and
+/// the complexity exponents of Table 1, as exact functions of the MM
+/// exponent w. These are the reference values our LP machinery is tested
+/// against, and the rows the Table-1/Table-2 benches print.
+
+#include "util/rational.h"
+
+namespace fmmsw {
+namespace closed_forms {
+
+/// w-square(a,b,c) = a + b + c - (3 - w) min(a,b,c): the square-blocking
+/// rectangular MM exponent (Eq. 6).
+Rational OmegaSquare(const Rational& a, const Rational& b, const Rational& c,
+                     const Rational& omega);
+
+// ------------------------------------------------------- submodular width
+Rational SubwTriangle();            // 3/2
+Rational SubwClique(int k);         // k/2
+Rational SubwCycle(int k);          // 2 - 1/ceil(k/2)
+Rational SubwPyramid(int k);        // 2 - 1/k  (3-pyramid: 5/3)
+Rational SubwLemmaC15();            // 9/5
+
+// ----------------------------------------------------- w-submodular width
+Rational OmegaSubwTriangle(const Rational& omega);  // 2w/(w+1)
+Rational OmegaSubwClique4(const Rational& omega);   // (w+1)/2
+Rational OmegaSubwClique5(const Rational& omega);   // w/2 + 1
+/// k >= 6: ceil(k/3)/2 + ceil((k-1)/3)/2 + floor(k/3)/2 * (w-2).
+Rational OmegaSubwClique(int k, const Rational& omega);
+Rational OmegaSubwCycle4(const Rational& omega);  // 2 - 3/(2 min(w,5/2) + 1)
+Rational OmegaSubwPyramid3(const Rational& omega);  // 2 - 1/w
+/// Upper bound for k-pyramids: 2 - 2/(w(k-1) - k + 3).
+Rational OmegaSubwPyramidUpper(int k, const Rational& omega);
+/// Upper bound of Lemma C.15: 2 - 1/(2(w-2) + 3).
+Rational OmegaSubwLemmaC15Upper(const Rational& omega);
+
+// ------------------------------------------------- Table 1 prior exponents
+/// Best prior exponent for k-clique detection (Eisenbrand-Grandoni style,
+/// realized through square MM): OmegaSquare(ceil(k/3)/2, ceil((k-1)/3)/2,
+/// floor(k/3)/2). Coincides with OmegaSubwClique for w = 2.
+Rational PriorClique(int k, const Rational& omega);
+/// Best prior exponent for the 4-cycle: (4w-1)/(2w+1).
+Rational PriorCycle4(const Rational& omega);
+/// Best prior (PANDA) exponent for k-pyramids: 2 - 1/k.
+Rational PriorPyramid(int k);
+
+}  // namespace closed_forms
+}  // namespace fmmsw
+
+#endif  // FMMSW_WIDTH_CLOSED_FORMS_H_

@@ -1,0 +1,42 @@
+#ifndef FMMSW_WIDTH_CYCLE_DP_H_
+#define FMMSW_WIDTH_CYCLE_DP_H_
+
+/// \file
+/// The square-MM cycle-detection exponent c-square_k of Eq. (45)-(46)
+/// (the k-cycle row of Tables 1-2), following the degree-split dynamic
+/// program of Dalirrooyfard-Vuong-Williams with omega(a,b,c) replaced by
+/// the square-blocking bound omega-square.
+///
+/// For a fixed degree vector d = (d1-, d1+, ..., dk-, dk+) the DP value
+/// P_{i,j} is the exponent of building the path reachability matrix from
+/// cycle position i to j (clockwise); the final bound combines both arcs
+/// around the cycle or a heavy-degree shortcut:
+///
+///   c_k(d) = min( min_i (2 - d_i), min_{i<j} max(P_{i,j}, P_{j,i}) ).
+///
+/// c-square_k = max over d of c_k(d). The maximization is over a continuous
+/// box; we search with a coordinate-ascent multi-start over a grid, which
+/// lower-bounds c-square_k and in practice lands on the paper's values
+/// (for k = 4 it must match 2 - 3/(2 min(w, 5/2) + 1), Lemma C.9/C.10).
+
+#include <vector>
+
+namespace fmmsw {
+
+/// c_k(d) for one degree vector; d has 2k entries in [0, 1] laid out as
+/// (d1-, d1+, d2-, d2+, ...).
+double CycleDpValue(int k, double omega, const std::vector<double>& d);
+
+struct CycleCsquareResult {
+  double value = 0;
+  std::vector<double> best_d;
+  long evaluations = 0;
+};
+
+/// Approximate c-square_k via grid multi-start + coordinate ascent.
+/// `grid` is the number of cells per axis (resolution 1/grid).
+CycleCsquareResult CycleCsquare(int k, double omega, int grid = 40);
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_WIDTH_CYCLE_DP_H_

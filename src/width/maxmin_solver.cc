@@ -1,0 +1,185 @@
+#include "width/maxmin_solver.h"
+
+#include <limits>
+
+#include "lp/simplex.h"
+#include "util/check.h"
+
+namespace fmmsw {
+
+void MaxMinSolver::AddTerm(std::vector<LinComb> alternatives) {
+  FMMSW_CHECK(!alternatives.empty());
+  terms_.push_back(std::move(alternatives));
+}
+
+void MaxMinSolver::AddCapTerm(VarSet s) {
+  FMMSW_CHECK(!s.empty());
+  AddTerm({LinComb{LinTerm{s, Rational(1)}}});
+}
+
+double MaxMinSolver::SolveDouble(const std::vector<int>& sel,
+                                 SetFn<double>* h_out) {
+  PolymatroidLp<double> lp(orig_);
+  const int t = lp.model().AddVar();
+  lp.model().AddObjective(t, 1.0);
+  {
+    // Every leaf value is at most max_h h(V) (all terms are monotone
+    // h-measures of subsets of V), so this built-in row keeps partial
+    // LPs bounded without changing any leaf optimum.
+    auto& row = lp.model().AddRow(Sense::kLe, 0.0, "t<=h(V)");
+    row.coeffs.emplace_back(t, 1.0);
+    lp.AppendH(&row.coeffs, orig_.vertices(), -1.0);
+  }
+  for (int j = 0; j < num_terms(); ++j) {
+    if (sel[j] < 0) continue;
+    auto& row = lp.model().AddRow(Sense::kLe, 0.0, "t<=term");
+    row.coeffs.emplace_back(t, 1.0);
+    for (const LinTerm& lt : terms_[j][sel[j]]) {
+      lp.AppendH(&row.coeffs, lt.set, -lt.coeff.ToDouble());
+    }
+  }
+  auto res = SolveSimplex(lp.model());
+  FMMSW_CHECK(res.status == LpStatus::kOptimal);
+  ++lps_;
+  if (h_out != nullptr) *h_out = lp.ExtractSolution(res);
+  return res.objective;
+}
+
+double MaxMinSolver::AlternativeValue(int term, int alt,
+                                      const SetFn<double>& h) const {
+  double v = 0;
+  for (const LinTerm& lt : terms_[term][alt]) {
+    v += lt.coeff.ToDouble() * h[lt.set];
+  }
+  return v;
+}
+
+int MaxMinSolver::ArgmaxAlternative(int term, const SetFn<double>& h) const {
+  int best = 0;
+  double best_v = -std::numeric_limits<double>::infinity();
+  for (int a = 0; a < static_cast<int>(terms_[term].size()); ++a) {
+    const double v = AlternativeValue(term, a, h);
+    if (v > best_v) {
+      best_v = v;
+      best = a;
+    }
+  }
+  return best;
+}
+
+double MaxMinSolver::FullEnumerate() {
+  std::vector<int> sel(num_terms(), 0);
+  best_ = -1e300;
+  while (true) {
+    const double v = SolveDouble(sel, nullptr);
+    if (v > best_) {
+      best_ = v;
+      best_sel_ = sel;
+    }
+    int i = 0;
+    while (i < num_terms() &&
+           ++sel[i] == static_cast<int>(terms_[i].size())) {
+      sel[i++] = 0;
+    }
+    if (i == num_terms()) break;
+  }
+  return best_;
+}
+
+std::vector<int> MaxMinSolver::InitialSelection() const {
+  // Single-alternative terms carry no choice; keeping them selected from
+  // the start also keeps every partial LP bounded (e.g. the h(U) cap).
+  std::vector<int> sel(num_terms(), -1);
+  for (int j = 0; j < num_terms(); ++j) {
+    if (terms_[j].size() == 1) sel[j] = 0;
+  }
+  return sel;
+}
+
+double MaxMinSolver::CoordinateAscent() {
+  std::vector<int> sel = InitialSelection();
+  SetFn<double> h(orig_.vertices());
+  double v = SolveDouble(sel, &h);
+  for (int iter = 0; iter < 80; ++iter) {
+    std::vector<int> next(num_terms());
+    for (int j = 0; j < num_terms(); ++j) next[j] = ArgmaxAlternative(j, h);
+    if (next == sel) break;
+    sel = next;
+    v = SolveDouble(sel, &h);
+  }
+  if (v > best_) {
+    best_ = v;
+    best_sel_ = sel;
+  }
+  return v;
+}
+
+double MaxMinSolver::BranchAndBound() {
+  if (best_sel_.empty()) CoordinateAscent();
+  std::vector<int> sel = InitialSelection();
+  Recurse(&sel);
+  return best_;
+}
+
+void MaxMinSolver::Recurse(std::vector<int>* sel) {
+  SetFn<double> h(orig_.vertices());
+  const double v = SolveDouble(*sel, &h);
+  if (v <= best_ + kPruneTol) return;
+  // Branch on the undecided term whose max alternative is most binding.
+  int pick = -1;
+  double pick_v = std::numeric_limits<double>::infinity();
+  for (int j = 0; j < num_terms(); ++j) {
+    if ((*sel)[j] >= 0) continue;
+    const double bv = AlternativeValue(j, ArgmaxAlternative(j, h), h);
+    if (bv < pick_v) {
+      pick_v = bv;
+      pick = j;
+    }
+  }
+  if (pick < 0) {
+    if (v > best_) {
+      best_ = v;
+      best_sel_ = *sel;
+    }
+    return;
+  }
+  // Argmax alternative first: the current h stays feasible, surfacing good
+  // incumbents early.
+  const int first = ArgmaxAlternative(pick, h);
+  std::vector<int> order = {first};
+  for (int a = 0; a < static_cast<int>(terms_[pick].size()); ++a) {
+    if (a != first) order.push_back(a);
+  }
+  for (int a : order) {
+    (*sel)[pick] = a;
+    Recurse(sel);
+  }
+  (*sel)[pick] = -1;
+}
+
+Rational MaxMinSolver::SolveExactSelection(const std::vector<int>& sel,
+                                           SetFn<Rational>* h_out) {
+  PolymatroidLp<Rational> lp(orig_);
+  const int t = lp.model().AddVar();
+  lp.model().AddObjective(t, Rational(1));
+  for (int j = 0; j < num_terms(); ++j) {
+    if (sel[j] < 0) continue;
+    auto& row = lp.model().AddRow(Sense::kLe, Rational(0), "t<=term");
+    row.coeffs.emplace_back(t, Rational(1));
+    for (const LinTerm& lt : terms_[j][sel[j]]) {
+      lp.AppendH(&row.coeffs, lt.set, -lt.coeff);
+    }
+  }
+  auto res = SolveSimplex(lp.model());
+  FMMSW_CHECK(res.status == LpStatus::kOptimal);
+  ++lps_;
+  if (h_out != nullptr) *h_out = lp.ExtractSolution(res);
+  return res.objective;
+}
+
+Rational MaxMinSolver::SolveExact(SetFn<Rational>* h_out) {
+  FMMSW_CHECK(!best_sel_.empty());
+  return SolveExactSelection(best_sel_, h_out);
+}
+
+}  // namespace fmmsw

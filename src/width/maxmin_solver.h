@@ -1,0 +1,83 @@
+#ifndef FMMSW_WIDTH_MAXMIN_SOLVER_H_
+#define FMMSW_WIDTH_MAXMIN_SOLVER_H_
+
+/// \file
+/// The common optimization core of the width calculators:
+///
+///   max over h in Gamma cap ED of  min over terms of
+///       (max over the term's alternatives of a linear function of h).
+///
+/// Distributing the min over the max turns this into one LP per selection
+/// of an alternative for every term (paper Section 6 / Appendix A.4). This
+/// solver explores the selection space three ways:
+///   - FullEnumerate: all prod |alternatives| leaf LPs (the paper's
+///     "mechanical algorithm"; Example D.1's 3^10 = 59049 LPs);
+///   - CoordinateAscent: re-select each term's argmax alternative at the
+///     current LP optimum; monotone, converges to a strong incumbent;
+///   - BranchAndBound: exact, with partial-selection LPs as upper bounds
+///     and most-binding-term branching.
+/// The winning selection is re-solved over exact rationals.
+///
+/// subw instantiates terms = tree decompositions (alternatives = bags);
+/// w-subw instantiates terms = MM expressions (alternatives = the three
+/// gamma-rotations of Eq. 21) plus single-alternative h(U) caps.
+
+#include <vector>
+
+#include "entropy/polymatroid.h"
+#include "hypergraph/hypergraph.h"
+#include "util/rational.h"
+#include "width/mm_expr.h"
+
+namespace fmmsw {
+
+class MaxMinSolver {
+ public:
+  /// `orig` supplies the polymatroid cone and edge-domination constraints.
+  explicit MaxMinSolver(const Hypergraph& orig) : orig_(orig) {}
+
+  /// Adds a term: the inner min ranges over terms, each term contributing
+  /// max over its alternatives. Alternatives must be non-empty.
+  void AddTerm(std::vector<LinComb> alternatives);
+
+  /// Convenience: a single-alternative term "t <= h(s)".
+  void AddCapTerm(VarSet s);
+
+  int num_terms() const { return static_cast<int>(terms_.size()); }
+  long lps_solved() const { return lps_; }
+  const std::vector<int>& best_selection() const { return best_sel_; }
+
+  /// Enumerates every selection; returns the best double value.
+  double FullEnumerate();
+
+  /// Coordinate ascent from the unconstrained optimum.
+  double CoordinateAscent();
+
+  /// Exact search seeded with the current best selection (call
+  /// CoordinateAscent first). Returns the best double value.
+  double BranchAndBound();
+
+  /// Re-solves the given (or best) selection exactly.
+  Rational SolveExact(SetFn<Rational>* h_out);
+  Rational SolveExactSelection(const std::vector<int>& sel,
+                               SetFn<Rational>* h_out);
+
+ private:
+  std::vector<int> InitialSelection() const;
+  double SolveDouble(const std::vector<int>& sel, SetFn<double>* h_out);
+  int ArgmaxAlternative(int term, const SetFn<double>& h) const;
+  double AlternativeValue(int term, int alt, const SetFn<double>& h) const;
+  void Recurse(std::vector<int>* sel);
+
+  static constexpr double kPruneTol = 1e-7;
+
+  const Hypergraph& orig_;
+  std::vector<std::vector<LinComb>> terms_;
+  double best_ = -1e300;
+  std::vector<int> best_sel_;
+  long lps_ = 0;
+};
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_WIDTH_MAXMIN_SOLVER_H_

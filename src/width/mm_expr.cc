@@ -1,0 +1,94 @@
+#include "width/mm_expr.h"
+
+#include "util/check.h"
+
+namespace fmmsw {
+
+namespace {
+
+/// Appends coeff * h(s) to a LinComb, dropping empty sets and merging
+/// duplicate sets.
+void Append(LinComb* lc, VarSet s, const Rational& coeff) {
+  if (s.empty() || coeff.IsZero()) return;
+  for (LinTerm& t : *lc) {
+    if (t.set == s) {
+      t.coeff += coeff;
+      return;
+    }
+  }
+  lc->push_back(LinTerm{s, coeff});
+}
+
+}  // namespace
+
+std::vector<LinComb> MmExpr::Branches(const Rational& gamma) const {
+  FMMSW_DCHECK(!x.Intersects(y) && !x.Intersects(z) && !x.Intersects(g));
+  FMMSW_DCHECK(!y.Intersects(z) && !y.Intersects(g) && !z.Intersects(g));
+  const Rational one(1);
+  std::vector<LinComb> out(3);
+  const VarSet parts[3] = {x, y, z};
+  for (int branch = 0; branch < 3; ++branch) {
+    LinComb& lc = out[branch];
+    Rational g_coeff(1);  // the +h(G) term
+    for (int p = 0; p < 3; ++p) {
+      // In branch b the "small" (gamma) coefficient falls on part (2 - b):
+      // branch 0 -> gamma on z, branch 1 -> gamma on y, branch 2 -> on x.
+      const Rational c = (p == 2 - branch) ? gamma : one;
+      Append(&lc, parts[p] | g, c);
+      g_coeff -= c;
+    }
+    Append(&lc, g, g_coeff);
+  }
+  return out;
+}
+
+Rational EvaluateLinComb(const LinComb& lc, const SetFn<Rational>& h) {
+  Rational v(0);
+  for (const LinTerm& t : lc) v += t.coeff * h[t.set];
+  return v;
+}
+
+Rational MmExpr::Evaluate(const SetFn<Rational>& h,
+                          const Rational& gamma) const {
+  Rational best;
+  bool first = true;
+  for (const LinComb& lc : Branches(gamma)) {
+    Rational v = EvaluateLinComb(lc, h);
+    if (first || v > best) {
+      best = v;
+      first = false;
+    }
+  }
+  return best;
+}
+
+MmExpr MmExpr::Canonical() const {
+  MmExpr out = *this;
+  if (out.y.mask() < out.x.mask()) std::swap(out.x, out.y);
+  return out;
+}
+
+MmExpr MmExpr::WidthCanonical() const {
+  MmExpr out = *this;
+  if (out.y.mask() < out.x.mask()) std::swap(out.x, out.y);
+  if (out.z.mask() < out.y.mask()) std::swap(out.y, out.z);
+  if (out.y.mask() < out.x.mask()) std::swap(out.x, out.y);
+  return out;
+}
+
+bool MmExpr::operator<(const MmExpr& o) const {
+  if (x != o.x) return x < o.x;
+  if (y != o.y) return y < o.y;
+  if (z != o.z) return z < o.z;
+  return g < o.g;
+}
+
+std::string MmExpr::ToString(const std::vector<std::string>* names) const {
+  std::string out = "MM(" + x.ToString(names) + ";" + y.ToString(names) +
+                    ";" + z.ToString(names);
+  if (!g.empty()) out += "|" + g.ToString(names);
+  out += ")";
+  return out;
+}
+
+}  // namespace fmmsw

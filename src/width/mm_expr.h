@@ -1,0 +1,68 @@
+#ifndef FMMSW_WIDTH_MM_EXPR_H_
+#define FMMSW_WIDTH_MM_EXPR_H_
+
+/// \file
+/// The matrix-multiplication information measure MM(X;Y;Z|G) of
+/// Definition 4.2. On a log_N scale it is the square-blocking cost of
+/// multiplying a |X|-by-|Z| matrix with a |Z|-by-|Y| matrix for every value
+/// of the group-by variables G:
+///
+///   MM(X;Y;Z|G) = max( h(X|G) + h(Y|G) + gamma h(Z|G) + h(G),
+///                      h(X|G) + gamma h(Y|G) + h(Z|G) + h(G),
+///                      gamma h(X|G) + h(Y|G) + h(Z|G) + h(G) ),
+///
+/// gamma = omega - 2. Each of the three args is linear in h, so the width
+/// LPs treat MM terms by branching over the argmax (Section 6).
+
+#include <string>
+#include <vector>
+
+#include "entropy/polymatroid.h"
+#include "util/rational.h"
+#include "util/varset.h"
+
+namespace fmmsw {
+
+/// A linear combination of set-function values: sum coeff * h(set).
+struct LinTerm {
+  VarSet set;
+  Rational coeff;
+};
+using LinComb = std::vector<LinTerm>;
+
+/// MM(x;y;z|g) with pairwise-disjoint parts; z is the eliminated dimension.
+struct MmExpr {
+  VarSet x, y, z, g;
+
+  /// The three linear branches of Eq. (21), rewritten over unconditional
+  /// h-terms: e.g. branch 0 is h(xg) + h(yg) + gamma h(zg) - (1+gamma) h(g).
+  std::vector<LinComb> Branches(const Rational& gamma) const;
+
+  /// Evaluates MM(x;y;z|g) = max over branches on a concrete polymatroid.
+  Rational Evaluate(const SetFn<Rational>& h, const Rational& gamma) const;
+
+  /// Canonical form: x and y are interchangeable (the measure is symmetric
+  /// in its first two arguments), so order them by mask. Keeps z in place,
+  /// preserving its "eliminated dimension" role for the engine.
+  MmExpr Canonical() const;
+
+  /// Width-canonical form: the MM *measure* is symmetric in all three of
+  /// x, y, z (paper footnote 7 — the max ranges over all rotations of
+  /// gamma), so width computations dedupe terms by sorting all three parts.
+  /// With this form the 4-clique yields exactly the 10 terms of Eq. (28).
+  MmExpr WidthCanonical() const;
+
+  bool operator==(const MmExpr& o) const {
+    return x == o.x && y == o.y && z == o.z && g == o.g;
+  }
+  bool operator<(const MmExpr& o) const;
+
+  std::string ToString(const std::vector<std::string>* names = nullptr) const;
+};
+
+/// Evaluates a linear combination on a concrete polymatroid.
+Rational EvaluateLinComb(const LinComb& lc, const SetFn<Rational>& h);
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_WIDTH_MM_EXPR_H_

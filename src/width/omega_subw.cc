@@ -1,0 +1,216 @@
+#include "width/omega_subw.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/check.h"
+#include "width/maxmin_solver.h"
+
+namespace fmmsw {
+
+namespace {
+
+/// Canonical key of a (sub-)hypergraph + elimination block, for memoizing
+/// per-step computations shared between GVEOs.
+std::vector<uint32_t> StepKey(const Hypergraph& h, VarSet block) {
+  std::vector<uint32_t> key;
+  key.push_back(h.vertices().mask());
+  key.push_back(block.mask());
+  std::vector<uint32_t> edges;
+  for (const VarSet& e : h.edges()) edges.push_back(e.mask());
+  std::sort(edges.begin(), edges.end());
+  key.insert(key.end(), edges.begin(), edges.end());
+  return key;
+}
+
+/// Builds the solver for max_h min(h(cap), MM terms...) — one step (or the
+/// clustered form) of the Section-6 computation.
+void PopulateSolver(MaxMinSolver* solver, VarSet cap,
+                    const std::vector<MmExpr>& terms, const Rational& gamma) {
+  if (!cap.empty()) solver->AddCapTerm(cap);
+  for (const MmExpr& e : terms) solver->AddTerm(e.Branches(gamma));
+}
+
+}  // namespace
+
+std::vector<MmExpr> ClusteredMmTerms(const Hypergraph& h,
+                                     const EmmOptions& emm) {
+  std::set<MmExpr> terms;
+  for (VarSet x : Subsets(h.vertices())) {
+    if (x.empty() || x == h.vertices()) continue;
+    for (const MmExpr& e : EnumerateMmOptions(h, x, emm)) {
+      terms.insert(e.WidthCanonical());
+    }
+  }
+  return std::vector<MmExpr>(terms.begin(), terms.end());
+}
+
+Rational GveoCostOn(const Hypergraph& h, const Gveo& gveo,
+                    const SetFn<Rational>& hfn, const Rational& omega,
+                    const EmmOptions& emm) {
+  const Rational gamma = omega - Rational(2);
+  Rational worst(0);
+  for (const EliminationStep& step : EliminationSequence(h, gveo)) {
+    if (!step.required || step.u.empty()) continue;
+    Rational cost = hfn[step.u];
+    bool defined = false;
+    Rational via_mm =
+        EvaluateEmm(step.before, step.block, hfn, gamma, &defined, emm);
+    if (defined) cost = Rational::Min(cost, via_mm);
+    worst = Rational::Max(worst, cost);
+  }
+  return worst;
+}
+
+Rational WidthAt(const Hypergraph& h, const SetFn<Rational>& hfn,
+                 const Rational& omega, const OmegaSubwOptions& opts) {
+  const Rational gamma = omega - Rational(2);
+  // Memoize per-(hypergraph, block) EMM option lists across GVEOs.
+  std::map<std::vector<uint32_t>, std::pair<VarSet, std::vector<MmExpr>>>
+      step_cache;
+  Rational best;
+  bool first = true;
+  for (const Gveo& gveo : AllGveos(h, opts.gveo_cap)) {
+    Rational worst(0);
+    Hypergraph cur = h;
+    std::vector<VarSet> seen_u;
+    for (const VarSet& block : gveo.blocks) {
+      auto key = StepKey(cur, block);
+      auto it = step_cache.find(key);
+      if (it == step_cache.end()) {
+        it = step_cache
+                 .emplace(key, std::make_pair(
+                                   cur.U(block),
+                                   EnumerateMmOptions(cur, block, opts.emm)))
+                 .first;
+      }
+      const VarSet u = it->second.first;
+      bool required = !u.empty();
+      for (VarSet prev : seen_u) {
+        if (prev.ContainsAll(u)) {
+          required = false;
+          break;
+        }
+      }
+      seen_u.push_back(u);
+      if (required) {
+        Rational cost = hfn[u];
+        bool mm_first = true;
+        Rational mm_best;
+        for (const MmExpr& e : it->second.second) {
+          Rational v = e.Evaluate(hfn, gamma);
+          if (mm_first || v < mm_best) {
+            mm_best = v;
+            mm_first = false;
+          }
+        }
+        if (!mm_first) cost = Rational::Min(cost, mm_best);
+        worst = Rational::Max(worst, cost);
+      }
+      cur = cur.Eliminate(block);
+    }
+    if (first || worst < best) {
+      best = worst;
+      first = false;
+    }
+    if (!first && best == Rational(0)) break;
+  }
+  FMMSW_CHECK(!first);
+  return best;
+}
+
+OmegaSubwResult OmegaSubwClustered(const Hypergraph& h, const Rational& omega,
+                                   const OmegaSubwOptions& opts) {
+  FMMSW_CHECK(h.IsClustered());
+  OmegaSubwResult out;
+  out.used_clustered_form = true;
+  std::vector<MmExpr> terms = ClusteredMmTerms(h, opts.emm);
+  out.num_mm_terms = static_cast<int>(terms.size());
+
+  MaxMinSolver solver(h);
+  PopulateSolver(&solver, h.vertices(), terms, omega - Rational(2));
+  if (opts.full_enumeration) {
+    solver.FullEnumerate();
+  } else {
+    solver.CoordinateAscent();
+    solver.BranchAndBound();
+  }
+  out.value = solver.SolveExact(&out.worst_case);
+  out.lower = out.upper = out.value;
+  out.exact = true;
+  out.lps_solved = solver.lps_solved();
+  return out;
+}
+
+OmegaSubwResult OmegaSubw(const Hypergraph& h, const Rational& omega,
+                          const OmegaSubwOptions& opts) {
+  if (h.IsClustered()) {
+    return OmegaSubwClustered(h, omega, opts);
+  }
+
+  OmegaSubwResult out;
+  const auto gveos = AllGveos(h, opts.gveo_cap);
+
+  // ---- Upper bound: min over GVEOs of max over required steps of
+  //      max_h min(h(U_i), EMM_i), with per-step memoization
+  //      (w-subw = max-min <= min-max).
+  std::map<std::vector<uint32_t>, std::pair<Rational, SetFn<Rational>>>
+      step_value;
+  long lps = 0;
+  bool first_sigma = true;
+  for (const Gveo& gveo : gveos) {
+    Rational sigma_ub(0);
+    for (const EliminationStep& step : EliminationSequence(h, gveo)) {
+      if (!step.required || step.u.empty()) continue;
+      auto key = StepKey(step.before, step.block);
+      auto it = step_value.find(key);
+      if (it == step_value.end()) {
+        std::set<MmExpr> dedup;
+        for (const MmExpr& e :
+             EnumerateMmOptions(step.before, step.block, opts.emm)) {
+          dedup.insert(e.WidthCanonical());
+        }
+        MaxMinSolver solver(h);
+        PopulateSolver(&solver, step.u,
+                       std::vector<MmExpr>(dedup.begin(), dedup.end()),
+                       omega - Rational(2));
+        solver.CoordinateAscent();
+        solver.BranchAndBound();
+        SetFn<Rational> hstar;
+        Rational v = solver.SolveExact(&hstar);
+        lps += solver.lps_solved();
+        it = step_value.emplace(key, std::make_pair(v, std::move(hstar)))
+                 .first;
+      }
+      sigma_ub = Rational::Max(sigma_ub, it->second.first);
+      if (!first_sigma && out.upper <= sigma_ub) break;
+    }
+    if (first_sigma || sigma_ub < out.upper) {
+      out.upper = sigma_ub;
+      first_sigma = false;
+    }
+  }
+  out.lps_solved = lps;
+
+  // ---- Lower bound: evaluate candidate polymatroids against all GVEOs.
+  std::vector<const SetFn<Rational>*> candidates;
+  for (const auto& [key, vh] : step_value) candidates.push_back(&vh.second);
+  for (const auto& w : opts.witnesses) candidates.push_back(&w);
+  bool first_cand = true;
+  for (const SetFn<Rational>* cand : candidates) {
+    Rational v = WidthAt(h, *cand, omega, opts);
+    if (first_cand || v > out.lower) {
+      out.lower = v;
+      out.worst_case = *cand;
+      first_cand = false;
+    }
+  }
+  if (first_cand) out.lower = Rational(0);
+
+  out.exact = (out.lower == out.upper);
+  out.value = out.upper;
+  return out;
+}
+
+}  // namespace fmmsw

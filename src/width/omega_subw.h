@@ -1,0 +1,94 @@
+#ifndef FMMSW_WIDTH_OMEGA_SUBW_H_
+#define FMMSW_WIDTH_OMEGA_SUBW_H_
+
+/// \file
+/// The w-submodular width (Definition 4.7) and the Section-6 algorithm for
+/// computing it.
+///
+/// The computation distributes the min over the max in Eq. (27), yielding
+/// one LP per selection of an MM branch for every MM term (Eq. 33/34).
+/// We solve the resulting LP family three ways:
+///   - full enumeration (the paper's "mechanical algorithm", Example D.1:
+///     3^10 = 59049 LPs for the 4-clique);
+///   - branch-and-bound over branch selections with a coordinate-ascent
+///     warm start (orders of magnitude fewer LPs, same value);
+///   - exact re-solve of the winning selection over rationals.
+///
+/// For *clustered* hypergraphs (Definition C.11; cliques, pyramids) the
+/// first elimination dominates (Proposition 4.11 / Eq. 40) and the result
+/// is exact. For general hypergraphs the routine reports certified
+/// [lower, upper] bounds: the upper bound is min over GVEOs of the per-plan
+/// max (max-min <= min-max), the lower bound is the best width attained by
+/// a concrete polymatroid (LP argmaxes and user witnesses) evaluated
+/// against *all* GVEOs.
+
+#include <vector>
+
+#include "entropy/polymatroid.h"
+#include "hypergraph/decomposition.h"
+#include "hypergraph/hypergraph.h"
+#include "util/rational.h"
+#include "width/emm.h"
+#include "width/mm_expr.h"
+
+namespace fmmsw {
+
+struct OmegaSubwOptions {
+  /// Enumerate all 3^J selections instead of branch-and-bound (Example D.1
+  /// reproduction; exponential, use only for small J).
+  bool full_enumeration = false;
+  /// Safety cap on the GVEO enumeration (CHECK on overflow).
+  int gveo_cap = 1000000;
+  EmmOptions emm;
+  /// Extra lower-bound candidate polymatroids (e.g. the Appendix C
+  /// witnesses); each must be a valid edge-dominated polymatroid.
+  std::vector<SetFn<Rational>> witnesses;
+};
+
+struct OmegaSubwResult {
+  /// Certified bounds: lower <= w-subw(H) <= upper. When exact, both equal
+  /// `value`.
+  Rational lower;
+  Rational upper;
+  bool exact = false;
+  Rational value;  ///< == upper == lower when exact; else == upper.
+
+  /// A polymatroid attaining `lower`.
+  SetFn<Rational> worst_case;
+  long lps_solved = 0;
+  /// Number of MM terms in the clustered-form min (Example D.1: 10).
+  int num_mm_terms = 0;
+  bool used_clustered_form = false;
+};
+
+/// The inner cost of Definition 4.7 for one GVEO on a concrete polymatroid:
+/// max over Proposition-4.11-required steps of min(h(U_i), EMM_i).
+Rational GveoCostOn(const Hypergraph& h, const Gveo& gveo,
+                    const SetFn<Rational>& hfn, const Rational& omega,
+                    const EmmOptions& emm = {});
+
+/// The width attained by a concrete polymatroid: min over *all* GVEOs of
+/// GveoCostOn. This is a certified lower bound on w-subw(H) whenever hfn is
+/// a valid edge-dominated polymatroid.
+Rational WidthAt(const Hypergraph& h, const SetFn<Rational>& hfn,
+                 const Rational& omega, const OmegaSubwOptions& opts = {});
+
+/// w-subw for clustered hypergraphs, exact (Eq. 40).
+OmegaSubwResult OmegaSubwClustered(const Hypergraph& h, const Rational& omega,
+                                   const OmegaSubwOptions& opts = {});
+
+/// General entry point: dispatches to the clustered form when applicable,
+/// otherwise computes certified bounds.
+OmegaSubwResult OmegaSubw(const Hypergraph& h, const Rational& omega,
+                          const OmegaSubwOptions& opts = {});
+
+/// The full clustered-form term list (h(V) is implicit): all distinct MM
+/// options over all first elimination blocks. Exposed for tests (the
+/// 4-clique must yield exactly the 10 terms of Eq. 28) and for the
+/// Example-D.1 bench.
+std::vector<MmExpr> ClusteredMmTerms(const Hypergraph& h,
+                                     const EmmOptions& emm = {});
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_WIDTH_OMEGA_SUBW_H_

@@ -1,0 +1,79 @@
+#include "width/subw.h"
+
+#include "lp/simplex.h"
+#include "util/check.h"
+#include "width/maxmin_solver.h"
+
+namespace fmmsw {
+
+Rational FractionalEdgeCover(const Hypergraph& h, VarSet target) {
+  FMMSW_CHECK(!target.empty());
+  LpModel<Rational> m;
+  m.maximize = false;
+  std::vector<int> weight_var;
+  for (size_t e = 0; e < h.edges().size(); ++e) {
+    int v = m.AddVar();
+    weight_var.push_back(v);
+    m.AddObjective(v, Rational(1));
+  }
+  for (int vert : target.Members()) {
+    auto& row = m.AddRow(Sense::kGe, Rational(1), "cover");
+    for (size_t e = 0; e < h.edges().size(); ++e) {
+      if (h.edges()[e].Contains(vert)) {
+        row.coeffs.emplace_back(weight_var[e], Rational(1));
+      }
+    }
+    FMMSW_CHECK(!row.coeffs.empty() && "vertex not covered by any edge");
+  }
+  auto res = SolveSimplex(m);
+  FMMSW_CHECK(res.status == LpStatus::kOptimal);
+  return res.objective;
+}
+
+Rational RhoStar(const Hypergraph& h) {
+  return FractionalEdgeCover(h, h.vertices());
+}
+
+Rational Fhtw(const Hypergraph& h) {
+  auto tds = EnumerateTds(h);
+  FMMSW_CHECK(!tds.empty());
+  bool first_td = true;
+  Rational best;
+  for (const auto& td : tds) {
+    Rational width(0);
+    for (const VarSet& bag : td.bags) {
+      width = Rational::Max(width, FractionalEdgeCover(h, bag));
+    }
+    if (first_td || width < best) {
+      best = width;
+      first_td = false;
+    }
+  }
+  return best;
+}
+
+SubwResult SubmodularWidth(const Hypergraph& h) {
+  SubwResult out;
+  out.tds = EnumerateTds(h);
+  FMMSW_CHECK(!out.tds.empty());
+
+  // One term per TD; the term's alternatives are its bags, matching
+  //   subw = max_h min_TD max_bag h(bag)           (Eq. 19)
+  // distributed into one LP per bag selection (Eq. 37/39), searched with
+  // branch-and-bound instead of full tuple enumeration.
+  MaxMinSolver solver(h);
+  for (const auto& td : out.tds) {
+    std::vector<LinComb> alternatives;
+    for (const VarSet& bag : td.bags) {
+      alternatives.push_back(LinComb{LinTerm{bag, Rational(1)}});
+    }
+    solver.AddTerm(std::move(alternatives));
+  }
+  solver.CoordinateAscent();
+  solver.BranchAndBound();
+  out.value = solver.SolveExact(&out.worst_case);
+  out.lps_solved = static_cast<int>(solver.lps_solved());
+  return out;
+}
+
+}  // namespace fmmsw

@@ -1,0 +1,47 @@
+#ifndef FMMSW_WIDTH_SUBW_H_
+#define FMMSW_WIDTH_SUBW_H_
+
+/// \file
+/// Combinatorial width measures: the fractional edge cover number rho*
+/// (Definition C.1), the fractional hypertree width fhtw, and the
+/// submodular width subw (Eq. 19), computed exactly over rationals via the
+/// TD-tuple LP reduction of Appendix A.4 (Eq. 36-39).
+
+#include <vector>
+
+#include "entropy/polymatroid.h"
+#include "hypergraph/decomposition.h"
+#include "hypergraph/hypergraph.h"
+#include "util/rational.h"
+
+namespace fmmsw {
+
+/// Fractional edge cover number of the vertices in `target` using all
+/// hyperedges of H (min sum of edge weights covering each target vertex).
+/// With target == vertices() this is rho*(H), the AGM-bound exponent.
+Rational FractionalEdgeCover(const Hypergraph& h, VarSet target);
+
+/// rho*(H) = FractionalEdgeCover over all vertices.
+Rational RhoStar(const Hypergraph& h);
+
+/// Fractional hypertree width: min over TDs of max over bags of the
+/// fractional edge cover of the bag.
+Rational Fhtw(const Hypergraph& h);
+
+struct SubwResult {
+  Rational value;
+  /// A worst-case polymatroid attaining the value (the argmax h of
+  /// Eq. 19), taken from the winning tuple's LP solution.
+  SetFn<Rational> worst_case;
+  /// The TDs the max-min ranged over.
+  std::vector<TreeDecomposition> tds;
+  int lps_solved = 0;
+};
+
+/// Exact submodular width via one LP per tuple of bags (one bag from each
+/// non-redundant TD), Eq. (39).
+SubwResult SubmodularWidth(const Hypergraph& h);
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_WIDTH_SUBW_H_

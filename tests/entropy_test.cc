@@ -1,0 +1,206 @@
+// Tests for the polymatroid cone: elemental Shannon inequalities, validity
+// checks, edge domination, and the Appendix-C witness polymatroids
+// (Figures 2-4).
+
+#include "entropy/polymatroid.h"
+#include "entropy/witnesses.h"
+#include "gtest/gtest.h"
+#include "hypergraph/hypergraph.h"
+#include "lp/simplex.h"
+#include "util/random.h"
+
+namespace fmmsw {
+namespace {
+
+TEST(ElementalTest, CountsMatchFormula) {
+  // k monotonicities + C(k,2) * 2^(k-2) submodularities.
+  for (int k = 2; k <= 5; ++k) {
+    auto ineqs = ElementalInequalities(VarSet::Full(k));
+    const size_t expect = k + (k * (k - 1) / 2) * (1u << (k - 2));
+    EXPECT_EQ(ineqs.size(), expect) << "k=" << k;
+  }
+}
+
+TEST(PolymatroidTest, CardinalityIsPolymatroid) {
+  SetFn<Rational> h(VarSet::Full(4));
+  for (VarSet s : Subsets(VarSet::Full(4))) h[s] = Rational(s.size());
+  EXPECT_TRUE(IsPolymatroid(h));
+}
+
+TEST(PolymatroidTest, NonMonotoneRejected) {
+  SetFn<Rational> h(VarSet::Full(3));
+  for (VarSet s : Subsets(VarSet::Full(3))) h[s] = Rational(s.size());
+  h[VarSet::Full(3)] = Rational(1);  // below h of a subset
+  EXPECT_FALSE(IsPolymatroid(h));
+}
+
+TEST(PolymatroidTest, NonSubmodularRejected) {
+  SetFn<Rational> h(VarSet::Full(2));
+  h[VarSet{0}] = Rational(1);
+  h[VarSet{1}] = Rational(1);
+  h[VarSet{0, 1}] = Rational(3);  // superadditive
+  EXPECT_FALSE(IsPolymatroid(h));
+}
+
+TEST(PolymatroidTest, NonzeroEmptySetRejected) {
+  SetFn<Rational> h(VarSet::Full(2));
+  h[VarSet::Empty()] = Rational(1);
+  h[VarSet{0}] = h[VarSet{1}] = h[VarSet{0, 1}] = Rational(1);
+  EXPECT_FALSE(IsPolymatroid(h));
+}
+
+TEST(PolymatroidTest, EdgeDomination) {
+  Hypergraph tri = Hypergraph::Triangle();
+  SetFn<Rational> h(VarSet::Full(3));
+  for (VarSet s : Subsets(VarSet::Full(3))) h[s] = Rational(s.size(), 2);
+  EXPECT_TRUE(IsEdgeDominated(tri, h));
+  h[VarSet{0, 1}] = Rational(3, 2);
+  EXPECT_FALSE(IsEdgeDominated(tri, h));
+}
+
+TEST(AtomCompositionTest, IndependentAtomsAreModular) {
+  AtomComposition c;
+  int a = c.AddAtom(Rational(1, 3));
+  int b = c.AddAtom(Rational(2, 3));
+  c.Attach(0, a);
+  c.Attach(1, b);
+  auto h = c.Build(VarSet::Full(2));
+  EXPECT_EQ(h[VarSet{0}], Rational(1, 3));
+  EXPECT_EQ(h[VarSet{1}], Rational(2, 3));
+  EXPECT_EQ(h[VarSet({0, 1})], Rational(1));
+  EXPECT_TRUE(IsPolymatroid(h));
+}
+
+TEST(AtomCompositionTest, SharedAtomCreatesCorrelation) {
+  AtomComposition c;
+  int shared = c.AddAtom(Rational(1));
+  c.Attach(0, shared);
+  c.Attach(1, shared);
+  auto h = c.Build(VarSet::Full(2));
+  EXPECT_EQ(h[VarSet({0, 1})], Rational(1));  // = h(X) = h(Y): fully shared
+  EXPECT_TRUE(IsPolymatroid(h));
+}
+
+class WitnessOmegaTest : public ::testing::TestWithParam<Rational> {};
+
+TEST_P(WitnessOmegaTest, TriangleWitnessValidAndMatchesFigure2) {
+  const Rational omega = GetParam();
+  auto h = TriangleWitness(omega);
+  EXPECT_TRUE(IsPolymatroid(h));
+  EXPECT_TRUE(IsEdgeDominated(Hypergraph::Triangle(), h));
+  const Rational denom = omega + Rational(1);
+  EXPECT_EQ(h[VarSet{0}], Rational(2) / denom);
+  EXPECT_EQ(h[VarSet({0, 1})], Rational(1));
+  EXPECT_EQ(h[VarSet::Full(3)], Rational(2) * omega / denom);
+}
+
+TEST_P(WitnessOmegaTest, FourCycleLowWitnessValid) {
+  const Rational omega = GetParam();
+  if (omega > Rational(5, 2)) return;  // Case 2 applies for w < 5/2
+  auto h = FourCycleWitnessLow(omega);
+  EXPECT_TRUE(IsPolymatroid(h));
+  EXPECT_TRUE(IsEdgeDominated(Hypergraph::Cycle(4), h));
+  const Rational denom = Rational(2) * omega + Rational(1);
+  // Lemma C.9: h(W)=h(Z)=(w+2)/(2w+1), h(X)=h(Y)=3/(2w+1), h(all)=(4w-1)/..
+  EXPECT_EQ(h[VarSet{0}], Rational(3) / denom);
+  EXPECT_EQ(h[VarSet{2}], (omega + Rational(2)) / denom);
+  EXPECT_EQ(h[VarSet::Full(4)],
+            (Rational(4) * omega - Rational(1)) / denom);
+}
+
+TEST_P(WitnessOmegaTest, Pyramid3WitnessValidAndMatchesFigure4) {
+  const Rational omega = GetParam();
+  auto h = Pyramid3Witness(omega);
+  EXPECT_TRUE(IsPolymatroid(h));
+  EXPECT_TRUE(IsEdgeDominated(Hypergraph::Pyramid(3), h));
+  EXPECT_EQ(h[VarSet{1}], Rational(1) / omega);
+  EXPECT_EQ(h[VarSet{0}], Rational(1) - Rational(1) / omega);
+  EXPECT_EQ(h[VarSet({1, 2, 3})], Rational(1));
+  EXPECT_EQ(h[VarSet::Full(4)], Rational(2) - Rational(1) / omega);
+}
+
+INSTANTIATE_TEST_SUITE_P(OmegaSweep, WitnessOmegaTest,
+                         ::testing::Values(Rational(2), Rational(9, 4),
+                                           Rational(2371552, 1000000),
+                                           Rational(5, 2), Rational(14, 5),
+                                           Rational(3)));
+
+TEST(WitnessTest, FourCycleHighWitnessValid) {
+  auto h = FourCycleWitnessHigh();
+  EXPECT_TRUE(IsPolymatroid(h));
+  EXPECT_TRUE(IsEdgeDominated(Hypergraph::Cycle(4), h));
+  EXPECT_EQ(h[VarSet{0}], Rational(1, 2));
+  EXPECT_EQ(h[VarSet{2}], Rational(3, 4));
+  EXPECT_EQ(h[VarSet::Full(4)], Rational(3, 2));
+}
+
+TEST(WitnessTest, CliqueWitnessValues) {
+  for (int k = 3; k <= 6; ++k) {
+    auto h = CliqueWitness(k);
+    EXPECT_TRUE(IsPolymatroid(h));
+    EXPECT_TRUE(IsEdgeDominated(Hypergraph::Clique(k), h));
+    EXPECT_EQ(h[VarSet::Full(k)], Rational(k, 2));
+  }
+}
+
+TEST(PolymatroidLpTest, MaxEntropyOfTriangleIsAgmBound) {
+  // max h(XYZ) over Gamma cap ED = rho*(triangle) = 3/2 (Prop. C.2 tight).
+  PolymatroidLp<Rational> lp(Hypergraph::Triangle());
+  lp.model().AddObjective(lp.Var(VarSet::Full(3)), Rational(1));
+  auto res = SolveSimplex(lp.model());
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_EQ(res.objective, Rational(3, 2));
+  // The attained h must itself be a valid edge-dominated polymatroid.
+  auto h = lp.ExtractSolution(res);
+  EXPECT_TRUE(IsPolymatroid(h));
+  EXPECT_TRUE(IsEdgeDominated(Hypergraph::Triangle(), h));
+}
+
+TEST(PolymatroidLpTest, MaxEntropyCycleFour) {
+  // rho*(C4) = 2: two opposite edges cover all vertices.
+  PolymatroidLp<Rational> lp(Hypergraph::Cycle(4));
+  lp.model().AddObjective(lp.Var(VarSet::Full(4)), Rational(1));
+  auto res = SolveSimplex(lp.model());
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_EQ(res.objective, Rational(2));
+}
+
+TEST(PolymatroidLpTest, ConditionalHelper) {
+  // max h(Y|X) subject to ED on edge {X,Y} is 1 (h(XY)<=1, h(X)>=0).
+  Hypergraph h(2, {"X", "Y"});
+  h.AddEdge({0, 1});
+  PolymatroidLp<Rational> lp(h);
+  const int t = lp.model().AddVar();
+  lp.model().AddObjective(t, Rational(1));
+  auto& row = lp.model().AddRow(Sense::kLe, Rational(0), "t<=h(Y|X)");
+  row.coeffs.emplace_back(t, Rational(1));
+  lp.AppendConditional(&row.coeffs, VarSet{1}, VarSet{0}, Rational(-1));
+  auto res = SolveSimplex(lp.model());
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_EQ(res.objective, Rational(1));
+}
+
+TEST(PolymatroidLpTest, RandomLpSolutionsAreValidPolymatroids) {
+  // Property: any optimum of an LP over Gamma cap ED extracts to a function
+  // passing IsPolymatroid + IsEdgeDominated (sanity of constraint set).
+  Rng rng(5);
+  Hypergraph hg = Hypergraph::Cycle(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    PolymatroidLp<Rational> lp(hg);
+    // Random objective over singletons and the full set.
+    for (int v = 0; v < 4; ++v) {
+      lp.model().AddObjective(lp.Var(VarSet::Singleton(v)),
+                              Rational(rng.Uniform(0, 3)));
+    }
+    lp.model().AddObjective(lp.Var(VarSet::Full(4)),
+                            Rational(rng.Uniform(0, 2)));
+    auto res = SolveSimplex(lp.model());
+    ASSERT_EQ(res.status, LpStatus::kOptimal);
+    auto h = lp.ExtractSolution(res);
+    EXPECT_TRUE(IsPolymatroid(h));
+    EXPECT_TRUE(IsEdgeDominated(hg, h));
+  }
+}
+
+}  // namespace
+}  // namespace fmmsw

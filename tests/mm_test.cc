@@ -1,0 +1,151 @@
+// Tests for the matrix substrate: all kernels agree with the naive
+// reference on random inputs, Strassen is exact, the rectangular
+// square-blocking scheme matches Eq. (6)'s cost model, and BitMatrix
+// implements the (OR, AND) semiring.
+
+#include "gtest/gtest.h"
+#include "mm/cost_model.h"
+#include "mm/matrix.h"
+#include "util/random.h"
+
+namespace fmmsw {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng, int64_t lo = -9,
+                    int64_t hi = 9) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) m.At(i, j) = rng->Uniform(lo, hi);
+  }
+  return m;
+}
+
+TEST(MatrixTest, NaiveKnownProduct) {
+  Matrix a(2, 3), b(3, 2);
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]].
+  int64_t av[] = {1, 2, 3, 4, 5, 6}, bv[] = {7, 8, 9, 10, 11, 12};
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) a.At(i, j) = av[i * 3 + j];
+  }
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 2; ++j) b.At(i, j) = bv[i * 2 + j];
+  }
+  Matrix c = MultiplyNaive(a, b);
+  EXPECT_EQ(c.At(0, 0), 58);
+  EXPECT_EQ(c.At(0, 1), 64);
+  EXPECT_EQ(c.At(1, 0), 139);
+  EXPECT_EQ(c.At(1, 1), 154);
+}
+
+TEST(MatrixTest, BlockedMatchesNaiveRandom) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int m = static_cast<int>(rng.Uniform(1, 90));
+    const int k = static_cast<int>(rng.Uniform(1, 90));
+    const int n = static_cast<int>(rng.Uniform(1, 90));
+    Matrix a = RandomMatrix(m, k, &rng), b = RandomMatrix(k, n, &rng);
+    EXPECT_EQ(MultiplyBlocked(a, b), MultiplyNaive(a, b));
+  }
+}
+
+TEST(MatrixTest, StrassenMatchesNaiveRandom) {
+  Rng rng(12);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = static_cast<int>(rng.Uniform(1, 140));
+    Matrix a = RandomMatrix(n, n, &rng), b = RandomMatrix(n, n, &rng);
+    EXPECT_EQ(MultiplyStrassen(a, b, 16), MultiplyNaive(a, b)) << n;
+  }
+}
+
+TEST(MatrixTest, StrassenNonSquare) {
+  Rng rng(13);
+  Matrix a = RandomMatrix(37, 91, &rng), b = RandomMatrix(91, 11, &rng);
+  EXPECT_EQ(MultiplyStrassen(a, b, 8), MultiplyNaive(a, b));
+}
+
+TEST(MatrixTest, RectangularMatchesNaiveRandom) {
+  Rng rng(14);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int m = static_cast<int>(rng.Uniform(1, 120));
+    const int k = static_cast<int>(rng.Uniform(1, 40));
+    const int n = static_cast<int>(rng.Uniform(1, 120));
+    Matrix a = RandomMatrix(m, k, &rng), b = RandomMatrix(k, n, &rng);
+    EXPECT_EQ(MultiplyRectangular(a, b, 16), MultiplyNaive(a, b));
+  }
+}
+
+TEST(MatrixTest, AnyNonZero) {
+  Matrix z(3, 3);
+  EXPECT_FALSE(z.AnyNonZero());
+  z.At(2, 1) = -5;
+  EXPECT_TRUE(z.AnyNonZero());
+}
+
+TEST(BitMatrixTest, MultiplyMatchesIntegerSign) {
+  Rng rng(15);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int m = static_cast<int>(rng.Uniform(1, 100));
+    const int k = static_cast<int>(rng.Uniform(1, 100));
+    const int n = static_cast<int>(rng.Uniform(1, 150));
+    Matrix a(m, k), b(k, n);
+    BitMatrix ba(m, k), bb(k, n);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < k; ++j) {
+        if (rng.Flip(0.2)) {
+          a.At(i, j) = 1;
+          ba.Set(i, j);
+        }
+      }
+    }
+    for (int i = 0; i < k; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (rng.Flip(0.2)) {
+          b.At(i, j) = 1;
+          bb.Set(i, j);
+        }
+      }
+    }
+    Matrix c = MultiplyNaive(a, b);
+    BitMatrix bc = BitMatrix::Multiply(ba, bb);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        EXPECT_EQ(bc.Get(i, j), c.At(i, j) > 0);
+      }
+    }
+  }
+}
+
+TEST(BitMatrixTest, AnyNonZero) {
+  BitMatrix m(5, 70);
+  EXPECT_FALSE(m.AnyNonZero());
+  m.Set(4, 69);
+  EXPECT_TRUE(m.AnyNonZero());
+  EXPECT_TRUE(m.Get(4, 69));
+  EXPECT_FALSE(m.Get(4, 68));
+}
+
+TEST(CostModelTest, OmegaSquareExponent) {
+  // Eq. (6): square case gives omega, degenerate min gives linear I/O.
+  EXPECT_DOUBLE_EQ(OmegaSquareExponent(1, 1, 1, 2.371552), 2.371552);
+  EXPECT_DOUBLE_EQ(OmegaSquareExponent(1, 1, 0, 2.371552), 2.0);
+  EXPECT_DOUBLE_EQ(OmegaSquareExponent(1, 0.5, 0.25, 2.0), 1.5);
+  // omega = 3 degenerates to the naive product a+b+c.
+  EXPECT_DOUBLE_EQ(OmegaSquareExponent(0.5, 0.7, 0.9, 3.0), 2.1);
+}
+
+TEST(CostModelTest, PredictedOpsScalesLikeOmega) {
+  // Doubling n multiplies the square-MM cost by ~2^omega.
+  const double omega = 2.807;
+  const double r = PredictedMmOps(512, 512, 512, omega) /
+                   PredictedMmOps(256, 256, 256, omega);
+  EXPECT_NEAR(std::log2(r), omega, 1e-9);
+}
+
+TEST(CostModelTest, RectangularBlockCount) {
+  // (m/d)(k/d)(n/d) * d^omega with d = min dimension.
+  const double v = PredictedMmOps(100, 10, 1000, 2.0);
+  EXPECT_DOUBLE_EQ(v, 10.0 * 1.0 * 100.0 * 100.0);
+}
+
+}  // namespace
+}  // namespace fmmsw

@@ -1,0 +1,238 @@
+// Tests for relations, relational operators, degree statistics /
+// partitioning (Definition E.9), and the workload generators.
+
+#include "gtest/gtest.h"
+#include "relation/degree.h"
+#include "relation/generators.h"
+#include "relation/ops.h"
+#include "relation/relation.h"
+
+namespace fmmsw {
+namespace {
+
+Relation MakeRel(VarSet schema, std::vector<std::vector<Value>> rows) {
+  Relation r(schema);
+  for (const auto& row : rows) r.Add(row);
+  return r;
+}
+
+TEST(RelationTest, SchemaAndColumns) {
+  Relation r(VarSet{1, 3});
+  EXPECT_EQ(r.arity(), 2);
+  EXPECT_EQ(r.ColumnOf(1), 0);
+  EXPECT_EQ(r.ColumnOf(3), 1);
+  r.Add({10, 30});
+  EXPECT_EQ(r.Get(0, 1), 10);
+  EXPECT_EQ(r.Get(0, 3), 30);
+}
+
+TEST(RelationTest, SortAndDedupe) {
+  Relation r = MakeRel(VarSet{0, 1}, {{2, 1}, {1, 1}, {2, 1}, {1, 0}});
+  r.SortAndDedupe();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_TRUE(r.Contains({1, 0}));
+  EXPECT_TRUE(r.Contains({1, 1}));
+  EXPECT_TRUE(r.Contains({2, 1}));
+  EXPECT_FALSE(r.Contains({0, 0}));
+}
+
+TEST(RelationTest, NullaryBooleanSemantics) {
+  Relation false_rel(VarSet::Empty());
+  EXPECT_TRUE(false_rel.empty());
+  Relation true_rel(VarSet::Empty());
+  true_rel.Add({});
+  EXPECT_FALSE(true_rel.empty());
+  EXPECT_EQ(true_rel.size(), 1u);
+}
+
+TEST(OpsTest, NaturalJoin) {
+  // R(X,Y) join S(Y,Z).
+  Relation r = MakeRel(VarSet{0, 1}, {{1, 10}, {2, 10}, {3, 20}});
+  Relation s = MakeRel(VarSet{1, 2}, {{10, 100}, {20, 200}, {30, 300}});
+  Relation j = Join(r, s);
+  EXPECT_EQ(j.schema(), VarSet({0, 1, 2}));
+  EXPECT_EQ(j.size(), 3u);
+  EXPECT_TRUE(j.Contains({1, 10, 100}));
+  EXPECT_TRUE(j.Contains({2, 10, 100}));
+  EXPECT_TRUE(j.Contains({3, 20, 200}));
+}
+
+TEST(OpsTest, JoinNoSharedVarsIsCrossProduct) {
+  Relation r = MakeRel(VarSet{0}, {{1}, {2}});
+  Relation s = MakeRel(VarSet{1}, {{7}, {8}, {9}});
+  EXPECT_EQ(Join(r, s).size(), 6u);
+}
+
+TEST(OpsTest, JoinWithNullary) {
+  Relation r = MakeRel(VarSet{0}, {{1}, {2}});
+  Relation t(VarSet::Empty());
+  t.Add({});
+  EXPECT_EQ(Join(r, t).size(), 2u);
+  Relation f(VarSet::Empty());
+  EXPECT_TRUE(Join(r, f).empty());
+}
+
+TEST(OpsTest, SemijoinAndAntijoinPartition) {
+  Relation r = MakeRel(VarSet{0, 1}, {{1, 10}, {2, 20}, {3, 30}});
+  Relation s = MakeRel(VarSet{1}, {{10}, {30}});
+  Relation semi = Semijoin(r, s);
+  Relation anti = Antijoin(r, s);
+  EXPECT_EQ(semi.size(), 2u);
+  EXPECT_EQ(anti.size(), 1u);
+  EXPECT_TRUE(anti.Contains({2, 20}));
+  EXPECT_EQ(semi.size() + anti.size(), r.size());
+}
+
+TEST(OpsTest, ProjectDeduplicates) {
+  Relation r = MakeRel(VarSet{0, 1}, {{1, 10}, {1, 20}, {2, 10}});
+  Relation p = Project(r, VarSet{0});
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.Contains({1}));
+  EXPECT_TRUE(p.Contains({2}));
+}
+
+TEST(OpsTest, ProjectToNullaryIsExistence) {
+  Relation r = MakeRel(VarSet{0}, {{5}});
+  EXPECT_FALSE(Project(r, VarSet::Empty()).empty());
+  Relation e(VarSet{0});
+  EXPECT_TRUE(Project(e, VarSet::Empty()).empty());
+}
+
+TEST(OpsTest, UnionIntersect) {
+  Relation a = MakeRel(VarSet{0}, {{1}, {2}});
+  Relation b = MakeRel(VarSet{0}, {{2}, {3}});
+  EXPECT_EQ(Union(a, b).size(), 3u);
+  Relation i = Intersect(a, b);
+  EXPECT_EQ(i.size(), 1u);
+  EXPECT_TRUE(i.Contains({2}));
+}
+
+TEST(OpsTest, JoinAssociativityOnRandomData) {
+  Rng rng(3);
+  Relation r = UniformRelation(VarSet{0, 1}, 80, 12, &rng);
+  Relation s = UniformRelation(VarSet{1, 2}, 80, 12, &rng);
+  Relation t = UniformRelation(VarSet{2, 3}, 80, 12, &rng);
+  Relation left = Join(Join(r, s), t);
+  Relation right = Join(r, Join(s, t));
+  left.SortAndDedupe();
+  right.SortAndDedupe();
+  EXPECT_EQ(left.size(), right.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    std::vector<Value> row(left.Row(i), left.Row(i) + left.arity());
+    EXPECT_TRUE(right.Contains(row));
+  }
+}
+
+// ------------------------------------------------------------- degrees --
+
+TEST(DegreeTest, DefinitionE9) {
+  // R(X=0, Y=1): X-value 1 has 3 Y's, value 2 has 1.
+  Relation r =
+      MakeRel(VarSet{0, 1}, {{1, 10}, {1, 20}, {1, 30}, {2, 10}});
+  EXPECT_EQ(Degree(r, VarSet{1}, VarSet{0}), 3);
+  EXPECT_EQ(Degree(r, VarSet{0}, VarSet{1}), 2);  // Y=10 pairs with X=1,2
+  // Unconditional: number of distinct Y values overall.
+  EXPECT_EQ(Degree(r, VarSet{1}, VarSet::Empty()), 3);
+  EXPECT_EQ(Degree(r, VarSet{0, 1}, VarSet::Empty()), 4);
+}
+
+TEST(DegreeTest, PartitionHeavyLight) {
+  Relation r = MakeRel(VarSet{0, 1},
+                       {{1, 10}, {1, 20}, {1, 30}, {2, 10}, {3, 10}, {3, 20}});
+  auto part = PartitionByDegree(r, VarSet{1}, VarSet{0}, 2);
+  // X=1 has degree 3 > 2 -> heavy; X=2 (1), X=3 (2) -> light.
+  EXPECT_EQ(part.heavy.schema(), VarSet{0});
+  EXPECT_EQ(part.heavy.size(), 1u);
+  EXPECT_TRUE(part.heavy.Contains({1}));
+  EXPECT_EQ(part.light.size(), 3u);
+  // Invariants of the Decomposition Step: the light part's degree is
+  // bounded by the threshold.
+  EXPECT_LE(Degree(part.light, VarSet{1}, VarSet{0}), 2);
+}
+
+TEST(DegreeTest, PartitionSizesBound) {
+  // |heavy| <= |R| / threshold (Section 2.5).
+  Rng rng(9);
+  Relation r = ZipfRelation(VarSet{0, 1}, 4000, 500, 1.3, &rng);
+  for (int64_t thresh : {2, 8, 32}) {
+    auto part = PartitionByDegree(r, VarSet{1}, VarSet{0}, thresh);
+    EXPECT_LE(part.heavy.size(), r.size() / thresh + 1) << thresh;
+    EXPECT_LE(Degree(part.light, VarSet{1}, VarSet{0}), thresh);
+  }
+}
+
+TEST(DegreeTest, BucketsCoverRelation) {
+  Rng rng(10);
+  Relation r = ZipfRelation(VarSet{0, 1}, 2000, 300, 1.2, &rng);
+  auto buckets = DegreeBuckets(r, VarSet{1}, VarSet{0});
+  size_t total = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    total += buckets[i].size();
+    if (buckets[i].empty()) continue;
+    const int64_t deg = Degree(buckets[i], VarSet{1}, VarSet{0});
+    EXPECT_LT(deg, 1LL << (i + 1));
+  }
+  EXPECT_EQ(total, r.size());
+  EXPECT_LE(buckets.size(), 1 + static_cast<size_t>(std::log2(r.size())) + 1);
+}
+
+// ----------------------------------------------------------- generators --
+
+TEST(GeneratorTest, UniformBounds) {
+  Rng rng(1);
+  Relation r = UniformRelation(VarSet{0, 1}, 500, 50, &rng);
+  EXPECT_LE(r.size(), 500u);
+  EXPECT_GT(r.size(), 300u);  // few collisions at domain 50x50
+  for (size_t i = 0; i < r.size(); ++i) {
+    EXPECT_GE(r.Row(i)[0], 0);
+    EXPECT_LT(r.Row(i)[0], 50);
+  }
+}
+
+TEST(GeneratorTest, DenseDensity) {
+  Rng rng(2);
+  Relation r = DenseRelation(VarSet{0, 1}, 40, 0.5, &rng);
+  EXPECT_GT(r.size(), 600u);
+  EXPECT_LT(r.size(), 1000u);
+}
+
+TEST(GeneratorTest, PlantedWitnessMakesQueryTrue) {
+  WorkloadOptions opts;
+  opts.tuples_per_relation = 30;
+  opts.domain = 1000;  // sparse: almost surely no triangle by chance
+  opts.plant_witness = true;
+  Hypergraph tri = Hypergraph::Triangle();
+  Database db = MakeWorkload(tri, opts);
+  EXPECT_TRUE(BruteForceBoolean(tri, db));
+  opts.plant_witness = false;
+  Database db2 = MakeWorkload(tri, opts);
+  EXPECT_FALSE(BruteForceBoolean(tri, db2));
+}
+
+TEST(GeneratorTest, WorkloadHasOneRelationPerEdge) {
+  Hypergraph h = Hypergraph::Pyramid(3);
+  WorkloadOptions opts;
+  opts.tuples_per_relation = 50;
+  opts.domain = 20;
+  Database db = MakeWorkload(h, opts);
+  ASSERT_EQ(db.relations.size(), h.edges().size());
+  for (size_t e = 0; e < h.edges().size(); ++e) {
+    EXPECT_EQ(db.relations[e].schema(), h.edges()[e]);
+  }
+}
+
+TEST(GeneratorTest, DeterministicSeeds) {
+  WorkloadOptions opts;
+  opts.tuples_per_relation = 100;
+  opts.domain = 30;
+  opts.seed = 7;
+  Hypergraph h = Hypergraph::Cycle(4);
+  Database a = MakeWorkload(h, opts);
+  Database b = MakeWorkload(h, opts);
+  for (size_t e = 0; e < a.relations.size(); ++e) {
+    EXPECT_EQ(a.relations[e].size(), b.relations[e].size());
+  }
+}
+
+}  // namespace
+}  // namespace fmmsw

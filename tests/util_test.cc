@@ -1,0 +1,247 @@
+// Unit and property tests for src/util: VarSet, BigInt, Rational, Rng.
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/bigint.h"
+#include "util/random.h"
+#include "util/rational.h"
+#include "util/varset.h"
+
+namespace fmmsw {
+namespace {
+
+// ---------------------------------------------------------------- VarSet --
+
+TEST(VarSetTest, BasicOps) {
+  VarSet a{0, 2, 5};
+  EXPECT_EQ(a.size(), 3);
+  EXPECT_TRUE(a.Contains(0));
+  EXPECT_TRUE(a.Contains(2));
+  EXPECT_FALSE(a.Contains(1));
+  VarSet b{2, 3};
+  EXPECT_EQ((a | b).size(), 4);
+  EXPECT_EQ((a & b), VarSet({2}));
+  EXPECT_EQ((a - b), VarSet({0, 5}));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(VarSet{1, 3}));
+  EXPECT_TRUE(a.ContainsAll(VarSet{0, 5}));
+  EXPECT_FALSE(a.ContainsAll(b));
+}
+
+TEST(VarSetTest, EmptyAndFull) {
+  EXPECT_TRUE(VarSet::Empty().empty());
+  EXPECT_EQ(VarSet::Full(4).size(), 4);
+  EXPECT_EQ(VarSet::Full(4).mask(), 0xfu);
+  EXPECT_EQ(VarSet::Singleton(3).mask(), 8u);
+}
+
+TEST(VarSetTest, MembersRoundTrip) {
+  VarSet a{1, 4, 7, 9};
+  auto members = a.Members();
+  VarSet b;
+  for (int v : members) b.Add(v);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.First(), 1);
+}
+
+TEST(VarSetTest, ToString) {
+  std::vector<std::string> names = {"X", "Y", "Z"};
+  EXPECT_EQ(VarSet({0, 2}).ToString(&names), "{X,Z}");
+  EXPECT_EQ(VarSet({0, 2}).ToString(), "{0,2}");
+  EXPECT_EQ(VarSet::Empty().ToString(), "{}");
+}
+
+TEST(VarSetTest, SubsetsEnumeratesAll) {
+  VarSet u{0, 1, 3};
+  std::set<uint32_t> seen;
+  for (VarSet s : Subsets(u)) {
+    EXPECT_TRUE(u.ContainsAll(s));
+    seen.insert(s.mask());
+  }
+  EXPECT_EQ(seen.size(), 8u);  // 2^3 subsets
+}
+
+TEST(VarSetTest, SubsetsOfEmpty) {
+  int count = 0;
+  for (VarSet s : Subsets(VarSet::Empty())) {
+    EXPECT_TRUE(s.empty());
+    ++count;
+  }
+  EXPECT_EQ(count, 1);
+}
+
+// ---------------------------------------------------------------- BigInt --
+
+TEST(BigIntTest, SmallArithmetic) {
+  BigInt a(12), b(-5);
+  EXPECT_EQ((a + b).ToInt64(), 7);
+  EXPECT_EQ((a - b).ToInt64(), 17);
+  EXPECT_EQ((a * b).ToInt64(), -60);
+  EXPECT_EQ((a / b).ToInt64(), -2);   // truncation toward zero
+  EXPECT_EQ((a % b).ToInt64(), 2);    // sign follows dividend
+  EXPECT_EQ((b % a).ToInt64(), -5);
+}
+
+TEST(BigIntTest, Zero) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.Sign(), 0);
+  EXPECT_EQ((z + BigInt(3)).ToInt64(), 3);
+  EXPECT_EQ((BigInt(3) * z).ToInt64(), 0);
+  EXPECT_EQ((-z).ToInt64(), 0);
+}
+
+TEST(BigIntTest, Int64Extremes) {
+  BigInt max_v(INT64_MAX), min_v(INT64_MIN);
+  EXPECT_EQ(max_v.ToInt64(), INT64_MAX);
+  EXPECT_EQ(min_v.ToInt64(), INT64_MIN);
+  EXPECT_FALSE((max_v + BigInt(1)).FitsInt64());
+  EXPECT_FALSE((min_v - BigInt(1)).FitsInt64());
+  EXPECT_EQ(max_v.ToString(), "9223372036854775807");
+  EXPECT_EQ(min_v.ToString(), "-9223372036854775808");
+}
+
+TEST(BigIntTest, LargeMultiplyAndDivide) {
+  // (2^80 + 17) and verify divmod round trips.
+  BigInt two_80(1);
+  for (int i = 0; i < 80; ++i) two_80 = two_80 * BigInt(2);
+  BigInt v = two_80 + BigInt(17);
+  BigInt d(1000003);
+  BigInt q, r;
+  BigInt::DivMod(v, d, &q, &r);
+  EXPECT_EQ(q * d + r, v);
+  EXPECT_TRUE(r.Abs() < d.Abs());
+  EXPECT_EQ(v.ToString(), "1208925819614629174706193");
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_LT(BigInt(-3), BigInt(2));
+  EXPECT_LT(BigInt(-3), BigInt(-2));
+  EXPECT_LT(BigInt(2), BigInt(3));
+  BigInt big = BigInt(1) ;
+  for (int i = 0; i < 100; ++i) big = big * BigInt(3);
+  EXPECT_GT(big, BigInt(INT64_MAX));
+  EXPECT_LT(-big, BigInt(INT64_MIN));
+}
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToInt64(), 5);
+  EXPECT_EQ(BigInt::Gcd(BigInt(7), BigInt(0)).ToInt64(), 7);
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(0)).ToInt64(), 0);
+  EXPECT_EQ(BigInt::Gcd(BigInt(1) , BigInt(INT64_MAX)).ToInt64(), 1);
+}
+
+TEST(BigIntTest, DivModRandomizedRoundTrip) {
+  Rng rng(7);
+  for (int t = 0; t < 200; ++t) {
+    BigInt a(rng.Uniform(-1000000000, 1000000000));
+    BigInt b(rng.Uniform(-1000000000, 1000000000));
+    a = a * BigInt(rng.Uniform(-1000000, 1000000));
+    if (b.IsZero()) continue;
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r.Abs() < b.Abs());
+  }
+}
+
+TEST(BigIntTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigInt(1 << 20).ToDouble(), 1048576.0);
+  EXPECT_DOUBLE_EQ(BigInt(-42).ToDouble(), -42.0);
+}
+
+// -------------------------------------------------------------- Rational --
+
+TEST(RationalTest, NormalizationInvariant) {
+  Rational r(6, -8);
+  EXPECT_EQ(r.ToString(), "-3/4");
+  EXPECT_EQ(Rational(0, 17).ToString(), "0");
+  EXPECT_EQ(Rational(4, 2).ToString(), "2");
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational a(1, 3), b(1, 6);
+  EXPECT_EQ((a + b), Rational(1, 2));
+  EXPECT_EQ((a - b), Rational(1, 6));
+  EXPECT_EQ((a * b), Rational(1, 18));
+  EXPECT_EQ((a / b), Rational(2));
+  EXPECT_EQ((-a), Rational(-1, 3));
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GE(Rational(5, 3), Rational(3, 2));
+  EXPECT_EQ(Rational::Min(Rational(1, 3), Rational(1, 2)), Rational(1, 3));
+  EXPECT_EQ(Rational::Max(Rational(1, 3), Rational(1, 2)), Rational(1, 2));
+}
+
+TEST(RationalTest, TriangleWidthFormulaExact) {
+  // 2w/(w+1) at w = 2371552/1000000 — the paper's headline triangle width.
+  Rational w(2371552, 1000000);
+  Rational width = (Rational(2) * w) / (w + Rational(1));
+  EXPECT_EQ(width, Rational(2 * 2371552, 3371552));
+  EXPECT_NEAR(width.ToDouble(), 1.406804, 1e-5);
+}
+
+TEST(RationalTest, Parse) {
+  EXPECT_EQ(Rational::Parse("3/4"), Rational(3, 4));
+  EXPECT_EQ(Rational::Parse("-7"), Rational(-7));
+  EXPECT_EQ(Rational::Parse("2371552/1000000"), Rational(2371552, 1000000));
+}
+
+TEST(RationalTest, RandomizedFieldAxioms) {
+  Rng rng(13);
+  for (int t = 0; t < 100; ++t) {
+    Rational a(rng.Uniform(-50, 50), rng.Uniform(1, 20));
+    Rational b(rng.Uniform(-50, 50), rng.Uniform(1, 20));
+    Rational c(rng.Uniform(-50, 50), rng.Uniform(1, 20));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    if (!b.IsZero()) {
+      EXPECT_EQ((a / b) * b, a);
+    }
+  }
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicWithSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, ZipfSkewsLow) {
+  Rng rng(2);
+  int low = 0;
+  const int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    int64_t v = rng.Zipf(1000, 1.5);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 1000);
+    if (v < 10) ++low;
+  }
+  // With alpha=1.5 the first decile of the head dominates.
+  EXPECT_GT(low, kTrials / 3);
+}
+
+}  // namespace
+}  // namespace fmmsw
