@@ -85,8 +85,11 @@ void Run() {
     }
     t_comb.push_back(b);
     t_mm.push_back(c);
-    std::printf("%10lld %12.5f %12.5f %12.5f\n",
-                static_cast<long long>(db.TotalSize()), a, b, c);
+    const long long total = static_cast<long long>(db.TotalSize());
+    std::printf("%10lld %12.5f %12.5f %12.5f\n", total, a, b, c);
+    if (run_td) bench::Json("four_cycle", total, "td", a * 1e3);
+    bench::Json("four_cycle", total, "partitioned", b * 1e3);
+    bench::Json("four_cycle", total, "mm_w2.37", c * 1e3);
   }
   std::printf("\n");
   bench::Row("single-TD exponent", "2.0000",
@@ -101,7 +104,8 @@ void Run() {
 }  // namespace
 }  // namespace fmmsw
 
-int main() {
+int main(int argc, char** argv) {
+  fmmsw::bench::Init(argc, argv);
   fmmsw::Run();
   return 0;
 }

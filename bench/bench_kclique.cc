@@ -68,8 +68,12 @@ void RunK(int k) {
     ns.push_back(static_cast<double>(db.TotalSize()));
     t_comb.push_back(a);
     t_mm.push_back(b);
-    std::printf("%10lld %12.5f %12.5f %12.5f\n",
-                static_cast<long long>(db.TotalSize()), a, b, c);
+    const long long total = static_cast<long long>(db.TotalSize());
+    std::printf("%10lld %12.5f %12.5f %12.5f\n", total, a, b, c);
+    const std::string name = "clique_k" + std::to_string(k);
+    bench::Json(name, total, "wcoj", a * 1e3);
+    bench::Json(name, total, "mm_boolean", b * 1e3);
+    bench::Json(name, total, "mm_strassen", c * 1e3);
   }
   const Rational omega(2371552, 1000000);
   bench::Row("combinatorial exponent",
@@ -84,7 +88,8 @@ void RunK(int k) {
 }  // namespace
 }  // namespace fmmsw
 
-int main() {
+int main(int argc, char** argv) {
+  fmmsw::bench::Init(argc, argv);
   fmmsw::bench::Header("k-clique detection: combinatorial vs MM (dense)");
   for (int k : {3, 4, 5, 6}) fmmsw::RunK(k);
   return 0;

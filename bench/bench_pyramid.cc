@@ -59,8 +59,10 @@ void Run() {
     ns.push_back(static_cast<double>(db.TotalSize()));
     t_comb.push_back(a);
     t_mm.push_back(b);
-    std::printf("%10lld %12.5f %12.5f\n",
-                static_cast<long long>(db.TotalSize()), a, b);
+    const long long total = static_cast<long long>(db.TotalSize());
+    std::printf("%10lld %12.5f %12.5f\n", total, a, b);
+    bench::Json("pyramid", total, "wcoj", a * 1e3);
+    bench::Json("pyramid", total, "mm_w2.37", b * 1e3);
   }
   std::printf("\n");
   bench::Row("combinatorial exponent", "1.6667 (subw 5/3)",
@@ -72,7 +74,8 @@ void Run() {
 }  // namespace
 }  // namespace fmmsw
 
-int main() {
+int main(int argc, char** argv) {
+  fmmsw::bench::Init(argc, argv);
   fmmsw::Run();
   return 0;
 }

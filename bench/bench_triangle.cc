@@ -72,8 +72,12 @@ void Run() {
     t_mm2.push_back(b);
     t_mmstr.push_back(c);
     t_panda.push_back(d);
-    std::printf("%10lld %12.5f %12.5f %12.5f %12.5f\n",
-                static_cast<long long>(db.TotalSize()), a, b, c, d);
+    const long long total = static_cast<long long>(db.TotalSize());
+    std::printf("%10lld %12.5f %12.5f %12.5f %12.5f\n", total, a, b, c, d);
+    bench::Json("triangle", total, "wcoj", a * 1e3);
+    bench::Json("triangle", total, "mm_w2.37", b * 1e3);
+    bench::Json("triangle", total, "mm_strassen", c * 1e3);
+    bench::Json("triangle", total, "panda", d * 1e3);
   }
   std::printf("\n");
   bench::Row("combinatorial exponent", "1.5000",
@@ -91,7 +95,8 @@ void Run() {
 }  // namespace
 }  // namespace fmmsw
 
-int main() {
+int main(int argc, char** argv) {
+  fmmsw::bench::Init(argc, argv);
   fmmsw::Run();
   return 0;
 }

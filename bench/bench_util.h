@@ -3,16 +3,39 @@
 
 /// \file
 /// Shared helpers for the table/figure reproduction binaries: uniform
-/// "paper=... ours=..." rows (consumed by EXPERIMENTS.md) and log-log
-/// slope fitting for runtime shape checks.
+/// "paper=... ours=..." rows (consumed by EXPERIMENTS.md), log-log slope
+/// fitting for runtime shape checks, and a --json mode that emits one
+/// machine-readable line per measurement for BENCH_*.json trajectories.
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace fmmsw {
 namespace bench {
+
+/// Set by Init when the binary is invoked with --json.
+inline bool json_mode = false;
+
+/// Parses shared benchmark flags (call at the top of main).
+inline void Init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_mode = true;
+  }
+}
+
+/// One machine-readable measurement line:
+///   {"name":"triangle","n":242323,"kernel":"wcoj","wall_ms":293.1}
+/// Emitted only in --json mode; human-readable output stays as-is, so
+/// consumers should filter for lines starting with '{'.
+inline void Json(const std::string& name, long long n,
+                 const std::string& kernel, double wall_ms) {
+  if (!json_mode) return;
+  std::printf("{\"name\":\"%s\",\"n\":%lld,\"kernel\":\"%s\",\"wall_ms\":%.6f}\n",
+              name.c_str(), n, kernel.c_str(), wall_ms);
+}
 
 inline void Header(const std::string& title) {
   std::printf("==== %s ====\n", title.c_str());

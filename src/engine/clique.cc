@@ -7,6 +7,7 @@
 #include "mm/matrix.h"
 #include "relation/ops.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace fmmsw {
 
@@ -138,45 +139,56 @@ bool CliqueMm(int k, const Database& db, MmKernel kernel,
                     const Relation& r2, size_t row2) {
     return Compatible(k, db, pair_sets, g1, r1, row1, g2, r2, row2);
   };
+  // The compatibility fills and the final check only read the shared pair
+  // sets; rows are partitioned across threads, so the row-local writes
+  // (bit words / matrix cells of row i) never conflict.
   if (kernel == MmKernel::kBoolean) {
     BitMatrix mab(na, nb), mbc(nb, nc);
-    for (int i = 0; i < na; ++i) {
-      for (int j = 0; j < nb; ++j) {
-        if (compat(ga, la, i, gb, lb, j)) mab.Set(i, j);
+    ParallelFor(na, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        for (int j = 0; j < nb; ++j) {
+          if (compat(ga, la, i, gb, lb, j)) mab.Set(i, j);
+        }
       }
-    }
-    for (int i = 0; i < nb; ++i) {
-      for (int j = 0; j < nc; ++j) {
-        if (compat(gb, lb, i, gc, lc, j)) mbc.Set(i, j);
+    });
+    ParallelFor(nb, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        for (int j = 0; j < nc; ++j) {
+          if (compat(gb, lb, i, gc, lc, j)) mbc.Set(i, j);
+        }
       }
-    }
+    });
     BitMatrix p = BitMatrix::Multiply(mab, mbc);
-    for (int i = 0; i < na; ++i) {
+    return ParallelAnyOf(na, [&](int64_t i) {
       for (int j = 0; j < nc; ++j) {
         if (p.Get(i, j) && compat(ga, la, i, gc, lc, j)) return true;
       }
-    }
-    return false;
+      return false;
+    });
   }
   Matrix mab(na, nb), mbc(nb, nc);
-  for (int i = 0; i < na; ++i) {
-    for (int j = 0; j < nb; ++j) {
-      if (compat(ga, la, i, gb, lb, j)) mab.At(i, j) = 1;
+  ParallelFor(na, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      for (int j = 0; j < nb; ++j) {
+        if (compat(ga, la, i, gb, lb, j)) mab.At(i, j) = 1;
+      }
     }
-  }
-  for (int i = 0; i < nb; ++i) {
-    for (int j = 0; j < nc; ++j) {
-      if (compat(gb, lb, i, gc, lc, j)) mbc.At(i, j) = 1;
+  });
+  ParallelFor(nb, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      for (int j = 0; j < nc; ++j) {
+        if (compat(gb, lb, i, gc, lc, j)) mbc.At(i, j) = 1;
+      }
     }
-  }
+  });
   Matrix p = kernel == MmKernel::kStrassen ? MultiplyRectangular(mab, mbc)
                                            : MultiplyNaive(mab, mbc);
-  for (int i = 0; i < na; ++i) {
+  return ParallelAnyOf(na, [&](int64_t i) {
     for (int j = 0; j < nc; ++j) {
       if (p.At(i, j) != 0 && compat(ga, la, i, gc, lc, j)) return true;
     }
-  }
-  return false;
+    return false;
+  });
 }
 
 }  // namespace fmmsw

@@ -1,12 +1,15 @@
 #include "engine/four_cycle.h"
 
+#include <atomic>
 #include <cmath>
 #include <unordered_map>
 
 #include "mm/matrix.h"
 #include "relation/degree.h"
+#include "relation/flat_index.h"
 #include "relation/ops.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace fmmsw {
 
@@ -39,20 +42,52 @@ MiddleSplit SplitMiddle(const Relation& left, const Relation& right, int mid,
 
 /// For each heavy middle value m of path a-m-b, the endpoint sets are
 /// A_m = {a : left(a, m)} and B_m = {b : right(m, b)}; the callback
-/// receives them and returns true to stop (answer found).
+/// receives them and returns true to stop (answer found). Both incident
+/// relations are indexed on the middle variable once (the naive version
+/// re-scanned them per heavy value), and the heavy values are probed in
+/// parallel — the callbacks only read shared state.
 template <typename Check>
 bool ForEachHeavy(const Relation& heavy, const Relation& left,
                   const Relation& right, int mid, VarSet left_other,
                   VarSet right_other, const Check& check,
                   FourCycleStats* stats) {
-  for (size_t r = 0; r < heavy.size(); ++r) {
-    const Value m = heavy.Row(r)[0];
-    Relation a_set = Project(SelectEq(left, mid, m), left_other);
-    Relation b_set = Project(SelectEq(right, mid, m), right_other);
-    if (stats != nullptr) ++stats->heavy_probes;
-    if (check(a_set, b_set)) return true;
-  }
-  return false;
+  // The single-column gather below only supports unary endpoint sets
+  // (always-on check: a wider VarSet would silently gather wrong columns).
+  FMMSW_CHECK(left_other.size() == 1 && right_other.size() == 1);
+  const KeySpec kleft(left, VarSet::Singleton(mid));
+  const KeySpec kright(right, VarSet::Singleton(mid));
+  const KeySpec kheavy(heavy, VarSet::Singleton(mid));
+  const FlatMultimap ileft(left, kleft);
+  const FlatMultimap iright(right, kright);
+  const int lcol = left.ColumnOf(left_other.First());
+  const int rcol = right.ColumnOf(right_other.First());
+  // Probe count is approximate under early exit: workers already in
+  // flight when the answer is found still increment it.
+  std::atomic<int64_t> probes(0);
+  const bool found = ParallelAnyOf(
+      static_cast<int64_t>(heavy.size()),
+      [&](int64_t r) {
+        // Probe with KeySpec so the key encoding stays mechanically
+        // identical to the build side.
+        const uint64_t key = kheavy.KeyOf(heavy.Row(r));
+        Relation a_set(left_other & left.schema());
+        for (int32_t row = ileft.First(key); row >= 0;
+             row = ileft.Next(row)) {
+          a_set.AddRow(&left.Row(row)[lcol]);
+        }
+        a_set.SortAndDedupe();
+        Relation b_set(right_other & right.schema());
+        for (int32_t row = iright.First(key); row >= 0;
+             row = iright.Next(row)) {
+          b_set.AddRow(&right.Row(row)[rcol]);
+        }
+        b_set.SortAndDedupe();
+        probes.fetch_add(1, std::memory_order_relaxed);
+        return check(a_set, b_set);
+      },
+      /*grain=*/8);
+  if (stats != nullptr) stats->heavy_probes += probes.load();
+  return found;
 }
 
 }  // namespace

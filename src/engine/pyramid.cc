@@ -1,5 +1,6 @@
 #include "engine/pyramid.h"
 
+#include <atomic>
 #include <cmath>
 #include <unordered_map>
 #include <unordered_set>
@@ -10,6 +11,7 @@
 #include "relation/degree.h"
 #include "relation/ops.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace fmmsw {
 
@@ -135,10 +137,22 @@ bool Pyramid3Mm(const Database& db, double omega, MmKernel kernel,
                                                 base.Get(row, kX3));
   }
 
-  for (const auto& [x1, ys] : y_of_x1) {
+  // Independent MM groups, one per heavy x1 — probe them in parallel
+  // (each iteration only reads the shared indexes).
+  std::vector<const std::pair<const Value, std::vector<Value>>*> groups;
+  groups.reserve(y_of_x1.size());
+  for (const auto& entry : y_of_x1) {
+    if (base_by_x1.find(entry.first) != base_by_x1.end()) {
+      groups.push_back(&entry);
+    }
+  }
+  if (stats != nullptr) {
+    stats->mm_groups += static_cast<int64_t>(groups.size());
+  }
+  return ParallelAnyOf(static_cast<int64_t>(groups.size()), [&](int64_t g) {
+    const Value x1 = groups[g]->first;
+    const std::vector<Value>& ys = groups[g]->second;
     auto bit = base_by_x1.find(x1);
-    if (bit == base_by_x1.end()) continue;
-    if (stats != nullptr) ++stats->mm_groups;
     // Local indices for this group.
     std::unordered_map<Value, int> yi, x2i, x3i;
     auto intern = [](std::unordered_map<Value, int>* m, Value v) {
@@ -157,7 +171,7 @@ bool Pyramid3Mm(const Database& db, double omega, MmKernel kernel,
         for (Value x3 : i3->second) intern(&x3i, x3);
       }
     }
-    if (x2i.empty() || x3i.empty()) continue;
+    if (x2i.empty() || x3i.empty()) return false;
     Matrix m1(static_cast<int>(x2i.size()), static_cast<int>(yi.size()));
     Matrix m2(static_cast<int>(yi.size()), static_cast<int>(x3i.size()));
     for (Value y : ys) {
@@ -181,8 +195,8 @@ bool Pyramid3Mm(const Database& db, double omega, MmKernel kernel,
         return true;
       }
     }
-  }
-  return false;
+    return false;
+  });
 }
 
 }  // namespace fmmsw

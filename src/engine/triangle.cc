@@ -20,6 +20,7 @@ constexpr int kX = 0, kY = 1, kZ = 2;
 class ValueIndex {
  public:
   explicit ValueIndex(const Relation& unary) {
+    map_.reserve(unary.size() * 2);
     for (size_t r = 0; r < unary.size(); ++r) {
       map_.emplace(unary.Row(r)[0], static_cast<int>(map_.size()));
     }

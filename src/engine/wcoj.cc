@@ -1,7 +1,6 @@
 #include "engine/wcoj.h"
 
 #include <algorithm>
-#include <map>
 
 #include "relation/ops.h"
 #include "util/check.h"
@@ -10,17 +9,27 @@ namespace fmmsw {
 
 namespace {
 
-/// Trie over a relation's columns, nested in the global variable order, so
-/// that when GenericJoin reaches variable v every earlier variable of the
-/// relation is already bound and the children keys are exactly the
-/// candidate values.
-struct Trie {
-  std::map<Value, Trie> kids;
-};
-
+/// Sorted-range trie: each relation's rows are materialized once in a flat
+/// buffer, columns permuted into the global instantiation order and rows
+/// sorted lexicographically. A trie node is then a contiguous range of
+/// that buffer; the children at depth d are the runs of equal values in
+/// column d, and probing a value is a galloping search within the range.
+/// No per-node allocation, no pointer chasing (compare the previous
+/// std::map<Value, Trie> representation), and candidate enumeration walks
+/// contiguous memory.
 struct IndexedRelation {
   std::vector<int> vars;  // schema vars in instantiation order
-  Trie root;
+  int arity = 0;
+  std::vector<Value> data;  // sorted rows, columns in `vars` order
+
+  Value At(uint32_t pos, size_t level) const {
+    return data[static_cast<size_t>(pos) * arity + level];
+  }
+};
+
+struct Range {
+  uint32_t begin, end;
+  uint32_t size() const { return end - begin; }
 };
 
 class GenericJoin {
@@ -35,19 +44,36 @@ class GenericJoin {
     for (const Relation& r : db.relations) {
       IndexedRelation ir;
       ir.vars = r.vars();
+      ir.arity = r.arity();
       std::sort(ir.vars.begin(), ir.vars.end(),
                 [&](int a, int b) { return pos[a] < pos[b]; });
       std::vector<int> cols;
       for (int v : ir.vars) cols.push_back(r.ColumnOf(v));
-      for (size_t row = 0; row < r.size(); ++row) {
-        Trie* node = &ir.root;
-        for (int c : cols) node = &node->kids[r.Row(row)[c]];
+      std::vector<uint32_t> rows(r.size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        rows[i] = static_cast<uint32_t>(i);
+      }
+      std::sort(rows.begin(), rows.end(), [&](uint32_t a, uint32_t b) {
+        const Value* ra = r.Row(a);
+        const Value* rb = r.Row(b);
+        for (int c : cols) {
+          if (ra[c] != rb[c]) return ra[c] < rb[c];
+        }
+        return false;
+      });
+      ir.data.resize(r.size() * cols.size());
+      size_t w = 0;
+      for (uint32_t row : rows) {
+        const Value* src = r.Row(row);
+        for (int c : cols) ir.data[w++] = src[c];
       }
       rels_.push_back(std::move(ir));
     }
-    nodes_.assign(rels_.size(), {});
+    ranges_.resize(rels_.size());
     for (size_t i = 0; i < rels_.size(); ++i) {
-      nodes_[i].push_back(&rels_[i].root);
+      ranges_[i].push_back(
+          {0, static_cast<uint32_t>(rels_[i].data.size() /
+                                    std::max(rels_[i].arity, 1))});
     }
     assignment_.assign(kMaxVars, 0);
   }
@@ -60,55 +86,140 @@ class GenericJoin {
   }
 
  private:
+  /// First position in [lo, hi) whose `level` column is >= v.
+  static uint32_t LowerBound(const IndexedRelation& ir, size_t level,
+                             uint32_t lo, uint32_t hi, Value v) {
+    while (lo < hi) {
+      const uint32_t mid = lo + (hi - lo) / 2;
+      if (ir.At(mid, level) < v) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// First position in [lo, hi) whose `level` column is > v.
+  static uint32_t UpperBound(const IndexedRelation& ir, size_t level,
+                             uint32_t lo, uint32_t hi, Value v) {
+    while (lo < hi) {
+      const uint32_t mid = lo + (hi - lo) / 2;
+      if (ir.At(mid, level) <= v) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Subrange of [from, end) holding value `v` in column `level`. The
+  /// candidate values arrive in increasing order, so `from` is a cursor
+  /// that only moves forward: gallop to bracket v, then binary search —
+  /// amortized linear in the range instead of log per probe.
+  static Range Seek(const IndexedRelation& ir, size_t level, uint32_t from,
+                    uint32_t end, Value v) {
+    uint32_t lo = from, step = 1;
+    while (lo < end && ir.At(lo, level) < v) {
+      from = lo + 1;
+      lo += step;
+      step <<= 1;
+    }
+    lo = LowerBound(ir, level, from, std::min(lo, end), v);
+    if (lo >= end || ir.At(lo, level) != v) return {lo, lo};
+    uint32_t hi = lo + 1, hstep = 1;
+    uint32_t hfrom = hi;
+    while (hi < end && ir.At(hi, level) == v) {
+      hfrom = hi + 1;
+      hi += hstep;
+      hstep <<= 1;
+    }
+    hi = UpperBound(ir, level, hfrom, std::min(hi, end), v);
+    return {lo, hi};
+  }
+
   template <typename Emit>
   bool Recurse(size_t depth, const Emit& emit) {
     if (depth == order_.size()) return emit(assignment_);
     const int v = order_[depth];
     // Relations whose next trie level is v.
-    std::vector<size_t> active;
+    size_t active[64];
+    size_t n_active = 0;
     for (size_t i = 0; i < rels_.size(); ++i) {
-      const size_t level = nodes_[i].size() - 1;
+      const size_t level = ranges_[i].size() - 1;
       if (level < rels_[i].vars.size() && rels_[i].vars[level] == v) {
-        active.push_back(i);
+        FMMSW_CHECK(n_active < 64);
+        active[n_active++] = i;
       }
     }
-    if (active.empty()) {
+    if (n_active == 0) {
       // Unconstrained variable (possible after projections); nothing to
       // iterate — this only happens for vars absent from every relation.
       return Recurse(depth + 1, emit);
     }
-    // Iterate the smallest candidate set, probing the others.
+    // Iterate the relation with the smallest range, probing the others.
     size_t pivot = active[0];
-    for (size_t i : active) {
-      if (nodes_[i].back()->kids.size() < nodes_[pivot].back()->kids.size()) {
-        pivot = i;
+    for (size_t a = 1; a < n_active; ++a) {
+      if (ranges_[active[a]].back().size() < ranges_[pivot].back().size()) {
+        pivot = active[a];
       }
     }
-    for (const auto& [value, sub] : nodes_[pivot].back()->kids) {
+    const IndexedRelation& pr = rels_[pivot];
+    const size_t plevel = ranges_[pivot].size() - 1;
+    const Range prange = ranges_[pivot].back();
+    // Forward-only probe cursors, one per active relation.
+    uint32_t cursor[64];
+    for (size_t a = 0; a < n_active; ++a) {
+      cursor[a] = ranges_[active[a]].back().begin;
+    }
+    uint32_t pos = prange.begin;
+    while (pos < prange.end) {
+      const Value value = pr.At(pos, plevel);
+      uint32_t run_end = pos + 1;
+      while (run_end < prange.end && pr.At(run_end, plevel) == value) {
+        ++run_end;
+      }
       bool ok = true;
-      for (size_t i : active) {
+      size_t pushed = 0;
+      for (size_t a = 0; a < n_active; ++a) {
+        const size_t i = active[a];
         if (i == pivot) continue;
-        if (nodes_[i].back()->kids.find(value) ==
-            nodes_[i].back()->kids.end()) {
+        const Range sub =
+            Seek(rels_[i], ranges_[i].size() - 1, cursor[a],
+                 ranges_[i].back().end, value);
+        cursor[a] = sub.end;
+        if (sub.size() == 0) {
           ok = false;
           break;
         }
+        ranges_[i].push_back(sub);
+        ++pushed;
       }
-      if (!ok) continue;
-      for (size_t i : active) {
-        nodes_[i].push_back(&nodes_[i].back()->kids.find(value)->second);
+      if (!ok) {
+        // Unwind the subranges pushed before the miss.
+        for (size_t a = 0; a < n_active && pushed > 0; ++a) {
+          const size_t i = active[a];
+          if (i == pivot) continue;
+          ranges_[i].pop_back();
+          --pushed;
+        }
+        pos = run_end;
+        continue;
       }
+      ranges_[pivot].push_back({pos, run_end});
       assignment_[v] = value;
       const bool keep_going = Recurse(depth + 1, emit);
-      for (size_t i : active) nodes_[i].pop_back();
+      for (size_t a = 0; a < n_active; ++a) ranges_[active[a]].pop_back();
       if (!keep_going) return false;
+      pos = run_end;
     }
     return true;
   }
 
   std::vector<int> order_;
   std::vector<IndexedRelation> rels_;
-  std::vector<std::vector<Trie*>> nodes_;
+  std::vector<std::vector<Range>> ranges_;
   std::vector<Value> assignment_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/parallel.h"
+
 namespace fmmsw {
 
 bool Matrix::AnyNonZero() const {
@@ -28,26 +30,31 @@ Matrix MultiplyNaive(const Matrix& a, const Matrix& b) {
 
 Matrix MultiplyBlocked(const Matrix& a, const Matrix& b) {
   FMMSW_CHECK(a.cols() == b.rows());
-  constexpr int kB = 48;
+  constexpr int kB = 64;
   Matrix out(a.rows(), b.cols());
-  for (int ii = 0; ii < a.rows(); ii += kB) {
-    const int imax = std::min(ii + kB, a.rows());
-    for (int kk = 0; kk < a.cols(); kk += kB) {
-      const int kmax = std::min(kk + kB, a.cols());
-      for (int jj = 0; jj < b.cols(); jj += kB) {
-        const int jmax = std::min(jj + kB, b.cols());
-        for (int i = ii; i < imax; ++i) {
-          for (int k = kk; k < kmax; ++k) {
-            const int64_t aik = a.At(i, k);
-            if (aik == 0) continue;
-            for (int j = jj; j < jmax; ++j) {
-              out.At(i, j) += aik * b.At(k, j);
+  const int n = b.cols();
+  // Each task owns a block of output rows, so the writes never overlap.
+  ParallelFor(
+      (a.rows() + kB - 1) / kB,
+      [&](int64_t block_begin, int64_t block_end) {
+        for (int64_t blk = block_begin; blk < block_end; ++blk) {
+          const int i0 = static_cast<int>(blk) * kB;
+          const int imax = std::min(i0 + kB, a.rows());
+          for (int kk = 0; kk < a.cols(); kk += kB) {
+            const int kmax = std::min(kk + kB, a.cols());
+            for (int i = i0; i < imax; ++i) {
+              const int64_t* arow = a.RowPtr(i);
+              int64_t* orow = out.RowPtr(i);
+              for (int k = kk; k < kmax; ++k) {
+                const int64_t aik = arow[k];
+                if (aik == 0) continue;
+                const int64_t* brow = b.RowPtr(k);
+                for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+              }
             }
           }
         }
-      }
-    }
-  }
+      });
   return out;
 }
 
@@ -61,15 +68,27 @@ bool BitMatrix::AnyNonZero() const {
 BitMatrix BitMatrix::Multiply(const BitMatrix& a, const BitMatrix& b) {
   FMMSW_CHECK(a.cols() == b.rows());
   BitMatrix out(a.rows(), b.cols());
-  for (int i = 0; i < a.rows(); ++i) {
-    uint64_t* out_row = &out.data_[static_cast<size_t>(i) * out.words_];
-    const uint64_t* a_row = &a.data_[static_cast<size_t>(i) * a.words_];
-    for (int k = 0; k < a.cols(); ++k) {
-      if (!((a_row[k >> 6] >> (k & 63)) & 1ULL)) continue;
-      const uint64_t* b_row = &b.data_[static_cast<size_t>(k) * b.words_];
-      for (int w = 0; w < b.words_; ++w) out_row[w] |= b_row[w];
-    }
-  }
+  const int a_words = a.words_;
+  const int b_words = b.words_;
+  ParallelFor(
+      a.rows(),
+      [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          uint64_t* out_row = &out.data_[static_cast<size_t>(i) * b_words];
+          const uint64_t* a_row = &a.data_[static_cast<size_t>(i) * a_words];
+          for (int wa = 0; wa < a_words; ++wa) {
+            uint64_t bits = a_row[wa];
+            while (bits != 0) {
+              const int k = (wa << 6) + __builtin_ctzll(bits);
+              bits &= bits - 1;
+              const uint64_t* b_row =
+                  &b.data_[static_cast<size_t>(k) * b_words];
+              for (int w = 0; w < b_words; ++w) out_row[w] |= b_row[w];
+            }
+          }
+        }
+      },
+      /*grain=*/16);
   return out;
 }
 

@@ -44,6 +44,12 @@ class Matrix {
 
   const std::vector<int64_t>& data() const { return data_; }
 
+  /// Raw row access for the multiplication kernels.
+  int64_t* RowPtr(int r) { return &data_[static_cast<size_t>(r) * cols_]; }
+  const int64_t* RowPtr(int r) const {
+    return &data_[static_cast<size_t>(r) * cols_];
+  }
+
   bool operator==(const Matrix& o) const {
     return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
   }
@@ -56,10 +62,12 @@ class Matrix {
   std::vector<int64_t> data_;
 };
 
-/// Reference O(n^3) product.
+/// Reference O(n^3) product (single-threaded, used as the differential
+/// baseline by tests).
 Matrix MultiplyNaive(const Matrix& a, const Matrix& b);
 
-/// Cache-blocked cubic product (the combinatorial baseline kernel).
+/// Cache-blocked cubic product (the combinatorial baseline kernel). Row
+/// blocks run on the FMMSW_THREADS-sized global pool.
 Matrix MultiplyBlocked(const Matrix& a, const Matrix& b);
 
 /// Strassen's algorithm (cutoff to blocked below `cutoff`). Exact over
@@ -96,6 +104,8 @@ class BitMatrix {
   bool AnyNonZero() const;
 
   /// Word-parallel Boolean product: out[i][j] = OR_k (a[i][k] AND b[k][j]).
+  /// Skips zero words of `a`, visits set bits via ctz, and spreads row
+  /// blocks over the global thread pool.
   static BitMatrix Multiply(const BitMatrix& a, const BitMatrix& b);
 
  private:

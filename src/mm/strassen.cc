@@ -1,91 +1,156 @@
 #include <algorithm>
+#include <vector>
 
 #include "mm/matrix.h"
+#include "util/parallel.h"
 
 namespace fmmsw {
 
 namespace {
 
-/// Square sub-matrix views are materialized as padded power-of-two square
-/// matrices for the recursion; sizes here are small enough (heavy parts of
-/// size N^{2/(w+1)}) that the copies are dwarfed by the multiply.
-struct Sq {
-  int n = 0;
-  std::vector<int64_t> d;
-  int64_t& At(int r, int c) { return d[static_cast<size_t>(r) * n + c]; }
-  int64_t At(int r, int c) const { return d[static_cast<size_t>(r) * n + c]; }
+/// Strided view into a square sub-matrix. Quadrants are views — the
+/// recursion never copies operands, and all temporaries live in one
+/// scratch buffer allocated up front (the previous implementation
+/// allocated ~30 vectors per recursion step, which dominated its runtime).
+struct View {
+  const int64_t* p;
+  size_t stride;
+  const int64_t* Row(int r) const { return p + static_cast<size_t>(r) * stride; }
 };
 
-Sq MakeSq(int n) {
-  Sq s;
-  s.n = n;
-  s.d.assign(static_cast<size_t>(n) * n, 0);
-  return s;
+struct MutView {
+  int64_t* p;
+  size_t stride;
+  int64_t* Row(int r) const { return p + static_cast<size_t>(r) * stride; }
+};
+
+View Quad(View a, int n, int qr, int qc) {
+  const int h = n / 2;
+  return {a.p + static_cast<size_t>(qr) * h * a.stride + qc * h, a.stride};
 }
 
-Sq Add(const Sq& a, const Sq& b) {
-  Sq out = MakeSq(a.n);
-  for (size_t i = 0; i < out.d.size(); ++i) out.d[i] = a.d[i] + b.d[i];
-  return out;
+MutView Quad(MutView a, int n, int qr, int qc) {
+  const int h = n / 2;
+  return {a.p + static_cast<size_t>(qr) * h * a.stride + qc * h, a.stride};
 }
 
-Sq Sub(const Sq& a, const Sq& b) {
-  Sq out = MakeSq(a.n);
-  for (size_t i = 0; i < out.d.size(); ++i) out.d[i] = a.d[i] - b.d[i];
-  return out;
-}
-
-Sq Quadrant(const Sq& a, int qr, int qc) {
-  const int h = a.n / 2;
-  Sq out = MakeSq(h);
-  for (int i = 0; i < h; ++i) {
-    for (int j = 0; j < h; ++j) {
-      out.At(i, j) = a.At(qr * h + i, qc * h + j);
-    }
-  }
-  return out;
-}
-
-void PlaceQuadrant(Sq* a, const Sq& q, int qr, int qc) {
-  const int h = a->n / 2;
-  for (int i = 0; i < h; ++i) {
-    for (int j = 0; j < h; ++j) {
-      a->At(qr * h + i, qc * h + j) = q.At(i, j);
-    }
+/// dst (contiguous n x n) = a + b.
+void AddInto(View a, View b, int64_t* dst, int n) {
+  for (int i = 0; i < n; ++i) {
+    const int64_t* ra = a.Row(i);
+    const int64_t* rb = b.Row(i);
+    int64_t* rd = dst + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) rd[j] = ra[j] + rb[j];
   }
 }
 
-Sq MulBase(const Sq& a, const Sq& b) {
-  Sq out = MakeSq(a.n);
-  for (int i = 0; i < a.n; ++i) {
-    for (int k = 0; k < a.n; ++k) {
-      const int64_t aik = a.At(i, k);
+/// dst (contiguous n x n) = a - b.
+void SubInto(View a, View b, int64_t* dst, int n) {
+  for (int i = 0; i < n; ++i) {
+    const int64_t* ra = a.Row(i);
+    const int64_t* rb = b.Row(i);
+    int64_t* rd = dst + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) rd[j] = ra[j] - rb[j];
+  }
+}
+
+/// c += m (or c -= m with sign = -1), m contiguous.
+void Accumulate(MutView c, const int64_t* m, int n, int64_t sign) {
+  for (int i = 0; i < n; ++i) {
+    int64_t* rc = c.Row(i);
+    const int64_t* rm = m + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) rc[j] += sign * rm[j];
+  }
+}
+
+/// c = a * b (cubic base case; c is zeroed first).
+void MulBase(View a, View b, MutView c, int n) {
+  for (int i = 0; i < n; ++i) {
+    int64_t* rc = c.Row(i);
+    std::fill(rc, rc + n, 0);
+    const int64_t* ra = a.Row(i);
+    for (int k = 0; k < n; ++k) {
+      const int64_t aik = ra[k];
       if (aik == 0) continue;
-      for (int j = 0; j < a.n; ++j) out.At(i, j) += aik * b.At(k, j);
+      const int64_t* rb = b.Row(k);
+      for (int j = 0; j < n; ++j) rc[j] += aik * rb[j];
     }
   }
-  return out;
 }
 
-Sq StrassenRec(const Sq& a, const Sq& b, int cutoff) {
-  if (a.n <= cutoff) return MulBase(a, b);
-  const Sq a11 = Quadrant(a, 0, 0), a12 = Quadrant(a, 0, 1);
-  const Sq a21 = Quadrant(a, 1, 0), a22 = Quadrant(a, 1, 1);
-  const Sq b11 = Quadrant(b, 0, 0), b12 = Quadrant(b, 0, 1);
-  const Sq b21 = Quadrant(b, 1, 0), b22 = Quadrant(b, 1, 1);
-  const Sq m1 = StrassenRec(Add(a11, a22), Add(b11, b22), cutoff);
-  const Sq m2 = StrassenRec(Add(a21, a22), b11, cutoff);
-  const Sq m3 = StrassenRec(a11, Sub(b12, b22), cutoff);
-  const Sq m4 = StrassenRec(a22, Sub(b21, b11), cutoff);
-  const Sq m5 = StrassenRec(Add(a11, a12), b22, cutoff);
-  const Sq m6 = StrassenRec(Sub(a21, a11), Add(b11, b12), cutoff);
-  const Sq m7 = StrassenRec(Sub(a12, a22), Add(b21, b22), cutoff);
-  Sq out = MakeSq(a.n);
-  PlaceQuadrant(&out, Add(Sub(Add(m1, m4), m5), m7), 0, 0);
-  PlaceQuadrant(&out, Add(m3, m5), 0, 1);
-  PlaceQuadrant(&out, Add(m2, m4), 1, 0);
-  PlaceQuadrant(&out, Add(Add(Sub(m1, m2), m3), m6), 1, 1);
-  return out;
+/// c = a * b, n a power of two. `scratch` must hold StrassenScratch(n)
+/// int64s; recursive calls run sequentially and reuse the tail.
+void StrassenRec(View a, View b, MutView c, int n, int cutoff,
+                 int64_t* scratch) {
+  if (n <= cutoff) {
+    MulBase(a, b, c, n);
+    return;
+  }
+  const int h = n / 2;
+  const size_t q = static_cast<size_t>(h) * h;
+  int64_t* t1 = scratch;
+  int64_t* t2 = scratch + q;
+  int64_t* m = scratch + 2 * q;
+  int64_t* tail = scratch + 3 * q;
+  const View a11 = Quad(a, n, 0, 0), a12 = Quad(a, n, 0, 1);
+  const View a21 = Quad(a, n, 1, 0), a22 = Quad(a, n, 1, 1);
+  const View b11 = Quad(b, n, 0, 0), b12 = Quad(b, n, 0, 1);
+  const View b21 = Quad(b, n, 1, 0), b22 = Quad(b, n, 1, 1);
+  const MutView c11 = Quad(c, n, 0, 0), c12 = Quad(c, n, 0, 1);
+  const MutView c21 = Quad(c, n, 1, 0), c22 = Quad(c, n, 1, 1);
+  for (int i = 0; i < n; ++i) std::fill(c.Row(i), c.Row(i) + n, 0);
+  const View vt1{t1, static_cast<size_t>(h)};
+  const View vt2{t2, static_cast<size_t>(h)};
+  const MutView vm{m, static_cast<size_t>(h)};
+
+  // M1 = (A11 + A22)(B11 + B22): C11 += M1, C22 += M1.
+  AddInto(a11, a22, t1, h);
+  AddInto(b11, b22, t2, h);
+  StrassenRec(vt1, vt2, vm, h, cutoff, tail);
+  Accumulate(c11, m, h, 1);
+  Accumulate(c22, m, h, 1);
+  // M2 = (A21 + A22) B11: C21 += M2, C22 -= M2.
+  AddInto(a21, a22, t1, h);
+  StrassenRec(vt1, b11, vm, h, cutoff, tail);
+  Accumulate(c21, m, h, 1);
+  Accumulate(c22, m, h, -1);
+  // M3 = A11 (B12 - B22): C12 += M3, C22 += M3.
+  SubInto(b12, b22, t2, h);
+  StrassenRec(a11, vt2, vm, h, cutoff, tail);
+  Accumulate(c12, m, h, 1);
+  Accumulate(c22, m, h, 1);
+  // M4 = A22 (B21 - B11): C11 += M4, C21 += M4.
+  SubInto(b21, b11, t2, h);
+  StrassenRec(a22, vt2, vm, h, cutoff, tail);
+  Accumulate(c11, m, h, 1);
+  Accumulate(c21, m, h, 1);
+  // M5 = (A11 + A12) B22: C11 -= M5, C12 += M5.
+  AddInto(a11, a12, t1, h);
+  StrassenRec(vt1, b22, vm, h, cutoff, tail);
+  Accumulate(c11, m, h, -1);
+  Accumulate(c12, m, h, 1);
+  // M6 = (A21 - A11)(B11 + B12): C22 += M6.
+  SubInto(a21, a11, t1, h);
+  AddInto(b11, b12, t2, h);
+  StrassenRec(vt1, vt2, vm, h, cutoff, tail);
+  Accumulate(c22, m, h, 1);
+  // M7 = (A12 - A22)(B21 + B22): C11 += M7.
+  SubInto(a12, a22, t1, h);
+  AddInto(b21, b22, t2, h);
+  StrassenRec(vt1, vt2, vm, h, cutoff, tail);
+  Accumulate(c11, m, h, 1);
+}
+
+/// Scratch requirement: 3 quadrant temporaries per level, reused across
+/// the 7 sequential recursive calls -> 3 * sum_i (n / 2^i)^2 / 4 < n^2.
+size_t StrassenScratch(int n) {
+  size_t total = 0;
+  while (n > 1) {
+    const size_t h = static_cast<size_t>(n) / 2;
+    total += 3 * h * h;
+    n /= 2;
+  }
+  return total;
 }
 
 int NextPow2(int n) {
@@ -94,43 +159,38 @@ int NextPow2(int n) {
   return p;
 }
 
-/// Strassen on an arbitrary square size via zero padding.
-Sq StrassenSquare(const Sq& a, const Sq& b, int cutoff) {
-  const int p = NextPow2(a.n);
-  if (p == a.n) return StrassenRec(a, b, cutoff);
-  Sq pa = MakeSq(p), pb = MakeSq(p);
-  for (int i = 0; i < a.n; ++i) {
-    for (int j = 0; j < a.n; ++j) {
-      pa.At(i, j) = a.At(i, j);
-      pb.At(i, j) = b.At(i, j);
-    }
-  }
-  Sq pc = StrassenRec(pa, pb, cutoff);
-  Sq out = MakeSq(a.n);
-  for (int i = 0; i < a.n; ++i) {
-    for (int j = 0; j < a.n; ++j) out.At(i, j) = pc.At(i, j);
-  }
-  return out;
-}
-
 }  // namespace
 
 Matrix MultiplyStrassen(const Matrix& a, const Matrix& b, int cutoff) {
   FMMSW_CHECK(a.cols() == b.rows());
-  // Embed into a square of the max dimension; fine for the near-square
-  // shapes the engine produces (use MultiplyRectangular otherwise).
+  if (cutoff < 2) cutoff = 2;
+  // Embed into a zero-padded power-of-two square of the max dimension;
+  // fine for the near-square shapes the engine produces (use
+  // MultiplyRectangular otherwise).
   const int n = std::max({a.rows(), a.cols(), b.cols()});
-  Sq sa = MakeSq(n), sb = MakeSq(n);
+  if (n == 0) return Matrix(a.rows(), b.cols());
+  const int p = NextPow2(n);
+  std::vector<int64_t> pa(static_cast<size_t>(p) * p, 0);
+  std::vector<int64_t> pb(static_cast<size_t>(p) * p, 0);
+  std::vector<int64_t> pc(static_cast<size_t>(p) * p, 0);
   for (int i = 0; i < a.rows(); ++i) {
-    for (int j = 0; j < a.cols(); ++j) sa.At(i, j) = a.At(i, j);
+    std::copy(a.RowPtr(i), a.RowPtr(i) + a.cols(),
+              pa.begin() + static_cast<size_t>(i) * p);
   }
   for (int i = 0; i < b.rows(); ++i) {
-    for (int j = 0; j < b.cols(); ++j) sb.At(i, j) = b.At(i, j);
+    std::copy(b.RowPtr(i), b.RowPtr(i) + b.cols(),
+              pb.begin() + static_cast<size_t>(i) * p);
   }
-  Sq sc = StrassenSquare(sa, sb, cutoff);
+  std::vector<int64_t> scratch(StrassenScratch(p));
+  StrassenRec({pa.data(), static_cast<size_t>(p)},
+              {pb.data(), static_cast<size_t>(p)},
+              {pc.data(), static_cast<size_t>(p)}, p, cutoff,
+              scratch.data());
   Matrix out(a.rows(), b.cols());
   for (int i = 0; i < a.rows(); ++i) {
-    for (int j = 0; j < b.cols(); ++j) out.At(i, j) = sc.At(i, j);
+    std::copy(pc.begin() + static_cast<size_t>(i) * p,
+              pc.begin() + static_cast<size_t>(i) * p + b.cols(),
+              out.RowPtr(i));
   }
   return out;
 }
@@ -140,33 +200,42 @@ Matrix MultiplyRectangular(const Matrix& a, const Matrix& b, int cutoff) {
   const int d = std::min({a.rows(), a.cols(), b.cols()});
   if (d == 0) return Matrix(a.rows(), b.cols());
   // Partition into ceil(dim/d) blocks per axis and multiply d x d blocks
-  // with Strassen — the Eq. (6) scheme.
+  // with Strassen — the Eq. (6) scheme. Each output block is owned by one
+  // task, so the (bi, bj) grid parallelizes without write conflicts.
   const int ra = (a.rows() + d - 1) / d;
   const int ca = (a.cols() + d - 1) / d;
   const int cb = (b.cols() + d - 1) / d;
   Matrix out(a.rows(), b.cols());
-  for (int bi = 0; bi < ra; ++bi) {
-    const int i0 = bi * d, i1 = std::min(i0 + d, a.rows());
-    for (int bj = 0; bj < cb; ++bj) {
-      const int j0 = bj * d, j1 = std::min(j0 + d, b.cols());
-      for (int bk = 0; bk < ca; ++bk) {
-        const int k0 = bk * d, k1 = std::min(k0 + d, a.cols());
-        Matrix ablk(i1 - i0, k1 - k0), bblk(k1 - k0, j1 - j0);
-        for (int i = i0; i < i1; ++i) {
-          for (int k = k0; k < k1; ++k) ablk.At(i - i0, k - k0) = a.At(i, k);
-        }
-        for (int k = k0; k < k1; ++k) {
-          for (int j = j0; j < j1; ++j) bblk.At(k - k0, j - j0) = b.At(k, j);
-        }
-        Matrix cblk = MultiplyStrassen(ablk, bblk, cutoff);
-        for (int i = i0; i < i1; ++i) {
-          for (int j = j0; j < j1; ++j) {
-            out.At(i, j) += cblk.At(i - i0, j - j0);
+  ParallelFor(
+      static_cast<int64_t>(ra) * cb,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t task = begin; task < end; ++task) {
+          const int bi = static_cast<int>(task / cb);
+          const int bj = static_cast<int>(task % cb);
+          const int i0 = bi * d, i1 = std::min(i0 + d, a.rows());
+          const int j0 = bj * d, j1 = std::min(j0 + d, b.cols());
+          for (int bk = 0; bk < ca; ++bk) {
+            const int k0 = bk * d, k1 = std::min(k0 + d, a.cols());
+            Matrix ablk(i1 - i0, k1 - k0), bblk(k1 - k0, j1 - j0);
+            for (int i = i0; i < i1; ++i) {
+              for (int k = k0; k < k1; ++k) {
+                ablk.At(i - i0, k - k0) = a.At(i, k);
+              }
+            }
+            for (int k = k0; k < k1; ++k) {
+              for (int j = j0; j < j1; ++j) {
+                bblk.At(k - k0, j - j0) = b.At(k, j);
+              }
+            }
+            Matrix cblk = MultiplyStrassen(ablk, bblk, cutoff);
+            for (int i = i0; i < i1; ++i) {
+              for (int j = j0; j < j1; ++j) {
+                out.At(i, j) += cblk.At(i - i0, j - j0);
+              }
+            }
           }
         }
-      }
-    }
-  }
+      });
   return out;
 }
 

@@ -1,8 +1,6 @@
 #include "relation/degree.h"
 
-#include <map>
-#include <set>
-#include <unordered_map>
+#include <algorithm>
 
 #include "relation/ops.h"
 
@@ -10,43 +8,98 @@ namespace fmmsw {
 
 namespace {
 
-/// Groups row indices by their X-value (restricted to r's schema).
-std::map<std::vector<Value>, std::vector<size_t>> GroupByX(const Relation& r,
-                                                           VarSet x) {
-  const VarSet xs = x & r.schema();
-  std::vector<int> cols;
-  for (int v : xs.Members()) cols.push_back(r.ColumnOf(v));
-  std::map<std::vector<Value>, std::vector<size_t>> groups;
-  std::vector<Value> key(cols.size());
-  for (size_t row = 0; row < r.size(); ++row) {
-    for (size_t i = 0; i < cols.size(); ++i) key[i] = r.Row(row)[cols[i]];
-    groups[key].push_back(row);
-  }
-  return groups;
-}
+/// Row indices of `r` sorted by the X-key columns, then the Y columns —
+/// one sort after which X-groups are contiguous runs and distinct Y values
+/// within a group are adjacent. Replaces the per-group std::map/std::set
+/// bookkeeping of the naive implementation.
+struct GroupedOrder {
+  std::vector<int> xcols, ycols;
+  std::vector<uint32_t> order;
 
-/// Number of distinct Y\X projections among the given rows.
-int64_t DistinctY(const Relation& r, const std::vector<size_t>& rows,
-                  VarSet y, VarSet x) {
-  const VarSet ys = (y - x) & r.schema();
-  std::vector<int> cols;
-  for (int v : ys.Members()) cols.push_back(r.ColumnOf(v));
-  std::set<std::vector<Value>> seen;
-  std::vector<Value> key(cols.size());
-  for (size_t row : rows) {
-    for (size_t i = 0; i < cols.size(); ++i) key[i] = r.Row(row)[cols[i]];
-    seen.insert(key);
+  GroupedOrder(const Relation& r, VarSet y, VarSet x) {
+    for (int v : (x & r.schema()).Members()) xcols.push_back(r.ColumnOf(v));
+    for (int v : ((y - x) & r.schema()).Members()) {
+      ycols.push_back(r.ColumnOf(v));
+    }
+    order.resize(r.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<uint32_t>(i);
+    }
+    if (xcols.size() + ycols.size() <= 2) {
+      // Binary-relation fast path: pack the (X, Y) key into one uint64
+      // (order-preserving bias) and sort flat PODs instead of running an
+      // indirect comparator over the row buffer.
+      std::vector<int> cols = xcols;
+      cols.insert(cols.end(), ycols.begin(), ycols.end());
+      std::vector<std::pair<uint64_t, uint32_t>> keyed(r.size());
+      for (size_t i = 0; i < keyed.size(); ++i) {
+        const Value* row = r.Row(i);
+        uint64_t key = 0;
+        for (int c : cols) key = (key << 32) | BiasValue(row[c]);
+        keyed[i] = {key, static_cast<uint32_t>(i)};
+      }
+      std::sort(keyed.begin(), keyed.end());
+      for (size_t i = 0; i < keyed.size(); ++i) order[i] = keyed[i].second;
+      return;
+    }
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      const Value* ra = r.Row(a);
+      const Value* rb = r.Row(b);
+      for (int c : xcols) {
+        if (ra[c] != rb[c]) return ra[c] < rb[c];
+      }
+      for (int c : ycols) {
+        if (ra[c] != rb[c]) return ra[c] < rb[c];
+      }
+      return false;
+    });
   }
-  return static_cast<int64_t>(seen.size());
-}
+
+  bool SameX(const Relation& r, uint32_t a, uint32_t b) const {
+    const Value* ra = r.Row(a);
+    const Value* rb = r.Row(b);
+    for (int c : xcols) {
+      if (ra[c] != rb[c]) return false;
+    }
+    return true;
+  }
+
+  bool SameY(const Relation& r, uint32_t a, uint32_t b) const {
+    const Value* ra = r.Row(a);
+    const Value* rb = r.Row(b);
+    for (int c : ycols) {
+      if (ra[c] != rb[c]) return false;
+    }
+    return true;
+  }
+
+  /// Calls fn(begin, end, distinct_y) for every X-group [begin, end) of
+  /// the sorted order.
+  template <typename Fn>
+  void ForEachGroup(const Relation& r, const Fn& fn) const {
+    size_t begin = 0;
+    while (begin < order.size()) {
+      size_t end = begin + 1;
+      int64_t distinct = 1;
+      while (end < order.size() && SameX(r, order[begin], order[end])) {
+        if (!SameY(r, order[end - 1], order[end])) ++distinct;
+        ++end;
+      }
+      fn(begin, end, distinct);
+      begin = end;
+    }
+  }
+};
 
 }  // namespace
 
 int64_t Degree(const Relation& r, VarSet y, VarSet x) {
+  if (r.empty()) return 0;
+  const GroupedOrder g(r, y, x);
   int64_t best = 0;
-  for (const auto& [key, rows] : GroupByX(r, x)) {
-    best = std::max(best, DistinctY(r, rows, y, x));
-  }
+  g.ForEachGroup(r, [&](size_t, size_t, int64_t distinct) {
+    best = std::max(best, distinct);
+  });
   return best;
 }
 
@@ -55,37 +108,35 @@ DegreePartition PartitionByDegree(const Relation& r, VarSet y, VarSet x,
   DegreePartition out;
   out.heavy = Relation(x & r.schema());
   out.light = Relation(r.schema());
-  std::vector<int> xcols;
-  for (int v : (x & r.schema()).Members()) xcols.push_back(r.ColumnOf(v));
-  std::vector<Value> tuple;
-  for (const auto& [key, rows] : GroupByX(r, x)) {
-    if (DistinctY(r, rows, y, x) > threshold) {
-      out.heavy.Add(key);
+  const GroupedOrder g(r, y, x);
+  Value key[kMaxVars];
+  g.ForEachGroup(r, [&](size_t begin, size_t end, int64_t distinct) {
+    if (distinct > threshold) {
+      const Value* row = r.Row(g.order[begin]);
+      for (size_t i = 0; i < g.xcols.size(); ++i) key[i] = row[g.xcols[i]];
+      out.heavy.AddRow(key);
     } else {
-      for (size_t row : rows) {
-        tuple.assign(r.Row(row), r.Row(row) + r.arity());
-        out.light.Add(tuple);
+      for (size_t i = begin; i < end; ++i) {
+        out.light.AddRow(r.Row(g.order[i]));
       }
     }
-  }
+  });
   return out;
 }
 
 std::vector<Relation> DegreeBuckets(const Relation& r, VarSet y, VarSet x) {
   std::vector<Relation> buckets;
-  std::vector<Value> tuple;
-  for (const auto& [key, rows] : GroupByX(r, x)) {
-    const int64_t deg = DistinctY(r, rows, y, x);
+  const GroupedOrder g(r, y, x);
+  g.ForEachGroup(r, [&](size_t begin, size_t end, int64_t distinct) {
     int level = 0;
-    while ((1LL << (level + 1)) <= deg) ++level;
+    while ((1LL << (level + 1)) <= distinct) ++level;
     while (static_cast<int>(buckets.size()) <= level) {
       buckets.emplace_back(r.schema());
     }
-    for (size_t row : rows) {
-      tuple.assign(r.Row(row), r.Row(row) + r.arity());
-      buckets[level].Add(tuple);
+    for (size_t i = begin; i < end; ++i) {
+      buckets[level].AddRow(r.Row(g.order[i]));
     }
-  }
+  });
   return buckets;
 }
 

@@ -1,0 +1,212 @@
+#ifndef FMMSW_RELATION_FLAT_INDEX_H_
+#define FMMSW_RELATION_FLAT_INDEX_H_
+
+/// \file
+/// Flat open-addressing hash structures for the relational operators.
+///
+/// The join kernels key rows on the shared-variable columns. A KeySpec
+/// resolves those columns once per operator call (O(1) per row afterwards)
+/// and packs the key values into a single uint64:
+///   - 0 columns: constant key (cross products),
+///   - 1 column:  the value itself (exact, the fast path),
+///   - 2 columns: both values side by side (exact),
+///   - 3+ columns: a mixed hash (NOT injective — callers must verify
+///     candidate rows with RowKeysEqual).
+/// FlatMultimap/FlatSet are linear-probing tables over such packed keys;
+/// chains of equal-key rows are threaded through a `next` array, so a
+/// build costs two flat allocations and no per-node heap traffic (compare
+/// std::unordered_multimap, which allocates per entry and chases pointers
+/// per probe).
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/relation.h"
+#include "util/varset.h"
+
+namespace fmmsw {
+
+/// Precomputed column permutation mapping key variables (in increasing
+/// variable order) to columns of one relation.
+class KeySpec {
+ public:
+  KeySpec() = default;
+  KeySpec(const Relation& r, VarSet key_vars) {
+    for (int v : key_vars.Members()) cols_.push_back(r.ColumnOf(v));
+  }
+
+  const std::vector<int>& cols() const { return cols_; }
+  int arity() const { return static_cast<int>(cols_.size()); }
+  /// True if KeyOf is injective, i.e. equal packed keys imply equal key
+  /// values and no verification is needed.
+  bool exact() const { return cols_.size() <= 2; }
+
+  /// Packed 64-bit key of a row (see file comment).
+  uint64_t KeyOf(const Value* row) const {
+    switch (cols_.size()) {
+      case 0:
+        return 0;
+      case 1:
+        return static_cast<uint32_t>(row[cols_[0]]);
+      case 2:
+        return (static_cast<uint64_t>(static_cast<uint32_t>(row[cols_[0]]))
+                << 32) |
+               static_cast<uint32_t>(row[cols_[1]]);
+      default: {
+        uint64_t h = 0x9e3779b97f4a7c15ULL;
+        for (int c : cols_) {
+          h ^= static_cast<uint32_t>(row[c]) + 0x9e3779b97f4a7c15ULL +
+               (h << 6) + (h >> 2);
+        }
+        return h;
+      }
+    }
+  }
+
+ private:
+  std::vector<int> cols_;
+};
+
+/// Column-wise equality of two rows' key values under their own specs.
+inline bool RowKeysEqual(const Value* a, const KeySpec& sa, const Value* b,
+                         const KeySpec& sb) {
+  for (size_t i = 0; i < sa.cols().size(); ++i) {
+    if (a[sa.cols()[i]] != b[sb.cols()[i]]) return false;
+  }
+  return true;
+}
+
+namespace flat_internal {
+
+/// Finalizer spreading packed keys across the table (splitmix64 tail).
+inline uint64_t MixKey(uint64_t k) {
+  k ^= k >> 30;
+  k *= 0xbf58476d1ce4e5b9ULL;
+  k ^= k >> 27;
+  k *= 0x94d049bb133111ebULL;
+  k ^= k >> 31;
+  return k;
+}
+
+inline uint32_t TableCapacity(size_t entries) {
+  uint32_t cap = 8;
+  // Load factor <= 0.5.
+  while (cap < entries * 2) cap <<= 1;
+  return cap;
+}
+
+}  // namespace flat_internal
+
+/// Open-addressing multimap from packed key to the rows carrying it.
+/// Rows with equal packed keys form a chain; iterate with
+///   for (int32_t r = idx.First(key); r >= 0; r = idx.Next(r)) { ... }
+class FlatMultimap {
+ public:
+  FlatMultimap(const Relation& r, const KeySpec& spec) {
+    const size_t n = r.size();
+    const uint32_t cap = flat_internal::TableCapacity(n);
+    mask_ = cap - 1;
+    slot_key_.resize(cap);
+    slot_head_.assign(cap, -1);
+    next_.resize(n);
+    if (spec.arity() == 1) {
+      // Single-column fast path: no per-row dispatch on the key shape.
+      const int col = spec.cols()[0];
+      for (size_t row = 0; row < n; ++row) {
+        Insert(static_cast<uint32_t>(r.Row(row)[col]),
+               static_cast<int32_t>(row));
+      }
+    } else {
+      for (size_t row = 0; row < n; ++row) {
+        Insert(spec.KeyOf(r.Row(row)), static_cast<int32_t>(row));
+      }
+    }
+  }
+
+  /// First row with the given packed key, or -1.
+  int32_t First(uint64_t key) const {
+    uint32_t i = static_cast<uint32_t>(flat_internal::MixKey(key)) & mask_;
+    while (true) {
+      const int32_t head = slot_head_[i];
+      if (head < 0) return -1;
+      if (slot_key_[i] == key) return head;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Next row in the same-key chain, or -1.
+  int32_t Next(int32_t row) const { return next_[row]; }
+
+ private:
+  void Insert(uint64_t key, int32_t row) {
+    uint32_t i = static_cast<uint32_t>(flat_internal::MixKey(key)) & mask_;
+    while (true) {
+      if (slot_head_[i] < 0) {
+        slot_key_[i] = key;
+        next_[row] = -1;
+        slot_head_[i] = row;
+        return;
+      }
+      if (slot_key_[i] == key) {
+        next_[row] = slot_head_[i];
+        slot_head_[i] = row;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  uint32_t mask_ = 0;
+  std::vector<uint64_t> slot_key_;
+  std::vector<int32_t> slot_head_;  // -1 = empty slot
+  std::vector<int32_t> next_;
+};
+
+/// Open-addressing set of packed keys (for on-the-fly dedup of narrow
+/// outputs; only meaningful for exact KeySpecs).
+class FlatSet {
+ public:
+  explicit FlatSet(size_t expected) {
+    const uint32_t cap = flat_internal::TableCapacity(expected);
+    mask_ = cap - 1;
+    slot_key_.resize(cap);
+    used_.assign(cap, 0);
+  }
+
+  /// Inserts the key; returns true if it was absent.
+  bool Insert(uint64_t key) {
+    if (size_ * 2 >= used_.size()) Grow();
+    uint32_t i = static_cast<uint32_t>(flat_internal::MixKey(key)) & mask_;
+    while (used_[i]) {
+      if (slot_key_[i] == key) return false;
+      i = (i + 1) & mask_;
+    }
+    used_[i] = 1;
+    slot_key_[i] = key;
+    ++size_;
+    return true;
+  }
+
+ private:
+  void Grow() {
+    std::vector<uint64_t> old_keys = std::move(slot_key_);
+    std::vector<uint8_t> old_used = std::move(used_);
+    const uint32_t cap = static_cast<uint32_t>(old_used.size()) * 2;
+    mask_ = cap - 1;
+    slot_key_.assign(cap, 0);
+    used_.assign(cap, 0);
+    size_ = 0;
+    for (size_t i = 0; i < old_used.size(); ++i) {
+      if (old_used[i]) Insert(old_keys[i]);
+    }
+  }
+
+  uint32_t mask_ = 0;
+  size_t size_ = 0;
+  std::vector<uint64_t> slot_key_;
+  std::vector<uint8_t> used_;
+};
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_RELATION_FLAT_INDEX_H_

@@ -1,118 +1,110 @@
 #include "relation/ops.h"
 
-#include <unordered_map>
 #include <vector>
+
+#include "relation/flat_index.h"
 
 namespace fmmsw {
 
-namespace {
-
-/// Hash of the values of `vars` (a subset of r's schema) in row `row`.
-uint64_t KeyHash(const Relation& r, size_t row, const std::vector<int>& cols) {
-  uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (int c : cols) {
-    const uint64_t v = static_cast<uint32_t>(r.Row(row)[c]);
-    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  }
-  return h;
-}
-
-bool KeysEqual(const Relation& a, size_t ra, const std::vector<int>& ca,
-               const Relation& b, size_t rb, const std::vector<int>& cb) {
-  for (size_t i = 0; i < ca.size(); ++i) {
-    if (a.Row(ra)[ca[i]] != b.Row(rb)[cb[i]]) return false;
-  }
-  return true;
-}
-
-/// Column indices of the given query variables in r's schema.
-std::vector<int> ColumnsOf(const Relation& r, const std::vector<int>& vars) {
-  std::vector<int> cols;
-  cols.reserve(vars.size());
-  for (int v : vars) cols.push_back(r.ColumnOf(v));
-  return cols;
-}
-
-/// Builds a hash index over the shared-variable key of `r`.
-std::unordered_multimap<uint64_t, size_t> BuildIndex(
-    const Relation& r, const std::vector<int>& cols) {
-  std::unordered_multimap<uint64_t, size_t> index;
-  index.reserve(r.size() * 2);
-  for (size_t row = 0; row < r.size(); ++row) {
-    index.emplace(KeyHash(r, row, cols), row);
-  }
-  return index;
-}
-
-}  // namespace
-
-Relation Join(const Relation& a, const Relation& b) {
+Relation Join(const Relation& a, const Relation& b, const JoinOpts& opts) {
   // Nullary relations are Boolean: true = {()} joins as identity, false
   // annihilates.
-  if (a.arity() == 0) return a.empty() ? Relation(b.schema()) : b;
-  if (b.arity() == 0) return b.empty() ? Relation(a.schema()) : a;
+  if (a.arity() == 0 || b.arity() == 0) {
+    Relation out;
+    if (a.arity() == 0) {
+      out = a.empty() ? Relation(b.schema()) : b;
+    } else {
+      out = b.empty() ? Relation(a.schema()) : a;
+    }
+    if (opts.set_semantics) out.SortAndDedupe();
+    return out;
+  }
   const VarSet shared = a.schema() & b.schema();
-  const std::vector<int> shared_vars = shared.Members();
-  const std::vector<int> ca = ColumnsOf(a, shared_vars);
-  const std::vector<int> cb = ColumnsOf(b, shared_vars);
-
-  const VarSet out_schema = a.schema() | b.schema();
-  Relation out(out_schema);
-  const std::vector<int> out_vars = out_schema.Members();
 
   // Probe the smaller side's index with the larger side.
   const bool a_build = a.size() <= b.size();
   const Relation& build = a_build ? a : b;
   const Relation& probe = a_build ? b : a;
-  const std::vector<int>& cbuild = a_build ? ca : cb;
-  const std::vector<int>& cprobe = a_build ? cb : ca;
-  auto index = BuildIndex(build, cbuild);
+  const KeySpec kbuild(build, shared);
+  const KeySpec kprobe(probe, shared);
+  const FlatMultimap index(build, kbuild);
 
-  std::vector<Value> tuple(out_vars.size());
-  for (size_t pr = 0; pr < probe.size(); ++pr) {
-    auto [lo, hi] = index.equal_range(KeyHash(probe, pr, cprobe));
-    for (auto it = lo; it != hi; ++it) {
-      const size_t br = it->second;
-      if (!KeysEqual(probe, pr, cprobe, build, br, cbuild)) continue;
-      for (size_t i = 0; i < out_vars.size(); ++i) {
-        const int v = out_vars[i];
-        if (probe.schema().Contains(v)) {
-          tuple[i] = probe.Row(pr)[probe.ColumnOf(v)];
-        } else {
-          tuple[i] = build.Row(br)[build.ColumnOf(v)];
-        }
+  const VarSet out_schema = a.schema() | b.schema();
+  Relation out(out_schema);
+  // Resolve, once, where each output column comes from: probe columns win
+  // for shared variables (both sides agree on their values).
+  struct ColSrc {
+    int out_col;
+    int src_col;
+  };
+  std::vector<ColSrc> from_probe, from_build;
+  {
+    const std::vector<int> out_vars = out_schema.Members();
+    for (size_t i = 0; i < out_vars.size(); ++i) {
+      const int v = out_vars[i];
+      if (probe.schema().Contains(v)) {
+        from_probe.push_back({static_cast<int>(i), probe.ColumnOf(v)});
+      } else {
+        from_build.push_back({static_cast<int>(i), build.ColumnOf(v)});
       }
-      out.Add(tuple);
     }
   }
-  out.SortAndDedupe();
+
+  const bool exact = kbuild.exact();
+  std::vector<Value> tuple(out_schema.size());
+  out.Reserve(probe.size());
+  for (size_t pr = 0; pr < probe.size(); ++pr) {
+    const Value* prow = probe.Row(pr);
+    const uint64_t key = kprobe.KeyOf(prow);
+    int32_t br = index.First(key);
+    if (br < 0) continue;
+    for (const ColSrc& s : from_probe) tuple[s.out_col] = prow[s.src_col];
+    for (; br >= 0; br = index.Next(br)) {
+      const Value* brow = build.Row(br);
+      if (!exact && !RowKeysEqual(prow, kprobe, brow, kbuild)) continue;
+      for (const ColSrc& s : from_build) tuple[s.out_col] = brow[s.src_col];
+      out.AddRow(tuple.data());
+    }
+  }
+  if (opts.set_semantics) out.SortAndDedupe();
   return out;
 }
+
+namespace {
+
+/// Shared kernel of Semijoin/Antijoin: keep rows of `a` with
+/// (keep_matching == has a join partner in b).
+Relation FilterByMatch(const Relation& a, const Relation& b,
+                       bool keep_matching) {
+  const VarSet shared = a.schema() & b.schema();
+  const KeySpec ka(a, shared);
+  const KeySpec kb(b, shared);
+  const FlatMultimap index(b, kb);
+  const bool exact = kb.exact();
+  Relation out(a.schema());
+  for (size_t r = 0; r < a.size(); ++r) {
+    const Value* arow = a.Row(r);
+    int32_t br = index.First(ka.KeyOf(arow));
+    bool match = br >= 0;
+    if (!exact) {
+      match = false;
+      for (; br >= 0 && !match; br = index.Next(br)) {
+        match = RowKeysEqual(arow, ka, b.Row(br), kb);
+      }
+    }
+    if (match == keep_matching) out.AddRow(arow);
+  }
+  return out;
+}
+
+}  // namespace
 
 Relation Semijoin(const Relation& a, const Relation& b) {
   if (b.arity() == 0) return b.empty() ? Relation(a.schema()) : a;
   if (a.arity() == 0) {
     return (!a.empty() && !b.empty()) ? a : Relation(a.schema());
   }
-  const VarSet shared = a.schema() & b.schema();
-  const std::vector<int> shared_vars = shared.Members();
-  const std::vector<int> ca = ColumnsOf(a, shared_vars);
-  const std::vector<int> cb = ColumnsOf(b, shared_vars);
-  auto index = BuildIndex(b, cb);
-  Relation out(a.schema());
-  std::vector<Value> tuple(a.arity());
-  for (size_t r = 0; r < a.size(); ++r) {
-    auto [lo, hi] = index.equal_range(KeyHash(a, r, ca));
-    bool match = false;
-    for (auto it = lo; it != hi && !match; ++it) {
-      match = KeysEqual(a, r, ca, b, it->second, cb);
-    }
-    if (match) {
-      tuple.assign(a.Row(r), a.Row(r) + a.arity());
-      out.Add(tuple);
-    }
-  }
-  return out;
+  return FilterByMatch(a, b, /*keep_matching=*/true);
 }
 
 Relation Antijoin(const Relation& a, const Relation& b) {
@@ -120,35 +112,37 @@ Relation Antijoin(const Relation& a, const Relation& b) {
   if (a.arity() == 0) {
     return (!a.empty() && b.empty()) ? a : Relation(a.schema());
   }
-  const VarSet shared = a.schema() & b.schema();
-  const std::vector<int> shared_vars = shared.Members();
-  const std::vector<int> ca = ColumnsOf(a, shared_vars);
-  const std::vector<int> cb = ColumnsOf(b, shared_vars);
-  auto index = BuildIndex(b, cb);
-  Relation out(a.schema());
-  std::vector<Value> tuple(a.arity());
-  for (size_t r = 0; r < a.size(); ++r) {
-    auto [lo, hi] = index.equal_range(KeyHash(a, r, ca));
-    bool match = false;
-    for (auto it = lo; it != hi && !match; ++it) {
-      match = KeysEqual(a, r, ca, b, it->second, cb);
-    }
-    if (!match) {
-      tuple.assign(a.Row(r), a.Row(r) + a.arity());
-      out.Add(tuple);
-    }
-  }
-  return out;
+  return FilterByMatch(a, b, /*keep_matching=*/false);
 }
 
 Relation Project(const Relation& a, VarSet keep) {
   const VarSet schema = a.schema() & keep;
   Relation out(schema);
-  const std::vector<int> cols = ColumnsOf(a, schema.Members());
-  std::vector<Value> tuple(cols.size());
+  if (schema.empty()) {
+    // Existence test: non-empty input projects to {()}.
+    if (!a.empty()) out.Add({});
+    return out;
+  }
+  const KeySpec spec(a, schema);
+  const std::vector<int>& cols = spec.cols();
+  Value tuple[kMaxVars];
+  if (spec.exact()) {
+    // Narrow output (<= 2 columns): dedupe on the fly with a flat set of
+    // the packed keys — no sort pass over the materialized duplicates.
+    FlatSet seen(a.size());
+    for (size_t r = 0; r < a.size(); ++r) {
+      const Value* row = a.Row(r);
+      if (!seen.Insert(spec.KeyOf(row))) continue;
+      for (size_t i = 0; i < cols.size(); ++i) tuple[i] = row[cols[i]];
+      out.AddRow(tuple);
+    }
+    return out;
+  }
+  out.Reserve(a.size());
   for (size_t r = 0; r < a.size(); ++r) {
-    for (size_t i = 0; i < cols.size(); ++i) tuple[i] = a.Row(r)[cols[i]];
-    out.Add(tuple);
+    const Value* row = a.Row(r);
+    for (size_t i = 0; i < cols.size(); ++i) tuple[i] = row[cols[i]];
+    out.AddRow(tuple);
   }
   out.SortAndDedupe();
   return out;
@@ -157,11 +151,9 @@ Relation Project(const Relation& a, VarSet keep) {
 Relation SelectEq(const Relation& a, int var, Value value) {
   Relation out(a.schema());
   const int col = a.ColumnOf(var);
-  std::vector<Value> tuple(a.arity());
   for (size_t r = 0; r < a.size(); ++r) {
-    if (a.Row(r)[col] != value) continue;
-    tuple.assign(a.Row(r), a.Row(r) + a.arity());
-    out.Add(tuple);
+    const Value* row = a.Row(r);
+    if (row[col] == value) out.AddRow(row);
   }
   return out;
 }
@@ -173,16 +165,15 @@ Relation Intersect(const Relation& a, const Relation& b) {
 
 Relation Union(const Relation& a, const Relation& b) {
   FMMSW_CHECK(a.schema() == b.schema());
+  if (a.arity() == 0) {
+    Relation out(a.schema());
+    if (!a.empty() || !b.empty()) out.Add({});
+    return out;
+  }
   Relation out(a.schema());
-  std::vector<Value> tuple(a.arity());
-  for (size_t r = 0; r < a.size(); ++r) {
-    tuple.assign(a.Row(r), a.Row(r) + a.arity());
-    out.Add(tuple);
-  }
-  for (size_t r = 0; r < b.size(); ++r) {
-    tuple.assign(b.Row(r), b.Row(r) + b.arity());
-    out.Add(tuple);
-  }
+  out.Reserve(a.size() + b.size());
+  if (!a.empty()) out.AddRows(a.Row(0), a.size());
+  if (!b.empty()) out.AddRows(b.Row(0), b.size());
   out.SortAndDedupe();
   return out;
 }

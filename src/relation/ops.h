@@ -6,14 +6,43 @@
 /// intersection and union. These are the "for-loop" primitives of the
 /// engine; each elimination step in a query plan is compiled into a small
 /// sequence of these (or a matrix multiplication).
+///
+/// Duplicate-handling contract (uniform across ops):
+///   - Join     : emits one output tuple per matching input pair. If both
+///                inputs are duplicate-free the output is duplicate-free,
+///                so by default no dedup pass runs; JoinOpts.set_semantics
+///                forces a SortAndDedupe of the output for callers that
+///                feed it duplicate-carrying inputs and need a set back.
+///   - Semijoin : filter on `a` — preserves `a`'s tuples (and their
+///                multiplicity) that match; never introduces duplicates.
+///   - Antijoin : filter on `a`, complement of Semijoin. Semijoin(a,b) and
+///                Antijoin(a,b) partition `a`.
+///   - Project  : output is always deduplicated (projection is the one op
+///                that creates duplicates from duplicate-free input).
+///   - Intersect: filter on `a` (via Semijoin); duplicate-free iff `a` is.
+///   - Union    : output is always deduplicated (set union).
+///   - SelectEq : filter on `a` — preserves matching tuples verbatim,
+///                including duplicates (contrast with Union/Project: a
+///                selection cannot create duplicates, so deduping here
+///                would only mask duplicate inputs).
+/// Nullary relations are Boolean: {()} ("true") is the join identity, the
+/// empty nullary relation ("false") annihilates; Project onto the empty
+/// set is an existence test.
 
 #include "relation/relation.h"
 
 namespace fmmsw {
 
+/// Options for Join.
+struct JoinOpts {
+  /// Force set semantics: SortAndDedupe the output before returning. Only
+  /// needed when an input may carry duplicate tuples (see contract above).
+  bool set_semantics = false;
+};
+
 /// Natural join of a and b on their shared variables (hash join on the
-/// smaller input). Output schema: union of schemas; duplicates removed.
-Relation Join(const Relation& a, const Relation& b);
+/// smaller input). Output schema: union of schemas.
+Relation Join(const Relation& a, const Relation& b, const JoinOpts& opts = {});
 
 /// Tuples of `a` that join with at least one tuple of `b`.
 Relation Semijoin(const Relation& a, const Relation& b);
@@ -31,7 +60,8 @@ Relation Union(const Relation& a, const Relation& b);
 /// Tuples of `a` NOT joining any tuple of `b` (anti-join).
 Relation Antijoin(const Relation& a, const Relation& b);
 
-/// Tuples of `a` whose variable `var` equals `value`.
+/// Tuples of `a` whose variable `var` equals `value` (no dedup; see
+/// contract above).
 Relation SelectEq(const Relation& a, int var, Value value);
 
 }  // namespace fmmsw

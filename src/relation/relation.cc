@@ -7,17 +7,40 @@ namespace fmmsw {
 void Relation::SortAndDedupe() {
   const size_t a = vars_.size();
   if (a == 0 || data_.empty()) return;
+  if (a == 1) {
+    std::sort(data_.begin(), data_.end());
+    data_.erase(std::unique(data_.begin(), data_.end()), data_.end());
+    return;
+  }
+  if (a == 2) {
+    // Pack each row into one order-preserving uint64 and sort those — a
+    // single flat sort instead of an index sort with indirect compares.
+    const size_t n = data_.size() / 2;
+    std::vector<uint64_t> keys(n);
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = (static_cast<uint64_t>(BiasValue(data_[2 * i])) << 32) |
+                BiasValue(data_[2 * i + 1]);
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    data_.resize(keys.size() * 2);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      data_[2 * i] = UnbiasValue(static_cast<uint32_t>(keys[i] >> 32));
+      data_[2 * i + 1] = UnbiasValue(static_cast<uint32_t>(keys[i]));
+    }
+    return;
+  }
   std::vector<size_t> order(size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
-    return std::lexicographical_compare(
-        data_.begin() + x * a, data_.begin() + (x + 1) * a,
-        data_.begin() + y * a, data_.begin() + (y + 1) * a);
+  const Value* base = data_.data();
+  std::sort(order.begin(), order.end(), [base, a](size_t x, size_t y) {
+    return std::lexicographical_compare(base + x * a, base + (x + 1) * a,
+                                        base + y * a, base + (y + 1) * a);
   });
   std::vector<Value> out;
   out.reserve(data_.size());
   for (size_t idx = 0; idx < order.size(); ++idx) {
-    const Value* row = &data_[order[idx] * a];
+    const Value* row = base + order[idx] * a;
     if (!out.empty() &&
         std::equal(row, row + a, out.end() - static_cast<long>(a))) {
       continue;

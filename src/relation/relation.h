@@ -10,7 +10,12 @@
 /// relation for atom R(Z) has schema Z, and every engine operator
 /// (join, semijoin, project, degree partition) is schema-driven, so plans
 /// produced from GVEOs execute directly.
+///
+/// The var -> column map is cached at construction so ColumnOf is O(1);
+/// operators resolve columns once per call (see KeySpec in flat_index.h)
+/// and append rows through the raw-buffer AddRow path.
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -22,11 +27,26 @@ namespace fmmsw {
 
 using Value = int32_t;
 
+/// Order-preserving bias: signed comparison of Value equals unsigned
+/// comparison of the biased image. Shared by every packed sort/group key
+/// (SortAndDedupe, degree grouping) so the convention cannot diverge.
+inline uint32_t BiasValue(Value v) {
+  return static_cast<uint32_t>(v) ^ 0x80000000u;
+}
+inline Value UnbiasValue(uint32_t u) {
+  return static_cast<Value>(u ^ 0x80000000u);
+}
+
 class Relation {
  public:
-  Relation() = default;
+  Relation() { col_of_.fill(-1); }
   explicit Relation(VarSet schema)
-      : schema_(schema), vars_(schema.Members()) {}
+      : schema_(schema), vars_(schema.Members()) {
+    col_of_.fill(-1);
+    for (size_t i = 0; i < vars_.size(); ++i) {
+      col_of_[vars_[i]] = static_cast<int8_t>(i);
+    }
+  }
 
   VarSet schema() const { return schema_; }
   /// Column order: schema variables in increasing index order.
@@ -38,6 +58,9 @@ class Relation {
   }
   bool empty() const { return size() == 0; }
 
+  /// Pre-allocates room for `rows` additional tuples.
+  void Reserve(size_t rows) { data_.reserve(data_.size() + rows * vars_.size()); }
+
   /// Appends a tuple; `values` are in column (increasing-variable) order.
   void Add(const std::vector<Value>& values) {
     FMMSW_DCHECK(static_cast<int>(values.size()) == arity());
@@ -46,6 +69,24 @@ class Relation {
       return;
     }
     data_.insert(data_.end(), values.begin(), values.end());
+  }
+
+  /// Raw-buffer append of arity() consecutive values in column order.
+  void AddRow(const Value* values) {
+    if (vars_.empty()) {
+      empty_nullary_ = false;
+      return;
+    }
+    data_.insert(data_.end(), values, values + vars_.size());
+  }
+
+  /// Bulk append of `rows` tuples stored contiguously in column order.
+  void AddRows(const Value* values, size_t rows) {
+    if (vars_.empty()) {
+      if (rows > 0) empty_nullary_ = false;
+      return;
+    }
+    data_.insert(data_.end(), values, values + rows * vars_.size());
   }
 
   /// Value of query variable `var` in row `row`.
@@ -57,16 +98,16 @@ class Relation {
   /// Raw access to row `row` (arity() consecutive values).
   const Value* Row(size_t row) const { return &data_[row * vars_.size()]; }
 
-  /// Column index of a schema variable.
+  /// Column index of a schema variable; O(1) via the cached map.
   int ColumnOf(int var) const {
-    for (size_t i = 0; i < vars_.size(); ++i) {
-      if (vars_[i] == var) return static_cast<int>(i);
-    }
-    FMMSW_CHECK(false && "variable not in schema");
-    return -1;
+    FMMSW_DCHECK(var >= 0 && var < kMaxVars);
+    const int col = col_of_[var];
+    FMMSW_CHECK(col >= 0 && "variable not in schema");
+    return col;
   }
 
-  /// Sorts rows lexicographically and removes duplicates.
+  /// Sorts rows lexicographically (signed value order) and removes
+  /// duplicates.
   void SortAndDedupe();
 
   /// True if the relation contains the given tuple (column order).
@@ -77,6 +118,7 @@ class Relation {
  private:
   VarSet schema_;
   std::vector<int> vars_;
+  std::array<int8_t, kMaxVars> col_of_;
   std::vector<Value> data_;
   // Nullary relations represent Boolean results: "true" holds one empty
   // tuple. Default-constructed nullary relations are empty ("false").

@@ -26,7 +26,9 @@ namespace fmmsw {
     }                                                  \
   } while (0)
 
-#ifdef NDEBUG
+// FMMSW_FORCE_DCHECK (cmake -DFMMSW_DCHECK=ON) keeps the debug checks in
+// optimized builds.
+#if defined(NDEBUG) && !defined(FMMSW_FORCE_DCHECK)
 #define FMMSW_DCHECK(expr) \
   do {                     \
   } while (0)

@@ -1,0 +1,178 @@
+#ifndef FMMSW_UTIL_PARALLEL_H_
+#define FMMSW_UTIL_PARALLEL_H_
+
+/// \file
+/// A small shared thread pool for data-parallel loops: matrix row blocks
+/// and the per-heavy-value probe loops of the engine algorithms.
+///
+/// Thread count comes from FMMSW_THREADS (default: hardware_concurrency).
+/// The pool is lazily created on first use and shared process-wide; loops
+/// fall back to plain serial execution when the pool has one thread, the
+/// iteration count is tiny, or the caller is already inside a parallel
+/// region (no nested parallelism).
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fmmsw {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+    for (int t = 1; t < threads_; ++t) {
+      workers_.emplace_back([this, t] { WorkerLoop(t); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stop_ = true;
+      ++generation_;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  int threads() const { return threads_; }
+
+  /// Runs fn(t) for every t in [0, threads()); the caller executes t = 0.
+  /// Returns when all invocations finished. Not reentrant — nested calls
+  /// run fn(0) serially.
+  void Run(const std::function<void(int)>& fn) {
+    if (threads_ == 1 || in_parallel_) {
+      fn(0);
+      return;
+    }
+    in_parallel_ = true;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_ = &fn;
+      pending_ = threads_ - 1;
+      ++generation_;
+    }
+    wake_.notify_all();
+    fn(0);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_.wait(lock, [this] { return pending_ == 0; });
+      job_ = nullptr;
+    }
+    in_parallel_ = false;
+  }
+
+  /// The process-wide pool, sized by FMMSW_THREADS.
+  static ThreadPool& Global() {
+    static ThreadPool pool(ConfiguredThreads());
+    return pool;
+  }
+
+  static int ConfiguredThreads() {
+    if (const char* env = std::getenv("FMMSW_THREADS")) {
+      const int n = std::atoi(env);
+      if (n >= 1) return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
+ private:
+  void WorkerLoop(int index) {
+    uint64_t seen = 0;
+    while (true) {
+      const std::function<void(int)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        seen = generation_;
+        if (stop_) return;
+        job = job_;
+      }
+      if (job != nullptr) (*job)(index);
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (--pending_ == 0) done_.notify_one();
+      }
+    }
+  }
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(int)>* job_ = nullptr;
+  uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+  // Set while Run is active on this pool (accessed by the calling thread
+  // only in the non-nested case; nested calls see it set and run serially).
+  std::atomic<bool> in_parallel_ = false;
+};
+
+/// Splits [0, n) into chunks and runs `chunk(begin, end)` across the global
+/// pool. `grain` is the minimum work per chunk — below 2 * grain total the
+/// loop runs serially on the caller.
+inline void ParallelFor(int64_t n,
+                        const std::function<void(int64_t, int64_t)>& chunk,
+                        int64_t grain = 1) {
+  if (n <= 0) return;
+  ThreadPool& pool = ThreadPool::Global();
+  if (pool.threads() == 1 || n < 2 * grain) {
+    chunk(0, n);
+    return;
+  }
+  std::atomic<int64_t> next(0);
+  const int64_t step =
+      std::max<int64_t>(grain, n / (4 * static_cast<int64_t>(pool.threads())));
+  pool.Run([&](int) {
+    while (true) {
+      const int64_t begin = next.fetch_add(step);
+      if (begin >= n) return;
+      chunk(begin, std::min(begin + step, n));
+    }
+  });
+}
+
+/// Parallel short-circuiting any-of: returns true as soon as some
+/// `item(i)` returns true. Iterations already in flight finish; no new
+/// chunks start after a hit.
+inline bool ParallelAnyOf(int64_t n, const std::function<bool(int64_t)>& item,
+                          int64_t grain = 1) {
+  if (n <= 0) return false;
+  ThreadPool& pool = ThreadPool::Global();
+  if (pool.threads() == 1 || n < 2 * grain) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (item(i)) return true;
+    }
+    return false;
+  }
+  std::atomic<int64_t> next(0);
+  std::atomic<bool> found(false);
+  const int64_t step =
+      std::max<int64_t>(grain, n / (8 * static_cast<int64_t>(pool.threads())));
+  pool.Run([&](int) {
+    while (!found.load(std::memory_order_relaxed)) {
+      const int64_t begin = next.fetch_add(step);
+      if (begin >= n) return;
+      const int64_t end = std::min(begin + step, n);
+      for (int64_t i = begin; i < end; ++i) {
+        if (item(i)) {
+          found.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  });
+  return found.load();
+}
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_UTIL_PARALLEL_H_

@@ -3,9 +3,14 @@
 // square-blocking scheme matches Eq. (6)'s cost model, and BitMatrix
 // implements the (OR, AND) semiring.
 
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
 #include "gtest/gtest.h"
 #include "mm/cost_model.h"
 #include "mm/matrix.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace fmmsw {
@@ -122,6 +127,89 @@ TEST(BitMatrixTest, AnyNonZero) {
   EXPECT_TRUE(m.AnyNonZero());
   EXPECT_TRUE(m.Get(4, 69));
   EXPECT_FALSE(m.Get(4, 68));
+}
+
+// --------------------------------------------- parallel differentials --
+// ctest runs this binary with FMMSW_THREADS=4, so the pooled kernels
+// (MultiplyBlocked, BitMatrix::Multiply, MultiplyRectangular) execute
+// multi-threaded here and are checked against the serial naive reference.
+
+TEST(ParallelKernelTest, BlockedMatchesNaiveLarge) {
+  Rng rng(21);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int m = static_cast<int>(rng.Uniform(150, 260));
+    const int k = static_cast<int>(rng.Uniform(150, 260));
+    const int n = static_cast<int>(rng.Uniform(150, 260));
+    Matrix a = RandomMatrix(m, k, &rng), b = RandomMatrix(k, n, &rng);
+    EXPECT_EQ(MultiplyBlocked(a, b), MultiplyNaive(a, b));
+  }
+}
+
+TEST(ParallelKernelTest, RectangularMatchesNaiveLarge) {
+  Rng rng(22);
+  Matrix a = RandomMatrix(210, 60, &rng), b = RandomMatrix(60, 240, &rng);
+  EXPECT_EQ(MultiplyRectangular(a, b, 16), MultiplyNaive(a, b));
+}
+
+TEST(ParallelKernelTest, BitMatrixMatchesIntegerSignLarge) {
+  Rng rng(23);
+  const int m = 220, k = 200, n = 260;
+  Matrix a(m, k), b(k, n);
+  BitMatrix ba(m, k), bb(k, n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < k; ++j) {
+      if (rng.Flip(0.1)) {
+        a.At(i, j) = 1;
+        ba.Set(i, j);
+      }
+    }
+  }
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (rng.Flip(0.1)) {
+        b.At(i, j) = 1;
+        bb.Set(i, j);
+      }
+    }
+  }
+  Matrix c = MultiplyNaive(a, b);
+  BitMatrix bc = BitMatrix::Multiply(ba, bb);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      ASSERT_EQ(bc.Get(i, j), c.At(i, j) > 0) << i << "," << j;
+    }
+  }
+}
+
+TEST(ParallelKernelTest, ParallelForCoversEveryIndex) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(1000, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelKernelTest, ParallelAnyOfFindsWitness) {
+  EXPECT_TRUE(ParallelAnyOf(5000, [](int64_t i) { return i == 4321; }));
+  EXPECT_FALSE(ParallelAnyOf(5000, [](int64_t) { return false; }));
+  EXPECT_FALSE(ParallelAnyOf(0, [](int64_t) { return true; }));
+}
+
+TEST(ParallelKernelTest, ThreadCountHonorsEnvironment) {
+  // ctest sets FMMSW_THREADS=4 for this binary; non-positive or garbage
+  // values fall back to hardware_concurrency, so only assert on valid
+  // settings.
+  if (const char* env = std::getenv("FMMSW_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) {
+      EXPECT_EQ(ThreadPool::ConfiguredThreads(), n);
+      EXPECT_EQ(ThreadPool::Global().threads(), n);
+    } else {
+      EXPECT_GE(ThreadPool::ConfiguredThreads(), 1);
+    }
+  }
 }
 
 TEST(CostModelTest, OmegaSquareExponent) {

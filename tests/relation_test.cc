@@ -123,6 +123,190 @@ TEST(OpsTest, JoinAssociativityOnRandomData) {
   }
 }
 
+// ------------------------------------------- nullary/empty edge cases --
+
+TEST(OpsEdgeTest, JoinWithEmptyRelation) {
+  Relation r = MakeRel(VarSet{0, 1}, {{1, 10}});
+  Relation e(VarSet{1, 2});
+  EXPECT_TRUE(Join(r, e).empty());
+  EXPECT_TRUE(Join(e, r).empty());
+  EXPECT_EQ(Join(r, e).schema(), VarSet({0, 1, 2}));
+}
+
+TEST(OpsEdgeTest, JoinNullaryBothSides) {
+  Relation t(VarSet::Empty());
+  t.Add({});
+  Relation f(VarSet::Empty());
+  EXPECT_FALSE(Join(t, t).empty());  // true AND true
+  EXPECT_TRUE(Join(t, f).empty());   // true AND false
+  EXPECT_TRUE(Join(f, t).empty());
+  EXPECT_TRUE(Join(f, f).empty());
+}
+
+TEST(OpsEdgeTest, SemijoinAntijoinEmptyAndNullary) {
+  Relation r = MakeRel(VarSet{0}, {{1}, {2}});
+  Relation e(VarSet{0});
+  EXPECT_TRUE(Semijoin(r, e).empty());
+  EXPECT_EQ(Antijoin(r, e).size(), 2u);
+  EXPECT_TRUE(Semijoin(e, r).empty());
+  EXPECT_TRUE(Antijoin(e, r).empty());
+  Relation t(VarSet::Empty());
+  t.Add({});
+  Relation f(VarSet::Empty());
+  EXPECT_EQ(Semijoin(r, t).size(), 2u);  // true keeps everything
+  EXPECT_TRUE(Semijoin(r, f).empty());   // false drops everything
+  EXPECT_TRUE(Antijoin(r, t).empty());
+  EXPECT_EQ(Antijoin(r, f).size(), 2u);
+}
+
+TEST(OpsEdgeTest, ProjectEmptyInput) {
+  Relation e(VarSet{0, 1});
+  EXPECT_TRUE(Project(e, VarSet{0}).empty());
+  EXPECT_TRUE(Project(e, VarSet::Empty()).empty());
+  // Projection onto vars outside the schema ignores them.
+  Relation r = MakeRel(VarSet{0, 1}, {{1, 10}});
+  Relation p = Project(r, VarSet{1, 5});
+  EXPECT_EQ(p.schema(), VarSet{1});
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(OpsEdgeTest, UnionEmptyAndNullary) {
+  Relation a = MakeRel(VarSet{0}, {{1}});
+  Relation e(VarSet{0});
+  EXPECT_EQ(Union(a, e).size(), 1u);
+  EXPECT_EQ(Union(e, a).size(), 1u);
+  EXPECT_TRUE(Union(e, e).empty());
+  Relation t(VarSet::Empty());
+  t.Add({});
+  Relation f(VarSet::Empty());
+  EXPECT_FALSE(Union(t, f).empty());  // true OR false
+  EXPECT_TRUE(Union(f, f).empty());
+}
+
+TEST(OpsEdgeTest, IntersectEmpty) {
+  Relation a = MakeRel(VarSet{0}, {{1}, {2}});
+  Relation e(VarSet{0});
+  EXPECT_TRUE(Intersect(a, e).empty());
+  EXPECT_TRUE(Intersect(e, a).empty());
+}
+
+TEST(OpsEdgeTest, SelectEqEmptyInputAndNoMatch) {
+  Relation e(VarSet{0, 1});
+  EXPECT_TRUE(SelectEq(e, 0, 5).empty());
+  Relation r = MakeRel(VarSet{0, 1}, {{1, 10}});
+  EXPECT_TRUE(SelectEq(r, 0, 2).empty());
+  EXPECT_EQ(SelectEq(r, 0, 1).size(), 1u);
+}
+
+// Contract: SelectEq is a pure filter — it preserves duplicate input
+// tuples instead of deduplicating like the set-producing ops (see ops.h).
+TEST(OpsEdgeTest, SelectEqPreservesMultiplicity) {
+  Relation r = MakeRel(VarSet{0, 1}, {{1, 10}, {1, 10}, {2, 20}});
+  EXPECT_EQ(SelectEq(r, 0, 1).size(), 2u);
+  // Union over the same input dedupes (set semantics).
+  EXPECT_EQ(Union(r, r).size(), 2u);
+}
+
+TEST(OpsEdgeTest, JoinSetSemanticsOption) {
+  // Duplicate-carrying inputs: default Join keeps the duplicate pairs,
+  // set_semantics collapses them.
+  Relation r = MakeRel(VarSet{0, 1}, {{1, 10}, {1, 10}});
+  Relation s = MakeRel(VarSet{1, 2}, {{10, 100}});
+  EXPECT_EQ(Join(r, s).size(), 2u);
+  EXPECT_EQ(Join(r, s, JoinOpts{.set_semantics = true}).size(), 1u);
+}
+
+// ------------------------------------------------- differential tests --
+
+/// Reference nested-loop natural join (no hashing, no indexes).
+Relation NaiveJoin(const Relation& a, const Relation& b) {
+  const std::vector<int> shared = (a.schema() & b.schema()).Members();
+  const VarSet out_schema = a.schema() | b.schema();
+  Relation out(out_schema);
+  const std::vector<int> out_vars = out_schema.Members();
+  std::vector<Value> tuple(out_vars.size());
+  for (size_t ra = 0; ra < a.size(); ++ra) {
+    for (size_t rb = 0; rb < b.size(); ++rb) {
+      bool match = true;
+      for (int v : shared) {
+        if (a.Get(ra, v) != b.Get(rb, v)) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      for (size_t i = 0; i < out_vars.size(); ++i) {
+        const int v = out_vars[i];
+        tuple[i] = a.schema().Contains(v) ? a.Get(ra, v) : b.Get(rb, v);
+      }
+      out.Add(tuple);
+    }
+  }
+  return out;
+}
+
+/// Reference semijoin/antijoin by nested-loop matching.
+Relation NaiveFilter(const Relation& a, const Relation& b, bool keep) {
+  const std::vector<int> shared = (a.schema() & b.schema()).Members();
+  Relation out(a.schema());
+  for (size_t ra = 0; ra < a.size(); ++ra) {
+    bool match = false;
+    for (size_t rb = 0; rb < b.size() && !match; ++rb) {
+      match = true;
+      for (int v : shared) {
+        if (a.Get(ra, v) != b.Get(rb, v)) {
+          match = false;
+          break;
+        }
+      }
+    }
+    if (match == keep) out.AddRow(a.Row(ra));
+  }
+  return out;
+}
+
+void ExpectSameSet(Relation got, Relation want, const char* what) {
+  got.SortAndDedupe();
+  want.SortAndDedupe();
+  ASSERT_EQ(got.size(), want.size()) << what;
+  ASSERT_EQ(got.schema(), want.schema()) << what;
+  for (size_t r = 0; r < got.size(); ++r) {
+    for (int c = 0; c < got.arity(); ++c) {
+      ASSERT_EQ(got.Row(r)[c], want.Row(r)[c]) << what << " row " << r;
+    }
+  }
+}
+
+TEST(OpsDifferentialTest, FlatJoinMatchesNaiveReference) {
+  Rng rng(17);
+  // Shared-key widths 1, 2 and 3 — width 3 exercises the non-injective
+  // hashed-key path of the flat index (candidate verification).
+  const struct {
+    VarSet sa, sb;
+  } shapes[] = {
+      {VarSet{0, 1}, VarSet{1, 2}},
+      {VarSet{0, 1, 2}, VarSet{1, 2, 3}},
+      {VarSet{0, 1, 2, 3}, VarSet{1, 2, 3, 4}},
+      {VarSet{0}, VarSet{1}},  // no shared vars: cross product
+  };
+  for (const auto& shape : shapes) {
+    for (int trial = 0; trial < 4; ++trial) {
+      Relation a = UniformRelation(shape.sa, 120, 4, &rng);
+      Relation b = UniformRelation(shape.sb, 120, 4, &rng);
+      ExpectSameSet(Join(a, b), NaiveJoin(a, b), "join");
+      ExpectSameSet(Semijoin(a, b), NaiveFilter(a, b, true), "semijoin");
+      ExpectSameSet(Antijoin(a, b), NaiveFilter(a, b, false), "antijoin");
+    }
+  }
+}
+
+TEST(OpsDifferentialTest, SemijoinAntijoinPartitionRandom) {
+  Rng rng(18);
+  Relation a = UniformRelation(VarSet{0, 1, 2}, 300, 6, &rng);
+  Relation b = UniformRelation(VarSet{1, 2, 3}, 300, 6, &rng);
+  EXPECT_EQ(Semijoin(a, b).size() + Antijoin(a, b).size(), a.size());
+}
+
 // ------------------------------------------------------------- degrees --
 
 TEST(DegreeTest, DefinitionE9) {
