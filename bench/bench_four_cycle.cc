@@ -30,6 +30,7 @@ void Run() {
   std::printf("%10s %12s %12s %12s\n", "N", "td O(N^2)", "partitioned",
               "mm hybrid");
   for (int64_t n : {1000, 2000, 4000, 8000, 16000, 32000}) {
+    if (!bench::StepEnabled(n)) continue;
     // Hard composite instance (Section 1.1.1's motivation for data
     // partitioning): half of R and S share a single super-heavy y* (their
     // join alone is ~(N/4)^2 — the fhtw plan's downfall), half lives on a

@@ -60,6 +60,9 @@ void RunK(int k) {
         db.relations[e] = filter(db.relations[e], parity);
       }
     }
+    if (!bench::StepEnabled(static_cast<long long>(db.TotalSize()))) {
+      continue;
+    }
     const int reps = 2;
     const double a = TimeIt([&] { return CliqueCombinatorial(k, db); }, reps);
     const double b = TimeIt([&] { return CliqueMm(k, db); }, reps);

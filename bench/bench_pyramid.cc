@@ -27,6 +27,7 @@ void Run() {
   std::vector<double> ns, t_comb, t_mm;
   std::printf("%10s %12s %12s\n", "N", "wcoj", "mm w=2.37");
   for (int64_t n : {1000, 2000, 4000, 8000, 16000}) {
+    if (!bench::StepEnabled(n)) continue;
     // Lemma C.13's heavy regime: apex degrees N/d ~ N^{0.6} exceed the
     // Delta = N^{1-1/w} threshold, so the MM elimination (case 3) carries
     // the work. X3 is odd in R3 and even in the base: pyramid-free, no

@@ -58,6 +58,7 @@ void Run() {
   std::printf("%10s %12s %12s %12s %12s\n", "N", "wcoj(s)", "mm w=2.37",
               "mm strassen", "panda-derived");
   for (int64_t n : {4000, 8000, 16000, 32000, 64000, 128000}) {
+    if (!bench::StepEnabled(n)) continue;
     Database db = MakeNegativeInstance(n);
     const int reps = n <= 8000 ? 3 : 1;
     const double a = TimeIt([&] { return TriangleCombinatorial(db); }, reps);

@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -19,12 +20,23 @@ namespace bench {
 /// Set by Init when the binary is invoked with --json.
 inline bool json_mode = false;
 
+/// Upper bound on the per-step instance size N; sweep loops skip larger
+/// steps. Set with --max-n <N> (CI runs the benches at a small fixed N to
+/// record BENCH_*.json trajectories without paying full-sweep time).
+inline long long max_n = (1LL << 62);
+
 /// Parses shared benchmark flags (call at the top of main).
 inline void Init(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json_mode = true;
+    if (std::strcmp(argv[i], "--max-n") == 0 && i + 1 < argc) {
+      max_n = std::atoll(argv[++i]);
+    }
   }
 }
+
+/// True if a sweep step of size n should run under the --max-n cap.
+inline bool StepEnabled(long long n) { return n <= max_n; }
 
 /// One machine-readable measurement line:
 ///   {"name":"triangle","n":242323,"kernel":"wcoj","wall_ms":293.1}

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/exec_context.h"
 #include "engine/four_cycle.h"
 #include "relation/generators.h"
 #include "util/stopwatch.h"
@@ -28,15 +29,16 @@ int main(int argc, char** argv) {
   Database db = MakeWorkload(q, opts);
   std::printf("4-cycle query %s\n", q.ToString().c_str());
   std::printf("instance: N = %zu tuples (Zipf)\n\n", db.TotalSize());
+  ExecContext ctx;
 
   Stopwatch sw;
-  const bool a = FourCycleTd(db);
+  const bool a = FourCycleTd(db, &ctx);
   std::printf("%-34s %-6s %.4f s\n", "single TD (fhtw plan, N^2):",
               a ? "true" : "false", sw.Seconds());
 
   sw.Reset();
   FourCycleStats cstats;
-  const bool b = FourCycleCombinatorial(db, &cstats);
+  const bool b = FourCycleCombinatorial(db, &cstats, &ctx);
   std::printf("%-34s %-6s %.4f s  (heavy probes %lld, light pairs %lld)\n",
               "degree-partitioned (subw, N^1.5):", b ? "true" : "false",
               sw.Seconds(), static_cast<long long>(cstats.heavy_probes),
@@ -44,12 +46,14 @@ int main(int argc, char** argv) {
 
   sw.Reset();
   FourCycleStats mstats;
-  const bool c = FourCycleMm(db, 2.371552, MmKernel::kBoolean, &mstats);
+  const bool c = FourCycleMm(db, 2.371552, MmKernel::kBoolean, &mstats,
+                             &ctx);
   std::printf("%-34s %-6s %.4f s  (mm dims %lldx%lldx%lld)\n",
               "MM hybrid (w-subw):", c ? "true" : "false", sw.Seconds(),
               static_cast<long long>(mstats.mm_dims[0]),
               static_cast<long long>(mstats.mm_dims[1]),
               static_cast<long long>(mstats.mm_dims[2]));
 
+  std::printf("\nexecution stats:\n%s", ctx.stats().ToString().c_str());
   return (a == b && b == c) ? 0 : 1;
 }

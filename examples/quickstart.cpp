@@ -22,7 +22,11 @@ int main() {
   WidthReport report = ComputeWidths(q, omega);
   std::printf("%s\n", FormatWidthReport(q, omega, report).c_str());
 
-  // 3. A skewed instance with a planted triangle.
+  // 3. An execution context: thread pool (FMMSW_THREADS), reusable
+  //    scratch arenas, and per-op stats shared by everything below.
+  ExecContext ctx;
+
+  // A skewed instance with a planted triangle.
   WorkloadOptions opts;
   opts.kind = WorkloadKind::kZipf;
   opts.tuples_per_relation = 5000;
@@ -32,12 +36,17 @@ int main() {
   std::printf("instance: N = %zu tuples\n", db.TotalSize());
 
   // 4. Evaluate: generic worst-case-optimal join vs the Figure-1
-  //    MM-hybrid algorithm (they must agree).
-  const bool combinatorial = EvaluateBoolean(q, db, EvalStrategy::kWcoj);
-  const bool mm_hybrid = TriangleMm(db, omega.ToDouble());
+  //    MM-hybrid algorithm (they must agree). Both run on the context.
+  const bool combinatorial =
+      EvaluateBoolean(q, db, EvalStrategy::kWcoj, &ctx);
+  const bool mm_hybrid =
+      TriangleMm(db, omega.ToDouble(), MmKernel::kBoolean, nullptr, &ctx);
   std::printf("combinatorial WCOJ answer : %s\n",
               combinatorial ? "true" : "false");
   std::printf("Figure-1 MM hybrid answer : %s\n",
               mm_hybrid ? "true" : "false");
+
+  // 5. The context's per-op trace of everything that just ran.
+  std::printf("\nexecution stats:\n%s", ctx.stats().ToString().c_str());
   return combinatorial == mm_hybrid ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/exec_context.h"
 #include "engine/triangle.h"
 #include "engine/wcoj.h"
 #include "relation/degree.h"
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   using namespace fmmsw;
   const int64_t edges = argc > 1 ? std::atoll(argv[1]) : 50000;
   const double omega = 2.371552;
+  ExecContext ctx;  // pool + arenas + stats for every call below
 
   // One Zipf edge relation, used tripartitely (R, S, T are copies over
   // different variable pairs — the standard encoding of graph triangle
@@ -40,26 +42,30 @@ int main(int argc, char** argv) {
               static_cast<long long>(Degree(graph_r, VarSet{1}, VarSet{0})));
 
   Stopwatch sw;
-  const bool any = TriangleMm(db, omega);
+  const bool any = TriangleMm(db, omega, MmKernel::kBoolean, nullptr, &ctx);
   const double mm_s = sw.Seconds();
+  // Counters accumulate across runs on one context; snapshot before the
+  // stats run so the printed probe count covers that run alone.
+  const int64_t probed_before = ctx.stats().fused_probe_tuples.load();
   TriangleStats stats;
-  TriangleMm(db, omega, MmKernel::kBoolean, &stats);
+  TriangleMm(db, omega, MmKernel::kBoolean, &stats, &ctx);
   std::printf("\nMM hybrid: triangle %s in %.4f s\n",
               any ? "found" : "absent", mm_s);
   std::printf("  heavy accounts: |Xh|=%lld |Yh|=%lld |Zh|=%lld\n",
               static_cast<long long>(stats.heavy_x),
               static_cast<long long>(stats.heavy_y),
               static_cast<long long>(stats.heavy_z));
-  std::printf("  light-join intermediate tuples: %lld\n",
-              static_cast<long long>(stats.light_join_tuples));
+  std::printf("  light-path candidates probed (not materialized): %lld\n",
+              static_cast<long long>(ctx.stats().fused_probe_tuples.load() -
+                                     probed_before));
 
   sw.Reset();
-  const bool base = TriangleCombinatorial(db);
+  const bool base = TriangleCombinatorial(db, &ctx);
   std::printf("combinatorial WCOJ: %s in %.4f s\n",
               base ? "found" : "absent", sw.Seconds());
 
   sw.Reset();
-  const int64_t count = TriangleCountMm(db, MmKernel::kStrassen);
+  const int64_t count = TriangleCountMm(db, MmKernel::kStrassen, &ctx);
   std::printf("exact triangle count (counting MM): %lld in %.4f s\n",
               static_cast<long long>(count), sw.Seconds());
   return any == base ? 0 : 1;

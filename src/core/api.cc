@@ -46,15 +46,15 @@ std::string FormatWidthReport(const Hypergraph& h, const Rational& omega,
 }
 
 bool EvaluateBoolean(const Hypergraph& h, const Database& db,
-                     EvalStrategy strategy) {
+                     EvalStrategy strategy, ExecContext* ctx) {
   switch (strategy) {
     case EvalStrategy::kWcoj:
-      return WcojBoolean(h, db);
+      return WcojBoolean(h, db, ctx);
     case EvalStrategy::kBestTd:
-      return TdBooleanBest(h, db);
+      return TdBooleanBest(h, db, ctx);
     case EvalStrategy::kElimination: {
       EliminationPlan plan = ForLoopPlan(h);
-      return ExecutePlan(h, db, plan);
+      return ExecutePlan(h, db, plan, {}, nullptr, ctx);
     }
   }
   return false;

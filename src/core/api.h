@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "core/exec_context.h"
 #include "engine/elimination.h"
 #include "hypergraph/hypergraph.h"
 #include "relation/relation.h"
@@ -51,8 +52,13 @@ enum class EvalStrategy {
 /// Evaluates the Boolean query with the chosen strategy. Specialized
 /// faster algorithms for the paper's query classes live in
 /// engine/{triangle,four_cycle,clique,pyramid}.h.
+///
+/// `ctx` supplies the thread pool, scratch arenas and per-op stats the
+/// evaluation runs on (see core/exec_context.h); nullptr uses the
+/// process-default context sized by FMMSW_THREADS.
 bool EvaluateBoolean(const Hypergraph& h, const Database& db,
-                     EvalStrategy strategy = EvalStrategy::kWcoj);
+                     EvalStrategy strategy = EvalStrategy::kWcoj,
+                     ExecContext* ctx = nullptr);
 
 }  // namespace fmmsw
 

@@ -1,0 +1,100 @@
+#include "core/exec_context.h"
+
+namespace fmmsw {
+
+void ExecStats::Reset() {
+  join_calls = 0;
+  join_output_tuples = 0;
+  fused_joins = 0;
+  fused_probe_tuples = 0;
+  fused_drop_tuples = 0;
+  fused_emit_tuples = 0;
+  semijoin_calls = 0;
+  semijoin_all_calls = 0;
+  antijoin_calls = 0;
+  project_calls = 0;
+  union_calls = 0;
+  select_calls = 0;
+  partition_calls = 0;
+  sort_order_hits = 0;
+  wcoj_runs = 0;
+  wcoj_parallel_runs = 0;
+  wcoj_tasks = 0;
+  mm_products = 0;
+}
+
+std::string ExecStats::ToString() const {
+  std::string out;
+  auto row = [&out](const char* name, const std::atomic<int64_t>& v) {
+    const int64_t x = v.load(std::memory_order_relaxed);
+    if (x == 0) return;
+    out += name;
+    out += " : ";
+    out += std::to_string(x);
+    out += "\n";
+  };
+  row("join_calls          ", join_calls);
+  row("join_output_tuples  ", join_output_tuples);
+  row("fused_joins         ", fused_joins);
+  row("fused_probe_tuples  ", fused_probe_tuples);
+  row("fused_drop_tuples   ", fused_drop_tuples);
+  row("fused_emit_tuples   ", fused_emit_tuples);
+  row("semijoin_calls      ", semijoin_calls);
+  row("semijoin_all_calls  ", semijoin_all_calls);
+  row("antijoin_calls      ", antijoin_calls);
+  row("project_calls       ", project_calls);
+  row("union_calls         ", union_calls);
+  row("select_calls        ", select_calls);
+  row("partition_calls     ", partition_calls);
+  row("sort_order_hits     ", sort_order_hits);
+  row("wcoj_runs           ", wcoj_runs);
+  row("wcoj_parallel_runs  ", wcoj_parallel_runs);
+  row("wcoj_tasks          ", wcoj_tasks);
+  row("mm_products         ", mm_products);
+  return out;
+}
+
+ExecContext::ExecContext() : pool_(&ThreadPool::Global()) {
+  scratch_.resize(pool_->threads());
+}
+
+ExecContext::ExecContext(int threads)
+    : owned_pool_(new ThreadPool(threads)), pool_(owned_pool_.get()) {
+  scratch_.resize(pool_->threads());
+}
+
+ExecContext::~ExecContext() = default;
+
+ExecContext::SortOrderScope::SortOrderScope(ExecContext& ec) : ec_(ec) {
+  if (ec_.sort_cache_depth_++ == 0) ec_.sort_orders_.clear();
+}
+
+ExecContext::SortOrderScope::~SortOrderScope() {
+  if (--ec_.sort_cache_depth_ == 0) ec_.sort_orders_.clear();
+}
+
+const std::vector<uint32_t>* ExecContext::FindSortOrder(
+    const void* data, size_t rows, uint32_t xmask, uint32_t ymask) const {
+  if (sort_cache_depth_ == 0) return nullptr;
+  for (const SortOrderEntry& e : sort_orders_) {
+    if (e.data == data && e.rows == rows && e.xmask == xmask &&
+        e.ymask == ymask) {
+      return &e.order;
+    }
+  }
+  return nullptr;
+}
+
+void ExecContext::StoreSortOrder(const void* data, size_t rows,
+                                 uint32_t xmask, uint32_t ymask,
+                                 const std::vector<uint32_t>& order) {
+  if (sort_cache_depth_ == 0) return;
+  sort_orders_.push_back(SortOrderEntry{data, rows, xmask, ymask, order});
+}
+
+ExecContext& ExecContext::Default() {
+  static ExecContext ctx;
+  return ctx;
+}
+
+}  // namespace fmmsw

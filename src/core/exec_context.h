@@ -1,0 +1,180 @@
+#ifndef FMMSW_CORE_EXEC_CONTEXT_H_
+#define FMMSW_CORE_EXEC_CONTEXT_H_
+
+/// \file
+/// The shared execution substrate threaded from the public facade
+/// (core/api) through every engine down into the relational operators and
+/// the PANDA executor. One ExecContext bundles
+///
+///   - a thread-pool handle (the process-wide FMMSW_THREADS pool by
+///     default, or a private pool of an explicit size — tests use the
+///     latter to compare thread counts inside one process),
+///   - reusable scratch arenas, one per worker, so hot paths (radix sort,
+///     degree grouping, WCOJ worker stacks) stop re-allocating their
+///     temporaries on every call, and
+///   - per-op stats counters: joins/semijoins executed, tuples
+///     materialized, tuples *not* materialized thanks to fused
+///     existence-only probes, WCOJ task fan-out, MM kernel launches, and
+///     sort-order cache hits. Counters are relaxed atomics so operators
+///     running inside parallel regions can bump them safely.
+///
+/// Every operator and engine entry point accepts an `ExecContext* ctx`
+/// (nullptr = the process-default context, ExecContext::Default()). An
+/// ExecContext is meant to be driven by one user thread at a time; worker
+/// indices passed to scratch() come from ThreadPool::Run.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace fmmsw {
+
+/// Per-op execution counters (relaxed atomics; see Bump below).
+struct ExecStats {
+  std::atomic<int64_t> join_calls{0};
+  std::atomic<int64_t> join_output_tuples{0};
+  std::atomic<int64_t> fused_joins{0};          ///< Join calls with exist filters
+  std::atomic<int64_t> fused_probe_tuples{0};   ///< join pairs probed against filters
+  std::atomic<int64_t> fused_drop_tuples{0};    ///< pairs rejected, never materialized
+  std::atomic<int64_t> fused_emit_tuples{0};    ///< pairs surviving every filter
+  std::atomic<int64_t> semijoin_calls{0};
+  std::atomic<int64_t> semijoin_all_calls{0};
+  std::atomic<int64_t> antijoin_calls{0};
+  std::atomic<int64_t> project_calls{0};
+  std::atomic<int64_t> union_calls{0};
+  std::atomic<int64_t> select_calls{0};
+  std::atomic<int64_t> partition_calls{0};
+  std::atomic<int64_t> sort_order_hits{0};      ///< partition sort orders reused
+  std::atomic<int64_t> wcoj_runs{0};
+  std::atomic<int64_t> wcoj_parallel_runs{0};
+  std::atomic<int64_t> wcoj_tasks{0};           ///< top-level candidate runs fanned out
+  std::atomic<int64_t> mm_products{0};          ///< matrix-kernel launches
+
+  void Reset();
+  /// Human-readable counter dump (one `name : value` line per counter).
+  std::string ToString() const;
+};
+
+/// Relaxed add on a stats counter.
+inline void Bump(std::atomic<int64_t>& counter, int64_t delta = 1) {
+  counter.fetch_add(delta, std::memory_order_relaxed);
+}
+
+/// Reusable per-worker scratch buffers. Callers resize/clear as needed;
+/// capacity persists across calls, which is the whole point. Exclusive
+/// use is enforced by TryAcquire: operators that may be reached from
+/// inside parallel regions attempt the acquire and fall back to local
+/// buffers when the arena is already held by another caller.
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(ScratchArena&& other) noexcept
+      : u32_(std::move(other.u32_)),
+        u64_(std::move(other.u64_)),
+        u64b_(std::move(other.u64b_)),
+        keyed_(std::move(other.keyed_)),
+        keyedb_(std::move(other.keyedb_)) {}
+
+  /// Atomically claims the arena; returns false if another caller holds
+  /// it (use local buffers instead).
+  bool TryAcquire() {
+    bool expected = false;
+    return busy_.compare_exchange_strong(expected, true);
+  }
+  void Release() { busy_.store(false, std::memory_order_release); }
+
+  std::vector<uint32_t>& u32() { return u32_; }
+  std::vector<uint64_t>& u64() { return u64_; }
+  /// Second 64-bit buffer, e.g. the ping-pong half of a radix sort.
+  std::vector<uint64_t>& u64b() { return u64b_; }
+  std::vector<std::pair<uint64_t, uint32_t>>& keyed() { return keyed_; }
+  std::vector<std::pair<uint64_t, uint32_t>>& keyedb() { return keyedb_; }
+
+ private:
+  std::atomic<bool> busy_{false};
+  std::vector<uint32_t> u32_;
+  std::vector<uint64_t> u64_;
+  std::vector<uint64_t> u64b_;
+  std::vector<std::pair<uint64_t, uint32_t>> keyed_;
+  std::vector<std::pair<uint64_t, uint32_t>> keyedb_;
+};
+
+class ExecContext {
+ public:
+  /// Shares the process-wide pool (sized by FMMSW_THREADS).
+  ExecContext();
+  /// Owns a private pool with exactly `threads` workers. Lets tests and
+  /// embedders pick a parallelism level without touching the environment.
+  explicit ExecContext(int threads);
+  ~ExecContext();
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  ThreadPool& pool() const { return *pool_; }
+  int threads() const { return pool_->threads(); }
+  ExecStats& stats() const { return stats_; }
+  /// Scratch arena of worker `worker` (0 = the calling thread outside
+  /// parallel regions).
+  ScratchArena& scratch(int worker = 0) { return scratch_[worker]; }
+
+  // ---- Partition sort-order cache -------------------------------------
+  // PartitionByDegree sorts its input once per (relation, X, Y). Within a
+  // SortOrderScope (opened by e.g. the PANDA proof-sequence executor,
+  // whose tables stay alive in its TableMap for the whole execution),
+  // repeated partitions of the same stored table reuse the cached order
+  // instead of re-sorting. The cache is keyed on the table's buffer
+  // address + row count + column masks, so it is only safe while the
+  // tables it refers to are pinned — hence the explicit scope, which
+  // clears the cache on entry and exit.
+
+  /// RAII activation of the sort-order cache (nestable).
+  class SortOrderScope {
+   public:
+    explicit SortOrderScope(ExecContext& ec);
+    ~SortOrderScope();
+    SortOrderScope(const SortOrderScope&) = delete;
+    SortOrderScope& operator=(const SortOrderScope&) = delete;
+
+   private:
+    ExecContext& ec_;
+  };
+
+  bool sort_cache_active() const { return sort_cache_depth_ > 0; }
+  /// Cached row order for (data, rows, xmask, ymask), or nullptr.
+  const std::vector<uint32_t>* FindSortOrder(const void* data, size_t rows,
+                                             uint32_t xmask,
+                                             uint32_t ymask) const;
+  /// Stores a copy of `order` under the key (no-op outside a scope).
+  void StoreSortOrder(const void* data, size_t rows, uint32_t xmask,
+                      uint32_t ymask, const std::vector<uint32_t>& order);
+
+  /// The process-default context (global pool, shared stats).
+  static ExecContext& Default();
+  static ExecContext& Resolve(ExecContext* ctx) {
+    return ctx != nullptr ? *ctx : Default();
+  }
+
+ private:
+  struct SortOrderEntry {
+    const void* data;
+    size_t rows;
+    uint32_t xmask, ymask;
+    std::vector<uint32_t> order;
+  };
+
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;
+  mutable ExecStats stats_;
+  std::vector<ScratchArena> scratch_;
+  int sort_cache_depth_ = 0;
+  std::vector<SortOrderEntry> sort_orders_;
+};
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_CORE_EXEC_CONTEXT_H_

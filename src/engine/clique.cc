@@ -1,10 +1,10 @@
 #include "engine/clique.h"
 
-#include <unordered_set>
-
+#include "core/exec_context.h"
 #include "engine/wcoj.h"
 #include "hypergraph/hypergraph.h"
 #include "mm/matrix.h"
+#include "relation/flat_index.h"
 #include "relation/ops.h"
 #include "util/check.h"
 #include "util/parallel.h"
@@ -21,28 +21,29 @@ int PairEdgeIndex(int k, int i, int j) {
   return idx + (j - i - 1);
 }
 
-/// Hash set of the pairs in a binary relation, keyed (first var value,
+/// Flat set of the pairs in a binary relation, keyed (first var value,
 /// second var value).
-std::unordered_set<uint64_t> PairSet(const Relation& r, int v1, int v2) {
-  std::unordered_set<uint64_t> out;
-  out.reserve(r.size() * 2);
+FlatSet PairSet(const Relation& r, int v1, int v2) {
+  FlatSet out(r.size());
   for (size_t row = 0; row < r.size(); ++row) {
     const uint64_t a = static_cast<uint32_t>(r.Get(row, v1));
     const uint64_t b = static_cast<uint32_t>(r.Get(row, v2));
-    out.insert((a << 32) | b);
+    out.Insert((a << 32) | b);
   }
   return out;
 }
 
-bool HasPair(const std::unordered_set<uint64_t>& set, Value a, Value b) {
-  return set.count((static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
-                   static_cast<uint32_t>(b)) > 0;
+bool HasPair(const FlatSet& set, Value a, Value b) {
+  return set.Contains(
+      (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+      static_cast<uint32_t>(b));
 }
 
 /// Enumerates the sub-cliques of a variable group: the WCOJ join of the
 /// pair relations inside the group, with singleton groups reduced to the
 /// intersection of their incident projections.
-Relation GroupCliques(int k, const Database& db, const std::vector<int>& g) {
+Relation GroupCliques(int k, const Database& db, const std::vector<int>& g,
+                      ExecContext* ec) {
   VarSet group;
   for (int v : g) group.Add(v);
   if (g.size() == 1) {
@@ -52,8 +53,8 @@ Relation GroupCliques(int k, const Database& db, const std::vector<int>& g) {
       if (other == g[0]) continue;
       const int e = PairEdgeIndex(k, std::min(g[0], other),
                                   std::max(g[0], other));
-      Relation proj = Project(db.relations[e], group);
-      acc = first ? proj : Intersect(acc, proj);
+      Relation proj = Project(db.relations[e], group, ec);
+      acc = first ? proj : Intersect(acc, proj, ec);
       first = false;
     }
     return acc;
@@ -68,13 +69,13 @@ Relation GroupCliques(int k, const Database& db, const std::vector<int>& g) {
       sub_db.relations.push_back(db.relations[PairEdgeIndex(k, a, b)]);
     }
   }
-  return WcojJoin(sub, sub_db, group);
+  return WcojJoin(sub, sub_db, group, nullptr, ec);
 }
 
 /// Cross-group compatibility: cliques ta, tb are compatible iff every
 /// cross pair is present in its relation.
 bool Compatible(int k, const Database& db,
-                const std::vector<std::unordered_set<uint64_t>>& pair_sets,
+                const std::vector<FlatSet>& pair_sets,
                 const std::vector<int>& ga, const Relation& ra, size_t rowa,
                 const std::vector<int>& gb, const Relation& rb,
                 size_t rowb) {
@@ -93,12 +94,13 @@ bool Compatible(int k, const Database& db,
 
 }  // namespace
 
-bool CliqueCombinatorial(int k, const Database& db) {
-  return WcojBoolean(Hypergraph::Clique(k), db);
+bool CliqueCombinatorial(int k, const Database& db, ExecContext* ctx) {
+  return WcojBoolean(Hypergraph::Clique(k), db, ctx);
 }
 
-bool CliqueMm(int k, const Database& db, MmKernel kernel,
-              CliqueStats* stats) {
+bool CliqueMm(int k, const Database& db, MmKernel kernel, CliqueStats* stats,
+              ExecContext* ctx) {
+  ExecContext& ec = ExecContext::Resolve(ctx);
   FMMSW_CHECK(k >= 3);
   FMMSW_CHECK(db.relations.size() ==
               static_cast<size_t>(k * (k - 1) / 2));
@@ -113,9 +115,9 @@ bool CliqueMm(int k, const Database& db, MmKernel kernel,
   for (int i = 0; i < b_size; ++i) gb.push_back(v++);
   for (int i = 0; i < c_size; ++i) gc.push_back(v++);
 
-  Relation la = GroupCliques(k, db, ga);
-  Relation lb = GroupCliques(k, db, gb);
-  Relation lc = GroupCliques(k, db, gc);
+  Relation la = GroupCliques(k, db, ga, &ec);
+  Relation lb = GroupCliques(k, db, gb, &ec);
+  Relation lc = GroupCliques(k, db, gc, &ec);
   if (stats != nullptr) {
     stats->group_cliques[0] = static_cast<int64_t>(la.size());
     stats->group_cliques[1] = static_cast<int64_t>(lb.size());
@@ -123,7 +125,7 @@ bool CliqueMm(int k, const Database& db, MmKernel kernel,
   }
   if (la.empty() || lb.empty() || lc.empty()) return false;
 
-  std::vector<std::unordered_set<uint64_t>> pair_sets;
+  std::vector<FlatSet> pair_sets;
   for (int i = 0; i < k; ++i) {
     for (int j = i + 1; j < k; ++j) {
       pair_sets.push_back(
@@ -144,22 +146,23 @@ bool CliqueMm(int k, const Database& db, MmKernel kernel,
   // (bit words / matrix cells of row i) never conflict.
   if (kernel == MmKernel::kBoolean) {
     BitMatrix mab(na, nb), mbc(nb, nc);
-    ParallelFor(na, [&](int64_t begin, int64_t end) {
+    ParallelFor(ec.pool(), na, [&](int64_t begin, int64_t end) {
       for (int64_t i = begin; i < end; ++i) {
         for (int j = 0; j < nb; ++j) {
           if (compat(ga, la, i, gb, lb, j)) mab.Set(i, j);
         }
       }
     });
-    ParallelFor(nb, [&](int64_t begin, int64_t end) {
+    ParallelFor(ec.pool(), nb, [&](int64_t begin, int64_t end) {
       for (int64_t i = begin; i < end; ++i) {
         for (int j = 0; j < nc; ++j) {
           if (compat(gb, lb, i, gc, lc, j)) mbc.Set(i, j);
         }
       }
     });
+    Bump(ec.stats().mm_products);
     BitMatrix p = BitMatrix::Multiply(mab, mbc);
-    return ParallelAnyOf(na, [&](int64_t i) {
+    return ParallelAnyOf(ec.pool(), na, [&](int64_t i) {
       for (int j = 0; j < nc; ++j) {
         if (p.Get(i, j) && compat(ga, la, i, gc, lc, j)) return true;
       }
@@ -167,23 +170,24 @@ bool CliqueMm(int k, const Database& db, MmKernel kernel,
     });
   }
   Matrix mab(na, nb), mbc(nb, nc);
-  ParallelFor(na, [&](int64_t begin, int64_t end) {
+  ParallelFor(ec.pool(), na, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
       for (int j = 0; j < nb; ++j) {
         if (compat(ga, la, i, gb, lb, j)) mab.At(i, j) = 1;
       }
     }
   });
-  ParallelFor(nb, [&](int64_t begin, int64_t end) {
+  ParallelFor(ec.pool(), nb, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
       for (int j = 0; j < nc; ++j) {
         if (compat(gb, lb, i, gc, lc, j)) mbc.At(i, j) = 1;
       }
     }
   });
+  Bump(ec.stats().mm_products);
   Matrix p = kernel == MmKernel::kStrassen ? MultiplyRectangular(mab, mbc)
                                            : MultiplyNaive(mab, mbc);
-  return ParallelAnyOf(na, [&](int64_t i) {
+  return ParallelAnyOf(ec.pool(), na, [&](int64_t i) {
     for (int j = 0; j < nc; ++j) {
       if (p.At(i, j) != 0 && compat(ga, la, i, gc, lc, j)) return true;
     }

@@ -18,16 +18,19 @@
 
 namespace fmmsw {
 
+class ExecContext;
+
 struct CliqueStats {
   int64_t group_cliques[3] = {0, 0, 0};  ///< matrix dimensions
 };
 
 /// Combinatorial baseline: generic join, O(N^{k/2}).
-bool CliqueCombinatorial(int k, const Database& db);
+bool CliqueCombinatorial(int k, const Database& db,
+                         ExecContext* ctx = nullptr);
 
 /// MM-based detection via the 3-group split.
 bool CliqueMm(int k, const Database& db, MmKernel kernel = MmKernel::kBoolean,
-              CliqueStats* stats = nullptr);
+              CliqueStats* stats = nullptr, ExecContext* ctx = nullptr);
 
 }  // namespace fmmsw
 

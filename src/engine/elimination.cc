@@ -5,6 +5,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "core/exec_context.h"
 #include "engine/wcoj.h"
 #include "mm/cost_model.h"
 #include "mm/matrix.h"
@@ -24,7 +25,8 @@ struct State {
 
 /// Joins the incident relations with WCOJ and projects the block away
 /// (the "for-loops" elimination).
-void EliminateForLoop(State* s, VarSet block, EliminationStats* stats) {
+void EliminateForLoop(State* s, VarSet block, EliminationStats* stats,
+                      ExecContext* ec) {
   const std::vector<int> incident = s->hg.IncidentEdges(block);
   FMMSW_CHECK(!incident.empty());
   Hypergraph sub(s->hg.num_vars(), s->hg.names());
@@ -36,14 +38,14 @@ void EliminateForLoop(State* s, VarSet block, EliminationStats* stats) {
     if (it == merged.end()) {
       merged.emplace(s->hg.edges()[e], s->rels[e]);
     } else {
-      it->second = Intersect(it->second, s->rels[e]);
+      it->second = Intersect(it->second, s->rels[e], ec);
     }
   }
   for (auto& [schema, rel] : merged) {
     sub.AddEdge(schema);
     sub_db.relations.push_back(std::move(rel));
   }
-  Relation result = WcojJoin(sub, sub_db, s->hg.N(block));
+  Relation result = WcojJoin(sub, sub_db, s->hg.N(block), nullptr, ec);
   if (stats != nullptr) {
     ++stats->forloop_steps;
     stats->intermediate_tuples += static_cast<int64_t>(result.size());
@@ -62,7 +64,7 @@ void EliminateForLoop(State* s, VarSet block, EliminationStats* stats) {
     if (it == pool.end()) {
       pool.emplace(s->hg.edges()[e], s->rels[e]);
     } else {
-      it->second = Intersect(it->second, s->rels[e]);
+      it->second = Intersect(it->second, s->rels[e], ec);
     }
   }
   const VarSet n = s->hg.N(block);
@@ -71,7 +73,7 @@ void EliminateForLoop(State* s, VarSet block, EliminationStats* stats) {
     if (it == pool.end()) {
       pool.emplace(n, result);
     } else {
-      it->second = Intersect(it->second, result);
+      it->second = Intersect(it->second, result, ec);
     }
   } else if (result.empty()) {
     next.definitely_empty = true;
@@ -130,7 +132,8 @@ std::vector<int> ColsFor(const Relation& r, VarSet vars) {
 /// counting) matrices and keep the non-zero output cells as the new
 /// relation over x|y|g = N(block).
 void EliminateMm(State* s, VarSet block, const MmExpr& mm,
-                 const EliminationOptions& opts, EliminationStats* stats) {
+                 const EliminationOptions& opts, EliminationStats* stats,
+                 ExecContext* ec) {
   FMMSW_CHECK(mm.z == block);
   const VarSet a_side = mm.x | mm.g | block;
   const VarSet b_side = mm.y | mm.g | block;
@@ -152,7 +155,7 @@ void EliminateMm(State* s, VarSet block, const MmExpr& mm,
       } else {
         for (size_t i = 0; i < a_hg.edges().size(); ++i) {
           if (a_hg.edges()[i] == schema) {
-            a_db.relations[i] = Intersect(a_db.relations[i], s->rels[e]);
+            a_db.relations[i] = Intersect(a_db.relations[i], s->rels[e], ec);
           }
         }
       }
@@ -166,7 +169,7 @@ void EliminateMm(State* s, VarSet block, const MmExpr& mm,
       } else {
         for (size_t i = 0; i < b_hg.edges().size(); ++i) {
           if (b_hg.edges()[i] == schema) {
-            b_db.relations[i] = Intersect(b_db.relations[i], s->rels[e]);
+            b_db.relations[i] = Intersect(b_db.relations[i], s->rels[e], ec);
           }
         }
       }
@@ -177,8 +180,8 @@ void EliminateMm(State* s, VarSet block, const MmExpr& mm,
                 "MmExpr for this step");
   }
   // M1(x, z, g) and M2(y, z, g).
-  Relation m1 = WcojJoin(a_hg, a_db, a_side);
-  Relation m2 = WcojJoin(b_hg, b_db, b_side);
+  Relation m1 = WcojJoin(a_hg, a_db, a_side, nullptr, ec);
+  Relation m2 = WcojJoin(b_hg, b_db, b_side, nullptr, ec);
 
   // Group rows by G-key; within each group build matrices over x/z and z/y.
   const std::vector<int> m1_g = ColsFor(m1, mm.g), m1_x = ColsFor(m1, mm.x),
@@ -234,6 +237,7 @@ void EliminateMm(State* s, VarSet block, const MmExpr& mm,
       result.Add(tuple);
     };
     const auto xkeys = xs.Reverse(), ykeys = ys.Reverse();
+    Bump(ExecContext::Resolve(ec).stats().mm_products);
     if (opts.kernel == MmKernel::kBoolean) {
       BitMatrix ma(xs.size(), zs.size()), mb(zs.size(), ys.size());
       for (size_t r : rows.first) {
@@ -286,7 +290,7 @@ void EliminateMm(State* s, VarSet block, const MmExpr& mm,
     if (it == pool.end()) {
       pool.emplace(s->hg.edges()[e], s->rels[e]);
     } else {
-      it->second = Intersect(it->second, s->rels[e]);
+      it->second = Intersect(it->second, s->rels[e], ec);
     }
   }
   const VarSet n = s->hg.N(block);
@@ -295,7 +299,7 @@ void EliminateMm(State* s, VarSet block, const MmExpr& mm,
     if (it == pool.end()) {
       pool.emplace(n, result);
     } else {
-      it->second = Intersect(it->second, result);
+      it->second = Intersect(it->second, result, ec);
     }
   }
   next.rels.clear();
@@ -344,7 +348,8 @@ EliminationPlan ForLoopPlan(const Hypergraph& h,
 
 bool ExecutePlan(const Hypergraph& h, const Database& db,
                  const EliminationPlan& plan, const EliminationOptions& opts,
-                 EliminationStats* stats) {
+                 EliminationStats* stats, ExecContext* ctx) {
+  ExecContext& ec = ExecContext::Resolve(ctx);
   FMMSW_CHECK(db.relations.size() == h.edges().size());
   State s;
   s.hg = h;
@@ -361,9 +366,9 @@ bool ExecutePlan(const Hypergraph& h, const Database& db,
       method = ChooseMethod(s, step.block, step.mm, opts);
     }
     if (method == StepMethod::kMm) {
-      EliminateMm(&s, step.block, step.mm, opts, stats);
+      EliminateMm(&s, step.block, step.mm, opts, stats, &ec);
     } else {
-      EliminateForLoop(&s, step.block, stats);
+      EliminateForLoop(&s, step.block, stats, &ec);
     }
     eliminated = eliminated | step.block;
   }

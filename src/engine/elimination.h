@@ -19,6 +19,8 @@
 
 namespace fmmsw {
 
+class ExecContext;
+
 enum class StepMethod {
   kForLoop,  ///< join incident relations, project the block away
   kMm,       ///< matrix multiplication per the step's MmExpr
@@ -66,7 +68,8 @@ EliminationPlan ForLoopPlan(const Hypergraph& h,
 bool ExecutePlan(const Hypergraph& h, const Database& db,
                  const EliminationPlan& plan,
                  const EliminationOptions& opts = {},
-                 EliminationStats* stats = nullptr);
+                 EliminationStats* stats = nullptr,
+                 ExecContext* ctx = nullptr);
 
 }  // namespace fmmsw
 

@@ -2,8 +2,8 @@
 
 #include <atomic>
 #include <cmath>
-#include <unordered_map>
 
+#include "core/exec_context.h"
 #include "mm/matrix.h"
 #include "relation/degree.h"
 #include "relation/flat_index.h"
@@ -27,16 +27,16 @@ struct MiddleSplit {
 };
 
 MiddleSplit SplitMiddle(const Relation& left, const Relation& right, int mid,
-                        VarSet left_other, VarSet right_other,
-                        int64_t delta) {
-  auto pl = PartitionByDegree(left, left_other, VarSet::Singleton(mid),
-                              delta);
+                        VarSet left_other, VarSet right_other, int64_t delta,
+                        ExecContext* ec) {
+  auto pl =
+      PartitionByDegree(left, left_other, VarSet::Singleton(mid), delta, ec);
   auto pr = PartitionByDegree(right, right_other, VarSet::Singleton(mid),
-                              delta);
+                              delta, ec);
   MiddleSplit out;
-  out.heavy = Union(pl.heavy, pr.heavy);
-  out.left_light = Antijoin(left, out.heavy);
-  out.right_light = Antijoin(right, out.heavy);
+  out.heavy = Union(pl.heavy, pr.heavy, ec);
+  out.left_light = Antijoin(left, out.heavy, ec);
+  out.right_light = Antijoin(right, out.heavy, ec);
   return out;
 }
 
@@ -45,11 +45,11 @@ MiddleSplit SplitMiddle(const Relation& left, const Relation& right, int mid,
 /// receives them and returns true to stop (answer found). Both incident
 /// relations are indexed on the middle variable once (the naive version
 /// re-scanned them per heavy value), and the heavy values are probed in
-/// parallel — the callbacks only read shared state.
+/// parallel on the context's pool — the callbacks only read shared state.
 template <typename Check>
-bool ForEachHeavy(const Relation& heavy, const Relation& left,
-                  const Relation& right, int mid, VarSet left_other,
-                  VarSet right_other, const Check& check,
+bool ForEachHeavy(ExecContext& ec, const Relation& heavy,
+                  const Relation& left, const Relation& right, int mid,
+                  VarSet left_other, VarSet right_other, const Check& check,
                   FourCycleStats* stats) {
   // The single-column gather below only supports unary endpoint sets
   // (always-on check: a wider VarSet would silently gather wrong columns).
@@ -65,7 +65,7 @@ bool ForEachHeavy(const Relation& heavy, const Relation& left,
   // flight when the answer is found still increment it.
   std::atomic<int64_t> probes(0);
   const bool found = ParallelAnyOf(
-      static_cast<int64_t>(heavy.size()),
+      ec.pool(), static_cast<int64_t>(heavy.size()),
       [&](int64_t r) {
         // Probe with KeySpec so the key encoding stays mechanically
         // identical to the build side.
@@ -92,19 +92,22 @@ bool ForEachHeavy(const Relation& heavy, const Relation& left,
 
 }  // namespace
 
-bool FourCycleTd(const Database& db) {
+bool FourCycleTd(const Database& db, ExecContext* ctx) {
+  ExecContext& ec = ExecContext::Resolve(ctx);
   // Single TD {XYZ}, {ZWX}: materialize both bags fully (O(N^2)).
   const Relation& r = db.relations[0];
   const Relation& s = db.relations[1];
   const Relation& t = db.relations[2];
   const Relation& u = db.relations[3];
-  Relation p = Project(Join(r, s), VarSet{kX, kZ});
-  Relation q = Project(Join(t, u), VarSet{kZ, kX});
-  return !Intersect(p, q).empty();
+  Relation p = Project(Join(r, s, {}, &ec), VarSet{kX, kZ}, &ec);
+  Relation q = Project(Join(t, u, {}, &ec), VarSet{kZ, kX}, &ec);
+  return !Intersect(p, q, &ec).empty();
 }
 
-bool FourCycleCombinatorial(const Database& db, FourCycleStats* stats) {
+bool FourCycleCombinatorial(const Database& db, FourCycleStats* stats,
+                            ExecContext* ctx) {
   FMMSW_CHECK(db.relations.size() == 4);
+  ExecContext& ec = ExecContext::Resolve(ctx);
   const Relation& r = db.relations[0];  // R(X,Y)
   const Relation& s = db.relations[1];  // S(Y,Z)
   const Relation& t = db.relations[2];  // T(Z,W)
@@ -115,43 +118,54 @@ bool FourCycleCombinatorial(const Database& db, FourCycleStats* stats) {
       std::max<int64_t>(1, static_cast<int64_t>(std::ceil(std::sqrt(n))));
 
   // Middle vertices of the two 2-paths: y on the R-S side, w on T-U.
-  MiddleSplit ys = SplitMiddle(r, s, kY, VarSet{kX}, VarSet{kZ}, delta);
-  MiddleSplit ws = SplitMiddle(t, u, kW, VarSet{kZ}, VarSet{kX}, delta);
+  MiddleSplit ys = SplitMiddle(r, s, kY, VarSet{kX}, VarSet{kZ}, delta, &ec);
+  MiddleSplit ws = SplitMiddle(t, u, kW, VarSet{kZ}, VarSet{kX}, delta, &ec);
 
   // Heavy y: O(N) probe per heavy value — find w adjacent to some z in
   // S[y] (via T) and some x in R[y] (via U).
-  if (ForEachHeavy(ys.heavy, r, s, kY, VarSet{kX}, VarSet{kZ},
+  if (ForEachHeavy(ec, ys.heavy, r, s, kY, VarSet{kX}, VarSet{kZ},
                    [&](const Relation& xset, const Relation& zset) {
-                     Relation wt = Project(Semijoin(t, zset), VarSet{kW});
-                     Relation wu = Project(Semijoin(u, xset), VarSet{kW});
-                     return !Intersect(wt, wu).empty();
+                     Relation wt =
+                         Project(Semijoin(t, zset, &ec), VarSet{kW}, &ec);
+                     Relation wu =
+                         Project(Semijoin(u, xset, &ec), VarSet{kW}, &ec);
+                     return !Intersect(wt, wu, &ec).empty();
                    },
                    stats)) {
     return true;
   }
   // Heavy w symmetric: find y adjacent to some x in U[w] and z in T[w].
-  if (ForEachHeavy(ws.heavy, t, u, kW, VarSet{kZ}, VarSet{kX},
+  if (ForEachHeavy(ec, ws.heavy, t, u, kW, VarSet{kZ}, VarSet{kX},
                    [&](const Relation& zset, const Relation& xset) {
-                     Relation yr = Project(Semijoin(r, xset), VarSet{kY});
-                     Relation yss = Project(Semijoin(s, zset), VarSet{kY});
-                     return !Intersect(yr, yss).empty();
+                     Relation yr =
+                         Project(Semijoin(r, xset, &ec), VarSet{kY}, &ec);
+                     Relation yss =
+                         Project(Semijoin(s, zset, &ec), VarSet{kY}, &ec);
+                     return !Intersect(yr, yss, &ec).empty();
                    },
                    stats)) {
     return true;
   }
-  // Residual: both middles light — two N*Delta 2-path sets intersected.
-  Relation p = Project(Join(ys.left_light, ys.right_light), VarSet{kX, kZ});
-  Relation q = Project(Join(ws.left_light, ws.right_light), VarSet{kZ, kX});
+  // Residual: both middles light. The first light 2-path set is
+  // materialized (N * Delta); the second is never materialized — its join
+  // carries a fused existence probe against the first, stopping at the
+  // first witness.
+  Relation p =
+      Project(Join(ys.left_light, ys.right_light, {}, &ec), VarSet{kX, kZ},
+              &ec);
+  Relation q = Join(ws.left_light, ws.right_light,
+                    {.exist_filter = &p, .limit = 1}, &ec);
   if (stats != nullptr) {
     stats->light_pairs =
         static_cast<int64_t>(p.size()) + static_cast<int64_t>(q.size());
   }
-  return !Intersect(p, q).empty();
+  return !q.empty();
 }
 
 bool FourCycleMm(const Database& db, double omega, MmKernel kernel,
-                 FourCycleStats* stats) {
+                 FourCycleStats* stats, ExecContext* ctx) {
   FMMSW_CHECK(db.relations.size() == 4);
+  ExecContext& ec = ExecContext::Resolve(ctx);
   const Relation& r = db.relations[0];
   const Relation& s = db.relations[1];
   const Relation& t = db.relations[2];
@@ -165,30 +179,35 @@ bool FourCycleMm(const Database& db, double omega, MmKernel kernel,
   const int64_t delta = std::max<int64_t>(
       1, static_cast<int64_t>(std::ceil(std::pow(n, exp_delta))));
 
-  MiddleSplit ys = SplitMiddle(r, s, kY, VarSet{kX}, VarSet{kZ}, delta);
-  MiddleSplit ws = SplitMiddle(t, u, kW, VarSet{kZ}, VarSet{kX}, delta);
+  MiddleSplit ys = SplitMiddle(r, s, kY, VarSet{kX}, VarSet{kZ}, delta, &ec);
+  MiddleSplit ws = SplitMiddle(t, u, kW, VarSet{kZ}, VarSet{kX}, delta, &ec);
 
-  // Light-light: intersect the two light 2-path sets (N * Delta each).
-  Relation p = Project(Join(ys.left_light, ys.right_light), VarSet{kX, kZ});
-  Relation q = Project(Join(ws.left_light, ws.right_light), VarSet{kZ, kX});
+  // Light-light: intersect the two light 2-path sets (N * Delta each;
+  // both are kept — the mixed cases below probe them per heavy value).
+  Relation p =
+      Project(Join(ys.left_light, ys.right_light, {}, &ec), VarSet{kX, kZ},
+              &ec);
+  Relation q =
+      Project(Join(ws.left_light, ws.right_light, {}, &ec), VarSet{kZ, kX},
+              &ec);
   if (stats != nullptr) {
     stats->light_pairs =
         static_cast<int64_t>(p.size()) + static_cast<int64_t>(q.size());
   }
-  if (!Intersect(p, q).empty()) return true;
+  if (!Intersect(p, q, &ec).empty()) return true;
 
   // Mixed: light y, heavy w — probe P with each heavy w's neighborhoods.
-  if (ForEachHeavy(ws.heavy, t, u, kW, VarSet{kZ}, VarSet{kX},
+  if (ForEachHeavy(ec, ws.heavy, t, u, kW, VarSet{kZ}, VarSet{kX},
                    [&](const Relation& zset, const Relation& xset) {
-                     return !Semijoin(Semijoin(p, xset), zset).empty();
+                     return !SemijoinAll(p, {&xset, &zset}, &ec).empty();
                    },
                    stats)) {
     return true;
   }
   // Mixed: heavy y, light w.
-  if (ForEachHeavy(ys.heavy, r, s, kY, VarSet{kX}, VarSet{kZ},
+  if (ForEachHeavy(ec, ys.heavy, r, s, kY, VarSet{kX}, VarSet{kZ},
                    [&](const Relation& xset, const Relation& zset) {
-                     return !Semijoin(Semijoin(q, xset), zset).empty();
+                     return !SemijoinAll(q, {&xset, &zset}, &ec).empty();
                    },
                    stats)) {
     return true;
@@ -196,68 +215,64 @@ bool FourCycleMm(const Database& db, double omega, MmKernel kernel,
 
   // Heavy-heavy core via rectangular MM: B1[w][y] over the shared x
   // dimension, B2[y][w] over the shared z dimension.
-  Relation rh = Semijoin(r, ys.heavy);   // R(X,Y), heavy y
-  Relation uh = Semijoin(u, ws.heavy);   // U(W,X), heavy w
-  Relation sh = Semijoin(s, ys.heavy);   // S(Y,Z), heavy y
-  Relation th = Semijoin(t, ws.heavy);   // T(Z,W), heavy w
+  Relation rh = Semijoin(r, ys.heavy, &ec);  // R(X,Y), heavy y
+  Relation uh = Semijoin(u, ws.heavy, &ec);  // U(W,X), heavy w
+  Relation sh = Semijoin(s, ys.heavy, &ec);  // S(Y,Z), heavy y
+  Relation th = Semijoin(t, ws.heavy, &ec);  // T(Z,W), heavy w
   // A heavy-heavy cycle needs all four restricted relations non-empty.
   if (rh.empty() || uh.empty() || sh.empty() || th.empty()) return false;
 
-  std::unordered_map<Value, int> yi, wi, xi, zi;
-  auto intern = [](std::unordered_map<Value, int>* m, Value v) {
-    auto [it, ins] = m->emplace(v, static_cast<int>(m->size()));
-    (void)ins;
-    return it->second;
-  };
+  FlatInterner yi(ys.heavy.size()), wi(ws.heavy.size()), xi, zi;
   for (size_t row = 0; row < ys.heavy.size(); ++row) {
-    intern(&yi, ys.heavy.Row(row)[0]);
+    yi.InternValue(ys.heavy.Row(row)[0]);
   }
   for (size_t row = 0; row < ws.heavy.size(); ++row) {
-    intern(&wi, ws.heavy.Row(row)[0]);
+    wi.InternValue(ws.heavy.Row(row)[0]);
   }
   for (size_t row = 0; row < rh.size(); ++row) {
-    intern(&xi, rh.Get(row, kX));
+    xi.InternValue(rh.Get(row, kX));
   }
   for (size_t row = 0; row < uh.size(); ++row) {
-    intern(&xi, uh.Get(row, kX));
+    xi.InternValue(uh.Get(row, kX));
   }
   for (size_t row = 0; row < sh.size(); ++row) {
-    intern(&zi, sh.Get(row, kZ));
+    zi.InternValue(sh.Get(row, kZ));
   }
   for (size_t row = 0; row < th.size(); ++row) {
-    intern(&zi, th.Get(row, kZ));
+    zi.InternValue(th.Get(row, kZ));
   }
-  if (yi.empty() || wi.empty()) return false;
+  if (yi.size() == 0 || wi.size() == 0) return false;
   if (stats != nullptr) {
     stats->mm_dims[0] = static_cast<int64_t>(wi.size());
     stats->mm_dims[1] = static_cast<int64_t>(xi.size() + zi.size());
     stats->mm_dims[2] = static_cast<int64_t>(yi.size());
   }
-  const int ny = static_cast<int>(yi.size());
-  const int nw = static_cast<int>(wi.size());
-  const int nx = static_cast<int>(xi.size());
-  const int nz = static_cast<int>(zi.size());
+  const int ny = yi.size();
+  const int nw = wi.size();
+  const int nx = xi.size();
+  const int nz = zi.size();
 
   auto multiply = [&](const Matrix& a, const Matrix& b) {
+    Bump(ec.stats().mm_products);
     return kernel == MmKernel::kStrassen ? MultiplyRectangular(a, b)
                                          : MultiplyNaive(a, b);
   };
   // B1 = U_h (w by x) times R_h (x by y).
   Matrix mu(nw, nx), mr(nx, ny);
   for (size_t row = 0; row < uh.size(); ++row) {
-    mu.At(wi.at(uh.Get(row, kW)), xi.at(uh.Get(row, kX))) = 1;
+    mu.At(wi.FindValue(uh.Get(row, kW)), xi.FindValue(uh.Get(row, kX))) = 1;
   }
   for (size_t row = 0; row < rh.size(); ++row) {
-    mr.At(xi.at(rh.Get(row, kX)), yi.at(rh.Get(row, kY))) = 1;
+    mr.At(xi.FindValue(rh.Get(row, kX)), yi.FindValue(rh.Get(row, kY))) = 1;
   }
   Matrix b1 = multiply(mu, mr);
   // B2 = S_h (y by z) times T_h (z by w).
   Matrix ms(ny, nz), mt(nz, nw);
   for (size_t row = 0; row < sh.size(); ++row) {
-    ms.At(yi.at(sh.Get(row, kY)), zi.at(sh.Get(row, kZ))) = 1;
+    ms.At(yi.FindValue(sh.Get(row, kY)), zi.FindValue(sh.Get(row, kZ))) = 1;
   }
   for (size_t row = 0; row < th.size(); ++row) {
-    mt.At(zi.at(th.Get(row, kZ)), wi.at(th.Get(row, kW))) = 1;
+    mt.At(zi.FindValue(th.Get(row, kZ)), wi.FindValue(th.Get(row, kW))) = 1;
   }
   Matrix b2 = multiply(ms, mt);
   for (int y = 0; y < ny; ++y) {

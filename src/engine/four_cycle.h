@@ -22,24 +22,30 @@
 
 namespace fmmsw {
 
+class ExecContext;
+
 struct FourCycleStats {
   int64_t heavy_probes = 0;
+  /// Materialized light 2-path tuples. In the combinatorial algorithm the
+  /// second light set is fused (existence probe against the first), so
+  /// only survivors count — the filtered-away intermediate never exists.
   int64_t light_pairs = 0;
   int64_t mm_dims[3] = {0, 0, 0};
 };
 
 /// One-bag-at-a-time TD plan (the O(N^2) baseline the paper's Section 1.1
 /// motivates against).
-bool FourCycleTd(const Database& db);
+bool FourCycleTd(const Database& db, ExecContext* ctx = nullptr);
 
 /// Degree-partitioned combinatorial algorithm, O(N^{3/2}).
 bool FourCycleCombinatorial(const Database& db,
-                            FourCycleStats* stats = nullptr);
+                            FourCycleStats* stats = nullptr,
+                            ExecContext* ctx = nullptr);
 
 /// MM hybrid at the given omega.
 bool FourCycleMm(const Database& db, double omega,
                  MmKernel kernel = MmKernel::kBoolean,
-                 FourCycleStats* stats = nullptr);
+                 FourCycleStats* stats = nullptr, ExecContext* ctx = nullptr);
 
 }  // namespace fmmsw
 

@@ -1,14 +1,13 @@
 #include "engine/pyramid.h"
 
-#include <atomic>
 #include <cmath>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "core/exec_context.h"
 #include "engine/wcoj.h"
 #include "hypergraph/hypergraph.h"
 #include "mm/matrix.h"
 #include "relation/degree.h"
+#include "relation/flat_index.h"
 #include "relation/ops.h"
 #include "util/check.h"
 #include "util/parallel.h"
@@ -20,20 +19,16 @@ namespace {
 constexpr int kApex = 0;  // Y
 constexpr int kX1 = 1, kX2 = 2, kX3 = 3;
 
-uint64_t PairKey(Value a, Value b) {
-  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
-         static_cast<uint32_t>(b);
-}
-
 }  // namespace
 
-bool Pyramid3Combinatorial(const Database& db) {
-  return WcojBoolean(Hypergraph::Pyramid(3), db);
+bool Pyramid3Combinatorial(const Database& db, ExecContext* ctx) {
+  return WcojBoolean(Hypergraph::Pyramid(3), db, ctx);
 }
 
 bool Pyramid3Mm(const Database& db, double omega, MmKernel kernel,
-                PyramidStats* stats) {
+                PyramidStats* stats, ExecContext* ctx) {
   FMMSW_CHECK(db.relations.size() == 4);
+  ExecContext& ec = ExecContext::Resolve(ctx);
   const Relation& r1 = db.relations[0];  // R1(Y, X1)
   const Relation& r2 = db.relations[1];  // R2(Y, X2)
   const Relation& r3 = db.relations[2];  // R3(Y, X3)
@@ -47,62 +42,72 @@ bool Pyramid3Mm(const Database& db, double omega, MmKernel kernel,
              static_cast<double>(delta)))));
 
   const Relation* apex_rels[3] = {&r1, &r2, &r3};
-  const int apex_vars[3] = {kX1, kX2, kX3};
 
   // ---- Case 1: some x_i is light in its apex relation. Join the base
-  // with the light part (N * Delta tuples) and probe the other two.
+  // with the light part and check the other two apex relations — both
+  // checks are fused into the join as existence-only probes, so the
+  // N * Delta intermediate is never materialized; limit 1 stops at the
+  // first witness.
   for (int i = 0; i < 3; ++i) {
     auto part = PartitionByDegree(*apex_rels[i], VarSet{kApex},
-                                  VarSet::Singleton(apex_vars[i]), delta);
-    Relation joined = Join(base, part.light);  // (X1,X2,X3,Y) with light xi
-    if (stats != nullptr) {
-      stats->case1_tuples += static_cast<int64_t>(joined.size());
-    }
+                                  VarSet::Singleton(kX1 + i), delta, &ec);
+    const Relation* checks[2];
+    int nchecks = 0;
     for (int j = 0; j < 3; ++j) {
-      if (j != i) joined = Semijoin(joined, *apex_rels[j]);
+      if (j != i) checks[nchecks++] = apex_rels[j];
     }
-    if (!joined.empty()) return true;
+    Relation witness =
+        Join(base, part.light,
+             {.exist_filters = {checks[0], checks[1]}, .limit = 1}, &ec);
+    if (stats != nullptr) {
+      stats->case1_tuples += static_cast<int64_t>(witness.size());
+    }
+    if (!witness.empty()) return true;
   }
 
   // ---- Case 2: y has small apex degrees in R1 and R2. Enumerate
   // (y, x3) in R3, loop over x1 in R1[y], x2 in R2[y], probe the base.
-  auto p1 = PartitionByDegree(r1, VarSet{kX1}, VarSet{kApex}, sqrt_delta);
-  auto p2 = PartitionByDegree(r2, VarSet{kX2}, VarSet{kApex}, sqrt_delta);
-  Relation heavy_y = Union(p1.heavy, p2.heavy);  // unary over {Y}
+  // All the per-value lookups run on flat indexes of the relations
+  // themselves (no std::unordered_map side structures).
+  auto p1 =
+      PartitionByDegree(r1, VarSet{kX1}, VarSet{kApex}, sqrt_delta, &ec);
+  auto p2 =
+      PartitionByDegree(r2, VarSet{kX2}, VarSet{kApex}, sqrt_delta, &ec);
+  Relation heavy_y = Union(p1.heavy, p2.heavy, &ec);  // unary over {Y}
   {
-    std::unordered_set<uint64_t> base_x1x2;
-    std::unordered_map<uint64_t, std::vector<Value>> base_by_x1x2;
-    for (size_t row = 0; row < base.size(); ++row) {
-      base_by_x1x2[PairKey(base.Get(row, kX1), base.Get(row, kX2))]
-          .push_back(base.Get(row, kX3));
-    }
-    // Index light-y apex values.
-    std::unordered_map<Value, std::vector<Value>> x1_of_y, x2_of_y;
-    for (size_t row = 0; row < p1.light.size(); ++row) {
-      x1_of_y[p1.light.Get(row, kApex)].push_back(p1.light.Get(row, kX1));
-    }
-    for (size_t row = 0; row < p2.light.size(); ++row) {
-      x2_of_y[p2.light.Get(row, kApex)].push_back(p2.light.Get(row, kX2));
-    }
-    std::unordered_set<Value> heavy_y_set;
+    const KeySpec kbase12(base, VarSet{kX1, kX2});
+    const FlatMultimap base_by_x1x2(base, kbase12);
+    const int base_x3_col = base.ColumnOf(kX3);
+    const KeySpec k1(p1.light, VarSet{kApex});
+    const KeySpec k2(p2.light, VarSet{kApex});
+    const FlatMultimap x1_of_y(p1.light, k1);
+    const FlatMultimap x2_of_y(p2.light, k2);
+    const int l1_x1_col = p1.light.ColumnOf(kX1);
+    const int l2_x2_col = p2.light.ColumnOf(kX2);
+    FlatInterner heavy_y_set(heavy_y.size());
     for (size_t row = 0; row < heavy_y.size(); ++row) {
-      heavy_y_set.insert(heavy_y.Row(row)[0]);
+      heavy_y_set.InternValue(heavy_y.Row(row)[0]);
     }
-    std::unordered_set<uint64_t> r3_pairs;  // (y, x3)
     for (size_t row = 0; row < r3.size(); ++row) {
       const Value y = r3.Get(row, kApex);
-      if (heavy_y_set.count(y) > 0) continue;
-      auto it1 = x1_of_y.find(y);
-      auto it2 = x2_of_y.find(y);
-      if (it1 == x1_of_y.end() || it2 == x2_of_y.end()) continue;
+      if (heavy_y_set.FindValue(y) >= 0) continue;
+      const uint64_t ykey = static_cast<uint32_t>(y);
+      const int32_t first1 = x1_of_y.First(ykey);
+      if (first1 < 0) continue;
+      const int32_t first2 = x2_of_y.First(ykey);
+      if (first2 < 0) continue;
       const Value x3 = r3.Get(row, kX3);
-      for (Value x1 : it1->second) {
-        for (Value x2 : it2->second) {
+      for (int32_t row1 = first1; row1 >= 0; row1 = x1_of_y.Next(row1)) {
+        const Value x1 = p1.light.Row(row1)[l1_x1_col];
+        for (int32_t row2 = first2; row2 >= 0; row2 = x2_of_y.Next(row2)) {
+          const Value x2 = p2.light.Row(row2)[l2_x2_col];
           if (stats != nullptr) ++stats->case2_tuples;
-          auto bit = base_by_x1x2.find(PairKey(x1, x2));
-          if (bit == base_by_x1x2.end()) continue;
-          for (Value bx3 : bit->second) {
-            if (bx3 == x3) return true;
+          const uint64_t bkey =
+              (static_cast<uint64_t>(static_cast<uint32_t>(x1)) << 32) |
+              static_cast<uint32_t>(x2);
+          for (int32_t brow = base_by_x1x2.First(bkey); brow >= 0;
+               brow = base_by_x1x2.Next(brow)) {
+            if (base.Row(brow)[base_x3_col] == x3) return true;
           }
         }
       }
@@ -112,91 +117,95 @@ bool Pyramid3Mm(const Database& db, double omega, MmKernel kernel,
   // ---- Case 3: all x_i heavy and y heavy. Eliminate Y with
   // MM(X2; X3; Y | X1): for each heavy x1, multiply the X2-by-Y and
   // Y-by-X3 Boolean matrices, then probe the base.
-  auto h1 = PartitionByDegree(r1, VarSet{kApex}, VarSet{kX1}, delta).heavy;
-  auto h2 = PartitionByDegree(r2, VarSet{kApex}, VarSet{kX2}, delta).heavy;
-  auto h3 = PartitionByDegree(r3, VarSet{kApex}, VarSet{kX3}, delta).heavy;
-  Relation r1h = Semijoin(Semijoin(r1, h1), heavy_y);
-  Relation r2h = Semijoin(Semijoin(r2, h2), heavy_y);
-  Relation r3h = Semijoin(Semijoin(r3, h3), heavy_y);
+  auto h1 =
+      PartitionByDegree(r1, VarSet{kApex}, VarSet{kX1}, delta, &ec).heavy;
+  auto h2 =
+      PartitionByDegree(r2, VarSet{kApex}, VarSet{kX2}, delta, &ec).heavy;
+  auto h3 =
+      PartitionByDegree(r3, VarSet{kApex}, VarSet{kX3}, delta, &ec).heavy;
+  Relation r1h = SemijoinAll(r1, {&h1, &heavy_y}, &ec);
+  Relation r2h = SemijoinAll(r2, {&h2, &heavy_y}, &ec);
+  Relation r3h = SemijoinAll(r3, {&h3, &heavy_y}, &ec);
   if (r1h.empty() || r2h.empty() || r3h.empty()) return false;
 
-  std::unordered_map<Value, std::vector<Value>> y_of_x1;
-  for (size_t row = 0; row < r1h.size(); ++row) {
-    y_of_x1[r1h.Get(row, kX1)].push_back(r1h.Get(row, kApex));
-  }
-  std::unordered_map<Value, std::vector<Value>> x2_of_y, x3_of_y;
-  for (size_t row = 0; row < r2h.size(); ++row) {
-    x2_of_y[r2h.Get(row, kApex)].push_back(r2h.Get(row, kX2));
-  }
-  for (size_t row = 0; row < r3h.size(); ++row) {
-    x3_of_y[r3h.Get(row, kApex)].push_back(r3h.Get(row, kX3));
-  }
-  std::unordered_map<Value, std::vector<std::pair<Value, Value>>> base_by_x1;
-  for (size_t row = 0; row < base.size(); ++row) {
-    base_by_x1[base.Get(row, kX1)].emplace_back(base.Get(row, kX2),
-                                                base.Get(row, kX3));
-  }
+  const KeySpec kr1h(r1h, VarSet{kX1});
+  const FlatMultimap y_of_x1(r1h, kr1h);
+  const int r1h_y_col = r1h.ColumnOf(kApex);
+  const KeySpec kr2h(r2h, VarSet{kApex});
+  const KeySpec kr3h(r3h, VarSet{kApex});
+  const FlatMultimap x2_of_y(r2h, kr2h);
+  const FlatMultimap x3_of_y(r3h, kr3h);
+  const int r2h_x2_col = r2h.ColumnOf(kX2);
+  const int r3h_x3_col = r3h.ColumnOf(kX3);
+  const KeySpec kbase1(base, VarSet{kX1});
+  const FlatMultimap base_by_x1(base, kbase1);
+  const int base_x2_col = base.ColumnOf(kX2);
+  const int base_x3_col = base.ColumnOf(kX3);
 
-  // Independent MM groups, one per heavy x1 — probe them in parallel
-  // (each iteration only reads the shared indexes).
-  std::vector<const std::pair<const Value, std::vector<Value>>*> groups;
-  groups.reserve(y_of_x1.size());
-  for (const auto& entry : y_of_x1) {
-    if (base_by_x1.find(entry.first) != base_by_x1.end()) {
-      groups.push_back(&entry);
+  // Independent MM groups, one per heavy x1 with base support — probe
+  // them in parallel on the context's pool (each iteration only reads the
+  // shared indexes).
+  Relation x1s = Project(r1h, VarSet{kX1}, &ec);
+  std::vector<Value> groups;
+  groups.reserve(x1s.size());
+  for (size_t row = 0; row < x1s.size(); ++row) {
+    const Value x1 = x1s.Row(row)[0];
+    if (base_by_x1.First(static_cast<uint32_t>(x1)) >= 0) {
+      groups.push_back(x1);
     }
   }
   if (stats != nullptr) {
     stats->mm_groups += static_cast<int64_t>(groups.size());
   }
-  return ParallelAnyOf(static_cast<int64_t>(groups.size()), [&](int64_t g) {
-    const Value x1 = groups[g]->first;
-    const std::vector<Value>& ys = groups[g]->second;
-    auto bit = base_by_x1.find(x1);
-    // Local indices for this group.
-    std::unordered_map<Value, int> yi, x2i, x3i;
-    auto intern = [](std::unordered_map<Value, int>* m, Value v) {
-      auto [it, ins] = m->emplace(v, static_cast<int>(m->size()));
-      (void)ins;
-      return it->second;
-    };
-    for (Value y : ys) {
-      intern(&yi, y);
-      auto i2 = x2_of_y.find(y);
-      if (i2 != x2_of_y.end()) {
-        for (Value x2 : i2->second) intern(&x2i, x2);
-      }
-      auto i3 = x3_of_y.find(y);
-      if (i3 != x3_of_y.end()) {
-        for (Value x3 : i3->second) intern(&x3i, x3);
-      }
-    }
-    if (x2i.empty() || x3i.empty()) return false;
-    Matrix m1(static_cast<int>(x2i.size()), static_cast<int>(yi.size()));
-    Matrix m2(static_cast<int>(yi.size()), static_cast<int>(x3i.size()));
-    for (Value y : ys) {
-      const int yc = yi.at(y);
-      auto i2 = x2_of_y.find(y);
-      if (i2 != x2_of_y.end()) {
-        for (Value x2 : i2->second) m1.At(x2i.at(x2), yc) = 1;
-      }
-      auto i3 = x3_of_y.find(y);
-      if (i3 != x3_of_y.end()) {
-        for (Value x3 : i3->second) m2.At(yc, x3i.at(x3)) = 1;
-      }
-    }
-    Matrix prod = kernel == MmKernel::kStrassen ? MultiplyRectangular(m1, m2)
-                                                : MultiplyNaive(m1, m2);
-    for (const auto& [x2, x3] : bit->second) {
-      auto i2 = x2i.find(x2);
-      auto i3 = x3i.find(x3);
-      if (i2 != x2i.end() && i3 != x3i.end() &&
-          prod.At(i2->second, i3->second) != 0) {
-        return true;
-      }
-    }
-    return false;
-  });
+  return ParallelAnyOf(
+      ec.pool(), static_cast<int64_t>(groups.size()), [&](int64_t g) {
+        const Value x1 = groups[g];
+        const uint64_t x1key = static_cast<uint32_t>(x1);
+        // Local dense indices for this group.
+        FlatInterner yi, x2i, x3i;
+        for (int32_t row = y_of_x1.First(x1key); row >= 0;
+             row = y_of_x1.Next(row)) {
+          const Value y = r1h.Row(row)[r1h_y_col];
+          yi.InternValue(y);
+          const uint64_t ykey = static_cast<uint32_t>(y);
+          for (int32_t r2row = x2_of_y.First(ykey); r2row >= 0;
+               r2row = x2_of_y.Next(r2row)) {
+            x2i.InternValue(r2h.Row(r2row)[r2h_x2_col]);
+          }
+          for (int32_t r3row = x3_of_y.First(ykey); r3row >= 0;
+               r3row = x3_of_y.Next(r3row)) {
+            x3i.InternValue(r3h.Row(r3row)[r3h_x3_col]);
+          }
+        }
+        if (x2i.size() == 0 || x3i.size() == 0) return false;
+        Matrix m1(x2i.size(), yi.size());
+        Matrix m2(yi.size(), x3i.size());
+        for (int32_t row = y_of_x1.First(x1key); row >= 0;
+             row = y_of_x1.Next(row)) {
+          const Value y = r1h.Row(row)[r1h_y_col];
+          const int yc = yi.FindValue(y);
+          const uint64_t ykey = static_cast<uint32_t>(y);
+          for (int32_t r2row = x2_of_y.First(ykey); r2row >= 0;
+               r2row = x2_of_y.Next(r2row)) {
+            m1.At(x2i.FindValue(r2h.Row(r2row)[r2h_x2_col]), yc) = 1;
+          }
+          for (int32_t r3row = x3_of_y.First(ykey); r3row >= 0;
+               r3row = x3_of_y.Next(r3row)) {
+            m2.At(yc, x3i.FindValue(r3h.Row(r3row)[r3h_x3_col])) = 1;
+          }
+        }
+        Bump(ec.stats().mm_products);
+        Matrix prod = kernel == MmKernel::kStrassen
+                          ? MultiplyRectangular(m1, m2)
+                          : MultiplyNaive(m1, m2);
+        for (int32_t brow = base_by_x1.First(x1key); brow >= 0;
+             brow = base_by_x1.Next(brow)) {
+          const int i2 = x2i.FindValue(base.Row(brow)[base_x2_col]);
+          const int i3 = x3i.FindValue(base.Row(brow)[base_x3_col]);
+          if (i2 >= 0 && i3 >= 0 && prod.At(i2, i3) != 0) return true;
+        }
+        return false;
+      });
 }
 
 }  // namespace fmmsw

@@ -23,7 +23,11 @@
 
 namespace fmmsw {
 
+class ExecContext;
+
 struct PyramidStats {
+  /// Surviving tuples of the fused case-1 join (the base-join intermediate
+  /// is filtered by existence probes, never materialized).
   int64_t case1_tuples = 0;
   int64_t case2_tuples = 0;
   int64_t mm_groups = 0;
@@ -31,12 +35,12 @@ struct PyramidStats {
 
 /// Combinatorial baseline: generic join (the PANDA-style N^{2-1/k} plan is
 /// within a log factor of this on the generated workloads).
-bool Pyramid3Combinatorial(const Database& db);
+bool Pyramid3Combinatorial(const Database& db, ExecContext* ctx = nullptr);
 
 /// The Lemma C.13 MM algorithm at the given omega.
 bool Pyramid3Mm(const Database& db, double omega,
                 MmKernel kernel = MmKernel::kBoolean,
-                PyramidStats* stats = nullptr);
+                PyramidStats* stats = nullptr, ExecContext* ctx = nullptr);
 
 }  // namespace fmmsw
 

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "core/exec_context.h"
 #include "engine/wcoj.h"
 #include "relation/ops.h"
 #include "util/check.h"
@@ -14,19 +15,20 @@ namespace {
 /// Materializes the bag relation: the WCOJ join over the projections onto
 /// the bag of every relation intersecting it. Sound (a superset of the
 /// projection of the full join onto the bag) and O(N^{rho*(bag)}).
-Relation MaterializeBag(const Hypergraph& h, const Database& db, VarSet bag) {
+Relation MaterializeBag(const Hypergraph& h, const Database& db, VarSet bag,
+                        ExecContext* ec) {
   // Merge relations with the same projected schema by intersection so the
   // sub-hypergraph's edges and relations stay aligned.
   std::map<VarSet, Relation> by_schema;
   for (size_t e = 0; e < h.edges().size(); ++e) {
     const VarSet overlap = h.edges()[e] & bag;
     if (overlap.empty()) continue;
-    Relation proj = Project(db.relations[e], bag);
+    Relation proj = Project(db.relations[e], bag, ec);
     auto it = by_schema.find(overlap);
     if (it == by_schema.end()) {
       by_schema.emplace(overlap, std::move(proj));
     } else {
-      it->second = Intersect(it->second, proj);
+      it->second = Intersect(it->second, proj, ec);
     }
   }
   Hypergraph sub(h.num_vars(), h.names());
@@ -39,13 +41,15 @@ Relation MaterializeBag(const Hypergraph& h, const Database& db, VarSet bag) {
     sub_db.relations.push_back(std::move(rel));
   }
   FMMSW_CHECK(sub.edges().size() == sub_db.relations.size());
-  return WcojJoin(sub, sub_db, bag);
+  return WcojJoin(sub, sub_db, bag, nullptr, ec);
 }
 
 }  // namespace
 
 bool YannakakisBoolean(std::vector<Relation> bags,
-                       const std::vector<std::pair<int, int>>& tree_edges) {
+                       const std::vector<std::pair<int, int>>& tree_edges,
+                       ExecContext* ctx) {
+  ExecContext& ec = ExecContext::Resolve(ctx);
   if (bags.empty()) return true;
   const int n = static_cast<int>(bags.size());
   std::vector<std::vector<int>> adj(n);
@@ -72,25 +76,27 @@ bool YannakakisBoolean(std::vector<Relation> bags,
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const int node = *it;
     if (parent[node] < 0) continue;
-    bags[parent[node]] = Semijoin(bags[parent[node]], bags[node]);
+    bags[parent[node]] = Semijoin(bags[parent[node]], bags[node], &ec);
     if (bags[node].empty()) return false;
   }
   return !bags[0].empty();
 }
 
 bool TdBoolean(const Hypergraph& h, const Database& db,
-               const TreeDecomposition& td) {
+               const TreeDecomposition& td, ExecContext* ctx) {
+  ExecContext& ec = ExecContext::Resolve(ctx);
   FMMSW_CHECK(IsValidTd(h, td));
   std::vector<Relation> bags;
   bags.reserve(td.bags.size());
   for (VarSet bag : td.bags) {
-    bags.push_back(MaterializeBag(h, db, bag));
+    bags.push_back(MaterializeBag(h, db, bag, &ec));
     if (bags.back().empty()) return false;
   }
-  return YannakakisBoolean(std::move(bags), TreeEdges(td));
+  return YannakakisBoolean(std::move(bags), TreeEdges(td), &ec);
 }
 
-bool TdBooleanBest(const Hypergraph& h, const Database& db) {
+bool TdBooleanBest(const Hypergraph& h, const Database& db,
+                   ExecContext* ctx) {
   auto tds = EnumerateTds(h);
   FMMSW_CHECK(!tds.empty());
   const TreeDecomposition* best = &tds[0];
@@ -107,7 +113,7 @@ bool TdBooleanBest(const Hypergraph& h, const Database& db) {
       first = false;
     }
   }
-  return TdBoolean(h, db, *best);
+  return TdBoolean(h, db, *best, ctx);
 }
 
 }  // namespace fmmsw

@@ -14,19 +14,23 @@
 
 namespace fmmsw {
 
+class ExecContext;
+
 /// Evaluates the Boolean query along the given TD: materializes each bag
 /// via WCOJ (using only relations intersecting the bag, semijoin-reduced to
 /// it), then runs Yannakakis over the join tree.
 bool TdBoolean(const Hypergraph& h, const Database& db,
-               const TreeDecomposition& td);
+               const TreeDecomposition& td, ExecContext* ctx = nullptr);
 
 /// Picks the minimum-fhtw TD and evaluates along it.
-bool TdBooleanBest(const Hypergraph& h, const Database& db);
+bool TdBooleanBest(const Hypergraph& h, const Database& db,
+                   ExecContext* ctx = nullptr);
 
 /// Yannakakis over already-materialized bag relations arranged in a join
 /// tree: a bottom-up semijoin pass suffices for the Boolean answer.
 bool YannakakisBoolean(std::vector<Relation> bags,
-                       const std::vector<std::pair<int, int>>& tree_edges);
+                       const std::vector<std::pair<int, int>>& tree_edges,
+                       ExecContext* ctx = nullptr);
 
 }  // namespace fmmsw
 

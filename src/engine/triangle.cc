@@ -1,12 +1,13 @@
 #include "engine/triangle.h"
 
 #include <cmath>
-#include <unordered_map>
 
+#include "core/exec_context.h"
 #include "engine/wcoj.h"
 #include "hypergraph/hypergraph.h"
 #include "mm/matrix.h"
 #include "relation/degree.h"
+#include "relation/flat_index.h"
 #include "relation/ops.h"
 #include "util/check.h"
 
@@ -16,39 +17,32 @@ namespace {
 
 constexpr int kX = 0, kY = 1, kZ = 2;
 
-/// Dense index over the values appearing in a unary relation.
+/// Dense index over the values appearing in a unary relation (flat
+/// open-addressing interner; no per-node allocation).
 class ValueIndex {
  public:
-  explicit ValueIndex(const Relation& unary) {
-    map_.reserve(unary.size() * 2);
+  explicit ValueIndex(const Relation& unary) : map_(unary.size()) {
     for (size_t r = 0; r < unary.size(); ++r) {
-      map_.emplace(unary.Row(r)[0], static_cast<int>(map_.size()));
+      map_.InternValue(unary.Row(r)[0]);
     }
   }
-  int Find(Value v) const {
-    auto it = map_.find(v);
-    return it == map_.end() ? -1 : it->second;
-  }
-  int size() const { return static_cast<int>(map_.size()); }
+  int Find(Value v) const { return map_.FindValue(v); }
+  int size() const { return map_.size(); }
 
  private:
-  std::unordered_map<Value, int> map_;
+  FlatInterner map_;
 };
-
-/// True if the join of `left` (over two vars) with `check` is non-empty.
-bool JoinedNonEmpty(const Relation& left, const Relation& check) {
-  return !Semijoin(left, check).empty();
-}
 
 }  // namespace
 
-bool TriangleCombinatorial(const Database& db) {
-  return WcojBoolean(Hypergraph::Triangle(), db);
+bool TriangleCombinatorial(const Database& db, ExecContext* ctx) {
+  return WcojBoolean(Hypergraph::Triangle(), db, ctx);
 }
 
 bool TriangleMm(const Database& db, double omega, MmKernel kernel,
-                TriangleStats* stats) {
+                TriangleStats* stats, ExecContext* ctx) {
   FMMSW_CHECK(db.relations.size() == 3);
+  ExecContext& ec = ExecContext::Resolve(ctx);
   const Relation& r = db.relations[0];  // R(X,Y)
   const Relation& s = db.relations[1];  // S(Y,Z)
   const Relation& t = db.relations[2];  // T(X,Z)
@@ -59,47 +53,43 @@ bool TriangleMm(const Database& db, double omega, MmKernel kernel,
              std::pow(n, (omega - 1.0) / (omega + 1.0)))));
 
   // Figure 1: three decomposition steps.
-  auto pr = PartitionByDegree(r, VarSet{kY}, VarSet{kX}, delta);  // Rh(X)
-  auto ps = PartitionByDegree(s, VarSet{kZ}, VarSet{kY}, delta);  // Sh(Y)
-  auto pt = PartitionByDegree(t, VarSet{kX}, VarSet{kZ}, delta);  // Th(Z)
+  auto pr = PartitionByDegree(r, VarSet{kY}, VarSet{kX}, delta, &ec);
+  auto ps = PartitionByDegree(s, VarSet{kZ}, VarSet{kY}, delta, &ec);
+  auto pt = PartitionByDegree(t, VarSet{kX}, VarSet{kZ}, delta, &ec);
   if (stats != nullptr) {
     stats->heavy_x = static_cast<int64_t>(pr.heavy.size());
     stats->heavy_y = static_cast<int64_t>(ps.heavy.size());
     stats->heavy_z = static_cast<int64_t>(pt.heavy.size());
   }
 
-  // Light corners: Q_l1 = T join R_l (then S), Q_l2 = R join S_l (then T),
-  // Q_l3 = S join T_l (then R). Each join is at most N * Delta tuples.
+  // Light corners: Q_l1 = T join R_l (check S), Q_l2 = R join S_l (check
+  // T), Q_l3 = S join T_l (check R). The checking semijoin is fused into
+  // the join as an existence-only probe, so the N * Delta intermediate is
+  // never materialized — with limit 1 the first surviving triangle stops
+  // the enumeration.
   {
-    Relation ql1 = Join(t, pr.light);
-    if (stats != nullptr) {
-      stats->light_join_tuples += static_cast<int64_t>(ql1.size());
-    }
-    if (JoinedNonEmpty(ql1, s)) {
-      if (stats != nullptr) stats->answer_from_light = true;
-      return true;
-    }
-    Relation ql2 = Join(r, ps.light);
-    if (stats != nullptr) {
-      stats->light_join_tuples += static_cast<int64_t>(ql2.size());
-    }
-    if (JoinedNonEmpty(ql2, t)) {
-      if (stats != nullptr) stats->answer_from_light = true;
-      return true;
-    }
-    Relation ql3 = Join(s, pt.light);
-    if (stats != nullptr) {
-      stats->light_join_tuples += static_cast<int64_t>(ql3.size());
-    }
-    if (JoinedNonEmpty(ql3, r)) {
-      if (stats != nullptr) stats->answer_from_light = true;
-      return true;
+    const struct {
+      const Relation* a;
+      const Relation* b;
+      const Relation* check;
+    } light[3] = {{&t, &pr.light, &s}, {&r, &ps.light, &t},
+                  {&s, &pt.light, &r}};
+    for (const auto& q : light) {
+      Relation witness =
+          Join(*q.a, *q.b, {.exist_filter = q.check, .limit = 1}, &ec);
+      if (stats != nullptr) {
+        stats->light_join_tuples += static_cast<int64_t>(witness.size());
+      }
+      if (!witness.empty()) {
+        if (stats != nullptr) stats->answer_from_light = true;
+        return true;
+      }
     }
   }
 
   // All-heavy core: M1 = Rh x Sh x R, M2 = Sh x Th x S, multiply, join T.
-  Relation m1 = Semijoin(Semijoin(r, pr.heavy), ps.heavy);
-  Relation m2 = Semijoin(Semijoin(s, ps.heavy), pt.heavy);
+  Relation m1 = SemijoinAll(r, {&pr.heavy, &ps.heavy}, &ec);
+  Relation m2 = SemijoinAll(s, {&ps.heavy, &pt.heavy}, &ec);
   if (m1.empty() || m2.empty()) return false;
   ValueIndex xi(pr.heavy);
   ValueIndex yi(ps.heavy);
@@ -109,6 +99,7 @@ bool TriangleMm(const Database& db, double omega, MmKernel kernel,
     stats->mm_dim_y = yi.size();
     stats->mm_dim_z = zi.size();
   }
+  Bump(ec.stats().mm_products);
   // Boolean product over heavy X x heavy Y x heavy Z.
   if (kernel == MmKernel::kBoolean) {
     BitMatrix a(xi.size(), yi.size()), b(yi.size(), zi.size());
@@ -143,16 +134,21 @@ bool TriangleMm(const Database& db, double omega, MmKernel kernel,
   return false;
 }
 
-int64_t TriangleCountMm(const Database& db, MmKernel kernel) {
+int64_t TriangleCountMm(const Database& db, MmKernel kernel,
+                        ExecContext* ctx) {
   FMMSW_CHECK(db.relations.size() == 3);
+  ExecContext& ec = ExecContext::Resolve(ctx);
   const Relation& r = db.relations[0];
   const Relation& s = db.relations[1];
   const Relation& t = db.relations[2];
   // Index all X and Z values of T plus those in R/S (counts need exact
   // dimensions, not just the heavy part).
-  Relation xs = Union(Project(r, VarSet{kX}), Project(t, VarSet{kX}));
-  Relation ys = Union(Project(r, VarSet{kY}), Project(s, VarSet{kY}));
-  Relation zs = Union(Project(s, VarSet{kZ}), Project(t, VarSet{kZ}));
+  Relation xs = Union(Project(r, VarSet{kX}, &ec), Project(t, VarSet{kX}, &ec),
+                      &ec);
+  Relation ys = Union(Project(r, VarSet{kY}, &ec), Project(s, VarSet{kY}, &ec),
+                      &ec);
+  Relation zs = Union(Project(s, VarSet{kZ}, &ec), Project(t, VarSet{kZ}, &ec),
+                      &ec);
   ValueIndex xi(xs), yi(ys), zi(zs);
   Matrix a(xi.size(), yi.size()), b(yi.size(), zi.size());
   for (size_t row = 0; row < r.size(); ++row) {
@@ -161,6 +157,7 @@ int64_t TriangleCountMm(const Database& db, MmKernel kernel) {
   for (size_t row = 0; row < s.size(); ++row) {
     b.At(yi.Find(s.Get(row, kY)), zi.Find(s.Get(row, kZ))) = 1;
   }
+  Bump(ec.stats().mm_products);
   Matrix m = kernel == MmKernel::kStrassen ? MultiplyRectangular(a, b)
                                            : MultiplyNaive(a, b);
   int64_t count = 0;

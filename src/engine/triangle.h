@@ -19,28 +19,34 @@
 
 namespace fmmsw {
 
+class ExecContext;
+
 struct TriangleStats {
   int64_t heavy_x = 0, heavy_y = 0, heavy_z = 0;
+  /// Surviving tuples of the fused light-corner joins (the filtered-away
+  /// intermediate is never materialized; with limit 1 this is at most 1
+  /// per corner).
   int64_t light_join_tuples = 0;
   int64_t mm_dim_x = 0, mm_dim_y = 0, mm_dim_z = 0;
   bool answer_from_light = false;
 };
 
 /// Combinatorial baseline: generic join, O(N^{3/2}).
-bool TriangleCombinatorial(const Database& db);
+bool TriangleCombinatorial(const Database& db, ExecContext* ctx = nullptr);
 
 /// The Figure-1 algorithm. `omega` sets the partition threshold
 /// Delta = N^{(omega-1)/(omega+1)}; pass log2(7) when using the Strassen
 /// kernel so threshold and kernel agree.
 bool TriangleMm(const Database& db, double omega,
                 MmKernel kernel = MmKernel::kBoolean,
-                TriangleStats* stats = nullptr);
+                TriangleStats* stats = nullptr, ExecContext* ctx = nullptr);
 
 /// Triangle counting via integer matrix multiplication (trace of A^3 on
 /// the heavy part is not enough for counts; this counts all triangles by
 /// summing the entrywise product of (M1 x M2) with T). Used by tests to
 /// cross-check against WcojCount.
-int64_t TriangleCountMm(const Database& db, MmKernel kernel);
+int64_t TriangleCountMm(const Database& db, MmKernel kernel,
+                        ExecContext* ctx = nullptr);
 
 }  // namespace fmmsw
 

@@ -1,7 +1,9 @@
 #include "engine/wcoj.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "core/exec_context.h"
 #include "relation/ops.h"
 #include "util/check.h"
 
@@ -25,11 +27,23 @@ struct IndexedRelation {
   Value At(uint32_t pos, size_t level) const {
     return data[static_cast<size_t>(pos) * arity + level];
   }
+  uint32_t rows() const {
+    return static_cast<uint32_t>(data.size() /
+                                 std::max<size_t>(arity, 1));
+  }
 };
 
 struct Range {
   uint32_t begin, end;
   uint32_t size() const { return end - begin; }
+};
+
+/// Mutable enumeration state: one range stack per relation plus the
+/// current partial assignment. The trie data itself is shared read-only,
+/// so parallel workers each own an EnumState and recurse independently.
+struct EnumState {
+  std::vector<std::vector<Range>> ranges;
+  std::vector<Value> assignment;
 };
 
 class GenericJoin {
@@ -45,6 +59,7 @@ class GenericJoin {
       IndexedRelation ir;
       ir.vars = r.vars();
       ir.arity = r.arity();
+      total_rows_ += r.size();
       std::sort(ir.vars.begin(), ir.vars.end(),
                 [&](int a, int b) { return pos[a] < pos[b]; });
       std::vector<int> cols;
@@ -69,20 +84,106 @@ class GenericJoin {
       }
       rels_.push_back(std::move(ir));
     }
-    ranges_.resize(rels_.size());
+  }
+
+  size_t total_rows() const { return total_rows_; }
+
+  EnumState MakeState() const {
+    EnumState st;
+    st.ranges.resize(rels_.size());
     for (size_t i = 0; i < rels_.size(); ++i) {
-      ranges_[i].push_back(
-          {0, static_cast<uint32_t>(rels_[i].data.size() /
-                                    std::max(rels_[i].arity, 1))});
+      st.ranges[i].reserve(order_.size() + 2);
+      st.ranges[i].push_back({0, rels_[i].rows()});
     }
-    assignment_.assign(kMaxVars, 0);
+    st.assignment.assign(kMaxVars, 0);
+    return st;
   }
 
   /// Visits every satisfying assignment; `emit` returns false to stop the
   /// enumeration early (Boolean mode).
   template <typename Emit>
-  bool Run(const Emit& emit) {
-    return Recurse(0, emit);
+  bool Run(const Emit& emit) const {
+    EnumState st = MakeState();
+    return Recurse(&st, 0, emit);
+  }
+
+  // ---- Top-level task fan-out ----------------------------------------
+  // The candidate runs of the first variable become independent subtrees:
+  // each task pins the first variable to one matching value (with the
+  // per-relation subranges already resolved) and a worker enumerates the
+  // rest with its own range stacks.
+
+  /// Expands depth 0 into tasks. Returns false (leaving no tasks) when
+  /// the first variable is unconstrained — callers fall back to the
+  /// serial path.
+  bool CollectTopTasks() {
+    task_values_.clear();
+    task_ranges_.clear();
+    active_.clear();
+    if (order_.empty()) return false;
+    const int v = order_[0];
+    for (size_t i = 0; i < rels_.size(); ++i) {
+      if (!rels_[i].vars.empty() && rels_[i].vars[0] == v) {
+        active_.push_back(i);
+      }
+    }
+    if (active_.empty()) return false;
+    size_t pivot_a = 0;
+    for (size_t a = 1; a < active_.size(); ++a) {
+      if (rels_[active_[a]].rows() < rels_[active_[pivot_a]].rows()) {
+        pivot_a = a;
+      }
+    }
+    const IndexedRelation& pr = rels_[active_[pivot_a]];
+    const uint32_t pend = pr.rows();
+    std::vector<uint32_t> cursor(active_.size(), 0);
+    std::vector<Range> sub(active_.size());
+    uint32_t pos = 0;
+    while (pos < pend) {
+      const Value value = pr.At(pos, 0);
+      uint32_t run_end = pos + 1;
+      while (run_end < pend && pr.At(run_end, 0) == value) ++run_end;
+      bool ok = true;
+      for (size_t a = 0; a < active_.size(); ++a) {
+        if (a == pivot_a) {
+          sub[a] = {pos, run_end};
+          continue;
+        }
+        const IndexedRelation& ir = rels_[active_[a]];
+        const Range s = Seek(ir, 0, cursor[a], ir.rows(), value);
+        cursor[a] = s.end;
+        if (s.size() == 0) {
+          ok = false;
+          break;
+        }
+        sub[a] = s;
+      }
+      if (ok) {
+        task_values_.push_back(value);
+        task_ranges_.insert(task_ranges_.end(), sub.begin(), sub.end());
+      }
+      pos = run_end;
+    }
+    return true;
+  }
+
+  size_t task_count() const { return task_values_.size(); }
+
+  /// Runs one top-level task on the given worker state; the state's
+  /// stacks are rebalanced before returning. Returns false if `emit`
+  /// stopped the enumeration.
+  template <typename Emit>
+  bool RunTask(EnumState* st, size_t task, const Emit& emit) const {
+    const size_t na = active_.size();
+    for (size_t a = 0; a < na; ++a) {
+      std::vector<Range>& stack = st->ranges[active_[a]];
+      stack.resize(1);
+      stack.push_back(task_ranges_[task * na + a]);
+    }
+    st->assignment[order_[0]] = task_values_[task];
+    const bool keep_going = Recurse(st, 1, emit);
+    for (size_t a = 0; a < na; ++a) st->ranges[active_[a]].resize(1);
+    return keep_going;
   }
 
  private:
@@ -140,14 +241,14 @@ class GenericJoin {
   }
 
   template <typename Emit>
-  bool Recurse(size_t depth, const Emit& emit) {
-    if (depth == order_.size()) return emit(assignment_);
+  bool Recurse(EnumState* st, size_t depth, const Emit& emit) const {
+    if (depth == order_.size()) return emit(st->assignment);
     const int v = order_[depth];
     // Relations whose next trie level is v.
     size_t active[64];
     size_t n_active = 0;
     for (size_t i = 0; i < rels_.size(); ++i) {
-      const size_t level = ranges_[i].size() - 1;
+      const size_t level = st->ranges[i].size() - 1;
       if (level < rels_[i].vars.size() && rels_[i].vars[level] == v) {
         FMMSW_CHECK(n_active < 64);
         active[n_active++] = i;
@@ -156,22 +257,23 @@ class GenericJoin {
     if (n_active == 0) {
       // Unconstrained variable (possible after projections); nothing to
       // iterate — this only happens for vars absent from every relation.
-      return Recurse(depth + 1, emit);
+      return Recurse(st, depth + 1, emit);
     }
     // Iterate the relation with the smallest range, probing the others.
     size_t pivot = active[0];
     for (size_t a = 1; a < n_active; ++a) {
-      if (ranges_[active[a]].back().size() < ranges_[pivot].back().size()) {
+      if (st->ranges[active[a]].back().size() <
+          st->ranges[pivot].back().size()) {
         pivot = active[a];
       }
     }
     const IndexedRelation& pr = rels_[pivot];
-    const size_t plevel = ranges_[pivot].size() - 1;
-    const Range prange = ranges_[pivot].back();
+    const size_t plevel = st->ranges[pivot].size() - 1;
+    const Range prange = st->ranges[pivot].back();
     // Forward-only probe cursors, one per active relation.
     uint32_t cursor[64];
     for (size_t a = 0; a < n_active; ++a) {
-      cursor[a] = ranges_[active[a]].back().begin;
+      cursor[a] = st->ranges[active[a]].back().begin;
     }
     uint32_t pos = prange.begin;
     while (pos < prange.end) {
@@ -185,15 +287,14 @@ class GenericJoin {
       for (size_t a = 0; a < n_active; ++a) {
         const size_t i = active[a];
         if (i == pivot) continue;
-        const Range sub =
-            Seek(rels_[i], ranges_[i].size() - 1, cursor[a],
-                 ranges_[i].back().end, value);
+        const Range sub = Seek(rels_[i], st->ranges[i].size() - 1, cursor[a],
+                               st->ranges[i].back().end, value);
         cursor[a] = sub.end;
         if (sub.size() == 0) {
           ok = false;
           break;
         }
-        ranges_[i].push_back(sub);
+        st->ranges[i].push_back(sub);
         ++pushed;
       }
       if (!ok) {
@@ -201,16 +302,16 @@ class GenericJoin {
         for (size_t a = 0; a < n_active && pushed > 0; ++a) {
           const size_t i = active[a];
           if (i == pivot) continue;
-          ranges_[i].pop_back();
+          st->ranges[i].pop_back();
           --pushed;
         }
         pos = run_end;
         continue;
       }
-      ranges_[pivot].push_back({pos, run_end});
-      assignment_[v] = value;
-      const bool keep_going = Recurse(depth + 1, emit);
-      for (size_t a = 0; a < n_active; ++a) ranges_[active[a]].pop_back();
+      st->ranges[pivot].push_back({pos, run_end});
+      st->assignment[v] = value;
+      const bool keep_going = Recurse(st, depth + 1, emit);
+      for (size_t a = 0; a < n_active; ++a) st->ranges[active[a]].pop_back();
       if (!keep_going) return false;
       pos = run_end;
     }
@@ -219,51 +320,158 @@ class GenericJoin {
 
   std::vector<int> order_;
   std::vector<IndexedRelation> rels_;
-  std::vector<std::vector<Range>> ranges_;
-  std::vector<Value> assignment_;
+  size_t total_rows_ = 0;
+  std::vector<size_t> active_;     // relations constrained at depth 0
+  std::vector<Value> task_values_;
+  std::vector<Range> task_ranges_;  // task_count() * active_.size()
 };
 
 std::vector<int> DefaultOrder(const Hypergraph& h) {
   return h.vertices().Members();
 }
 
+/// Minimum input size / task fan-out before the pool is engaged: tiny
+/// joins (unit tests, inner TD bags) stay serial.
+constexpr size_t kMinParallelRows = 512;
+constexpr size_t kMinParallelTasks = 4;
+
+/// Expands top-level tasks if the parallel path applies; returns the task
+/// count (0 = run serial).
+size_t PrepareParallel(ExecContext& ec, GenericJoin* gj) {
+  if (ec.threads() <= 1) return 0;
+  if (gj->total_rows() < kMinParallelRows) return 0;
+  if (!gj->CollectTopTasks()) return 0;
+  if (gj->task_count() < kMinParallelTasks) return 0;
+  ExecStats& st = ec.stats();
+  Bump(st.wcoj_parallel_runs);
+  Bump(st.wcoj_tasks, static_cast<int64_t>(gj->task_count()));
+  return gj->task_count();
+}
+
 }  // namespace
 
-bool WcojBoolean(const Hypergraph& h, const Database& db) {
+bool WcojBoolean(const Hypergraph& h, const Database& db, ExecContext* ctx) {
+  ExecContext& ec = ExecContext::Resolve(ctx);
+  Bump(ec.stats().wcoj_runs);
   GenericJoin gj(h, db, DefaultOrder(h));
-  bool found = false;
-  gj.Run([&](const std::vector<Value>&) {
-    found = true;
-    return false;  // stop at the first witness
+  const size_t ntasks = PrepareParallel(ec, &gj);
+  if (ntasks == 0) {
+    bool found = false;
+    gj.Run([&](const std::vector<Value>&) {
+      found = true;
+      return false;  // stop at the first witness
+    });
+    return found;
+  }
+  std::atomic<bool> found(false);
+  std::atomic<int64_t> next(0);
+  ec.pool().Run([&](int) {
+    EnumState st = gj.MakeState();
+    while (!found.load(std::memory_order_relaxed)) {
+      const int64_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= static_cast<int64_t>(ntasks)) return;
+      const bool keep_going = gj.RunTask(&st, t, [&](const std::vector<Value>&) {
+        found.store(true, std::memory_order_relaxed);
+        return false;
+      });
+      if (!keep_going) return;
+    }
   });
-  return found;
+  return found.load();
 }
 
 Relation WcojJoin(const Hypergraph& h, const Database& db, VarSet output_vars,
-                  const std::vector<int>* order) {
+                  const std::vector<int>* order, ExecContext* ctx) {
+  ExecContext& ec = ExecContext::Resolve(ctx);
+  Bump(ec.stats().wcoj_runs);
   const std::vector<int> ord = order ? *order : DefaultOrder(h);
   GenericJoin gj(h, db, ord);
   Relation out(output_vars & h.vertices());
   const std::vector<int> out_vars = out.vars();
-  std::vector<Value> tuple(out_vars.size());
-  gj.Run([&](const std::vector<Value>& assignment) {
-    for (size_t i = 0; i < out_vars.size(); ++i) {
-      tuple[i] = assignment[out_vars[i]];
+  if (out_vars.empty()) {
+    // Nullary output: an existence test.
+    if (WcojBoolean(h, db, ctx)) out.Add({});
+    return out;
+  }
+  const size_t ntasks = PrepareParallel(ec, &gj);
+  if (ntasks == 0) {
+    std::vector<Value> tuple(out_vars.size());
+    gj.Run([&](const std::vector<Value>& assignment) {
+      for (size_t i = 0; i < out_vars.size(); ++i) {
+        tuple[i] = assignment[out_vars[i]];
+      }
+      out.AddRow(tuple.data());
+      return true;
+    });
+    out.SortAndDedupe();
+    return out;
+  }
+  // Chunked fan-out with per-chunk output buffers appended in chunk order:
+  // chunks partition the (ordered) task list, so the merged enumeration
+  // order is independent of scheduling — and the canonical sort below
+  // makes the result bit-identical across thread counts either way.
+  const size_t nchunks =
+      std::min(ntasks, static_cast<size_t>(ec.threads()) * 4);
+  std::vector<std::vector<Value>> bufs(nchunks);
+  std::atomic<int64_t> next_chunk(0);
+  ec.pool().Run([&](int) {
+    EnumState st = gj.MakeState();
+    std::vector<Value> tuple(out_vars.size());
+    while (true) {
+      const size_t c =
+          static_cast<size_t>(next_chunk.fetch_add(1, std::memory_order_relaxed));
+      if (c >= nchunks) return;
+      std::vector<Value>& buf = bufs[c];
+      const size_t begin = c * ntasks / nchunks;
+      const size_t end = (c + 1) * ntasks / nchunks;
+      for (size_t t = begin; t < end; ++t) {
+        gj.RunTask(&st, t, [&](const std::vector<Value>& assignment) {
+          for (size_t i = 0; i < out_vars.size(); ++i) {
+            tuple[i] = assignment[out_vars[i]];
+          }
+          buf.insert(buf.end(), tuple.begin(), tuple.end());
+          return true;
+        });
+      }
     }
-    out.Add(tuple);
-    return true;
   });
+  for (const std::vector<Value>& buf : bufs) {
+    if (!buf.empty()) out.AddRows(buf.data(), buf.size() / out_vars.size());
+  }
   out.SortAndDedupe();
   return out;
 }
 
-int64_t WcojCount(const Hypergraph& h, const Database& db) {
+int64_t WcojCount(const Hypergraph& h, const Database& db, ExecContext* ctx) {
+  ExecContext& ec = ExecContext::Resolve(ctx);
+  Bump(ec.stats().wcoj_runs);
   GenericJoin gj(h, db, DefaultOrder(h));
-  int64_t count = 0;
-  gj.Run([&](const std::vector<Value>&) {
-    ++count;
-    return true;
+  const size_t ntasks = PrepareParallel(ec, &gj);
+  if (ntasks == 0) {
+    int64_t count = 0;
+    gj.Run([&](const std::vector<Value>&) {
+      ++count;
+      return true;
+    });
+    return count;
+  }
+  std::vector<int64_t> counts(ntasks, 0);
+  std::atomic<int64_t> next(0);
+  ec.pool().Run([&](int) {
+    EnumState st = gj.MakeState();
+    while (true) {
+      const int64_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= static_cast<int64_t>(ntasks)) return;
+      int64_t local = 0;
+      gj.RunTask(&st, t, [&](const std::vector<Value>&) {
+        ++local;
+        return true;
+      });
+      counts[t] = local;
+    }
   });
+  int64_t count = 0;
+  for (int64_t c : counts) count += c;
   return count;
 }
 

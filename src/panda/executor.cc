@@ -1,12 +1,12 @@
 #include "panda/executor.h"
 
 #include <cmath>
-#include <map>
-#include <unordered_map>
 
+#include "core/exec_context.h"
 #include "hypergraph/hypergraph.h"
 #include "mm/matrix.h"
 #include "relation/degree.h"
+#include "relation/flat_index.h"
 #include "relation/ops.h"
 #include "util/check.h"
 
@@ -14,39 +14,46 @@ namespace fmmsw {
 
 namespace {
 
-using TermKey = std::pair<uint32_t, uint32_t>;  // (given, total)
-
-TermKey Key(VarSet given, VarSet total) {
-  return {given.mask(), (given | total).mask()};
+/// Packed (given, total) term key — the masks are 32-bit, so the pair is
+/// exactly one flat-index key.
+uint64_t Key(VarSet given, VarSet total) {
+  return (static_cast<uint64_t>(given.mask()) << 32) |
+         (given | total).mask();
 }
 
 /// Tables currently associated with conditional terms. Several tables can
 /// share a key (e.g. the three Q_l tables of Figure 1 all sit on h(XYZ)).
+/// Keys are interned through the flat index into dense slots (was a
+/// std::map over std::pair keys). Stored tables are pinned for the
+/// lifetime of the map — the sort-order cache keys on their buffers.
 class TableMap {
  public:
   void Add(VarSet given, VarSet total, Relation table) {
-    tables_[Key(given, total)].push_back(std::move(table));
+    const int slot = keys_.Intern(Key(given, total));
+    if (slot == static_cast<int>(tables_.size())) tables_.emplace_back();
+    tables_[slot].push_back(std::move(table));
   }
   /// Last table registered for the key (the freshest derivation).
   const Relation* Find(VarSet given, VarSet total) const {
-    auto it = tables_.find(Key(given, total));
-    if (it == tables_.end() || it->second.empty()) return nullptr;
-    return &it->second.back();
+    const int slot = keys_.Find(Key(given, total));
+    if (slot < 0 || tables_[slot].empty()) return nullptr;
+    return &tables_[slot].back();
   }
   Relation Pop(VarSet given, VarSet total) {
-    auto it = tables_.find(Key(given, total));
-    FMMSW_CHECK(it != tables_.end() && !it->second.empty());
-    Relation out = std::move(it->second.back());
-    it->second.pop_back();
+    const int slot = keys_.Find(Key(given, total));
+    FMMSW_CHECK(slot >= 0 && !tables_[slot].empty());
+    Relation out = std::move(tables_[slot].back());
+    tables_[slot].pop_back();
     return out;
   }
   const std::vector<Relation>* All(VarSet given, VarSet total) const {
-    auto it = tables_.find(Key(given, total));
-    return it == tables_.end() ? nullptr : &it->second;
+    const int slot = keys_.Find(Key(given, total));
+    return slot < 0 ? nullptr : &tables_[slot];
   }
 
  private:
-  std::map<TermKey, std::vector<Relation>> tables_;
+  FlatInterner keys_;
+  std::vector<std::vector<Relation>> tables_;
 };
 
 /// Finds an input relation with exactly the given schema.
@@ -63,7 +70,14 @@ const Relation* AtomWithSchema(const Hypergraph& h, const Database& db,
 bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
                           const OmegaShannonInequality& ineq,
                           const ProofSequence& seq, int64_t threshold,
-                          MmKernel kernel, PandaStats* stats) {
+                          MmKernel kernel, PandaStats* stats,
+                          ExecContext* ctx) {
+  ExecContext& ec = ExecContext::Resolve(ctx);
+  // Tables live in the TableMap for the whole execution, so repeated
+  // decompositions of the same table can reuse its grouping sort order
+  // through the context's arena (the order depends on (table, X, Y) but
+  // not on the threshold).
+  ExecContext::SortOrderScope sort_scope(ec);
   TableMap tables;
   // RHS terms start as the input atoms (Theorem E.10's initial
   // association). Unconditional terms must match an atom schema.
@@ -80,7 +94,7 @@ bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
         // h(c,x,y): partition the table on deg(y | c x) at the threshold.
         const Relation* t = tables.Find(s.c, s.c | s.x | s.y);
         FMMSW_CHECK(t != nullptr);
-        auto part = PartitionByDegree(*t, s.y, s.c | s.x, threshold);
+        auto part = PartitionByDegree(*t, s.y, s.c | s.x, threshold, &ec);
         if (stats != nullptr) ++stats->partitions;
         tables.Add(s.c, s.c | s.x, std::move(part.heavy));
         tables.Add(s.c | s.x, s.c | s.x | s.y, std::move(part.light));
@@ -95,7 +109,7 @@ bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
         // counterpart with the other input — Figure 1 composes
         // h(XZ) + h(Y|XZ), where h(XZ) is the original atom T. Both cases
         // are the same Join call.
-        Relation joined = Join(*a, *b);
+        Relation joined = Join(*a, *b, {}, &ec);
         if (stats != nullptr) ++stats->joins;
         tables.Add(s.c, s.c | s.x | s.y, std::move(joined));
         break;
@@ -103,7 +117,7 @@ bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
       case ProofStepKind::kMonotonicity: {
         const Relation* t = tables.Find(s.c, s.c | s.x | s.y);
         FMMSW_CHECK(t != nullptr);
-        tables.Add(s.c, s.c | s.x, Project(*t, s.c | s.x));
+        tables.Add(s.c, s.c | s.x, Project(*t, s.c | s.x, &ec));
         break;
       }
       case ProofStepKind::kSubmodularity: {
@@ -119,19 +133,20 @@ bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
 
   // ---- Terminal checks. Plain LHS tables: any table on h(U) whose join
   // with all atoms is non-empty answers true (the omega-query-plan
-  // semijoin of Appendix E.6).
+  // semijoin of Appendix E.6). The per-atom filters run as one fused
+  // single-pass SemijoinAll.
   for (const PlainLhsTerm& t : ineq.plain) {
     const auto* all = tables.All(VarSet::Empty(), t.u);
     if (all == nullptr) continue;
+    std::vector<const Relation*> filters;
+    for (size_t e = 0; e < h.edges().size(); ++e) {
+      if (t.u.ContainsAll(h.edges()[e])) {
+        filters.push_back(&db.relations[e]);
+      }
+    }
     for (const Relation& p : *all) {
       if (stats != nullptr) ++stats->plain_tables;
-      Relation reduced = p;
-      for (size_t e = 0; e < h.edges().size(); ++e) {
-        if (t.u.ContainsAll(h.edges()[e])) {
-          reduced = Semijoin(reduced, db.relations[e]);
-        }
-      }
-      if (!reduced.empty()) return true;
+      if (!SemijoinAll(p, filters, &ec).empty()) return true;
     }
   }
 
@@ -148,9 +163,9 @@ bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
                 "executor scope: MM group must align with binary atoms");
     // A dimension with a zero coefficient (e.g. zeta = 0 at omega = 2) has
     // no heavy table — its values stay unrestricted.
-    Relation all_x = Project(*rxy, t.x);
-    Relation all_y = Project(*rxy, t.y);
-    Relation all_z = Project(*ryz, t.z);
+    Relation all_x = Project(*rxy, t.x, &ec);
+    Relation all_y = Project(*rxy, t.y, &ec);
+    Relation all_z = Project(*ryz, t.z, &ec);
     const Relation* hx = tables.Find(VarSet::Empty(), t.x);
     const Relation* hy = tables.Find(VarSet::Empty(), t.y);
     const Relation* hz = tables.Find(VarSet::Empty(), t.z);
@@ -158,60 +173,52 @@ bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
     if (hy == nullptr) hy = &all_y;
     if (hz == nullptr) hz = &all_z;
     if (stats != nullptr) ++stats->mm_executed;
-    Relation m1 = Semijoin(Semijoin(*rxy, *hx), *hy);
-    Relation m2 = Semijoin(Semijoin(*ryz, *hy), *hz);
+    Relation m1 = SemijoinAll(*rxy, {hx, hy}, &ec);
+    Relation m2 = SemijoinAll(*ryz, {hy, hz}, &ec);
     if (m1.empty() || m2.empty()) continue;
-    std::unordered_map<Value, int> xi, yi, zi;
-    auto intern = [](std::unordered_map<Value, int>* m, Value v) {
-      auto [it, ins] = m->emplace(v, static_cast<int>(m->size()));
-      (void)ins;
-      return it->second;
-    };
+    // Matrix-dimension interning on the flat index (was
+    // std::unordered_map<Value, int>).
+    FlatInterner xi, yi, zi;
     const int vx = t.x.First(), vy = t.y.First(), vz = t.z.First();
     for (size_t r = 0; r < m1.size(); ++r) {
-      intern(&xi, m1.Get(r, vx));
-      intern(&yi, m1.Get(r, vy));
+      xi.InternValue(m1.Get(r, vx));
+      yi.InternValue(m1.Get(r, vy));
     }
     for (size_t r = 0; r < m2.size(); ++r) {
-      intern(&yi, m2.Get(r, vy));
-      intern(&zi, m2.Get(r, vz));
+      yi.InternValue(m2.Get(r, vy));
+      zi.InternValue(m2.Get(r, vz));
     }
+    Bump(ec.stats().mm_products);
     if (kernel == MmKernel::kBoolean) {
-      BitMatrix a(static_cast<int>(xi.size()), static_cast<int>(yi.size()));
-      BitMatrix b(static_cast<int>(yi.size()), static_cast<int>(zi.size()));
+      BitMatrix a(xi.size(), yi.size());
+      BitMatrix b(yi.size(), zi.size());
       for (size_t r = 0; r < m1.size(); ++r) {
-        a.Set(xi.at(m1.Get(r, vx)), yi.at(m1.Get(r, vy)));
+        a.Set(xi.FindValue(m1.Get(r, vx)), yi.FindValue(m1.Get(r, vy)));
       }
       for (size_t r = 0; r < m2.size(); ++r) {
-        b.Set(yi.at(m2.Get(r, vy)), zi.at(m2.Get(r, vz)));
+        b.Set(yi.FindValue(m2.Get(r, vy)), zi.FindValue(m2.Get(r, vz)));
       }
       BitMatrix m = BitMatrix::Multiply(a, b);
       for (size_t r = 0; r < rxz->size(); ++r) {
-        auto ix = xi.find(rxz->Get(r, vx));
-        auto iz = zi.find(rxz->Get(r, vz));
-        if (ix != xi.end() && iz != zi.end() &&
-            m.Get(ix->second, iz->second)) {
-          return true;
-        }
+        const int ix = xi.FindValue(rxz->Get(r, vx));
+        const int iz = zi.FindValue(rxz->Get(r, vz));
+        if (ix >= 0 && iz >= 0 && m.Get(ix, iz)) return true;
       }
     } else {
-      Matrix a(static_cast<int>(xi.size()), static_cast<int>(yi.size()));
-      Matrix b(static_cast<int>(yi.size()), static_cast<int>(zi.size()));
+      Matrix a(xi.size(), yi.size());
+      Matrix b(yi.size(), zi.size());
       for (size_t r = 0; r < m1.size(); ++r) {
-        a.At(xi.at(m1.Get(r, vx)), yi.at(m1.Get(r, vy))) = 1;
+        a.At(xi.FindValue(m1.Get(r, vx)), yi.FindValue(m1.Get(r, vy))) = 1;
       }
       for (size_t r = 0; r < m2.size(); ++r) {
-        b.At(yi.at(m2.Get(r, vy)), zi.at(m2.Get(r, vz))) = 1;
+        b.At(yi.FindValue(m2.Get(r, vy)), zi.FindValue(m2.Get(r, vz))) = 1;
       }
       Matrix m = kernel == MmKernel::kStrassen ? MultiplyRectangular(a, b)
                                                : MultiplyNaive(a, b);
       for (size_t r = 0; r < rxz->size(); ++r) {
-        auto ix = xi.find(rxz->Get(r, vx));
-        auto iz = zi.find(rxz->Get(r, vz));
-        if (ix != xi.end() && iz != zi.end() &&
-            m.At(ix->second, iz->second) != 0) {
-          return true;
-        }
+        const int ix = xi.FindValue(rxz->Get(r, vx));
+        const int iz = zi.FindValue(rxz->Get(r, vz));
+        if (ix >= 0 && iz >= 0 && m.At(ix, iz) != 0) return true;
       }
     }
   }
@@ -219,7 +226,7 @@ bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
 }
 
 bool PandaTriangleBoolean(const Database& db, double omega, MmKernel kernel,
-                          PandaStats* stats) {
+                          PandaStats* stats, ExecContext* ctx) {
   const double n = static_cast<double>(db.TotalSize());
   if (n == 0) return false;
   const int64_t threshold = std::max<int64_t>(
@@ -232,7 +239,7 @@ bool PandaTriangleBoolean(const Database& db, double omega, MmKernel kernel,
   ProofSequence seq = TriangleProofSequence(omega_q);
   FMMSW_CHECK(VerifyProofSequence(ineq, seq, omega_q));
   return ExecuteProofSequence(Hypergraph::Triangle(), db, ineq, seq,
-                              threshold, kernel, stats);
+                              threshold, kernel, stats, ctx);
 }
 
 }  // namespace fmmsw

@@ -22,6 +22,8 @@
 
 namespace fmmsw {
 
+class ExecContext;
+
 struct PandaStats {
   int64_t partitions = 0;
   int64_t joins = 0;
@@ -31,18 +33,23 @@ struct PandaStats {
 
 /// Executes the proof sequence for the inequality on the database.
 /// `threshold` is the heavy/light degree threshold Delta (Figure 1 uses
-/// Delta = N^{(w-1)/(w+1)}). Returns the Boolean query answer.
+/// Delta = N^{(w-1)/(w+1)}). Returns the Boolean query answer. Runs under
+/// an ExecContext::SortOrderScope: decomposition steps re-partitioning a
+/// table already held by the executor reuse its grouping sort order from
+/// the context's arena.
 bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
                           const OmegaShannonInequality& ineq,
                           const ProofSequence& seq, int64_t threshold,
                           MmKernel kernel = MmKernel::kBoolean,
-                          PandaStats* stats = nullptr);
+                          PandaStats* stats = nullptr,
+                          ExecContext* ctx = nullptr);
 
 /// End-to-end: the Figure-1 triangle algorithm derived from its proof
 /// sequence.
 bool PandaTriangleBoolean(const Database& db, double omega,
                           MmKernel kernel = MmKernel::kBoolean,
-                          PandaStats* stats = nullptr);
+                          PandaStats* stats = nullptr,
+                          ExecContext* ctx = nullptr);
 
 }  // namespace fmmsw
 

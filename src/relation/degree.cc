@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "core/exec_context.h"
 #include "relation/ops.h"
+#include "util/radix.h"
 
 namespace fmmsw {
 
@@ -11,15 +13,30 @@ namespace {
 /// Row indices of `r` sorted by the X-key columns, then the Y columns —
 /// one sort after which X-groups are contiguous runs and distinct Y values
 /// within a group are adjacent. Replaces the per-group std::map/std::set
-/// bookkeeping of the naive implementation.
+/// bookkeeping of the naive implementation. With a context: the packed
+/// sort borrows the arena's keyed buffers, and inside a SortOrderScope the
+/// computed order is cached per (buffer, rows, X, Y) and reused (the order
+/// is threshold-independent, so proof-sequence steps re-partitioning the
+/// same pinned table skip the sort entirely).
 struct GroupedOrder {
   std::vector<int> xcols, ycols;
   std::vector<uint32_t> order;
 
-  GroupedOrder(const Relation& r, VarSet y, VarSet x) {
+  GroupedOrder(const Relation& r, VarSet y, VarSet x,
+               ExecContext* ctx = nullptr) {
     for (int v : (x & r.schema()).Members()) xcols.push_back(r.ColumnOf(v));
     for (int v : ((y - x) & r.schema()).Members()) {
       ycols.push_back(r.ColumnOf(v));
+    }
+    const void* key_data = r.empty() ? nullptr : r.Row(0);
+    if (ctx != nullptr && ctx->sort_cache_active()) {
+      const std::vector<uint32_t>* cached =
+          ctx->FindSortOrder(key_data, r.size(), x.mask(), y.mask());
+      if (cached != nullptr) {
+        Bump(ctx->stats().sort_order_hits);
+        order = *cached;
+        return;
+      }
     }
     order.resize(r.size());
     for (size_t i = 0; i < order.size(); ++i) {
@@ -27,19 +44,35 @@ struct GroupedOrder {
     }
     if (xcols.size() + ycols.size() <= 2) {
       // Binary-relation fast path: pack the (X, Y) key into one uint64
-      // (order-preserving bias) and sort flat PODs instead of running an
-      // indirect comparator over the row buffer.
+      // (order-preserving bias) and sort flat PODs — LSD radix for large
+      // inputs — instead of running an indirect comparator over the row
+      // buffer.
       std::vector<int> cols = xcols;
       cols.insert(cols.end(), ycols.begin(), ycols.end());
-      std::vector<std::pair<uint64_t, uint32_t>> keyed(r.size());
+      // Borrow the context arena's buffers if it is free — callers inside
+      // parallel regions (or two threads sharing a context) lose the
+      // atomic acquire and use local buffers instead.
+      ScratchArena* arena =
+          ctx != nullptr && ctx->scratch().TryAcquire() ? &ctx->scratch()
+                                                        : nullptr;
+      std::vector<std::pair<uint64_t, uint32_t>> local_keyed, local_scratch;
+      std::vector<std::pair<uint64_t, uint32_t>>& keyed =
+          arena != nullptr ? arena->keyed() : local_keyed;
+      std::vector<std::pair<uint64_t, uint32_t>>& scratch =
+          arena != nullptr ? arena->keyedb() : local_scratch;
+      keyed.resize(r.size());
       for (size_t i = 0; i < keyed.size(); ++i) {
         const Value* row = r.Row(i);
         uint64_t key = 0;
         for (int c : cols) key = (key << 32) | BiasValue(row[c]);
         keyed[i] = {key, static_cast<uint32_t>(i)};
       }
-      std::sort(keyed.begin(), keyed.end());
+      RadixSortKeyed(keyed, &scratch);
       for (size_t i = 0; i < keyed.size(); ++i) order[i] = keyed[i].second;
+      if (arena != nullptr) arena->Release();
+      if (ctx != nullptr && ctx->sort_cache_active()) {
+        ctx->StoreSortOrder(key_data, r.size(), x.mask(), y.mask(), order);
+      }
       return;
     }
     std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
@@ -53,6 +86,9 @@ struct GroupedOrder {
       }
       return false;
     });
+    if (ctx != nullptr && ctx->sort_cache_active()) {
+      ctx->StoreSortOrder(key_data, r.size(), x.mask(), y.mask(), order);
+    }
   }
 
   bool SameX(const Relation& r, uint32_t a, uint32_t b) const {
@@ -104,11 +140,12 @@ int64_t Degree(const Relation& r, VarSet y, VarSet x) {
 }
 
 DegreePartition PartitionByDegree(const Relation& r, VarSet y, VarSet x,
-                                  int64_t threshold) {
+                                  int64_t threshold, ExecContext* ctx) {
+  Bump(ExecContext::Resolve(ctx).stats().partition_calls);
   DegreePartition out;
   out.heavy = Relation(x & r.schema());
   out.light = Relation(r.schema());
-  const GroupedOrder g(r, y, x);
+  const GroupedOrder g(r, y, x, ctx);
   Value key[kMaxVars];
   g.ForEachGroup(r, [&](size_t begin, size_t end, int64_t distinct) {
     if (distinct > threshold) {
@@ -124,9 +161,10 @@ DegreePartition PartitionByDegree(const Relation& r, VarSet y, VarSet x,
   return out;
 }
 
-std::vector<Relation> DegreeBuckets(const Relation& r, VarSet y, VarSet x) {
+std::vector<Relation> DegreeBuckets(const Relation& r, VarSet y, VarSet x,
+                                    ExecContext* ctx) {
   std::vector<Relation> buckets;
-  const GroupedOrder g(r, y, x);
+  const GroupedOrder g(r, y, x, ctx);
   g.ForEachGroup(r, [&](size_t begin, size_t end, int64_t distinct) {
     int level = 0;
     while ((1LL << (level + 1)) <= distinct) ++level;

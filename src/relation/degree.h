@@ -19,6 +19,8 @@
 
 namespace fmmsw {
 
+class ExecContext;
+
 /// deg_R(Y | X): max over x of |pi_{Y\X}(sigma_{X=x}(R))| (Definition E.9).
 /// X and Y need not be disjoint; X may include variables outside R's
 /// schema (they are ignored, matching the paper's convention).
@@ -33,14 +35,21 @@ struct DegreePartition {
   Relation light;
 };
 
-/// Splits R on deg(Y|X) at `threshold`.
+/// Splits R on deg(Y|X) at `threshold`. The grouping sort order depends
+/// only on (R, X, Y), not on the threshold: within an active
+/// ExecContext::SortOrderScope the order is cached and reused across
+/// repeated partitions of the same pinned relation (the PANDA executor's
+/// proof-sequence steps), and the packed-key sort borrows the context's
+/// scratch arena instead of allocating.
 DegreePartition PartitionByDegree(const Relation& r, VarSet y, VarSet x,
-                                  int64_t threshold);
+                                  int64_t threshold,
+                                  ExecContext* ctx = nullptr);
 
 /// Uniformization: buckets tuples of R by floor(log2 deg(Y|X)) of their
 /// X-value. Bucket i holds X-values with degree in [2^i, 2^(i+1)); at most
 /// 1 + log2 |R| buckets (the polylog factor in PANDA's ~O).
-std::vector<Relation> DegreeBuckets(const Relation& r, VarSet y, VarSet x);
+std::vector<Relation> DegreeBuckets(const Relation& r, VarSet y, VarSet x,
+                                    ExecContext* ctx = nullptr);
 
 }  // namespace fmmsw
 

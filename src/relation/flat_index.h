@@ -187,6 +187,16 @@ class FlatSet {
     return true;
   }
 
+  /// Membership test.
+  bool Contains(uint64_t key) const {
+    uint32_t i = static_cast<uint32_t>(flat_internal::MixKey(key)) & mask_;
+    while (used_[i]) {
+      if (slot_key_[i] == key) return true;
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
  private:
   void Grow() {
     std::vector<uint64_t> old_keys = std::move(slot_key_);
@@ -205,6 +215,108 @@ class FlatSet {
   size_t size_ = 0;
   std::vector<uint64_t> slot_key_;
   std::vector<uint8_t> used_;
+};
+
+/// Open-addressing map from packed 64-bit key to a dense id assigned in
+/// first-insertion order — the matrix-dimension interning pattern of the
+/// MM engines and the PANDA executor (replaces std::unordered_map<Value,
+/// int>: two flat arrays, no per-node allocation).
+class FlatInterner {
+ public:
+  explicit FlatInterner(size_t expected = 0) {
+    const uint32_t cap =
+        flat_internal::TableCapacity(expected < 4 ? 4 : expected);
+    mask_ = cap - 1;
+    slot_key_.resize(cap);
+    slot_id_.assign(cap, -1);
+  }
+
+  /// Id of the key, inserting it with the next dense id if absent.
+  int Intern(uint64_t key) {
+    if (static_cast<size_t>(size_) * 2 >= slot_id_.size()) Grow();
+    uint32_t i = static_cast<uint32_t>(flat_internal::MixKey(key)) & mask_;
+    while (slot_id_[i] >= 0) {
+      if (slot_key_[i] == key) return slot_id_[i];
+      i = (i + 1) & mask_;
+    }
+    slot_key_[i] = key;
+    slot_id_[i] = size_;
+    return size_++;
+  }
+
+  /// Id of the key, or -1 if absent.
+  int Find(uint64_t key) const {
+    uint32_t i = static_cast<uint32_t>(flat_internal::MixKey(key)) & mask_;
+    while (slot_id_[i] >= 0) {
+      if (slot_key_[i] == key) return slot_id_[i];
+      i = (i + 1) & mask_;
+    }
+    return -1;
+  }
+
+  /// Values-as-keys convenience (the common unary-dimension case).
+  int InternValue(Value v) { return Intern(static_cast<uint32_t>(v)); }
+  int FindValue(Value v) const { return Find(static_cast<uint32_t>(v)); }
+
+  int size() const { return size_; }
+
+ private:
+  void Grow() {
+    std::vector<uint64_t> old_keys = std::move(slot_key_);
+    std::vector<int32_t> old_ids = std::move(slot_id_);
+    const uint32_t cap = static_cast<uint32_t>(old_ids.size()) * 2;
+    mask_ = cap - 1;
+    slot_key_.assign(cap, 0);
+    slot_id_.assign(cap, -1);
+    for (size_t i = 0; i < old_ids.size(); ++i) {
+      if (old_ids[i] < 0) continue;
+      uint32_t j =
+          static_cast<uint32_t>(flat_internal::MixKey(old_keys[i])) & mask_;
+      while (slot_id_[j] >= 0) j = (j + 1) & mask_;
+      slot_key_[j] = old_keys[i];
+      slot_id_[j] = old_ids[i];
+    }
+  }
+
+  uint32_t mask_ = 0;
+  int32_t size_ = 0;
+  std::vector<uint64_t> slot_key_;
+  std::vector<int32_t> slot_id_;  // -1 = empty slot
+};
+
+/// Existence-only probe against one relation: does any row of `b` agree
+/// with a probe-side row on the variables the two schemas share? Builds
+/// b's index once; Contains is O(1) per probe. This is the kernel behind
+/// the fused join–semijoin paths (JoinOpts::exist_filter, SemijoinAll),
+/// which filter candidate tuples *before* materializing them.
+///
+/// `probe_shape` only supplies the layout (schema/column map) of the rows
+/// later passed to Contains; `b` must not be nullary (callers resolve
+/// nullary relations as Boolean constants).
+class ExistProbe {
+ public:
+  ExistProbe(const Relation& probe_shape, const Relation& b)
+      : rel_(&b),
+        probe_spec_(probe_shape, probe_shape.schema() & b.schema()),
+        build_spec_(b, probe_shape.schema() & b.schema()),
+        index_(b, build_spec_) {}
+
+  bool Contains(const Value* row) const {
+    int32_t r = index_.First(probe_spec_.KeyOf(row));
+    if (build_spec_.exact() || r < 0) return r >= 0;
+    for (; r >= 0; r = index_.Next(r)) {
+      if (RowKeysEqual(row, probe_spec_, rel_->Row(r), build_spec_)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const Relation* rel_;
+  KeySpec probe_spec_;
+  KeySpec build_spec_;
+  FlatMultimap index_;
 };
 
 }  // namespace fmmsw

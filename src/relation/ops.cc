@@ -2,11 +2,46 @@
 
 #include <vector>
 
+#include "core/exec_context.h"
 #include "relation/flat_index.h"
 
 namespace fmmsw {
 
-Relation Join(const Relation& a, const Relation& b, const JoinOpts& opts) {
+namespace {
+
+/// Resolves the effective fused-filter list: nullary filters collapse to
+/// Boolean constants (an empty one annihilates — reported via the return
+/// value — a non-empty one is a no-op).
+bool CollectFilters(const JoinOpts& opts,
+                    std::vector<const Relation*>* filters) {
+  if (opts.exist_filter != nullptr) filters->push_back(opts.exist_filter);
+  for (const Relation* f : opts.exist_filters) {
+    if (f != nullptr) filters->push_back(f);
+  }
+  for (size_t i = 0; i < filters->size();) {
+    const Relation* f = (*filters)[i];
+    if (f->arity() == 0) {
+      if (f->empty()) return false;  // "false" filter: nothing survives
+      filters->erase(filters->begin() + i);
+    } else {
+      ++i;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Relation Join(const Relation& a, const Relation& b, const JoinOpts& opts,
+              ExecContext* ctx) {
+  ExecStats& st = ExecContext::Resolve(ctx).stats();
+  Bump(st.join_calls);
+  std::vector<const Relation*> filters;
+  const bool satisfiable = CollectFilters(opts, &filters);
+  if (!filters.empty() || opts.exist_filter != nullptr) {
+    Bump(st.fused_joins);
+  }
+
   // Nullary relations are Boolean: true = {()} joins as identity, false
   // annihilates.
   if (a.arity() == 0 || b.arity() == 0) {
@@ -16,10 +51,20 @@ Relation Join(const Relation& a, const Relation& b, const JoinOpts& opts) {
     } else {
       out = b.empty() ? Relation(a.schema()) : a;
     }
+    if (!satisfiable) return Relation(out.schema());
+    // Degenerate path: fall back to the semijoin chain the fused filters
+    // are contracted to match.
+    for (const Relation* f : filters) out = Semijoin(out, *f, ctx);
     if (opts.set_semantics) out.SortAndDedupe();
+    Bump(st.join_output_tuples, static_cast<int64_t>(out.size()));
     return out;
   }
   const VarSet shared = a.schema() & b.schema();
+  const VarSet out_schema = a.schema() | b.schema();
+  Relation out(out_schema);
+  // Empty input or unsatisfiable filter: no pair can survive — skip every
+  // index build.
+  if (!satisfiable || a.empty() || b.empty()) return out;
 
   // Probe the smaller side's index with the larger side.
   const bool a_build = a.size() <= b.size();
@@ -29,8 +74,11 @@ Relation Join(const Relation& a, const Relation& b, const JoinOpts& opts) {
   const KeySpec kprobe(probe, shared);
   const FlatMultimap index(build, kbuild);
 
-  const VarSet out_schema = a.schema() | b.schema();
-  Relation out(out_schema);
+  // Fused existence-only probes, keyed against the output-tuple layout.
+  std::vector<ExistProbe> probes;
+  probes.reserve(filters.size());
+  for (const Relation* f : filters) probes.emplace_back(out, *f);
+
   // Resolve, once, where each output column comes from: probe columns win
   // for shared variables (both sides agree on their values).
   struct ColSrc {
@@ -51,9 +99,13 @@ Relation Join(const Relation& a, const Relation& b, const JoinOpts& opts) {
   }
 
   const bool exact = kbuild.exact();
+  int64_t probed = 0, dropped = 0;
+  size_t emitted = 0;
   std::vector<Value> tuple(out_schema.size());
-  out.Reserve(probe.size());
-  for (size_t pr = 0; pr < probe.size(); ++pr) {
+  out.Reserve(probes.empty() ? probe.size() : 0);
+  for (size_t pr = 0; pr < probe.size() && !(opts.limit > 0 &&
+                                             emitted >= opts.limit);
+       ++pr) {
     const Value* prow = probe.Row(pr);
     const uint64_t key = kprobe.KeyOf(prow);
     int32_t br = index.First(key);
@@ -63,9 +115,30 @@ Relation Join(const Relation& a, const Relation& b, const JoinOpts& opts) {
       const Value* brow = build.Row(br);
       if (!exact && !RowKeysEqual(prow, kprobe, brow, kbuild)) continue;
       for (const ColSrc& s : from_build) tuple[s.out_col] = brow[s.src_col];
+      if (!probes.empty()) {
+        ++probed;
+        bool pass = true;
+        for (const ExistProbe& p : probes) {
+          if (!p.Contains(tuple.data())) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) {
+          ++dropped;
+          continue;
+        }
+      }
       out.AddRow(tuple.data());
+      if (opts.limit > 0 && ++emitted >= opts.limit) break;
     }
   }
+  if (!probes.empty()) {
+    Bump(st.fused_probe_tuples, probed);
+    Bump(st.fused_drop_tuples, dropped);
+    Bump(st.fused_emit_tuples, probed - dropped);
+  }
+  Bump(st.join_output_tuples, static_cast<int64_t>(out.size()));
   if (opts.set_semantics) out.SortAndDedupe();
   return out;
 }
@@ -76,6 +149,8 @@ namespace {
 /// (keep_matching == has a join partner in b).
 Relation FilterByMatch(const Relation& a, const Relation& b,
                        bool keep_matching) {
+  if (a.empty()) return Relation(a.schema());
+  if (b.empty()) return keep_matching ? Relation(a.schema()) : a;
   const VarSet shared = a.schema() & b.schema();
   const KeySpec ka(a, shared);
   const KeySpec kb(b, shared);
@@ -99,7 +174,8 @@ Relation FilterByMatch(const Relation& a, const Relation& b,
 
 }  // namespace
 
-Relation Semijoin(const Relation& a, const Relation& b) {
+Relation Semijoin(const Relation& a, const Relation& b, ExecContext* ctx) {
+  Bump(ExecContext::Resolve(ctx).stats().semijoin_calls);
   if (b.arity() == 0) return b.empty() ? Relation(a.schema()) : a;
   if (a.arity() == 0) {
     return (!a.empty() && !b.empty()) ? a : Relation(a.schema());
@@ -107,7 +183,60 @@ Relation Semijoin(const Relation& a, const Relation& b) {
   return FilterByMatch(a, b, /*keep_matching=*/true);
 }
 
-Relation Antijoin(const Relation& a, const Relation& b) {
+Relation SemijoinAll(const Relation& a,
+                     const std::vector<const Relation*>& bs,
+                     ExecContext* ctx) {
+  ExecStats& st = ExecContext::Resolve(ctx).stats();
+  Bump(st.semijoin_all_calls);
+  // Nullary filters are Boolean constants; an empty one annihilates.
+  std::vector<const Relation*> filters;
+  filters.reserve(bs.size());
+  for (const Relation* b : bs) {
+    if (b->arity() == 0) {
+      if (b->empty()) return Relation(a.schema());
+    } else {
+      filters.push_back(b);
+    }
+  }
+  if (a.arity() == 0) {
+    if (a.empty()) return Relation(a.schema());
+    for (const Relation* b : filters) {
+      if (b->empty()) return Relation(a.schema());
+    }
+    return a;
+  }
+  if (filters.empty()) return a;
+  if (a.empty()) return Relation(a.schema());
+  for (const Relation* b : filters) {
+    // An empty filter rejects everything; skip the index builds.
+    if (b->empty()) return Relation(a.schema());
+  }
+  std::vector<ExistProbe> probes;
+  probes.reserve(filters.size());
+  for (const Relation* b : filters) probes.emplace_back(a, *b);
+  Relation out(a.schema());
+  for (size_t r = 0; r < a.size(); ++r) {
+    const Value* arow = a.Row(r);
+    bool pass = true;
+    for (const ExistProbe& p : probes) {
+      if (!p.Contains(arow)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) out.AddRow(arow);
+  }
+  return out;
+}
+
+Relation SemijoinAll(const Relation& a,
+                     std::initializer_list<const Relation*> bs,
+                     ExecContext* ctx) {
+  return SemijoinAll(a, std::vector<const Relation*>(bs), ctx);
+}
+
+Relation Antijoin(const Relation& a, const Relation& b, ExecContext* ctx) {
+  Bump(ExecContext::Resolve(ctx).stats().antijoin_calls);
   if (b.arity() == 0) return b.empty() ? a : Relation(a.schema());
   if (a.arity() == 0) {
     return (!a.empty() && b.empty()) ? a : Relation(a.schema());
@@ -115,7 +244,8 @@ Relation Antijoin(const Relation& a, const Relation& b) {
   return FilterByMatch(a, b, /*keep_matching=*/false);
 }
 
-Relation Project(const Relation& a, VarSet keep) {
+Relation Project(const Relation& a, VarSet keep, ExecContext* ctx) {
+  Bump(ExecContext::Resolve(ctx).stats().project_calls);
   const VarSet schema = a.schema() & keep;
   Relation out(schema);
   if (schema.empty()) {
@@ -148,7 +278,8 @@ Relation Project(const Relation& a, VarSet keep) {
   return out;
 }
 
-Relation SelectEq(const Relation& a, int var, Value value) {
+Relation SelectEq(const Relation& a, int var, Value value, ExecContext* ctx) {
+  Bump(ExecContext::Resolve(ctx).stats().select_calls);
   Relation out(a.schema());
   const int col = a.ColumnOf(var);
   for (size_t r = 0; r < a.size(); ++r) {
@@ -158,13 +289,14 @@ Relation SelectEq(const Relation& a, int var, Value value) {
   return out;
 }
 
-Relation Intersect(const Relation& a, const Relation& b) {
+Relation Intersect(const Relation& a, const Relation& b, ExecContext* ctx) {
   FMMSW_CHECK(a.schema() == b.schema());
-  return Semijoin(a, b);
+  return Semijoin(a, b, ctx);
 }
 
-Relation Union(const Relation& a, const Relation& b) {
+Relation Union(const Relation& a, const Relation& b, ExecContext* ctx) {
   FMMSW_CHECK(a.schema() == b.schema());
+  Bump(ExecContext::Resolve(ctx).stats().union_calls);
   if (a.arity() == 0) {
     Relation out(a.schema());
     if (!a.empty() || !b.empty()) out.Add({});

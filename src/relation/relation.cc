@@ -2,26 +2,40 @@
 
 #include <algorithm>
 
+#include "util/radix.h"
+
 namespace fmmsw {
 
 void Relation::SortAndDedupe() {
   const size_t a = vars_.size();
   if (a == 0 || data_.empty()) return;
   if (a == 1) {
+    if (data_.size() >= kRadixMinN) {
+      // LSD radix on the order-preserving biased image (signed order ==
+      // unsigned order of the biased keys).
+      std::vector<uint32_t> keys(data_.size());
+      for (size_t i = 0; i < keys.size(); ++i) keys[i] = BiasValue(data_[i]);
+      RadixSortU32(keys);
+      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+      data_.resize(keys.size());
+      for (size_t i = 0; i < keys.size(); ++i) data_[i] = UnbiasValue(keys[i]);
+      return;
+    }
     std::sort(data_.begin(), data_.end());
     data_.erase(std::unique(data_.begin(), data_.end()), data_.end());
     return;
   }
   if (a == 2) {
     // Pack each row into one order-preserving uint64 and sort those — a
-    // single flat sort instead of an index sort with indirect compares.
+    // single flat sort (LSD radix above kRadixMinN) instead of an index
+    // sort with indirect compares.
     const size_t n = data_.size() / 2;
     std::vector<uint64_t> keys(n);
     for (size_t i = 0; i < n; ++i) {
       keys[i] = (static_cast<uint64_t>(BiasValue(data_[2 * i])) << 32) |
                 BiasValue(data_[2 * i + 1]);
     }
-    std::sort(keys.begin(), keys.end());
+    RadixSortU64(keys);
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
     data_.resize(keys.size() * 2);
     for (size_t i = 0; i < keys.size(); ++i) {

@@ -43,14 +43,18 @@ class ThreadPool {
   int threads() const { return threads_; }
 
   /// Runs fn(t) for every t in [0, threads()); the caller executes t = 0.
-  /// Returns when all invocations finished. Not reentrant — nested calls
-  /// run fn(0) serially.
+  /// Returns when all invocations finished. Only one fan-out runs at a
+  /// time: nested calls AND calls racing in from other threads (e.g. a
+  /// private-pool worker invoking a matrix kernel that targets the global
+  /// pool) atomically fail the acquire and run fn(0) serially instead of
+  /// corrupting the in-flight job.
   void Run(const std::function<void(int)>& fn) {
-    if (threads_ == 1 || in_parallel_) {
+    bool expected = false;
+    if (threads_ == 1 ||
+        !in_parallel_.compare_exchange_strong(expected, true)) {
       fn(0);
       return;
     }
-    in_parallel_ = true;
     {
       std::unique_lock<std::mutex> lock(mu_);
       job_ = &fn;
@@ -111,19 +115,19 @@ class ThreadPool {
   uint64_t generation_ = 0;
   int pending_ = 0;
   bool stop_ = false;
-  // Set while Run is active on this pool (accessed by the calling thread
-  // only in the non-nested case; nested calls see it set and run serially).
+  // Held (via compare-exchange) while a fan-out is active on this pool;
+  // losers of the acquire — nested calls and concurrent callers from
+  // other threads — run their job serially.
   std::atomic<bool> in_parallel_ = false;
 };
 
-/// Splits [0, n) into chunks and runs `chunk(begin, end)` across the global
-/// pool. `grain` is the minimum work per chunk — below 2 * grain total the
-/// loop runs serially on the caller.
-inline void ParallelFor(int64_t n,
+/// Splits [0, n) into chunks and runs `chunk(begin, end)` across `pool`.
+/// `grain` is the minimum work per chunk — below 2 * grain total the loop
+/// runs serially on the caller.
+inline void ParallelFor(ThreadPool& pool, int64_t n,
                         const std::function<void(int64_t, int64_t)>& chunk,
                         int64_t grain = 1) {
   if (n <= 0) return;
-  ThreadPool& pool = ThreadPool::Global();
   if (pool.threads() == 1 || n < 2 * grain) {
     chunk(0, n);
     return;
@@ -140,13 +144,20 @@ inline void ParallelFor(int64_t n,
   });
 }
 
+/// ParallelFor over the process-wide pool.
+inline void ParallelFor(int64_t n,
+                        const std::function<void(int64_t, int64_t)>& chunk,
+                        int64_t grain = 1) {
+  ParallelFor(ThreadPool::Global(), n, chunk, grain);
+}
+
 /// Parallel short-circuiting any-of: returns true as soon as some
 /// `item(i)` returns true. Iterations already in flight finish; no new
 /// chunks start after a hit.
-inline bool ParallelAnyOf(int64_t n, const std::function<bool(int64_t)>& item,
+inline bool ParallelAnyOf(ThreadPool& pool, int64_t n,
+                          const std::function<bool(int64_t)>& item,
                           int64_t grain = 1) {
   if (n <= 0) return false;
-  ThreadPool& pool = ThreadPool::Global();
   if (pool.threads() == 1 || n < 2 * grain) {
     for (int64_t i = 0; i < n; ++i) {
       if (item(i)) return true;
@@ -171,6 +182,12 @@ inline bool ParallelAnyOf(int64_t n, const std::function<bool(int64_t)>& item,
     }
   });
   return found.load();
+}
+
+/// ParallelAnyOf over the process-wide pool.
+inline bool ParallelAnyOf(int64_t n, const std::function<bool(int64_t)>& item,
+                          int64_t grain = 1) {
+  return ParallelAnyOf(ThreadPool::Global(), n, item, grain);
 }
 
 }  // namespace fmmsw

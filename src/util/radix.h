@@ -1,0 +1,132 @@
+#ifndef FMMSW_UTIL_RADIX_H_
+#define FMMSW_UTIL_RADIX_H_
+
+/// \file
+/// LSD radix sorts over packed sort keys. The data plane packs rows of
+/// arity <= 2 into order-preserving 32/64-bit keys (see BiasValue in
+/// relation.h); sorting those keys is the inner loop of SortAndDedupe and
+/// of degree grouping. Below kRadixMinN the functions fall back to
+/// std::sort (introsort wins on small inputs); above it they run byte-wise
+/// counting passes, skipping passes whose byte is constant across the
+/// whole input — for keys drawn from small domains most passes are skipped
+/// and the sort degenerates to one or two linear scatters.
+///
+/// All variants are stable and accept optional caller-owned scratch
+/// buffers so arenas (ExecContext::scratch) can absorb the ping-pong
+/// allocation.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace fmmsw {
+
+inline constexpr size_t kRadixMinN = 2048;
+
+namespace radix_internal {
+
+template <typename T, typename KeyFn>
+void LsdSort(std::vector<T>& v, std::vector<T>& scratch, int key_bytes,
+             const KeyFn& key_of) {
+  const size_t n = v.size();
+  scratch.resize(n);
+  // Pass 1: which key bytes vary at all? Packed keys from small domains
+  // leave most bytes constant, and a constant byte needs no pass.
+  const uint64_t first = key_of(v[0]);
+  uint64_t varying = 0;
+  for (const T& x : v) varying |= key_of(x) ^ first;
+  int passes[8];
+  int n_passes = 0;
+  for (int p = 0; p < key_bytes; ++p) {
+    if ((varying >> (8 * p)) & 0xff) passes[n_passes++] = p;
+  }
+  if (n_passes == 0) return;
+  // Pass 2: histograms for the active bytes only, in one scan.
+  size_t hist[8][256] = {};
+  for (const T& x : v) {
+    const uint64_t k = key_of(x);
+    for (int a = 0; a < n_passes; ++a) {
+      ++hist[a][(k >> (8 * passes[a])) & 0xff];
+    }
+  }
+  T* src = v.data();
+  T* dst = scratch.data();
+  for (int a = 0; a < n_passes; ++a) {
+    const int shift = 8 * passes[a];
+    size_t sum = 0;
+    size_t offs[256];
+    for (int b = 0; b < 256; ++b) {
+      offs[b] = sum;
+      sum += hist[a][b];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      dst[offs[(key_of(src[i]) >> shift) & 0xff]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != v.data()) {
+    std::memcpy(v.data(), src, n * sizeof(T));
+  }
+}
+
+}  // namespace radix_internal
+
+/// Sorts 64-bit keys ascending.
+inline void RadixSortU64(std::vector<uint64_t>& v,
+                         std::vector<uint64_t>* scratch = nullptr) {
+  // Relations are dedup-sorted upstream, so sort inputs are frequently
+  // already ordered: one predictable scan beats any sort.
+  if (std::is_sorted(v.begin(), v.end())) return;
+  if (v.size() < kRadixMinN) {
+    std::sort(v.begin(), v.end());
+    return;
+  }
+  std::vector<uint64_t> local;
+  radix_internal::LsdSort(v, scratch != nullptr ? *scratch : local, 8,
+                          [](uint64_t x) { return x; });
+}
+
+/// Sorts 32-bit keys ascending.
+inline void RadixSortU32(std::vector<uint32_t>& v,
+                         std::vector<uint32_t>* scratch = nullptr) {
+  if (std::is_sorted(v.begin(), v.end())) return;
+  if (v.size() < kRadixMinN) {
+    std::sort(v.begin(), v.end());
+    return;
+  }
+  std::vector<uint32_t> local;
+  radix_internal::LsdSort(v, scratch != nullptr ? *scratch : local, 4,
+                          [](uint32_t x) { return static_cast<uint64_t>(x); });
+}
+
+/// Stable sort of (key, payload) pairs by key; equal keys keep their input
+/// order, so sorting (key, row-index) pairs yields a deterministic
+/// permutation.
+inline void RadixSortKeyed(
+    std::vector<std::pair<uint64_t, uint32_t>>& v,
+    std::vector<std::pair<uint64_t, uint32_t>>* scratch = nullptr) {
+  // Already-sorted-by-key inputs (with payloads in input order) are the
+  // common case for freshly deduped relations; the scan is ~free.
+  if (std::is_sorted(v.begin(), v.end(),
+                     [](const std::pair<uint64_t, uint32_t>& a,
+                        const std::pair<uint64_t, uint32_t>& b) {
+                       return a.first < b.first;
+                     })) {
+    return;
+  }
+  if (v.size() < kRadixMinN) {
+    std::sort(v.begin(), v.end());
+    return;
+  }
+  std::vector<std::pair<uint64_t, uint32_t>> local;
+  radix_internal::LsdSort(v, scratch != nullptr ? *scratch : local, 8,
+                          [](const std::pair<uint64_t, uint32_t>& x) {
+                            return x.first;
+                          });
+}
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_UTIL_RADIX_H_

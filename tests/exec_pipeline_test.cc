@@ -1,0 +1,335 @@
+// Tests for the ExecContext pipeline: fused join–semijoin probes (the
+// exist_filter / SemijoinAll contracts of relation/ops.h), the parallel
+// WCOJ fan-out (identical canonical output across thread counts, including
+// skewed heavy-hitter inputs), the partition sort-order cache, and the
+// radix-sort path of SortAndDedupe.
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "core/api.h"
+#include "core/exec_context.h"
+#include "engine/four_cycle.h"
+#include "engine/triangle.h"
+#include "engine/wcoj.h"
+#include "gtest/gtest.h"
+#include "relation/degree.h"
+#include "relation/generators.h"
+#include "relation/ops.h"
+#include "util/random.h"
+
+namespace fmmsw {
+namespace {
+
+std::vector<std::vector<Value>> Rows(const Relation& r) {
+  std::vector<std::vector<Value>> out;
+  out.reserve(r.size());
+  for (size_t i = 0; i < r.size(); ++i) {
+    out.emplace_back(r.Row(i), r.Row(i) + r.arity());
+  }
+  return out;
+}
+
+Relation Sorted(Relation r) {
+  r.SortAndDedupe();
+  return r;
+}
+
+// ------------------------------------------------- fused-probe contract --
+
+TEST(FusedJoinTest, ExistFilterMatchesSemijoinOfJoin) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation a = UniformRelation(VarSet{0, 1}, 120, 25, &rng);
+    Relation b = UniformRelation(VarSet{1, 2}, 120, 25, &rng);
+    Relation c = UniformRelation(VarSet{0, 2}, 80, 25, &rng);
+    Relation fused = Join(a, b, {.exist_filter = &c});
+    Relation reference = Semijoin(Join(a, b), c);
+    EXPECT_EQ(Rows(Sorted(fused)), Rows(Sorted(reference)))
+        << "trial " << trial;
+  }
+}
+
+TEST(FusedJoinTest, MultipleFiltersMatchSemijoinChain) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation a = UniformRelation(VarSet{0, 1}, 150, 20, &rng);
+    Relation b = UniformRelation(VarSet{1, 2}, 150, 20, &rng);
+    Relation c = UniformRelation(VarSet{0, 2}, 60, 20, &rng);
+    Relation d = UniformRelation(VarSet{2}, 12, 20, &rng);
+    Relation fused = Join(a, b, {.exist_filters = {&c, &d}});
+    Relation reference = Semijoin(Semijoin(Join(a, b), c), d);
+    EXPECT_EQ(Rows(Sorted(fused)), Rows(Sorted(reference)))
+        << "trial " << trial;
+  }
+}
+
+TEST(FusedJoinTest, LimitCapsSurvivors) {
+  Rng rng(13);
+  Relation a = UniformRelation(VarSet{0, 1}, 200, 10, &rng);
+  Relation b = UniformRelation(VarSet{1, 2}, 200, 10, &rng);
+  Relation c = UniformRelation(VarSet{0, 2}, 90, 10, &rng);
+  Relation full = Join(a, b, {.exist_filter = &c});
+  Relation one = Join(a, b, {.exist_filter = &c, .limit = 1});
+  ASSERT_FALSE(full.empty());
+  EXPECT_EQ(one.size(), 1u);
+  // The survivor is a genuine result tuple.
+  EXPECT_TRUE(full.Contains({one.Row(0)[0], one.Row(0)[1], one.Row(0)[2]}));
+  // An unsatisfiable filter yields an empty result regardless of limit.
+  Relation never(VarSet{0, 2});
+  EXPECT_TRUE(Join(a, b, {.exist_filter = &never, .limit = 1}).empty());
+}
+
+TEST(FusedJoinTest, NullaryFilterActsAsBooleanConstant) {
+  Rng rng(17);
+  Relation a = UniformRelation(VarSet{0, 1}, 50, 8, &rng);
+  Relation b = UniformRelation(VarSet{1, 2}, 50, 8, &rng);
+  Relation truth(VarSet::Empty());
+  truth.Add({});
+  Relation falsity(VarSet::Empty());
+  EXPECT_EQ(Join(a, b, {.exist_filter = &truth}).size(), Join(a, b).size());
+  EXPECT_TRUE(Join(a, b, {.exist_filter = &falsity}).empty());
+}
+
+TEST(SemijoinAllTest, MatchesSemijoinChain) {
+  Rng rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation a = UniformRelation(VarSet{0, 1, 2}, 200, 12, &rng);
+    Relation b = UniformRelation(VarSet{0}, 8, 12, &rng);
+    Relation c = UniformRelation(VarSet{1, 2}, 100, 12, &rng);
+    Relation fused = SemijoinAll(a, {&b, &c});
+    Relation reference = Semijoin(Semijoin(a, b), c);
+    EXPECT_EQ(Rows(fused), Rows(reference)) << "trial " << trial;
+  }
+  // Empty filter list is the identity; an empty filter annihilates.
+  Relation a = UniformRelation(VarSet{0, 1}, 40, 9, &rng);
+  EXPECT_EQ(Rows(SemijoinAll(a, std::vector<const Relation*>{})), Rows(a));
+  Relation empty_filter(VarSet{1});
+  EXPECT_TRUE(SemijoinAll(a, {&empty_filter}).empty());
+}
+
+// The acceptance check for the fused light paths: on a negative instance
+// the triangle/4-cycle engines probe light-join candidates but materialize
+// none of them (the old pipeline allocated the full filtered-away join).
+TEST(FusedStatsTest, TriangleLightPathMaterializesNothingWhenNegative) {
+  // Dense-square triangle-free instance: S carries even Z, T odd Z.
+  Rng rng(19);
+  Database db;
+  const int64_t n = 3000, d = 55;
+  db.relations.push_back(UniformRelation(VarSet{0, 1}, n, d, &rng));
+  Relation raw_s = UniformRelation(VarSet{1, 2}, n, d, &rng);
+  Relation raw_t = UniformRelation(VarSet{0, 2}, n, d, &rng);
+  Relation s(VarSet{1, 2}), t(VarSet{0, 2});
+  for (size_t i = 0; i < raw_s.size(); ++i) {
+    s.Add({raw_s.Row(i)[0], 2 * raw_s.Row(i)[1]});
+  }
+  for (size_t i = 0; i < raw_t.size(); ++i) {
+    t.Add({raw_t.Row(i)[0], 2 * raw_t.Row(i)[1] + 1});
+  }
+  db.relations.push_back(std::move(s));
+  db.relations.push_back(std::move(t));
+
+  ExecContext ec(1);
+  TriangleStats stats;
+  EXPECT_FALSE(TriangleMm(db, 2.371552, MmKernel::kBoolean, &stats, &ec));
+  EXPECT_FALSE(stats.answer_from_light);
+  EXPECT_EQ(stats.light_join_tuples, 0);  // nothing materialized
+  const ExecStats& st = ec.stats();
+  EXPECT_GE(st.fused_joins.load(), 3);       // one per light corner
+  EXPECT_GT(st.fused_probe_tuples.load(), 0);  // candidates were probed...
+  EXPECT_EQ(st.fused_emit_tuples.load(), 0);   // ...but none survived
+  EXPECT_EQ(st.fused_probe_tuples.load(), st.fused_drop_tuples.load());
+}
+
+TEST(FusedStatsTest, FourCycleResidualIsFused) {
+  WorkloadOptions opts;
+  opts.kind = WorkloadKind::kUniform;
+  opts.tuples_per_relation = 400;
+  opts.domain = 900;  // sparse: likely negative, light middles
+  opts.seed = 5;
+  Database db = MakeWorkload(Hypergraph::Cycle(4), opts);
+  ExecContext ec(1);
+  FourCycleStats stats;
+  const bool ans = FourCycleCombinatorial(db, &stats, &ec);
+  EXPECT_EQ(ans, BruteForceBoolean(Hypergraph::Cycle(4), db));
+  EXPECT_GE(ec.stats().fused_joins.load(), 1);
+  if (!ans) {
+    EXPECT_EQ(ec.stats().fused_emit_tuples.load(), 0);
+  }
+}
+
+// -------------------------------------------- parallel WCOJ determinism --
+
+/// Runs WcojJoin/WcojCount/WcojBoolean under private pools of 1, 2, 4 and
+/// 8 threads (the in-process equivalent of FMMSW_THREADS=1,2,4,8) and
+/// checks the canonical outputs are identical.
+void ExpectDeterministicAcrossThreadCounts(const Hypergraph& h,
+                                           const Database& db,
+                                           VarSet output_vars) {
+  ExecContext base(1);
+  Relation ref = WcojJoin(h, db, output_vars, nullptr, &base);
+  const int64_t ref_count = WcojCount(h, db, &base);
+  const bool ref_bool = WcojBoolean(h, db, &base);
+  for (int threads : {2, 4, 8}) {
+    ExecContext ec(threads);
+    Relation got = WcojJoin(h, db, output_vars, nullptr, &ec);
+    EXPECT_EQ(Rows(got), Rows(ref)) << "threads=" << threads;
+    EXPECT_EQ(WcojCount(h, db, &ec), ref_count) << "threads=" << threads;
+    EXPECT_EQ(WcojBoolean(h, db, &ec), ref_bool) << "threads=" << threads;
+    // Inputs are sized to actually exercise the task fan-out.
+    EXPECT_GT(ec.stats().wcoj_parallel_runs.load(), 0)
+        << "threads=" << threads;
+  }
+}
+
+/// Plants a heavy hitter: `hot` appears in the first column of the first
+/// relation against many partners (skew regime of the paper).
+void PlantHeavyHitter(Database* db, Value hot, int fanout) {
+  Relation& r = db->relations[0];
+  for (int i = 0; i < fanout; ++i) {
+    r.Add({hot, static_cast<Value>(i)});
+  }
+}
+
+TEST(ParallelWcojTest, TriangleDeterministicAcrossThreadCounts) {
+  for (uint64_t seed : {1u, 2u}) {
+    WorkloadOptions opts;
+    opts.kind = WorkloadKind::kUniform;
+    opts.tuples_per_relation = 1500;
+    opts.domain = 120;
+    opts.seed = seed;
+    opts.plant_witness = true;
+    Hypergraph h = Hypergraph::Triangle();
+    Database db = MakeWorkload(h, opts);
+    ExpectDeterministicAcrossThreadCounts(h, db, h.vertices());
+  }
+}
+
+TEST(ParallelWcojTest, TriangleSkewedHeavyHitter) {
+  WorkloadOptions opts;
+  opts.kind = WorkloadKind::kZipf;
+  opts.tuples_per_relation = 1200;
+  opts.domain = 100;
+  opts.zipf_alpha = 1.4;
+  opts.seed = 3;
+  Hypergraph h = Hypergraph::Triangle();
+  Database db = MakeWorkload(h, opts);
+  PlantHeavyHitter(&db, /*hot=*/0, /*fanout=*/100);
+  ExpectDeterministicAcrossThreadCounts(h, db, h.vertices());
+  // Projected outputs too (exercises the merge + canonical sort).
+  ExpectDeterministicAcrossThreadCounts(h, db, VarSet{0, 2});
+}
+
+TEST(ParallelWcojTest, FourCycleDeterministicAcrossThreadCounts) {
+  WorkloadOptions opts;
+  opts.kind = WorkloadKind::kUniform;
+  opts.tuples_per_relation = 1100;
+  opts.domain = 70;
+  opts.seed = 4;
+  Hypergraph h = Hypergraph::Cycle(4);
+  Database db = MakeWorkload(h, opts);
+  ExpectDeterministicAcrossThreadCounts(h, db, h.vertices());
+}
+
+TEST(ParallelWcojTest, FiveVariableGenericQuery) {
+  // 5-cycle: a 5-variable query with no specialized engine.
+  for (WorkloadKind kind : {WorkloadKind::kUniform, WorkloadKind::kZipf}) {
+    WorkloadOptions opts;
+    opts.kind = kind;
+    opts.tuples_per_relation = 900;
+    opts.domain = 60;
+    opts.zipf_alpha = 1.3;
+    opts.seed = 9;
+    Hypergraph h = Hypergraph::Cycle(5);
+    Database db = MakeWorkload(h, opts);
+    PlantHeavyHitter(&db, /*hot=*/1, /*fanout=*/80);
+    ExpectDeterministicAcrossThreadCounts(h, db, h.vertices());
+  }
+}
+
+TEST(ParallelWcojTest, EnginesAgreeUnderParallelContext) {
+  WorkloadOptions opts;
+  opts.kind = WorkloadKind::kZipf;
+  opts.tuples_per_relation = 800;
+  opts.domain = 90;
+  opts.seed = 21;
+  Hypergraph h = Hypergraph::Triangle();
+  Database db = MakeWorkload(h, opts);
+  ExecContext ec(4);
+  const bool expect = TriangleCombinatorial(db, &ec);
+  EXPECT_EQ(EvaluateBoolean(h, db, EvalStrategy::kWcoj, &ec), expect);
+  EXPECT_EQ(EvaluateBoolean(h, db, EvalStrategy::kBestTd, &ec), expect);
+  EXPECT_EQ(EvaluateBoolean(h, db, EvalStrategy::kElimination, &ec), expect);
+  EXPECT_EQ(TriangleMm(db, 2.371552, MmKernel::kBoolean, nullptr, &ec),
+            expect);
+}
+
+// --------------------------------------------------- sort-order cache ----
+
+TEST(ExecContextTest, SortOrderCacheReusedAcrossPartitions) {
+  Rng rng(31);
+  Relation r = UniformRelation(VarSet{0, 1}, 500, 40, &rng);
+  ExecContext ec(1);
+  DegreePartition no_cache2 = PartitionByDegree(r, VarSet{1}, VarSet{0}, 2);
+  DegreePartition no_cache9 = PartitionByDegree(r, VarSet{1}, VarSet{0}, 9);
+  {
+    ExecContext::SortOrderScope scope(ec);
+    DegreePartition p2 = PartitionByDegree(r, VarSet{1}, VarSet{0}, 2, &ec);
+    // Second partition of the same pinned relation: different threshold,
+    // same grouping order — served from the cache.
+    DegreePartition p9 = PartitionByDegree(r, VarSet{1}, VarSet{0}, 9, &ec);
+    EXPECT_GE(ec.stats().sort_order_hits.load(), 1);
+    EXPECT_EQ(Rows(Sorted(p2.heavy)), Rows(Sorted(no_cache2.heavy)));
+    EXPECT_EQ(Rows(Sorted(p2.light)), Rows(Sorted(no_cache2.light)));
+    EXPECT_EQ(Rows(Sorted(p9.heavy)), Rows(Sorted(no_cache9.heavy)));
+    EXPECT_EQ(Rows(Sorted(p9.light)), Rows(Sorted(no_cache9.light)));
+  }
+  // Outside the scope the cache is inert.
+  const int64_t hits = ec.stats().sort_order_hits.load();
+  PartitionByDegree(r, VarSet{1}, VarSet{0}, 2, &ec);
+  PartitionByDegree(r, VarSet{1}, VarSet{0}, 2, &ec);
+  EXPECT_EQ(ec.stats().sort_order_hits.load(), hits);
+}
+
+// ------------------------------------------------------- radix sorting ---
+
+TEST(RadixSortTest, LargeSortAndDedupeMatchesReference) {
+  Rng rng(41);
+  // Arity 2 with negative and extreme values: crosses the radix threshold.
+  Relation r(VarSet{0, 1});
+  std::set<std::pair<Value, Value>> ref;
+  for (int i = 0; i < 60000; ++i) {
+    Value a = static_cast<Value>(rng.Uniform(-50000, 50000));
+    Value b = static_cast<Value>(rng.Uniform(-50000, 50000));
+    if (i % 997 == 0) a = std::numeric_limits<Value>::min();
+    if (i % 991 == 0) b = std::numeric_limits<Value>::max();
+    r.Add({a, b});
+    r.Add({a, b});  // duplicates must collapse
+    ref.emplace(a, b);
+  }
+  r.SortAndDedupe();
+  ASSERT_EQ(r.size(), ref.size());
+  size_t i = 0;
+  for (const auto& [a, b] : ref) {
+    EXPECT_EQ(r.Row(i)[0], a);
+    EXPECT_EQ(r.Row(i)[1], b);
+    ++i;
+  }
+  // Arity 1, same treatment.
+  Relation u(VarSet{3});
+  std::set<Value> uref;
+  for (int i = 0; i < 30000; ++i) {
+    const Value v = static_cast<Value>(rng.Uniform(-40000, 40000));
+    u.Add({v});
+    uref.insert(v);
+  }
+  u.SortAndDedupe();
+  ASSERT_EQ(u.size(), uref.size());
+  size_t j = 0;
+  for (Value v : uref) EXPECT_EQ(u.Row(j++)[0], v);
+}
+
+}  // namespace
+}  // namespace fmmsw

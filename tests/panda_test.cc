@@ -2,6 +2,9 @@
 // LP certification of validity, proof-sequence verification (Theorem E.8),
 // and the proof-sequence executor reproducing Figure 1.
 
+#include <limits>
+
+#include "core/exec_context.h"
 #include "engine/triangle.h"
 #include "gtest/gtest.h"
 #include "panda/executor.h"
@@ -140,6 +143,61 @@ TEST(ExecutorTest, StatsReportFigureOneShape) {
   EXPECT_EQ(stats.partitions, 3);
   EXPECT_LE(stats.joins, 3);
   EXPECT_LE(stats.mm_executed, 1);
+}
+
+TEST(ExecutorTest, FlatInternedDimensionsHandleExtremeValues) {
+  // Regression for the flat-index port of the executor's matrix-dimension
+  // interning (was std::unordered_map<Value, int>): negative values and
+  // the int32 boundaries must round-trip through the packed 64-bit keys.
+  const Value lo = std::numeric_limits<Value>::min();
+  const Value hi = std::numeric_limits<Value>::max();
+  for (bool plant : {false, true}) {
+    Database db;
+    Relation r(VarSet{0, 1}), s(VarSet{1, 2}), t(VarSet{0, 2});
+    // Dense small-domain skeleton over extreme values so every value is
+    // heavy and the MM group executes.
+    const Value xs[4] = {lo, -7, 7, hi};
+    for (Value a : xs) {
+      for (Value b : xs) {
+        if (a == b && !plant) continue;  // kill the diagonal witnesses
+        r.Add({a, b});
+        s.Add({a, b});
+        t.Add({a, b});
+      }
+    }
+    db.relations.push_back(r);
+    db.relations.push_back(s);
+    db.relations.push_back(t);
+    const bool expect = BruteForceBoolean(Hypergraph::Triangle(), db);
+    for (double omega : {2.0, 2.371552, 3.0}) {
+      PandaStats stats;
+      EXPECT_EQ(PandaTriangleBoolean(db, omega, MmKernel::kBoolean, &stats),
+                expect)
+          << "plant=" << plant << " omega=" << omega;
+      EXPECT_EQ(PandaTriangleBoolean(db, omega, MmKernel::kNaive), expect)
+          << "plant=" << plant << " omega=" << omega;
+    }
+  }
+}
+
+TEST(ExecutorTest, ProofSequenceRunsUnderSortOrderScope) {
+  // The executor opens an ExecContext::SortOrderScope; repeated executions
+  // on the same context must not leak cache state across calls (each call
+  // clears the cache on entry and exit).
+  WorkloadOptions opts;
+  opts.kind = WorkloadKind::kZipf;
+  opts.tuples_per_relation = 200;
+  opts.domain = 50;
+  opts.seed = 12;
+  Database db = MakeWorkload(Hypergraph::Triangle(), opts);
+  ExecContext ec(1);
+  const bool expect = BruteForceBoolean(Hypergraph::Triangle(), db);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(
+        PandaTriangleBoolean(db, 2.371552, MmKernel::kBoolean, nullptr, &ec),
+        expect);
+  }
+  EXPECT_GE(ec.stats().partition_calls.load(), 9);
 }
 
 }  // namespace
