@@ -15,17 +15,10 @@
 namespace fmmsw {
 namespace {
 
-double TimeIt(const std::function<bool()>& f, int reps) {
-  Stopwatch sw;
-  bool sink = false;
-  for (int i = 0; i < reps; ++i) sink ^= f();
-  (void)sink;
-  return sw.Seconds() / reps;
-}
-
 void Run() {
   bench::Header(
       "4-cycle detection: runtime shape (star + dense-square, cycle-free)");
+  ExecContext ec;
   std::vector<double> ns, ns_td, t_td, t_comb, t_mm;
   std::printf("%10s %12s %12s %12s\n", "N", "td O(N^2)", "partitioned",
               "mm hybrid");
@@ -75,10 +68,21 @@ void Run() {
     // The quadratic TD plan materializes R join S; cap its sweep so the
     // bench stays within laptop memory (its slope is fitted on the prefix).
     const bool run_td = n <= 4000;
-    const double a = run_td ? TimeIt([&] { return FourCycleTd(db); }, reps)
-                            : -1.0;
-    const double b = TimeIt([&] { return FourCycleCombinatorial(db); }, reps);
-    const double c = TimeIt([&] { return FourCycleMm(db, 2.371552); }, reps);
+    double a_ib = -1.0, b_ib, c_ib;
+    const double a =
+        run_td ? bench::TimeWithIndexBuild(
+                     ec, [&] { return FourCycleTd(db, &ec); }, reps, &a_ib)
+               : -1.0;
+    const double b = bench::TimeWithIndexBuild(
+        ec, [&] { return FourCycleCombinatorial(db, nullptr, &ec); }, reps,
+        &b_ib);
+    const double c = bench::TimeWithIndexBuild(
+        ec,
+        [&] {
+          return FourCycleMm(db, 2.371552, MmKernel::kBoolean, nullptr,
+                             &ec);
+        },
+        reps, &c_ib);
     ns.push_back(static_cast<double>(db.TotalSize()));
     if (run_td) {
       ns_td.push_back(static_cast<double>(db.TotalSize()));
@@ -88,9 +92,9 @@ void Run() {
     t_mm.push_back(c);
     const long long total = static_cast<long long>(db.TotalSize());
     std::printf("%10lld %12.5f %12.5f %12.5f\n", total, a, b, c);
-    if (run_td) bench::Json("four_cycle", total, "td", a * 1e3);
-    bench::Json("four_cycle", total, "partitioned", b * 1e3);
-    bench::Json("four_cycle", total, "mm_w2.37", c * 1e3);
+    if (run_td) bench::Json("four_cycle", total, "td", a * 1e3, a_ib);
+    bench::Json("four_cycle", total, "partitioned", b * 1e3, b_ib);
+    bench::Json("four_cycle", total, "mm_w2.37", c * 1e3, c_ib);
   }
   std::printf("\n");
   bench::Row("single-TD exponent", "2.0000",

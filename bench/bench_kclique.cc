@@ -16,16 +16,9 @@
 namespace fmmsw {
 namespace {
 
-double TimeIt(const std::function<bool()>& f, int reps) {
-  Stopwatch sw;
-  bool sink = false;
-  for (int i = 0; i < reps; ++i) sink ^= f();
-  (void)sink;
-  return sw.Seconds() / reps;
-}
-
 void RunK(int k) {
   std::printf("\n-- k = %d --\n", k);
+  ExecContext ec;
   std::vector<double> ns, t_comb, t_mm;
   std::printf("%10s %12s %12s %12s\n", "N", "wcoj", "mm boolean",
               "mm strassen");
@@ -64,19 +57,30 @@ void RunK(int k) {
       continue;
     }
     const int reps = 2;
-    const double a = TimeIt([&] { return CliqueCombinatorial(k, db); }, reps);
-    const double b = TimeIt([&] { return CliqueMm(k, db); }, reps);
-    const double c =
-        TimeIt([&] { return CliqueMm(k, db, MmKernel::kStrassen); }, reps);
+    double a_ib, b_ib, c_ib;
+    const double a = bench::TimeWithIndexBuild(
+        ec, [&] { return CliqueCombinatorial(k, db, &ec); }, reps, &a_ib);
+    const double b = bench::TimeWithIndexBuild(
+        ec,
+        [&] {
+          return CliqueMm(k, db, MmKernel::kBoolean, nullptr, &ec);
+        },
+        reps, &b_ib);
+    const double c = bench::TimeWithIndexBuild(
+        ec,
+        [&] {
+          return CliqueMm(k, db, MmKernel::kStrassen, nullptr, &ec);
+        },
+        reps, &c_ib);
     ns.push_back(static_cast<double>(db.TotalSize()));
     t_comb.push_back(a);
     t_mm.push_back(b);
     const long long total = static_cast<long long>(db.TotalSize());
     std::printf("%10lld %12.5f %12.5f %12.5f\n", total, a, b, c);
     const std::string name = "clique_k" + std::to_string(k);
-    bench::Json(name, total, "wcoj", a * 1e3);
-    bench::Json(name, total, "mm_boolean", b * 1e3);
-    bench::Json(name, total, "mm_strassen", c * 1e3);
+    bench::Json(name, total, "wcoj", a * 1e3, a_ib);
+    bench::Json(name, total, "mm_boolean", b * 1e3, b_ib);
+    bench::Json(name, total, "mm_strassen", c * 1e3, c_ib);
   }
   const Rational omega(2371552, 1000000);
   bench::Row("combinatorial exponent",

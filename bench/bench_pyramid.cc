@@ -14,16 +14,9 @@
 namespace fmmsw {
 namespace {
 
-double TimeIt(const std::function<bool()>& f, int reps) {
-  Stopwatch sw;
-  bool sink = false;
-  for (int i = 0; i < reps; ++i) sink ^= f();
-  (void)sink;
-  return sw.Seconds() / reps;
-}
-
 void Run() {
   bench::Header("3-pyramid: combinatorial vs MM elimination (heavy regime)");
+  ExecContext ec;
   std::vector<double> ns, t_comb, t_mm;
   std::printf("%10s %12s %12s\n", "N", "wcoj", "mm w=2.37");
   for (int64_t n : {1000, 2000, 4000, 8000, 16000}) {
@@ -55,15 +48,22 @@ void Run() {
       db.relations.push_back(std::move(base));
     }
     const int reps = n <= 4000 ? 3 : 1;
-    const double a = TimeIt([&] { return Pyramid3Combinatorial(db); }, reps);
-    const double b = TimeIt([&] { return Pyramid3Mm(db, 2.371552); }, reps);
+    double a_ib, b_ib;
+    const double a = bench::TimeWithIndexBuild(
+        ec, [&] { return Pyramid3Combinatorial(db, &ec); }, reps, &a_ib);
+    const double b = bench::TimeWithIndexBuild(
+        ec,
+        [&] {
+          return Pyramid3Mm(db, 2.371552, MmKernel::kBoolean, nullptr, &ec);
+        },
+        reps, &b_ib);
     ns.push_back(static_cast<double>(db.TotalSize()));
     t_comb.push_back(a);
     t_mm.push_back(b);
     const long long total = static_cast<long long>(db.TotalSize());
     std::printf("%10lld %12.5f %12.5f\n", total, a, b);
-    bench::Json("pyramid", total, "wcoj", a * 1e3);
-    bench::Json("pyramid", total, "mm_w2.37", b * 1e3);
+    bench::Json("pyramid", total, "wcoj", a * 1e3, a_ib);
+    bench::Json("pyramid", total, "mm_w2.37", b * 1e3, b_ib);
   }
   std::printf("\n");
   bench::Row("combinatorial exponent", "1.6667 (subw 5/3)",

@@ -17,13 +17,6 @@
 namespace fmmsw {
 namespace {
 
-double TimeIt(const std::function<bool()>& f, int reps) {
-  Stopwatch sw;
-  bool sink = false;
-  for (int i = 0; i < reps; ++i) sink ^= f();
-  (void)sink;
-  return sw.Seconds() / reps;
-}
 
 /// The hard regime of Lemma C.5's witness: all three variables live on a
 /// domain of size ~sqrt(N), so every value is heavy (degree ~sqrt(N)) and
@@ -57,17 +50,34 @@ void Run() {
   std::vector<double> ns, t_wcoj, t_mm2, t_mmstr, t_panda;
   std::printf("%10s %12s %12s %12s %12s\n", "N", "wcoj(s)", "mm w=2.37",
               "mm strassen", "panda-derived");
+  ExecContext ec;
   for (int64_t n : {4000, 8000, 16000, 32000, 64000, 128000}) {
     if (!bench::StepEnabled(n)) continue;
     Database db = MakeNegativeInstance(n);
     const int reps = n <= 8000 ? 3 : 1;
-    const double a = TimeIt([&] { return TriangleCombinatorial(db); }, reps);
-    const double b = TimeIt([&] { return TriangleMm(db, 2.371552); }, reps);
-    const double c = TimeIt(
-        [&] { return TriangleMm(db, 2.8073549, MmKernel::kStrassen); },
-        reps);
-    const double d = TimeIt([&] { return PandaTriangleBoolean(db, 2.371552); },
-                            reps);
+    double a_ib, b_ib, c_ib, d_ib;
+    const double a = bench::TimeWithIndexBuild(
+        ec, [&] { return TriangleCombinatorial(db, &ec); }, reps, &a_ib);
+    const double b = bench::TimeWithIndexBuild(
+        ec,
+        [&] {
+          return TriangleMm(db, 2.371552, MmKernel::kBoolean, nullptr, &ec);
+        },
+        reps, &b_ib);
+    const double c = bench::TimeWithIndexBuild(
+        ec,
+        [&] {
+          return TriangleMm(db, 2.8073549, MmKernel::kStrassen, nullptr,
+                            &ec);
+        },
+        reps, &c_ib);
+    const double d = bench::TimeWithIndexBuild(
+        ec,
+        [&] {
+          return PandaTriangleBoolean(db, 2.371552, MmKernel::kBoolean,
+                                      nullptr, &ec);
+        },
+        reps, &d_ib);
     ns.push_back(static_cast<double>(db.TotalSize()));
     t_wcoj.push_back(a);
     t_mm2.push_back(b);
@@ -75,10 +85,10 @@ void Run() {
     t_panda.push_back(d);
     const long long total = static_cast<long long>(db.TotalSize());
     std::printf("%10lld %12.5f %12.5f %12.5f %12.5f\n", total, a, b, c, d);
-    bench::Json("triangle", total, "wcoj", a * 1e3);
-    bench::Json("triangle", total, "mm_w2.37", b * 1e3);
-    bench::Json("triangle", total, "mm_strassen", c * 1e3);
-    bench::Json("triangle", total, "panda", d * 1e3);
+    bench::Json("triangle", total, "wcoj", a * 1e3, a_ib);
+    bench::Json("triangle", total, "mm_w2.37", b * 1e3, b_ib);
+    bench::Json("triangle", total, "mm_strassen", c * 1e3, c_ib);
+    bench::Json("triangle", total, "panda", d * 1e3, d_ib);
   }
   std::printf("\n");
   bench::Row("combinatorial exponent", "1.5000",

@@ -8,11 +8,16 @@
 /// machine-readable line per measurement for BENCH_*.json trajectories.
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
+
+#include "core/exec_context.h"
+#include "util/stopwatch.h"
 
 namespace fmmsw {
 namespace bench {
@@ -39,14 +44,47 @@ inline void Init(int argc, char** argv) {
 inline bool StepEnabled(long long n) { return n <= max_n; }
 
 /// One machine-readable measurement line:
-///   {"name":"triangle","n":242323,"kernel":"wcoj","wall_ms":293.1}
-/// Emitted only in --json mode; human-readable output stays as-is, so
-/// consumers should filter for lines starting with '{'.
+///   {"name":"triangle","n":242323,"kernel":"wcoj","wall_ms":293.1,
+///    "index_build_ms":12.4}
+/// index_build_ms (aggregate flat-index construction time, from the
+/// ExecStats::index_build_ns delta — summed across workers, so it can
+/// exceed wall_ms when builds run concurrently inside parallel regions)
+/// is emitted when the caller passes a non-negative value. Emitted only
+/// in --json mode; human-readable output stays as-is, so consumers
+/// should filter for lines starting with '{'.
 inline void Json(const std::string& name, long long n,
-                 const std::string& kernel, double wall_ms) {
+                 const std::string& kernel, double wall_ms,
+                 double index_build_ms = -1.0) {
   if (!json_mode) return;
+  if (index_build_ms >= 0) {
+    std::printf(
+        "{\"name\":\"%s\",\"n\":%lld,\"kernel\":\"%s\",\"wall_ms\":%.6f,"
+        "\"index_build_ms\":%.6f}\n",
+        name.c_str(), n, kernel.c_str(), wall_ms, index_build_ms);
+    return;
+  }
   std::printf("{\"name\":\"%s\",\"n\":%lld,\"kernel\":\"%s\",\"wall_ms\":%.6f}\n",
               name.c_str(), n, kernel.c_str(), wall_ms);
+}
+
+/// Times `reps` runs of f against `ec`, returning mean wall seconds and
+/// storing the mean per-rep aggregate index-build milliseconds (the
+/// context's index_build_ns delta; see Json above for the
+/// summed-across-workers caveat) in *index_build_ms — how the per-phase
+/// index-construction time is split out of the end-to-end numbers.
+inline double TimeWithIndexBuild(ExecContext& ec,
+                                 const std::function<bool()>& f, int reps,
+                                 double* index_build_ms) {
+  const int64_t ns0 = ec.stats().index_build_ns.load();
+  Stopwatch sw;
+  bool sink = false;
+  for (int i = 0; i < reps; ++i) sink ^= f();
+  (void)sink;
+  const double wall = sw.Seconds() / reps;
+  *index_build_ms =
+      static_cast<double>(ec.stats().index_build_ns.load() - ns0) * 1e-6 /
+      reps;
+  return wall;
 }
 
 inline void Header(const std::string& title) {

@@ -17,9 +17,15 @@ void ExecStats::Reset() {
   select_calls = 0;
   partition_calls = 0;
   sort_order_hits = 0;
+  index_builds = 0;
+  index_sharded_builds = 0;
+  index_build_rows = 0;
+  index_build_ns = 0;
   wcoj_runs = 0;
   wcoj_parallel_runs = 0;
   wcoj_tasks = 0;
+  wcoj_coop_tasks = 0;
+  wcoj_steal_claims = 0;
   mm_products = 0;
 }
 
@@ -47,9 +53,15 @@ std::string ExecStats::ToString() const {
   row("select_calls        ", select_calls);
   row("partition_calls     ", partition_calls);
   row("sort_order_hits     ", sort_order_hits);
+  row("index_builds        ", index_builds);
+  row("index_sharded_builds", index_sharded_builds);
+  row("index_build_rows    ", index_build_rows);
+  row("index_build_ns      ", index_build_ns);
   row("wcoj_runs           ", wcoj_runs);
   row("wcoj_parallel_runs  ", wcoj_parallel_runs);
   row("wcoj_tasks          ", wcoj_tasks);
+  row("wcoj_coop_tasks     ", wcoj_coop_tasks);
+  row("wcoj_steal_claims   ", wcoj_steal_claims);
   row("mm_products         ", mm_products);
   return out;
 }

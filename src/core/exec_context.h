@@ -30,11 +30,37 @@
 #include <utility>
 #include <vector>
 
+#include "util/check.h"
 #include "util/parallel.h"
 
 namespace fmmsw {
 
 /// Per-op execution counters (relaxed atomics; see Bump below).
+///
+/// Index-build counters (the flat_index.h structures report through the
+/// context they were built with):
+///   - index_builds          : context-aware flat-index builds (FlatMultimap
+///                             via ExistProbe/Join/Semijoin, bulk
+///                             FlatInterner builds).
+///   - index_sharded_builds  : the subset that took the parallel sharded
+///                             path (disjoint per-shard sub-tables written
+///                             by pool workers without locks).
+///   - index_build_rows      : rows scanned into those indexes.
+///   - index_build_ns        : nanoseconds spent inside index
+///                             construction, summed across builds (and
+///                             therefore across workers: builds running
+///                             concurrently inside a parallel region each
+///                             contribute their own elapsed time, so the
+///                             total is aggregate build time and can
+///                             exceed wall time). Benches subtract
+///                             snapshots of this to report index-build
+///                             time separately from enumeration time.
+/// WCOJ sub-level stealing counters:
+///   - wcoj_coop_tasks       : top-level tasks whose depth-1 candidate
+///                             range was executed cooperatively (claimed in
+///                             blocks from a shared atomic cursor).
+///   - wcoj_steal_claims     : depth-1 blocks claimed by a worker that had
+///                             run out of whole tasks (the stealing path).
 struct ExecStats {
   std::atomic<int64_t> join_calls{0};
   std::atomic<int64_t> join_output_tuples{0};
@@ -50,9 +76,15 @@ struct ExecStats {
   std::atomic<int64_t> select_calls{0};
   std::atomic<int64_t> partition_calls{0};
   std::atomic<int64_t> sort_order_hits{0};      ///< partition sort orders reused
+  std::atomic<int64_t> index_builds{0};         ///< context-aware index builds
+  std::atomic<int64_t> index_sharded_builds{0}; ///< ...that ran sharded/parallel
+  std::atomic<int64_t> index_build_rows{0};     ///< rows scanned into indexes
+  std::atomic<int64_t> index_build_ns{0};       ///< wall ns inside index builds
   std::atomic<int64_t> wcoj_runs{0};
   std::atomic<int64_t> wcoj_parallel_runs{0};
   std::atomic<int64_t> wcoj_tasks{0};           ///< top-level candidate runs fanned out
+  std::atomic<int64_t> wcoj_coop_tasks{0};      ///< tasks run via shared depth-1 cursor
+  std::atomic<int64_t> wcoj_steal_claims{0};    ///< depth-1 blocks claimed by dry workers
   std::atomic<int64_t> mm_products{0};          ///< matrix-kernel launches
 
   void Reset();
@@ -78,7 +110,13 @@ class ScratchArena {
         u64_(std::move(other.u64_)),
         u64b_(std::move(other.u64b_)),
         keyed_(std::move(other.keyed_)),
-        keyedb_(std::move(other.keyedb_)) {}
+        keyedb_(std::move(other.keyedb_)) {
+    // A held arena must never be relocated: the holder's reference would
+    // dangle and the fresh busy_ flag would hand the buffers to a second
+    // caller.
+    FMMSW_DCHECK(!other.busy_.load(std::memory_order_relaxed) &&
+                 "moving a ScratchArena that is still acquired");
+  }
 
   /// Atomically claims the arena; returns false if another caller holds
   /// it (use local buffers instead).

@@ -57,8 +57,8 @@ bool ForEachHeavy(ExecContext& ec, const Relation& heavy,
   const KeySpec kleft(left, VarSet::Singleton(mid));
   const KeySpec kright(right, VarSet::Singleton(mid));
   const KeySpec kheavy(heavy, VarSet::Singleton(mid));
-  const FlatMultimap ileft(left, kleft);
-  const FlatMultimap iright(right, kright);
+  const FlatMultimap ileft(left, kleft, &ec);
+  const FlatMultimap iright(right, kright, &ec);
   const int lcol = left.ColumnOf(left_other.First());
   const int rcol = right.ColumnOf(right_other.First());
   // Probe count is approximate under early exit: workers already in
@@ -222,13 +222,12 @@ bool FourCycleMm(const Database& db, double omega, MmKernel kernel,
   // A heavy-heavy cycle needs all four restricted relations non-empty.
   if (rh.empty() || uh.empty() || sh.empty() || th.empty()) return false;
 
-  FlatInterner yi(ys.heavy.size()), wi(ws.heavy.size()), xi, zi;
-  for (size_t row = 0; row < ys.heavy.size(); ++row) {
-    yi.InternValue(ys.heavy.Row(row)[0]);
-  }
-  for (size_t row = 0; row < ws.heavy.size(); ++row) {
-    wi.InternValue(ws.heavy.Row(row)[0]);
-  }
+  // The unary heavy sets bulk-intern through the context (sharded in
+  // parallel when large); xi/zi intern across two relations each, so they
+  // stay incremental.
+  FlatInterner yi(ys.heavy, KeySpec(ys.heavy, ys.heavy.schema()), &ec);
+  FlatInterner wi(ws.heavy, KeySpec(ws.heavy, ws.heavy.schema()), &ec);
+  FlatInterner xi, zi;
   for (size_t row = 0; row < rh.size(); ++row) {
     xi.InternValue(rh.Get(row, kX));
   }

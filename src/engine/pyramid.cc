@@ -76,18 +76,16 @@ bool Pyramid3Mm(const Database& db, double omega, MmKernel kernel,
   Relation heavy_y = Union(p1.heavy, p2.heavy, &ec);  // unary over {Y}
   {
     const KeySpec kbase12(base, VarSet{kX1, kX2});
-    const FlatMultimap base_by_x1x2(base, kbase12);
+    const FlatMultimap base_by_x1x2(base, kbase12, &ec);
     const int base_x3_col = base.ColumnOf(kX3);
     const KeySpec k1(p1.light, VarSet{kApex});
     const KeySpec k2(p2.light, VarSet{kApex});
-    const FlatMultimap x1_of_y(p1.light, k1);
-    const FlatMultimap x2_of_y(p2.light, k2);
+    const FlatMultimap x1_of_y(p1.light, k1, &ec);
+    const FlatMultimap x2_of_y(p2.light, k2, &ec);
     const int l1_x1_col = p1.light.ColumnOf(kX1);
     const int l2_x2_col = p2.light.ColumnOf(kX2);
-    FlatInterner heavy_y_set(heavy_y.size());
-    for (size_t row = 0; row < heavy_y.size(); ++row) {
-      heavy_y_set.InternValue(heavy_y.Row(row)[0]);
-    }
+    const FlatInterner heavy_y_set(heavy_y,
+                                   KeySpec(heavy_y, heavy_y.schema()), &ec);
     for (size_t row = 0; row < r3.size(); ++row) {
       const Value y = r3.Get(row, kApex);
       if (heavy_y_set.FindValue(y) >= 0) continue;
@@ -129,16 +127,16 @@ bool Pyramid3Mm(const Database& db, double omega, MmKernel kernel,
   if (r1h.empty() || r2h.empty() || r3h.empty()) return false;
 
   const KeySpec kr1h(r1h, VarSet{kX1});
-  const FlatMultimap y_of_x1(r1h, kr1h);
+  const FlatMultimap y_of_x1(r1h, kr1h, &ec);
   const int r1h_y_col = r1h.ColumnOf(kApex);
   const KeySpec kr2h(r2h, VarSet{kApex});
   const KeySpec kr3h(r3h, VarSet{kApex});
-  const FlatMultimap x2_of_y(r2h, kr2h);
-  const FlatMultimap x3_of_y(r3h, kr3h);
+  const FlatMultimap x2_of_y(r2h, kr2h, &ec);
+  const FlatMultimap x3_of_y(r3h, kr3h, &ec);
   const int r2h_x2_col = r2h.ColumnOf(kX2);
   const int r3h_x3_col = r3h.ColumnOf(kX3);
   const KeySpec kbase1(base, VarSet{kX1});
-  const FlatMultimap base_by_x1(base, kbase1);
+  const FlatMultimap base_by_x1(base, kbase1, &ec);
   const int base_x2_col = base.ColumnOf(kX2);
   const int base_x3_col = base.ColumnOf(kX3);
 

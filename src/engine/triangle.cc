@@ -18,14 +18,13 @@ namespace {
 constexpr int kX = 0, kY = 1, kZ = 2;
 
 /// Dense index over the values appearing in a unary relation (flat
-/// open-addressing interner; no per-node allocation).
+/// open-addressing interner; no per-node allocation). The bulk build is
+/// context-aware: large inputs are interned via the sharded parallel path
+/// with ids still in first-occurrence order.
 class ValueIndex {
  public:
-  explicit ValueIndex(const Relation& unary) : map_(unary.size()) {
-    for (size_t r = 0; r < unary.size(); ++r) {
-      map_.InternValue(unary.Row(r)[0]);
-    }
-  }
+  ValueIndex(const Relation& unary, ExecContext* ctx)
+      : map_(unary, KeySpec(unary, unary.schema()), ctx) {}
   int Find(Value v) const { return map_.FindValue(v); }
   int size() const { return map_.size(); }
 
@@ -91,9 +90,9 @@ bool TriangleMm(const Database& db, double omega, MmKernel kernel,
   Relation m1 = SemijoinAll(r, {&pr.heavy, &ps.heavy}, &ec);
   Relation m2 = SemijoinAll(s, {&ps.heavy, &pt.heavy}, &ec);
   if (m1.empty() || m2.empty()) return false;
-  ValueIndex xi(pr.heavy);
-  ValueIndex yi(ps.heavy);
-  ValueIndex zi(pt.heavy);
+  ValueIndex xi(pr.heavy, &ec);
+  ValueIndex yi(ps.heavy, &ec);
+  ValueIndex zi(pt.heavy, &ec);
   if (stats != nullptr) {
     stats->mm_dim_x = xi.size();
     stats->mm_dim_y = yi.size();
@@ -149,7 +148,7 @@ int64_t TriangleCountMm(const Database& db, MmKernel kernel,
                       &ec);
   Relation zs = Union(Project(s, VarSet{kZ}, &ec), Project(t, VarSet{kZ}, &ec),
                       &ec);
-  ValueIndex xi(xs), yi(ys), zi(zs);
+  ValueIndex xi(xs, &ec), yi(ys, &ec), zi(zs, &ec);
   Matrix a(xi.size(), yi.size()), b(yi.size(), zi.size());
   for (size_t row = 0; row < r.size(); ++row) {
     a.At(xi.Find(r.Get(row, kX)), yi.Find(r.Get(row, kY))) = 1;

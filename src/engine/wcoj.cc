@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 
 #include "core/exec_context.h"
 #include "relation/ops.h"
@@ -186,7 +187,182 @@ class GenericJoin {
     return keep_going;
   }
 
+  // ---- Depth-1 cooperative execution (sub-level stealing) ------------
+  // A single heavy top-level task serializes the whole join if only whole
+  // tasks are scheduled. For tasks whose depth-1 candidate range is large
+  // enough, the range is instead *claimed in position blocks* from a
+  // shared atomic cursor: the task's first claimant and any worker that
+  // has run out of whole tasks pull blocks from the same cursor, so a
+  // heavy hitter is split across however many workers go dry. A value run
+  // is processed by the claimant of its first position (claimants skip a
+  // run straddling in from the left and finish one extending past their
+  // block), so the claims partition the depth-1 runs exactly — every
+  // assignment is enumerated once, for any interleaving of claims.
+
+  /// Resolves the depth-1 active set plus, per task, the pivot relation
+  /// and its candidate range. Returns false when depth 1 cannot be
+  /// executed cooperatively (single-variable order, or a second variable
+  /// constrained by no relation).
+  bool PrepareDepth1() {
+    d1_active_.clear();
+    d1_pivot_.clear();
+    d1_range_.clear();
+    if (order_.size() < 2) return false;
+    const int v = order_[1];
+    for (size_t i = 0; i < rels_.size(); ++i) {
+      const bool active0 =
+          std::find(active_.begin(), active_.end(), i) != active_.end();
+      const size_t level = active0 ? 1 : 0;
+      if (level < rels_[i].vars.size() && rels_[i].vars[level] == v) {
+        d1_active_.push_back(i);
+      }
+    }
+    if (d1_active_.empty() || d1_active_.size() > 64) return false;
+    const size_t nt = task_count();
+    d1_pivot_.resize(nt);
+    d1_range_.resize(nt);
+    for (size_t t = 0; t < nt; ++t) {
+      size_t best = d1_active_[0];
+      Range brange = RangeAtDepth1(t, best);
+      for (size_t a = 1; a < d1_active_.size(); ++a) {
+        const Range cand = RangeAtDepth1(t, d1_active_[a]);
+        if (cand.size() < brange.size()) {
+          best = d1_active_[a];
+          brange = cand;
+        }
+      }
+      d1_pivot_[t] = best;
+      d1_range_[t] = brange;
+    }
+    return true;
+  }
+
+  uint32_t D1Begin(size_t task) const { return d1_range_[task].begin; }
+  uint32_t D1End(size_t task) const { return d1_range_[task].end; }
+  uint32_t D1Span(size_t task) const { return d1_range_[task].size(); }
+
+  /// Cooperative execution of one task: claims depth-1 position blocks
+  /// from `cursor` until the range is exhausted or `stop()` turns true
+  /// (polled per block — a Boolean caller's global early exit), calling
+  /// begin_block(task, lo) before each claimed block's enumeration.
+  /// Returns false if `emit` stopped the run (the cursor is then poisoned
+  /// so other participants stop claiming).
+  template <typename Stop, typename BeginBlock, typename Emit>
+  bool RunTaskCoop(EnumState* st, size_t task,
+                   std::atomic<uint32_t>* cursor, uint32_t block,
+                   const Stop& stop, const BeginBlock& begin_block,
+                   const Emit& emit) const {
+    const size_t na = active_.size();
+    for (size_t a = 0; a < na; ++a) {
+      std::vector<Range>& stack = st->ranges[active_[a]];
+      stack.resize(1);
+      stack.push_back(task_ranges_[task * na + a]);
+    }
+    st->assignment[order_[0]] = task_values_[task];
+    const uint32_t end = d1_range_[task].end;
+    bool keep_going = true;
+    while (keep_going && !stop()) {
+      const uint32_t lo = cursor->fetch_add(block, std::memory_order_relaxed);
+      if (lo >= end) break;
+      begin_block(task, lo);
+      keep_going = RunBlock(st, task, lo, std::min(lo + block, end), emit);
+    }
+    if (!keep_going) cursor->store(end, std::memory_order_relaxed);
+    for (size_t a = 0; a < na; ++a) st->ranges[active_[a]].resize(1);
+    return keep_going;
+  }
+
  private:
+  /// Enumerates the depth-1 runs *starting* in [lo, hi) of the task's
+  /// pivot range (a straddling head run is skipped, a tail run is
+  /// finished past hi) and recurses below them.
+  template <typename Emit>
+  bool RunBlock(EnumState* st, size_t task, uint32_t lo, uint32_t hi,
+                const Emit& emit) const {
+    const size_t pivot = d1_pivot_[task];
+    const IndexedRelation& pr = rels_[pivot];
+    const size_t plevel = st->ranges[pivot].size() - 1;
+    const Range prange = d1_range_[task];
+    uint32_t pos = lo;
+    if (pos > prange.begin &&
+        pr.At(pos, plevel) == pr.At(pos - 1, plevel)) {
+      pos = UpperBound(pr, plevel, pos, prange.end, pr.At(pos, plevel));
+    }
+    return EnumerateRuns(st, d1_active_.data(), d1_active_.size(), pivot,
+                         prange, pos, hi, /*next_depth=*/2, emit);
+  }
+
+  /// The one run-enumeration kernel shared by Recurse and RunBlock: walks
+  /// the value runs of `pivot` whose start position lies in [lo, hi)
+  /// (each run extends to its true end within prange, possibly past hi),
+  /// Seek-probes the other `actives` with forward-only cursors, pushes
+  /// the matched subranges, recurses at `next_depth` and unwinds. The
+  /// bit-identical-across-thread-counts guarantee rests on serial and
+  /// cooperative execution sharing this single implementation.
+  template <typename Emit>
+  bool EnumerateRuns(EnumState* st, const size_t* actives, size_t n_active,
+                     size_t pivot, const Range& prange, uint32_t lo,
+                     uint32_t hi, size_t next_depth, const Emit& emit) const {
+    const IndexedRelation& pr = rels_[pivot];
+    const size_t plevel = st->ranges[pivot].size() - 1;
+    const int v = order_[next_depth - 1];
+    // Forward-only probe cursors, one per active relation.
+    uint32_t cursor[64];
+    for (size_t a = 0; a < n_active; ++a) {
+      cursor[a] = st->ranges[actives[a]].back().begin;
+    }
+    uint32_t pos = lo;
+    while (pos < hi) {
+      const Value value = pr.At(pos, plevel);
+      uint32_t run_end = pos + 1;
+      while (run_end < prange.end && pr.At(run_end, plevel) == value) {
+        ++run_end;
+      }
+      bool ok = true;
+      size_t pushed = 0;
+      for (size_t a = 0; a < n_active; ++a) {
+        const size_t i = actives[a];
+        if (i == pivot) continue;
+        const Range sub = Seek(rels_[i], st->ranges[i].size() - 1, cursor[a],
+                               st->ranges[i].back().end, value);
+        cursor[a] = sub.end;
+        if (sub.size() == 0) {
+          ok = false;
+          break;
+        }
+        st->ranges[i].push_back(sub);
+        ++pushed;
+      }
+      if (!ok) {
+        // Unwind the subranges pushed before the miss.
+        for (size_t a = 0; a < n_active && pushed > 0; ++a) {
+          const size_t i = actives[a];
+          if (i == pivot) continue;
+          st->ranges[i].pop_back();
+          --pushed;
+        }
+        pos = run_end;
+        continue;
+      }
+      st->ranges[pivot].push_back({pos, run_end});
+      st->assignment[v] = value;
+      const bool keep_going = Recurse(st, next_depth, emit);
+      for (size_t a = 0; a < n_active; ++a) st->ranges[actives[a]].pop_back();
+      if (!keep_going) return false;
+      pos = run_end;
+    }
+    return true;
+  }
+
+  /// Depth-1 range of `rel` within task `t`: the task's resolved subrange
+  /// for depth-0 active relations, the full relation otherwise.
+  Range RangeAtDepth1(size_t t, size_t rel) const {
+    for (size_t a = 0; a < active_.size(); ++a) {
+      if (active_[a] == rel) return task_ranges_[t * active_.size() + a];
+    }
+    return {0, rels_[rel].rows()};
+  }
+
   /// First position in [lo, hi) whose `level` column is >= v.
   static uint32_t LowerBound(const IndexedRelation& ir, size_t level,
                              uint32_t lo, uint32_t hi, Value v) {
@@ -267,55 +443,9 @@ class GenericJoin {
         pivot = active[a];
       }
     }
-    const IndexedRelation& pr = rels_[pivot];
-    const size_t plevel = st->ranges[pivot].size() - 1;
     const Range prange = st->ranges[pivot].back();
-    // Forward-only probe cursors, one per active relation.
-    uint32_t cursor[64];
-    for (size_t a = 0; a < n_active; ++a) {
-      cursor[a] = st->ranges[active[a]].back().begin;
-    }
-    uint32_t pos = prange.begin;
-    while (pos < prange.end) {
-      const Value value = pr.At(pos, plevel);
-      uint32_t run_end = pos + 1;
-      while (run_end < prange.end && pr.At(run_end, plevel) == value) {
-        ++run_end;
-      }
-      bool ok = true;
-      size_t pushed = 0;
-      for (size_t a = 0; a < n_active; ++a) {
-        const size_t i = active[a];
-        if (i == pivot) continue;
-        const Range sub = Seek(rels_[i], st->ranges[i].size() - 1, cursor[a],
-                               st->ranges[i].back().end, value);
-        cursor[a] = sub.end;
-        if (sub.size() == 0) {
-          ok = false;
-          break;
-        }
-        st->ranges[i].push_back(sub);
-        ++pushed;
-      }
-      if (!ok) {
-        // Unwind the subranges pushed before the miss.
-        for (size_t a = 0; a < n_active && pushed > 0; ++a) {
-          const size_t i = active[a];
-          if (i == pivot) continue;
-          st->ranges[i].pop_back();
-          --pushed;
-        }
-        pos = run_end;
-        continue;
-      }
-      st->ranges[pivot].push_back({pos, run_end});
-      st->assignment[v] = value;
-      const bool keep_going = Recurse(st, depth + 1, emit);
-      for (size_t a = 0; a < n_active; ++a) st->ranges[active[a]].pop_back();
-      if (!keep_going) return false;
-      pos = run_end;
-    }
-    return true;
+    return EnumerateRuns(st, active, n_active, pivot, prange, prange.begin,
+                         prange.end, depth + 1, emit);
   }
 
   std::vector<int> order_;
@@ -324,6 +454,9 @@ class GenericJoin {
   std::vector<size_t> active_;     // relations constrained at depth 0
   std::vector<Value> task_values_;
   std::vector<Range> task_ranges_;  // task_count() * active_.size()
+  std::vector<size_t> d1_active_;  // relations constrained at depth 1
+  std::vector<size_t> d1_pivot_;   // per task: depth-1 pivot relation
+  std::vector<Range> d1_range_;    // per task: pivot's depth-1 range
 };
 
 std::vector<int> DefaultOrder(const Hypergraph& h) {
@@ -348,6 +481,109 @@ size_t PrepareParallel(ExecContext& ec, GenericJoin* gj) {
   return gj->task_count();
 }
 
+/// Minimum depth-1 span before a task runs cooperatively: below this the
+/// shared-cursor claims cost more than they balance.
+constexpr uint32_t kCoopMinSpan = 1024;
+
+/// Claim granularity: small enough that the tail of a heavy task is
+/// spread across workers, large enough to amortize the atomic claim.
+uint32_t CoopBlock(uint32_t span, int threads) {
+  return std::max<uint32_t>(
+      64, span / (16u * static_cast<uint32_t>(threads)));
+}
+
+/// Shared scheduling state of one parallel WCOJ execution: which tasks
+/// run cooperatively and their depth-1 claim cursors.
+struct CoopPlan {
+  std::vector<uint8_t> coop;                   // per task
+  std::vector<std::atomic<uint32_t>> cursors;  // per task: next depth-1 pos
+
+  CoopPlan(GenericJoin* gj, size_t ntasks)
+      : coop(ntasks, 0), cursors(ntasks) {
+    if (!gj->PrepareDepth1()) return;
+    for (size_t t = 0; t < ntasks; ++t) {
+      if (gj->D1Span(t) >= kCoopMinSpan) {
+        coop[t] = 1;
+        cursors[t].store(gj->D1Begin(t), std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Cooperative task with the most unclaimed depth-1 positions (the
+  /// heaviest in-flight task a dry worker should help), or SIZE_MAX.
+  size_t Heaviest(const GenericJoin& gj) const {
+    size_t best = SIZE_MAX;
+    uint32_t best_left = 0;
+    for (size_t t = 0; t < coop.size(); ++t) {
+      if (!coop[t]) continue;
+      const uint32_t cur = cursors[t].load(std::memory_order_relaxed);
+      const uint32_t end = gj.D1End(t);
+      const uint32_t left = cur < end ? end - cur : 0;
+      if (left > best_left) {
+        best_left = left;
+        best = t;
+      }
+    }
+    return best;
+  }
+};
+
+/// The one parallel WCOJ driver, shared by Boolean/Join/Count: claim
+/// whole tasks (cooperative ones through their shared depth-1 cursors),
+/// then let dry workers steal depth-1 blocks from the heaviest in-flight
+/// task. `make_hooks(worker)` builds the per-worker callbacks:
+///   - Emit(assignment) -> bool : consume one result (false = stop all)
+///   - BeginBlock(task, lo)     : a new output segment starts (Join tags
+///                                its merge segments here; no-op for
+///                                Boolean/Count)
+///   - Stop() -> bool           : global early-exit poll
+/// Per-worker cleanup (e.g. flushing a local count) goes in the hooks
+/// object's destructor, which runs on every exit path.
+template <typename MakeHooks>
+void DriveParallel(ExecContext& ec, GenericJoin& gj, size_t ntasks,
+                   const MakeHooks& make_hooks) {
+  CoopPlan plan(&gj, ntasks);
+  ExecStats& stats = ec.stats();
+  const int nthreads = ec.threads();
+  std::atomic<int64_t> next(0);
+  ec.pool().Run([&](int w) {
+    EnumState st = gj.MakeState();
+    auto hooks = make_hooks(w);
+    auto emit = [&](const std::vector<Value>& a) { return hooks.Emit(a); };
+    auto begin_block = [&](size_t t, uint32_t lo) { hooks.BeginBlock(t, lo); };
+    auto steal_block = [&](size_t t, uint32_t lo) {
+      Bump(stats.wcoj_steal_claims);
+      hooks.BeginBlock(t, lo);
+    };
+    auto stop = [&] { return hooks.Stop(); };
+    while (!stop()) {
+      const int64_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= static_cast<int64_t>(ntasks)) break;
+      if (plan.coop[t]) {
+        Bump(stats.wcoj_coop_tasks);
+        if (!gj.RunTaskCoop(&st, t, &plan.cursors[t],
+                            CoopBlock(gj.D1Span(t), nthreads), stop,
+                            begin_block, emit)) {
+          return;
+        }
+      } else {
+        begin_block(t, 0);
+        if (!gj.RunTask(&st, t, emit)) return;
+      }
+    }
+    // Dry: steal depth-1 blocks from the heaviest unfinished coop task.
+    while (!stop()) {
+      const size_t t = plan.Heaviest(gj);
+      if (t == SIZE_MAX) return;
+      if (!gj.RunTaskCoop(&st, t, &plan.cursors[t],
+                          CoopBlock(gj.D1Span(t), nthreads), stop,
+                          steal_block, emit)) {
+        return;
+      }
+    }
+  });
+}
+
 }  // namespace
 
 bool WcojBoolean(const Hypergraph& h, const Database& db, ExecContext* ctx) {
@@ -364,18 +600,19 @@ bool WcojBoolean(const Hypergraph& h, const Database& db, ExecContext* ctx) {
     return found;
   }
   std::atomic<bool> found(false);
-  std::atomic<int64_t> next(0);
-  ec.pool().Run([&](int) {
-    EnumState st = gj.MakeState();
-    while (!found.load(std::memory_order_relaxed)) {
-      const int64_t t = next.fetch_add(1, std::memory_order_relaxed);
-      if (t >= static_cast<int64_t>(ntasks)) return;
-      const bool keep_going = gj.RunTask(&st, t, [&](const std::vector<Value>&) {
-        found.store(true, std::memory_order_relaxed);
-        return false;
-      });
-      if (!keep_going) return;
-    }
+  DriveParallel(ec, gj, ntasks, [&](int) {
+    struct Hooks {
+      std::atomic<bool>* found;
+      bool Emit(const std::vector<Value>&) {
+        found->store(true, std::memory_order_relaxed);
+        return false;  // stop at the first witness
+      }
+      void BeginBlock(size_t, uint32_t) {}
+      bool Stop() const {
+        return found->load(std::memory_order_relaxed);
+      }
+    };
+    return Hooks{&found};
   });
   return found.load();
 }
@@ -406,37 +643,59 @@ Relation WcojJoin(const Hypergraph& h, const Database& db, VarSet output_vars,
     out.SortAndDedupe();
     return out;
   }
-  // Chunked fan-out with per-chunk output buffers appended in chunk order:
-  // chunks partition the (ordered) task list, so the merged enumeration
-  // order is independent of scheduling — and the canonical sort below
-  // makes the result bit-identical across thread counts either way.
-  const size_t nchunks =
-      std::min(ntasks, static_cast<size_t>(ec.threads()) * 4);
-  std::vector<std::vector<Value>> bufs(nchunks);
-  std::atomic<int64_t> next_chunk(0);
-  ec.pool().Run([&](int) {
-    EnumState st = gj.MakeState();
-    std::vector<Value> tuple(out_vars.size());
-    while (true) {
-      const size_t c =
-          static_cast<size_t>(next_chunk.fetch_add(1, std::memory_order_relaxed));
-      if (c >= nchunks) return;
-      std::vector<Value>& buf = bufs[c];
-      const size_t begin = c * ntasks / nchunks;
-      const size_t end = (c + 1) * ntasks / nchunks;
-      for (size_t t = begin; t < end; ++t) {
-        gj.RunTask(&st, t, [&](const std::vector<Value>& assignment) {
-          for (size_t i = 0; i < out_vars.size(); ++i) {
-            tuple[i] = assignment[out_vars[i]];
-          }
-          buf.insert(buf.end(), tuple.begin(), tuple.end());
-          return true;
-        });
+  // Task fan-out with depth-1 stealing. Each worker appends tuples to its
+  // own buffer, carved into segments tagged (task, depth-1 block start).
+  // Claims partition the depth-1 runs of every cooperative task exactly,
+  // so concatenating the segments in ascending tag order reproduces the
+  // serial enumeration order no matter which worker claimed what — and
+  // the canonical sort below makes the relation bit-identical across
+  // thread counts either way.
+  struct WorkerOut {
+    std::vector<Value> data;
+    std::vector<std::pair<uint64_t, size_t>> segs;  // (tag, start offset)
+  };
+  std::vector<WorkerOut> outs(static_cast<size_t>(ec.threads()));
+  DriveParallel(ec, gj, ntasks, [&](int w) {
+    struct Hooks {
+      WorkerOut* out;
+      std::vector<Value> tuple;
+      const std::vector<int>* out_vars;
+      bool Emit(const std::vector<Value>& assignment) {
+        for (size_t i = 0; i < out_vars->size(); ++i) {
+          tuple[i] = assignment[(*out_vars)[i]];
+        }
+        out->data.insert(out->data.end(), tuple.begin(), tuple.end());
+        return true;
       }
-    }
+      void BeginBlock(size_t task, uint32_t lo) {
+        out->segs.push_back(
+            {(static_cast<uint64_t>(task) << 32) | lo, out->data.size()});
+      }
+      bool Stop() const { return false; }
+    };
+    return Hooks{&outs[w], std::vector<Value>(out_vars.size()), &out_vars};
   });
-  for (const std::vector<Value>& buf : bufs) {
-    if (!buf.empty()) out.AddRows(buf.data(), buf.size() / out_vars.size());
+  // Deterministic merge: segments in ascending (task, block) order.
+  struct MergeSeg {
+    uint64_t tag;
+    size_t w, begin, end;
+  };
+  std::vector<MergeSeg> merged;
+  for (size_t w = 0; w < outs.size(); ++w) {
+    const WorkerOut& o = outs[w];
+    for (size_t s = 0; s < o.segs.size(); ++s) {
+      const size_t begin = o.segs[s].second;
+      const size_t end =
+          s + 1 < o.segs.size() ? o.segs[s + 1].second : o.data.size();
+      if (end > begin) merged.push_back({o.segs[s].first, w, begin, end});
+    }
+  }
+  std::sort(
+      merged.begin(), merged.end(),
+      [](const MergeSeg& a, const MergeSeg& b) { return a.tag < b.tag; });
+  for (const MergeSeg& m : merged) {
+    out.AddRows(&outs[m.w].data[m.begin],
+                (m.end - m.begin) / out_vars.size());
   }
   out.SortAndDedupe();
   return out;
@@ -455,24 +714,33 @@ int64_t WcojCount(const Hypergraph& h, const Database& db, ExecContext* ctx) {
     });
     return count;
   }
-  std::vector<int64_t> counts(ntasks, 0);
-  std::atomic<int64_t> next(0);
-  ec.pool().Run([&](int) {
-    EnumState st = gj.MakeState();
-    while (true) {
-      const int64_t t = next.fetch_add(1, std::memory_order_relaxed);
-      if (t >= static_cast<int64_t>(ntasks)) return;
+  std::atomic<int64_t> total(0);
+  DriveParallel(ec, gj, ntasks, [&](int) {
+    struct Hooks {
+      std::atomic<int64_t>* total = nullptr;
       int64_t local = 0;
-      gj.RunTask(&st, t, [&](const std::vector<Value>&) {
+      Hooks() = default;
+      Hooks(Hooks&& o) noexcept : total(o.total), local(o.local) {
+        o.total = nullptr;  // only the final owner flushes
+      }
+      bool Emit(const std::vector<Value>&) {
         ++local;
         return true;
-      });
-      counts[t] = local;
-    }
+      }
+      void BeginBlock(size_t, uint32_t) {}
+      bool Stop() const { return false; }
+      // Flush on every exit path of the worker.
+      ~Hooks() {
+        if (total != nullptr) {
+          total->fetch_add(local, std::memory_order_relaxed);
+        }
+      }
+    };
+    Hooks h;
+    h.total = &total;
+    return h;
   });
-  int64_t count = 0;
-  for (int64_t c : counts) count += c;
-  return count;
+  return total.load();
 }
 
 }  // namespace fmmsw

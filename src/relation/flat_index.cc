@@ -1,0 +1,229 @@
+#include "relation/flat_index.h"
+
+#include <atomic>
+#include <utility>
+
+#include "core/exec_context.h"
+#include "util/radix.h"
+#include "util/stopwatch.h"
+
+namespace fmmsw {
+
+namespace {
+
+using flat_internal::kShardBits;
+using flat_internal::kShardedBuildMinRows;
+using flat_internal::MixKey;
+using flat_internal::TableCapacity;
+
+constexpr size_t kShards = size_t{1} << kShardBits;
+
+struct ShardEntry {
+  uint64_t key;
+  uint32_t row;
+};
+
+/// Phase 1 of the sharded builds: workers scan disjoint row ranges
+/// (chunks) of `r` into per-(chunk, shard) buffers; a row's shard is the
+/// top kShardBits bits of MixKey of its packed key. Chunk boundaries are
+/// fixed row ranges claimed through an atomic counter, so the work is
+/// balanced across however many workers actually show up (one, when the
+/// pool is contended by an enclosing parallel region) and concatenating
+/// chunks 0..C-1 for a shard always yields ascending row order.
+void PartitionRows(const Relation& r, const KeySpec& spec, ExecContext& ec,
+                   size_t nchunks,
+                   std::vector<std::vector<ShardEntry>>* bufs) {
+  const size_t n = r.size();
+  bufs->assign(nchunks * kShards, {});
+  const int col = spec.arity() == 1 ? spec.cols()[0] : -1;
+  std::atomic<size_t> next_chunk(0);
+  ec.pool().Run([&](int) {
+    while (true) {
+      const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= nchunks) return;
+      std::vector<ShardEntry>* chunk_bufs = bufs->data() + c * kShards;
+      const size_t begin = c * n / nchunks;
+      const size_t end = (c + 1) * n / nchunks;
+      for (size_t row = begin; row < end; ++row) {
+        const uint64_t key =
+            col >= 0 ? static_cast<uint32_t>(r.Row(row)[col])
+                     : spec.KeyOf(r.Row(row));
+        const size_t s = MixKey(key) >> (64 - kShardBits);
+        chunk_bufs[s].push_back({key, static_cast<uint32_t>(row)});
+      }
+    }
+  });
+}
+
+/// Lays out one contiguous sub-table per shard, each sized for its own
+/// entry count at load factor <= 0.5 (so regional probing cannot
+/// overflow). Returns the total slot count.
+size_t LayoutShards(const std::vector<std::vector<ShardEntry>>& bufs,
+                    size_t nchunks, std::vector<uint32_t>* shard_off,
+                    std::vector<uint32_t>* shard_mask) {
+  shard_off->resize(kShards);
+  shard_mask->resize(kShards);
+  uint64_t total = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    size_t count = 0;
+    for (size_t c = 0; c < nchunks; ++c) {
+      count += bufs[c * kShards + s].size();
+    }
+    const uint32_t cap = TableCapacity(count);
+    (*shard_off)[s] = static_cast<uint32_t>(total);
+    (*shard_mask)[s] = cap - 1;
+    total += cap;
+  }
+  FMMSW_CHECK(total < (uint64_t{1} << 32) && "sharded index slot overflow");
+  return static_cast<size_t>(total);
+}
+
+}  // namespace
+
+FlatMultimap::FlatMultimap(const Relation& r, const KeySpec& spec,
+                           ExecContext* ctx) {
+  ExecContext& ec = ExecContext::Resolve(ctx);
+  ExecStats& st = ec.stats();
+  Stopwatch sw;
+  // pool().busy(): inside an enclosing parallel region the sharded build
+  // would run its phases on one worker — strictly more work than the
+  // serial scan — so it degrades to BuildSerial up front.
+  if (ec.threads() > 1 && !ec.pool().busy() &&
+      r.size() >= kShardedBuildMinRows) {
+    BuildSharded(r, spec, ec);
+    Bump(st.index_sharded_builds);
+  } else {
+    BuildSerial(r, spec);
+  }
+  Bump(st.index_builds);
+  Bump(st.index_build_rows, static_cast<int64_t>(r.size()));
+  Bump(st.index_build_ns, static_cast<int64_t>(sw.Seconds() * 1e9));
+}
+
+void FlatMultimap::BuildSharded(const Relation& r, const KeySpec& spec,
+                                ExecContext& ec) {
+  const size_t n = r.size();
+  const size_t nchunks = static_cast<size_t>(ec.threads()) * 2;
+  std::vector<std::vector<ShardEntry>> bufs;
+  PartitionRows(r, spec, ec, nchunks, &bufs);
+  shard_bits_ = kShardBits;
+  const size_t total = LayoutShards(bufs, nchunks, &shard_off_, &shard_mask_);
+  slot_key_.resize(total);
+  slot_head_.assign(total, -1);
+  next_.resize(n);
+  // Phase 2: workers claim whole shards and write their sub-tables with
+  // no synchronization — regions are disjoint and a key's rows all live
+  // in one shard. Inserting in ascending row order with head prepending
+  // keeps every equal-key chain in reverse row order, exactly like the
+  // serial build, for any worker count.
+  std::atomic<size_t> next_shard(0);
+  ec.pool().Run([&](int) {
+    while (true) {
+      const size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
+      if (s >= kShards) return;
+      const size_t base = shard_off_[s];
+      const uint32_t m = shard_mask_[s];
+      for (size_t c = 0; c < nchunks; ++c) {
+        for (const ShardEntry& e : bufs[c * kShards + s]) {
+          const int32_t row = static_cast<int32_t>(e.row);
+          uint32_t i = static_cast<uint32_t>(MixKey(e.key)) & m;
+          while (true) {
+            const size_t slot = base + i;
+            if (slot_head_[slot] < 0) {
+              slot_key_[slot] = e.key;
+              next_[row] = -1;
+              slot_head_[slot] = row;
+              break;
+            }
+            if (slot_key_[slot] == e.key) {
+              next_[row] = slot_head_[slot];
+              slot_head_[slot] = row;
+              break;
+            }
+            i = (i + 1) & m;
+          }
+        }
+      }
+    }
+  });
+}
+
+FlatInterner::FlatInterner(const Relation& r, const KeySpec& spec,
+                           ExecContext* ctx) {
+  ExecContext& ec = ExecContext::Resolve(ctx);
+  ExecStats& st = ec.stats();
+  Stopwatch sw;
+  const size_t n = r.size();
+  // See FlatMultimap above: serial scan beats a one-worker sharded build.
+  if (ec.threads() > 1 && !ec.pool().busy() &&
+      n >= kShardedBuildMinRows) {
+    BuildSharded(r, spec, ec);
+    Bump(st.index_sharded_builds);
+  } else {
+    const uint32_t cap = TableCapacity(n < 4 ? 4 : n);
+    mask_ = cap - 1;
+    slot_key_.resize(cap);
+    slot_id_.assign(cap, -1);
+    const int col = spec.arity() == 1 ? spec.cols()[0] : -1;
+    for (size_t row = 0; row < n; ++row) {
+      Intern(col >= 0 ? static_cast<uint32_t>(r.Row(row)[col])
+                      : spec.KeyOf(r.Row(row)));
+    }
+  }
+  Bump(st.index_builds);
+  Bump(st.index_build_rows, static_cast<int64_t>(n));
+  Bump(st.index_build_ns, static_cast<int64_t>(sw.Seconds() * 1e9));
+}
+
+void FlatInterner::BuildSharded(const Relation& r, const KeySpec& spec,
+                                ExecContext& ec) {
+  const size_t nchunks = static_cast<size_t>(ec.threads()) * 2;
+  std::vector<std::vector<ShardEntry>> bufs;
+  PartitionRows(r, spec, ec, nchunks, &bufs);
+  shard_bits_ = kShardBits;
+  const size_t total = LayoutShards(bufs, nchunks, &shard_off_, &shard_mask_);
+  slot_key_.resize(total);
+  slot_id_.assign(total, -1);
+  // Phase 2: per shard, claim a slot for each distinct key and record its
+  // first-occurrence row. Chunks are walked in order, so rows arrive
+  // ascending and the first insertion of a key IS its first occurrence.
+  // Ids stay pending (INT32_MAX) until phase 3 ranks them globally.
+  std::vector<std::vector<std::pair<uint64_t, uint32_t>>> firsts(kShards);
+  std::atomic<size_t> next_shard(0);
+  ec.pool().Run([&](int) {
+    while (true) {
+      const size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
+      if (s >= kShards) return;
+      const size_t base = shard_off_[s];
+      const uint32_t m = shard_mask_[s];
+      std::vector<std::pair<uint64_t, uint32_t>>& mine = firsts[s];
+      for (size_t c = 0; c < nchunks; ++c) {
+        for (const ShardEntry& e : bufs[c * kShards + s]) {
+          uint32_t i = static_cast<uint32_t>(MixKey(e.key)) & m;
+          while (true) {
+            const size_t slot = base + i;
+            if (slot_id_[slot] < 0) {
+              slot_key_[slot] = e.key;
+              slot_id_[slot] = INT32_MAX;  // claimed; ranked in phase 3
+              mine.push_back({e.row, static_cast<uint32_t>(slot)});
+              break;
+            }
+            if (slot_key_[slot] == e.key) break;  // later occurrence
+            i = (i + 1) & m;
+          }
+        }
+      }
+    }
+  });
+  // Phase 3: dense ids in ascending first-occurrence order — identical to
+  // the ids a serial row-by-row Intern loop would have assigned.
+  std::vector<std::pair<uint64_t, uint32_t>> order;
+  for (const auto& f : firsts) order.insert(order.end(), f.begin(), f.end());
+  RadixSortKeyed(order);
+  for (size_t p = 0; p < order.size(); ++p) {
+    slot_id_[order[p].second] = static_cast<int32_t>(p);
+  }
+  size_ = static_cast<int32_t>(order.size());
+}
+
+}  // namespace fmmsw

@@ -17,6 +17,19 @@
 /// build costs two flat allocations and no per-node heap traffic (compare
 /// std::unordered_multimap, which allocates per entry and chases pointers
 /// per probe).
+///
+/// Sharded parallel builds: the context-aware constructors of FlatMultimap
+/// and FlatInterner (and ExistProbe, which wraps a FlatMultimap) take an
+/// ExecContext and, above kShardedBuildMinRows with a multi-worker pool,
+/// build the table in parallel. Workers first scan disjoint row ranges
+/// into per-chunk buffers keyed by the top kShardBits bits of MixKey;
+/// each shard then becomes its own open-addressing sub-table, written by
+/// exactly one worker — disjoint slot regions, no locks. Because a packed
+/// key's rows all land in one shard and chunks are concatenated in row
+/// order, every equal-key chain is built by inserting rows in ascending
+/// order with head prepending, i.e. chains stay in reverse row order
+/// exactly like the serial build: First/Next results are bit-identical
+/// for every thread count (differential-tested in exec_pipeline_test.cc).
 
 #include <cstdint>
 #include <vector>
@@ -25,6 +38,8 @@
 #include "util/varset.h"
 
 namespace fmmsw {
+
+class ExecContext;
 
 /// Precomputed column permutation mapping key variables (in increasing
 /// variable order) to columns of one relation.
@@ -88,21 +103,76 @@ inline uint64_t MixKey(uint64_t k) {
   return k;
 }
 
+/// Smallest power-of-two capacity holding `entries` at load factor <= 0.5.
+/// Computed in 64 bits: a 32-bit `cap <<= 1` wraps to 0 once cap reaches
+/// 2^31 (entries > 2^30), turning the loop into an infinite hang. Row ids
+/// are int32_t, so entry counts beyond 2^30 are rejected outright.
 inline uint32_t TableCapacity(size_t entries) {
-  uint32_t cap = 8;
-  // Load factor <= 0.5.
-  while (cap < entries * 2) cap <<= 1;
-  return cap;
+  FMMSW_CHECK(entries <= (size_t{1} << 30) &&
+              "flat index capped at 2^30 entries");
+  uint64_t cap = 8;
+  while (cap < static_cast<uint64_t>(entries) * 2) cap <<= 1;
+  return static_cast<uint32_t>(cap);
 }
+
+/// Shard fan-out of the parallel index builds (64 sub-tables, selected by
+/// the top 6 bits of MixKey — independent of the low slot-index bits).
+inline constexpr int kShardBits = 6;
+/// Minimum rows before a context-aware build goes sharded: below this the
+/// partition pass costs more than the serial scan it replaces.
+inline constexpr size_t kShardedBuildMinRows = 8192;
 
 }  // namespace flat_internal
 
 /// Open-addressing multimap from packed key to the rows carrying it.
 /// Rows with equal packed keys form a chain; iterate with
 ///   for (int32_t r = idx.First(key); r >= 0; r = idx.Next(r)) { ... }
+///
+/// Layout: with shard_bits_ == 0 (serial build) the table is one probe
+/// region of mask_ + 1 slots. A sharded build splits the slot space into
+/// 1 << kShardBits contiguous sub-tables; a key's shard is the top bits
+/// of MixKey and probing wraps within the shard's own region. Lookup
+/// results are identical under both layouts.
 class FlatMultimap {
  public:
+  /// Serial build (no context; kept for callers outside the pipeline).
   FlatMultimap(const Relation& r, const KeySpec& spec) {
+    BuildSerial(r, spec);
+  }
+
+  /// Context-aware build: sharded across ctx's pool when the input is
+  /// large enough, serial otherwise; records index-build stats either way
+  /// (nullptr = the process-default context).
+  FlatMultimap(const Relation& r, const KeySpec& spec, ExecContext* ctx);
+
+  /// First row with the given packed key, or -1.
+  int32_t First(uint64_t key) const {
+    const uint64_t mix = flat_internal::MixKey(key);
+    size_t base = 0;
+    uint32_t m = mask_;
+    if (shard_bits_ != 0) {
+      const size_t s = mix >> (64 - shard_bits_);
+      base = shard_off_[s];
+      m = shard_mask_[s];
+    }
+    uint32_t i = static_cast<uint32_t>(mix) & m;
+    while (true) {
+      const int32_t head = slot_head_[base + i];
+      if (head < 0) return -1;
+      if (slot_key_[base + i] == key) return head;
+      i = (i + 1) & m;
+    }
+  }
+
+  /// Next row in the same-key chain, or -1.
+  int32_t Next(int32_t row) const { return next_[row]; }
+
+  /// True if the context-aware constructor took the sharded parallel path
+  /// (exposed for tests and stats assertions).
+  bool sharded() const { return shard_bits_ != 0; }
+
+ private:
+  void BuildSerial(const Relation& r, const KeySpec& spec) {
     const size_t n = r.size();
     const uint32_t cap = flat_internal::TableCapacity(n);
     mask_ = cap - 1;
@@ -123,21 +193,8 @@ class FlatMultimap {
     }
   }
 
-  /// First row with the given packed key, or -1.
-  int32_t First(uint64_t key) const {
-    uint32_t i = static_cast<uint32_t>(flat_internal::MixKey(key)) & mask_;
-    while (true) {
-      const int32_t head = slot_head_[i];
-      if (head < 0) return -1;
-      if (slot_key_[i] == key) return head;
-      i = (i + 1) & mask_;
-    }
-  }
+  void BuildSharded(const Relation& r, const KeySpec& spec, ExecContext& ec);
 
-  /// Next row in the same-key chain, or -1.
-  int32_t Next(int32_t row) const { return next_[row]; }
-
- private:
   void Insert(uint64_t key, int32_t row) {
     uint32_t i = static_cast<uint32_t>(flat_internal::MixKey(key)) & mask_;
     while (true) {
@@ -156,7 +213,10 @@ class FlatMultimap {
     }
   }
 
+  int shard_bits_ = 0;
   uint32_t mask_ = 0;
+  std::vector<uint32_t> shard_off_;   // per-shard region start
+  std::vector<uint32_t> shard_mask_;  // per-shard region capacity - 1
   std::vector<uint64_t> slot_key_;
   std::vector<int32_t> slot_head_;  // -1 = empty slot
   std::vector<int32_t> next_;
@@ -231,8 +291,17 @@ class FlatInterner {
     slot_id_.assign(cap, -1);
   }
 
-  /// Id of the key, inserting it with the next dense id if absent.
+  /// Bulk build: interns spec.KeyOf of every row of `r` in ascending row
+  /// order, so ids equal the serial first-occurrence order for every
+  /// thread count. With a multi-worker context and enough rows the build
+  /// runs sharded on the pool; the result is then frozen — Find/size only
+  /// (incremental Intern cannot grow the sharded layout).
+  FlatInterner(const Relation& r, const KeySpec& spec, ExecContext* ctx);
+
+  /// Id of the key, inserting it with the next dense id if absent. Only
+  /// valid on incrementally built (non-sharded) interners.
   int Intern(uint64_t key) {
+    FMMSW_DCHECK(shard_bits_ == 0 && "bulk sharded interner is frozen");
     if (static_cast<size_t>(size_) * 2 >= slot_id_.size()) Grow();
     uint32_t i = static_cast<uint32_t>(flat_internal::MixKey(key)) & mask_;
     while (slot_id_[i] >= 0) {
@@ -246,10 +315,18 @@ class FlatInterner {
 
   /// Id of the key, or -1 if absent.
   int Find(uint64_t key) const {
-    uint32_t i = static_cast<uint32_t>(flat_internal::MixKey(key)) & mask_;
-    while (slot_id_[i] >= 0) {
-      if (slot_key_[i] == key) return slot_id_[i];
-      i = (i + 1) & mask_;
+    const uint64_t mix = flat_internal::MixKey(key);
+    size_t base = 0;
+    uint32_t m = mask_;
+    if (shard_bits_ != 0) {
+      const size_t s = mix >> (64 - shard_bits_);
+      base = shard_off_[s];
+      m = shard_mask_[s];
+    }
+    uint32_t i = static_cast<uint32_t>(mix) & m;
+    while (slot_id_[base + i] >= 0) {
+      if (slot_key_[base + i] == key) return slot_id_[base + i];
+      i = (i + 1) & m;
     }
     return -1;
   }
@@ -259,8 +336,12 @@ class FlatInterner {
   int FindValue(Value v) const { return Find(static_cast<uint32_t>(v)); }
 
   int size() const { return size_; }
+  /// True if the bulk constructor took the sharded parallel path.
+  bool sharded() const { return shard_bits_ != 0; }
 
  private:
+  void BuildSharded(const Relation& r, const KeySpec& spec, ExecContext& ec);
+
   void Grow() {
     std::vector<uint64_t> old_keys = std::move(slot_key_);
     std::vector<int32_t> old_ids = std::move(slot_id_);
@@ -278,8 +359,11 @@ class FlatInterner {
     }
   }
 
+  int shard_bits_ = 0;
   uint32_t mask_ = 0;
   int32_t size_ = 0;
+  std::vector<uint32_t> shard_off_;   // per-shard region start
+  std::vector<uint32_t> shard_mask_;  // per-shard region capacity - 1
   std::vector<uint64_t> slot_key_;
   std::vector<int32_t> slot_id_;  // -1 = empty slot
 };
@@ -292,14 +376,16 @@ class FlatInterner {
 ///
 /// `probe_shape` only supplies the layout (schema/column map) of the rows
 /// later passed to Contains; `b` must not be nullary (callers resolve
-/// nullary relations as Boolean constants).
+/// nullary relations as Boolean constants). The index build is
+/// context-aware (sharded in parallel when worthwhile; see file comment).
 class ExistProbe {
  public:
-  ExistProbe(const Relation& probe_shape, const Relation& b)
+  ExistProbe(const Relation& probe_shape, const Relation& b,
+             ExecContext* ctx = nullptr)
       : rel_(&b),
         probe_spec_(probe_shape, probe_shape.schema() & b.schema()),
         build_spec_(b, probe_shape.schema() & b.schema()),
-        index_(b, build_spec_) {}
+        index_(b, build_spec_, ctx) {}
 
   bool Contains(const Value* row) const {
     int32_t r = index_.First(probe_spec_.KeyOf(row));

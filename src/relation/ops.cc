@@ -72,12 +72,12 @@ Relation Join(const Relation& a, const Relation& b, const JoinOpts& opts,
   const Relation& probe = a_build ? b : a;
   const KeySpec kbuild(build, shared);
   const KeySpec kprobe(probe, shared);
-  const FlatMultimap index(build, kbuild);
+  const FlatMultimap index(build, kbuild, ctx);
 
   // Fused existence-only probes, keyed against the output-tuple layout.
   std::vector<ExistProbe> probes;
   probes.reserve(filters.size());
-  for (const Relation* f : filters) probes.emplace_back(out, *f);
+  for (const Relation* f : filters) probes.emplace_back(out, *f, ctx);
 
   // Resolve, once, where each output column comes from: probe columns win
   // for shared variables (both sides agree on their values).
@@ -148,13 +148,13 @@ namespace {
 /// Shared kernel of Semijoin/Antijoin: keep rows of `a` with
 /// (keep_matching == has a join partner in b).
 Relation FilterByMatch(const Relation& a, const Relation& b,
-                       bool keep_matching) {
+                       bool keep_matching, ExecContext* ctx) {
   if (a.empty()) return Relation(a.schema());
   if (b.empty()) return keep_matching ? Relation(a.schema()) : a;
   const VarSet shared = a.schema() & b.schema();
   const KeySpec ka(a, shared);
   const KeySpec kb(b, shared);
-  const FlatMultimap index(b, kb);
+  const FlatMultimap index(b, kb, ctx);
   const bool exact = kb.exact();
   Relation out(a.schema());
   for (size_t r = 0; r < a.size(); ++r) {
@@ -180,7 +180,7 @@ Relation Semijoin(const Relation& a, const Relation& b, ExecContext* ctx) {
   if (a.arity() == 0) {
     return (!a.empty() && !b.empty()) ? a : Relation(a.schema());
   }
-  return FilterByMatch(a, b, /*keep_matching=*/true);
+  return FilterByMatch(a, b, /*keep_matching=*/true, ctx);
 }
 
 Relation SemijoinAll(const Relation& a,
@@ -213,7 +213,7 @@ Relation SemijoinAll(const Relation& a,
   }
   std::vector<ExistProbe> probes;
   probes.reserve(filters.size());
-  for (const Relation* b : filters) probes.emplace_back(a, *b);
+  for (const Relation* b : filters) probes.emplace_back(a, *b, ctx);
   Relation out(a.schema());
   for (size_t r = 0; r < a.size(); ++r) {
     const Value* arow = a.Row(r);
@@ -241,7 +241,7 @@ Relation Antijoin(const Relation& a, const Relation& b, ExecContext* ctx) {
   if (a.arity() == 0) {
     return (!a.empty() && b.empty()) ? a : Relation(a.schema());
   }
-  return FilterByMatch(a, b, /*keep_matching=*/false);
+  return FilterByMatch(a, b, /*keep_matching=*/false, ctx);
 }
 
 Relation Project(const Relation& a, VarSet keep, ExecContext* ctx) {

@@ -9,9 +9,11 @@
 ///
 /// Every operator takes an optional ExecContext (nullptr = the process
 /// default): it supplies the per-op stats counters and, where relevant,
-/// scratch arenas. Operators never spawn parallel work themselves — the
-/// engines own the fan-out — so they are safe to call from inside
-/// parallel regions.
+/// scratch arenas. The engines own the enumeration fan-out; the only
+/// parallel work an operator may start itself is the sharded flat-index
+/// build (flat_index.h), which degrades to a serial build whenever the
+/// context's pool is already busy with an enclosing parallel region — so
+/// operators remain safe to call from inside parallel regions.
 ///
 /// Duplicate-handling contract (uniform across ops):
 ///   - Join     : emits one output tuple per matching input pair. If both

@@ -42,6 +42,13 @@ class ThreadPool {
 
   int threads() const { return threads_; }
 
+  /// True while a fan-out is active on this pool (racy snapshot). Callers
+  /// about to *start* a parallel phase use it to pick a cheaper serial
+  /// algorithm instead of running the parallel one on a single worker; a
+  /// stale answer only costs speed, never correctness (Run still degrades
+  /// nested calls safely).
+  bool busy() const { return in_parallel_.load(std::memory_order_relaxed); }
+
   /// Runs fn(t) for every t in [0, threads()); the caller executes t = 0.
   /// Returns when all invocations finished. Only one fan-out runs at a
   /// time: nested calls AND calls racing in from other threads (e.g. a

@@ -31,6 +31,7 @@ template <typename T, typename KeyFn>
 void LsdSort(std::vector<T>& v, std::vector<T>& scratch, int key_bytes,
              const KeyFn& key_of) {
   const size_t n = v.size();
+  if (n == 0) return;  // the varying-byte scan below reads v[0]
   scratch.resize(n);
   // Pass 1: which key bytes vary at all? Packed keys from small domains
   // leave most bytes constant, and a constant byte needs no pass.
@@ -117,7 +118,14 @@ inline void RadixSortKeyed(
     return;
   }
   if (v.size() < kRadixMinN) {
-    std::sort(v.begin(), v.end());
+    // Key-only comparison under stable_sort: a plain std::sort over the
+    // pairs would order equal keys by payload, breaking the documented
+    // input-order guarantee the deterministic permutations rely on.
+    std::stable_sort(v.begin(), v.end(),
+                     [](const std::pair<uint64_t, uint32_t>& a,
+                        const std::pair<uint64_t, uint32_t>& b) {
+                       return a.first < b.first;
+                     });
     return;
   }
   std::vector<std::pair<uint64_t, uint32_t>> local;

@@ -16,6 +16,7 @@
 #include "engine/wcoj.h"
 #include "gtest/gtest.h"
 #include "relation/degree.h"
+#include "relation/flat_index.h"
 #include "relation/generators.h"
 #include "relation/ops.h"
 #include "util/random.h"
@@ -160,6 +161,125 @@ TEST(FusedStatsTest, FourCycleResidualIsFused) {
   }
 }
 
+// ------------------------------------------------- sharded index builds --
+
+TEST(ShardedIndexTest, TableCapacityComputedIn64Bits) {
+  using flat_internal::TableCapacity;
+  EXPECT_EQ(TableCapacity(0), 8u);
+  EXPECT_EQ(TableCapacity(4), 8u);
+  EXPECT_EQ(TableCapacity(5), 16u);
+  EXPECT_EQ(TableCapacity(size_t{1} << 29), uint32_t{1} << 30);
+  // The boundary where a 32-bit `cap <<= 1` wrapped to 0 and hung the
+  // build loop forever (no allocation here — capacity math only).
+  EXPECT_EQ(TableCapacity((size_t{1} << 30) - 1), 2147483648u);
+  EXPECT_EQ(TableCapacity(size_t{1} << 30), 2147483648u);
+}
+
+/// Binary relation above the sharded-build threshold with a planted
+/// heavy-hitter key in the first column.
+Relation SkewedBinary(VarSet schema, size_t n, int domain, Value hot,
+                      size_t hot_rows, uint64_t seed) {
+  Rng rng(seed);
+  Relation r(schema);
+  for (size_t i = 0; i < n; ++i) {
+    const Value k = i < hot_rows
+                        ? hot
+                        : static_cast<Value>(rng.Uniform(0, domain - 1));
+    r.Add({k, static_cast<Value>(rng.Uniform(-domain, domain))});
+  }
+  return r;
+}
+
+TEST(ShardedIndexTest, MultimapChainsIdenticalToSerial) {
+  const size_t n = 20000;
+  ASSERT_GE(n, flat_internal::kShardedBuildMinRows);
+  Relation r = SkewedBinary(VarSet{0, 1}, n, 4000, /*hot=*/77,
+                            /*hot_rows=*/3000, /*seed=*/51);
+  const KeySpec spec(r, VarSet{0});
+  const FlatMultimap serial(r, spec);
+  for (int threads : {1, 2, 4, 8}) {
+    ExecContext ec(threads);
+    const FlatMultimap built(r, spec, &ec);
+    EXPECT_EQ(built.sharded(), threads > 1) << "threads=" << threads;
+    for (Value v = -2; v < 4000; ++v) {
+      const uint64_t key = static_cast<uint32_t>(v);
+      int32_t a = serial.First(key);
+      int32_t b = built.First(key);
+      while (a >= 0 && b >= 0) {
+        ASSERT_EQ(a, b) << "key=" << v << " threads=" << threads;
+        a = serial.Next(a);
+        b = built.Next(b);
+      }
+      ASSERT_EQ(a, b) << "key=" << v << " threads=" << threads;
+    }
+    if (threads > 1) {
+      EXPECT_GE(ec.stats().index_sharded_builds.load(), 1);
+    }
+    EXPECT_GE(ec.stats().index_builds.load(), 1);
+    EXPECT_EQ(ec.stats().index_build_rows.load(),
+              static_cast<int64_t>(n));
+  }
+}
+
+TEST(ShardedIndexTest, OpsBitIdenticalAcrossThreadCounts) {
+  // Join / fused Join / Semijoin / Antijoin / SemijoinAll over
+  // sharded-size skewed inputs: outputs must be byte-identical to the
+  // 1-thread serial-build outputs (same row order, not just same set),
+  // because equal-key chains keep their reverse-row order.
+  Relation a = SkewedBinary(VarSet{0, 1}, 20000, 4000, 7, 2000, 61);
+  Relation b = SkewedBinary(VarSet{1, 2}, 16000, 4000, 9, 1500, 62);
+  Relation c = SkewedBinary(VarSet{0, 2}, 12000, 4000, 7, 1000, 63);
+  ExecContext base(1);
+  const Relation jref = Join(a, b, {}, &base);
+  const Relation fref = Join(a, b, {.exist_filter = &c}, &base);
+  const Relation sref = Semijoin(a, b, &base);
+  const Relation aref = Antijoin(a, b, &base);
+  const Relation mref = SemijoinAll(a, {&b, &c}, &base);
+  EXPECT_EQ(base.stats().index_sharded_builds.load(), 0);
+  for (int threads : {2, 4, 8}) {
+    ExecContext ec(threads);
+    EXPECT_EQ(Rows(Join(a, b, {}, &ec)), Rows(jref)) << threads;
+    EXPECT_EQ(Rows(Join(a, b, {.exist_filter = &c}, &ec)), Rows(fref))
+        << threads;
+    EXPECT_EQ(Rows(Semijoin(a, b, &ec)), Rows(sref)) << threads;
+    EXPECT_EQ(Rows(Antijoin(a, b, &ec)), Rows(aref)) << threads;
+    EXPECT_EQ(Rows(SemijoinAll(a, {&b, &c}, &ec)), Rows(mref)) << threads;
+    EXPECT_GT(ec.stats().index_sharded_builds.load(), 0) << threads;
+  }
+}
+
+TEST(ShardedIndexTest, BulkInternerMatchesSerialFirstOccurrenceOrder) {
+  Rng rng(52);
+  Relation r(VarSet{3});
+  for (int i = 0; i < 20000; ++i) {
+    r.Add({static_cast<Value>(rng.Uniform(-3000, 3000))});
+  }
+  FlatInterner ref(r.size());
+  for (size_t i = 0; i < r.size(); ++i) ref.InternValue(r.Row(i)[0]);
+  const KeySpec spec(r, r.schema());
+  for (int threads : {1, 2, 4, 8}) {
+    ExecContext ec(threads);
+    const FlatInterner built(r, spec, &ec);
+    ASSERT_EQ(built.size(), ref.size()) << "threads=" << threads;
+    EXPECT_EQ(built.sharded(), threads > 1) << "threads=" << threads;
+    for (Value v = -3001; v <= 3001; ++v) {
+      ASSERT_EQ(built.FindValue(v), ref.FindValue(v))
+          << "v=" << v << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ExecContextTest, ScratchArenaMovePreservesBuffersWhenFree) {
+  ScratchArena a;
+  ASSERT_TRUE(a.TryAcquire());
+  a.u64().assign(100, 7);
+  a.Release();
+  ScratchArena b(std::move(a));
+  EXPECT_EQ(b.u64().size(), 100u);
+  EXPECT_TRUE(b.TryAcquire());
+  b.Release();
+}
+
 // -------------------------------------------- parallel WCOJ determinism --
 
 /// Runs WcojJoin/WcojCount/WcojBoolean under private pools of 1, 2, 4 and
@@ -247,6 +367,43 @@ TEST(ParallelWcojTest, FiveVariableGenericQuery) {
     PlantHeavyHitter(&db, /*hot=*/1, /*fanout=*/80);
     ExpectDeterministicAcrossThreadCounts(h, db, h.vertices());
   }
+}
+
+TEST(ParallelWcojTest, SubLevelStealingOnDominantTask) {
+  // One top-level X value whose depth-1 fanout dwarfs every other task:
+  // without sub-level splitting this single task serializes the join.
+  // The dominant task must run cooperatively (claimed in depth-1 blocks)
+  // and the output must stay bit-identical across thread counts.
+  Hypergraph h = Hypergraph::Triangle();
+  Rng rng(61);
+  Relation r(VarSet{0, 1}), s(VarSet{1, 2}), t(VarSet{0, 2});
+  for (int i = 0; i < 3000; ++i) {
+    r.Add({0, static_cast<Value>(i)});  // hot x = 0: depth-1 span 3000
+  }
+  for (Value x = 1; x <= 40; ++x) {
+    for (int j = 0; j < 5; ++j) {
+      r.Add({x, static_cast<Value>(rng.Uniform(0, 2999))});
+    }
+  }
+  for (int i = 0; i < 6000; ++i) {
+    s.Add({static_cast<Value>(rng.Uniform(0, 2999)),
+           static_cast<Value>(rng.Uniform(0, 399))});
+  }
+  for (int i = 0; i < 4000; ++i) {
+    t.Add({static_cast<Value>(rng.Uniform(0, 40)),
+           static_cast<Value>(rng.Uniform(0, 399))});
+  }
+  r.SortAndDedupe();
+  s.SortAndDedupe();
+  t.SortAndDedupe();
+  Database db;
+  db.relations = {r, s, t};
+  ExpectDeterministicAcrossThreadCounts(h, db, h.vertices());
+  ExpectDeterministicAcrossThreadCounts(h, db, VarSet{1, 2});
+  ExecContext ec(4);
+  Relation out = WcojJoin(h, db, h.vertices(), nullptr, &ec);
+  EXPECT_FALSE(out.empty());
+  EXPECT_GT(ec.stats().wcoj_coop_tasks.load(), 0);
 }
 
 TEST(ParallelWcojTest, EnginesAgreeUnderParallelContext) {

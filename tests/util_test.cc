@@ -1,11 +1,16 @@
-// Unit and property tests for src/util: VarSet, BigInt, Rational, Rng.
+// Unit and property tests for src/util: VarSet, BigInt, Rational, Rng,
+// and the radix-sort stability contract.
 
+#include <algorithm>
 #include <cstdint>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "util/bigint.h"
+#include "util/radix.h"
 #include "util/random.h"
 #include "util/rational.h"
 #include "util/varset.h"
@@ -209,6 +214,61 @@ TEST(RationalTest, RandomizedFieldAxioms) {
       EXPECT_EQ((a / b) * b, a);
     }
   }
+}
+
+// ------------------------------------------------------------- RadixSort --
+
+/// Keys with many duplicates and payloads deliberately NOT monotone in
+/// input order, so an unstable sort (or one that tiebreaks on the
+/// payload) is caught: the contract is "equal keys keep their input
+/// order", i.e. the result must match std::stable_sort by key only.
+std::vector<std::pair<uint64_t, uint32_t>> NonMonotoneKeyed(size_t n,
+                                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<uint64_t, uint32_t>> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Few distinct keys -> long equal-key groups; payloads descending
+    // then arbitrary, so payload order contradicts input order.
+    const uint64_t key = static_cast<uint64_t>(rng.Uniform(0, 13)) << 17;
+    const uint32_t payload = static_cast<uint32_t>(
+        (n - i) * 7 + static_cast<size_t>(rng.Uniform(0, 3)));
+    v.push_back({key, payload});
+  }
+  return v;
+}
+
+void ExpectStableByKey(std::vector<std::pair<uint64_t, uint32_t>> v) {
+  std::vector<std::pair<uint64_t, uint32_t>> ref = v;
+  std::stable_sort(ref.begin(), ref.end(),
+                   [](const std::pair<uint64_t, uint32_t>& a,
+                      const std::pair<uint64_t, uint32_t>& b) {
+                     return a.first < b.first;
+                   });
+  RadixSortKeyed(v);
+  EXPECT_EQ(v, ref);
+}
+
+TEST(RadixSortTest, KeyedStableOnSmallInputFallback) {
+  ASSERT_LT(300u, kRadixMinN);  // exercises the std::sort fallback path
+  ExpectStableByKey(NonMonotoneKeyed(300, 5));
+}
+
+TEST(RadixSortTest, KeyedStableOnLsdPath) {
+  const size_t n = kRadixMinN * 2;  // exercises the counting-pass path
+  ExpectStableByKey(NonMonotoneKeyed(n, 6));
+}
+
+TEST(RadixSortTest, LsdSortHandlesEmptyInput) {
+  std::vector<uint64_t> v, scratch;
+  radix_internal::LsdSort(v, scratch, 8, [](uint64_t x) { return x; });
+  EXPECT_TRUE(v.empty());
+  std::vector<std::pair<uint64_t, uint32_t>> kv, kscratch;
+  radix_internal::LsdSort(kv, kscratch, 8,
+                          [](const std::pair<uint64_t, uint32_t>& x) {
+                            return x.first;
+                          });
+  EXPECT_TRUE(kv.empty());
 }
 
 // ------------------------------------------------------------------- Rng --
