@@ -1,98 +1,160 @@
-// E8 — rectangular MM via square blocking (Eq. 6): measured runtime of the
-// blocked-Strassen kernel across (a, b, c) shapes vs the
-// n^{w-square(a,b,c)} prediction at w = log2 7. Uses google-benchmark for
-// the kernel timings plus a shape table on exit.
-
-#include <benchmark/benchmark.h>
+// E8 — the MM kernel substrate: measured runtime of the int64 kernels
+// (micro-kernel blocked product at both SIMD levels, Strassen, the Eq. (6)
+// rectangular square-blocking scheme), the bit-sliced 0/1 counting
+// product, and the bit-packed Boolean product, across an n-sweep; plus the
+// n^{w-square(a,b,c)} shape table at w = log2 7. Every timed kernel is
+// verified against MultiplyNaive once per size before timing.
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
+#include "core/exec_context.h"
 #include "mm/cost_model.h"
+#include "mm/kernel.h"
 #include "mm/matrix.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
 
 namespace fmmsw {
 namespace {
 
-Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+Matrix RandomMatrix(int rows, int cols, Rng* rng, int64_t lo = -3,
+                    int64_t hi = 3) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) m.At(i, j) = rng->Uniform(lo, hi);
+  }
+  return m;
+}
+
+Matrix RandomIndicator(int rows, int cols, double density, Rng* rng) {
   Matrix m(rows, cols);
   for (int i = 0; i < rows; ++i) {
     for (int j = 0; j < cols; ++j) {
-      m.At(i, j) = rng->Uniform(-3, 3);
+      if (rng->Flip(density)) m.At(i, j) = 1;
     }
   }
   return m;
 }
 
-void BM_Square(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Rng rng(1);
-  Matrix a = RandomMatrix(n, n, &rng), b = RandomMatrix(n, n, &rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(MultiplyStrassen(a, b));
+double TimeKernel(const std::function<Matrix()>& f, int reps,
+                  const Matrix& expect) {
+  FMMSW_CHECK(f() == expect);  // verify once, untimed
+  Stopwatch sw;
+  for (int i = 0; i < reps; ++i) {
+    Matrix m = f();
+    if (m.rows() < 0) std::abort();  // keep the product alive
   }
+  return sw.Seconds() / reps;
 }
-BENCHMARK(BM_Square)->Arg(128)->Arg(256)->Arg(512);
 
-void BM_RectangularWide(benchmark::State& state) {
-  // n^1 x n^{1/2} times n^{1/2} x n^1: w-square(1, 1/2, 1) at min 1/2.
-  const int n = static_cast<int>(state.range(0));
-  const int mid = static_cast<int>(std::sqrt(static_cast<double>(n)));
-  Rng rng(2);
-  Matrix a = RandomMatrix(n, mid, &rng), b = RandomMatrix(mid, n, &rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(MultiplyRectangular(a, b));
-  }
-}
-BENCHMARK(BM_RectangularWide)->Arg(256)->Arg(512)->Arg(1024);
+void Run() {
+  bench::Header("MM kernels: micro-kernel / Strassen / rectangular / "
+                "bit-sliced (verified vs naive)");
+  ExecContext ec;
+  std::printf("active SIMD level: %s (FMMSW_SIMD overrides)\n",
+              SimdLevelName(ActiveSimdLevel()));
+  std::printf("%6s %12s %12s %12s %12s %12s %12s\n", "n", "gemm_scalar",
+              "gemm_simd", "strassen", "rect_wide", "bitsliced",
+              "bitmatrix");
+  for (int n : {128, 256, 512}) {
+    if (!bench::StepEnabled(n)) continue;
+    const int reps = n <= 256 ? 5 : 2;
+    Rng rng(17);
+    Matrix a = RandomMatrix(n, n, &rng), b = RandomMatrix(n, n, &rng);
+    const Matrix ref = MultiplyNaive(a, b);
 
-void BM_Blocked(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Rng rng(3);
-  Matrix a = RandomMatrix(n, n, &rng), b = RandomMatrix(n, n, &rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(MultiplyBlocked(a, b));
-  }
-}
-BENCHMARK(BM_Blocked)->Arg(128)->Arg(256)->Arg(512);
-
-void BM_BooleanBit(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Rng rng(4);
-  BitMatrix a(n, n), b(n, n);
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < n; ++j) {
-      if (rng.Flip(0.3)) a.Set(i, j);
-      if (rng.Flip(0.3)) b.Set(i, j);
+    // Micro-kernel base case at each level (the whole product as one
+    // panel call — the shape the Strassen cutoff and rectangular blocks
+    // see, scaled up). Scratch hoisted out of the timed lambda like
+    // production callers, which reuse caller scratch or a worker arena.
+    MmPackScratch pack;
+    auto gemm_at = [&](SimdLevel level) {
+      Matrix out(n, n);
+      GemmAddAt(level, a.RowPtr(0), n, b.RowPtr(0), n, out.RowPtr(0), n, n,
+                n, n, &ec, &pack);
+      return out;
+    };
+    const double t_scalar =
+        TimeKernel([&] { return gemm_at(SimdLevel::kScalar); }, reps, ref);
+    double t_simd = -1.0;
+    if (MaxSimdLevel() != SimdLevel::kScalar) {
+      t_simd =
+          TimeKernel([&] { return gemm_at(SimdLevel::kAvx2); }, reps, ref);
     }
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(BitMatrix::Multiply(a, b));
-  }
-}
-BENCHMARK(BM_BooleanBit)->Arg(256)->Arg(512)->Arg(1024);
+    // Sub-n cutoff so the strassen column always exercises the recursion
+    // (AddInto/Accumulate + pow2 embedding); with the production default
+    // of kMmDefaultCutoff the n <= 256 sizes would collapse to a single
+    // micro-kernel call and duplicate the gemm columns.
+    const double t_strassen = TimeKernel(
+        [&] { return MultiplyStrassen(a, b, 64, &ec); }, reps, ref);
 
-}  // namespace
-}  // namespace fmmsw
+    // Rectangular n x sqrt(n) x n — the Eq. (6) wide shape.
+    const int mid = static_cast<int>(std::sqrt(static_cast<double>(n)));
+    Matrix wa = RandomMatrix(n, mid, &rng), wb = RandomMatrix(mid, n, &rng);
+    const Matrix wref = MultiplyNaive(wa, wb);
+    const double t_rect = TimeKernel(
+        [&] { return MultiplyRectangular(wa, wb, kMmDefaultCutoff, &ec); },
+        reps, wref);
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+    // 0/1 counting product: bit-sliced vs the same product through the
+    // int64 micro-kernel path (the cost it removes).
+    Matrix ia = RandomIndicator(n, n, 0.3, &rng);
+    Matrix ib = RandomIndicator(n, n, 0.3, &rng);
+    const Matrix iref = MultiplyNaive(ia, ib);
+    const double t_bits = TimeKernel(
+        [&] { return MultiplyBitSliced(ia, ib, &ec); }, reps, iref);
+    BitMatrix ba(n, n), bb(n, n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (ia.At(i, j) != 0) ba.Set(i, j);
+        if (ib.At(i, j) != 0) bb.Set(i, j);
+      }
+    }
+    Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      BitMatrix bm = BitMatrix::Multiply(ba, bb, &ec);
+      if (bm.rows() < 0) std::abort();
+    }
+    const double t_bool = sw.Seconds() / reps;
+
+    char simd_col[16];
+    if (t_simd >= 0) {
+      std::snprintf(simd_col, sizeof(simd_col), "%12.5f", t_simd);
+    } else {
+      std::snprintf(simd_col, sizeof(simd_col), "%12s", "n/a");
+    }
+    std::printf("%6d %12.5f %s %12.5f %12.5f %12.5f %12.5f\n", n, t_scalar,
+                simd_col, t_strassen, t_rect, t_bits, t_bool);
+    bench::Json("mm", n, "gemm_scalar", t_scalar * 1e3);
+    if (t_simd >= 0) bench::Json("mm", n, "gemm_simd", t_simd * 1e3);
+    bench::Json("mm", n, "strassen", t_strassen * 1e3);
+    bench::Json("mm", n, "rect_wide", t_rect * 1e3);
+    bench::Json("mm", n, "bitsliced", t_bits * 1e3);
+    bench::Json("mm", n, "bitmatrix", t_bool * 1e3);
+  }
 
   // Shape table: predicted block count * d^w vs Eq. (6) exponent.
-  using fmmsw::bench::Fmt;
-  fmmsw::bench::Header("Eq. (6): w-square(a,b,c) predictions at w = log2 7");
+  bench::Header("Eq. (6): w-square(a,b,c) predictions at w = log2 7");
   const double w = std::log2(7.0);
   struct Shape {
     double a, b, c;
   };
   for (const Shape& s : {Shape{1, 1, 1}, Shape{1, 0.5, 1}, Shape{1, 1, 0.5},
                          Shape{0.5, 1, 0.5}}) {
-    const double pred = fmmsw::OmegaSquareExponent(s.a, s.b, s.c, w);
+    const double pred = OmegaSquareExponent(s.a, s.b, s.c, w);
     std::printf("(a,b,c)=(%.1f,%.1f,%.1f)  paper=a+b+c-(3-w)min  ours=%s\n",
-                s.a, s.b, s.c, Fmt(pred).c_str());
+                s.a, s.b, s.c, bench::Fmt(pred).c_str());
   }
+}
+
+}  // namespace
+}  // namespace fmmsw
+
+int main(int argc, char** argv) {
+  fmmsw::bench::Init(argc, argv);
+  fmmsw::Run();
   return 0;
 }

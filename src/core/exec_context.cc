@@ -27,6 +27,10 @@ void ExecStats::Reset() {
   wcoj_coop_tasks = 0;
   wcoj_steal_claims = 0;
   mm_products = 0;
+  mm_base_calls = 0;
+  mm_simd_calls = 0;
+  mm_bitsliced_calls = 0;
+  mm_pack_ns = 0;
 }
 
 std::string ExecStats::ToString() const {
@@ -63,6 +67,10 @@ std::string ExecStats::ToString() const {
   row("wcoj_coop_tasks     ", wcoj_coop_tasks);
   row("wcoj_steal_claims   ", wcoj_steal_claims);
   row("mm_products         ", mm_products);
+  row("mm_base_calls       ", mm_base_calls);
+  row("mm_simd_calls       ", mm_simd_calls);
+  row("mm_bitsliced_calls  ", mm_bitsliced_calls);
+  row("mm_pack_ns          ", mm_pack_ns);
   return out;
 }
 

@@ -61,6 +61,18 @@ namespace fmmsw {
 ///                             blocks from a shared atomic cursor).
 ///   - wcoj_steal_claims     : depth-1 blocks claimed by a worker that had
 ///                             run out of whole tasks (the stealing path).
+/// MM micro-kernel counters (mm/kernel.h; mm_products above counts
+/// engine-level product launches, these count the kernel layer under it):
+///   - mm_base_calls         : packed-panel base-case products (GemmAdd
+///                             invocations: blocked slabs, Strassen cutoff
+///                             leaves, rectangular in-place blocks).
+///   - mm_simd_calls         : the subset that ran a vector inner kernel
+///                             (AVX2; 0 under FMMSW_SIMD=off or on
+///                             non-AVX2 hardware).
+///   - mm_bitsliced_calls    : bit-sliced 0/1 counting products.
+///   - mm_pack_ns            : nanoseconds spent packing A/B panels and
+///                             bit-planes, summed across calls (and
+///                             workers, like index_build_ns).
 struct ExecStats {
   std::atomic<int64_t> join_calls{0};
   std::atomic<int64_t> join_output_tuples{0};
@@ -86,6 +98,10 @@ struct ExecStats {
   std::atomic<int64_t> wcoj_coop_tasks{0};      ///< tasks run via shared depth-1 cursor
   std::atomic<int64_t> wcoj_steal_claims{0};    ///< depth-1 blocks claimed by dry workers
   std::atomic<int64_t> mm_products{0};          ///< matrix-kernel launches
+  std::atomic<int64_t> mm_base_calls{0};        ///< packed micro-kernel products
+  std::atomic<int64_t> mm_simd_calls{0};        ///< ...with a vector inner kernel
+  std::atomic<int64_t> mm_bitsliced_calls{0};   ///< bit-sliced 0/1 counting products
+  std::atomic<int64_t> mm_pack_ns{0};           ///< wall ns packing panels/planes
 
   void Reset();
   /// Human-readable counter dump (one `name : value` line per counter).

@@ -23,7 +23,8 @@ int PairEdgeIndex(int k, int i, int j) {
 }
 
 /// Flat set of the pairs in a binary relation, keyed (first var value,
-/// second var value).
+/// second var value). Presized for the row count (an upper bound on
+/// distinct pairs), so the build never rehashes mid-insert.
 FlatSet PairSet(const Relation& r, int v1, int v2) {
   FlatSet out(r.size());
   for (size_t row = 0; row < r.size(); ++row) {
@@ -172,7 +173,7 @@ bool CliqueMm(int k, const Database& db, MmKernel kernel, CliqueStats* stats,
       }
     });
     Bump(ec.stats().mm_products);
-    BitMatrix p = BitMatrix::Multiply(mab, mbc);
+    BitMatrix p = BitMatrix::Multiply(mab, mbc, &ec);
     return ParallelAnyOf(ec.pool(), na, [&](int64_t i) {
       for (int j = 0; j < nc; ++j) {
         if (p.Get(i, j) && compat(ga, la, i, gc, lc, j)) return true;
@@ -196,8 +197,7 @@ bool CliqueMm(int k, const Database& db, MmKernel kernel, CliqueStats* stats,
     }
   });
   Bump(ec.stats().mm_products);
-  Matrix p = kernel == MmKernel::kStrassen ? MultiplyRectangular(mab, mbc)
-                                           : MultiplyNaive(mab, mbc);
+  Matrix p = CountingProduct(mab, mbc, kernel, &ec);
   return ParallelAnyOf(ec.pool(), na, [&](int64_t i) {
     for (int j = 0; j < nc; ++j) {
       if (p.At(i, j) != 0 && compat(ga, la, i, gc, lc, j)) return true;

@@ -248,7 +248,7 @@ void EliminateMm(State* s, VarSet block, const MmExpr& mm,
         mb.Set(zs.Find(ExtractKey(m2, r, m2_z)),
                ys.Find(ExtractKey(m2, r, m2_y)));
       }
-      BitMatrix mc = BitMatrix::Multiply(ma, mb);
+      BitMatrix mc = BitMatrix::Multiply(ma, mb, ec);
       for (int i = 0; i < mc.rows(); ++i) {
         for (int j = 0; j < mc.cols(); ++j) {
           if (mc.Get(i, j)) emit(i, j, xkeys, ykeys);
@@ -264,9 +264,7 @@ void EliminateMm(State* s, VarSet block, const MmExpr& mm,
         mb.At(zs.Find(ExtractKey(m2, r, m2_z)),
               ys.Find(ExtractKey(m2, r, m2_y))) = 1;
       }
-      Matrix mc = opts.kernel == MmKernel::kStrassen
-                      ? MultiplyRectangular(ma, mb)
-                      : MultiplyNaive(ma, mb);
+      Matrix mc = CountingProduct(ma, mb, opts.kernel, ec);
       for (int i = 0; i < mc.rows(); ++i) {
         for (int j = 0; j < mc.cols(); ++j) {
           if (mc.At(i, j) != 0) emit(i, j, xkeys, ykeys);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "hypergraph/hypergraph.h"
+#include "mm/kernel.h"  // MmKernel / CountingProduct, shared by every engine
 #include "relation/relation.h"
 #include "width/mm_expr.h"
 
@@ -25,12 +26,6 @@ enum class StepMethod {
   kForLoop,  ///< join incident relations, project the block away
   kMm,       ///< matrix multiplication per the step's MmExpr
   kAuto,     ///< pick by the operation-count cost model at run time
-};
-
-enum class MmKernel {
-  kBoolean,   ///< bit-packed (OR, AND) product
-  kStrassen,  ///< counting product via Strassen (omega = log2 7)
-  kNaive,     ///< cubic counting product
 };
 
 struct PlanStep {

@@ -253,8 +253,7 @@ bool FourCycleMm(const Database& db, double omega, MmKernel kernel,
 
   auto multiply = [&](const Matrix& a, const Matrix& b) {
     Bump(ec.stats().mm_products);
-    return kernel == MmKernel::kStrassen ? MultiplyRectangular(a, b)
-                                         : MultiplyNaive(a, b);
+    return CountingProduct(a, b, kernel, &ec);
   };
   // B1 = U_h (w by x) times R_h (x by y).
   Matrix mu(nw, nx), mr(nx, ny);

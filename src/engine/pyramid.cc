@@ -193,9 +193,7 @@ bool Pyramid3Mm(const Database& db, double omega, MmKernel kernel,
           }
         }
         Bump(ec.stats().mm_products);
-        Matrix prod = kernel == MmKernel::kStrassen
-                          ? MultiplyRectangular(m1, m2)
-                          : MultiplyNaive(m1, m2);
+        Matrix prod = CountingProduct(m1, m2, kernel, &ec);
         for (int32_t brow = base_by_x1.First(x1key); brow >= 0;
              brow = base_by_x1.Next(brow)) {
           const int i2 = x2i.FindValue(base.Row(brow)[base_x2_col]);

@@ -108,7 +108,7 @@ bool TriangleMm(const Database& db, double omega, MmKernel kernel,
     for (size_t row = 0; row < m2.size(); ++row) {
       b.Set(yi.Find(m2.Get(row, kY)), zi.Find(m2.Get(row, kZ)));
     }
-    BitMatrix m = BitMatrix::Multiply(a, b);
+    BitMatrix m = BitMatrix::Multiply(a, b, &ec);
     for (size_t row = 0; row < t.size(); ++row) {
       const int x = xi.Find(t.Get(row, kX));
       const int z = zi.Find(t.Get(row, kZ));
@@ -123,8 +123,7 @@ bool TriangleMm(const Database& db, double omega, MmKernel kernel,
   for (size_t row = 0; row < m2.size(); ++row) {
     b.At(yi.Find(m2.Get(row, kY)), zi.Find(m2.Get(row, kZ))) = 1;
   }
-  Matrix m = kernel == MmKernel::kStrassen ? MultiplyRectangular(a, b)
-                                           : MultiplyNaive(a, b);
+  Matrix m = CountingProduct(a, b, kernel, &ec);
   for (size_t row = 0; row < t.size(); ++row) {
     const int x = xi.Find(t.Get(row, kX));
     const int z = zi.Find(t.Get(row, kZ));
@@ -157,8 +156,7 @@ int64_t TriangleCountMm(const Database& db, MmKernel kernel,
     b.At(yi.Find(s.Get(row, kY)), zi.Find(s.Get(row, kZ))) = 1;
   }
   Bump(ec.stats().mm_products);
-  Matrix m = kernel == MmKernel::kStrassen ? MultiplyRectangular(a, b)
-                                           : MultiplyNaive(a, b);
+  Matrix m = CountingProduct(a, b, kernel, &ec);
   int64_t count = 0;
   for (size_t row = 0; row < t.size(); ++row) {
     count += m.At(xi.Find(t.Get(row, kX)), zi.Find(t.Get(row, kZ)));

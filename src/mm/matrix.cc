@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "core/exec_context.h"
+#include "mm/kernel.h"
 #include "util/parallel.h"
 
 namespace fmmsw {
 
 bool Matrix::AnyNonZero() const {
+  if (data_.empty()) return false;  // 0 x n / n x 0: no cells to scan
   for (int64_t v : data_) {
     if (v != 0) return true;
   }
@@ -28,31 +31,31 @@ Matrix MultiplyNaive(const Matrix& a, const Matrix& b) {
   return out;
 }
 
-Matrix MultiplyBlocked(const Matrix& a, const Matrix& b) {
+Matrix MultiplyBlocked(const Matrix& a, const Matrix& b, ExecContext* ctx) {
   FMMSW_CHECK(a.cols() == b.rows());
-  constexpr int kB = 64;
+  ExecContext& ec = ExecContext::Resolve(ctx);
   Matrix out(a.rows(), b.cols());
-  const int n = b.cols();
-  // Each task owns a block of output rows, so the writes never overlap.
+  if (a.rows() == 0 || a.cols() == 0 || b.cols() == 0) return out;
+  const SimdLevel level = ActiveSimdLevel();
+  // Each task owns a slab of output rows, so the writes never overlap;
+  // the slab product itself is the packed micro-kernel. Slab height
+  // trades B-repacking (once per slab) against fan-out: at 128 rows the
+  // repack is <1% of the slab's multiply work.
+  constexpr int kSlab = 128;
   ParallelFor(
-      (a.rows() + kB - 1) / kB,
-      [&](int64_t block_begin, int64_t block_end) {
-        for (int64_t blk = block_begin; blk < block_end; ++blk) {
-          const int i0 = static_cast<int>(blk) * kB;
-          const int imax = std::min(i0 + kB, a.rows());
-          for (int kk = 0; kk < a.cols(); kk += kB) {
-            const int kmax = std::min(kk + kB, a.cols());
-            for (int i = i0; i < imax; ++i) {
-              const int64_t* arow = a.RowPtr(i);
-              int64_t* orow = out.RowPtr(i);
-              for (int k = kk; k < kmax; ++k) {
-                const int64_t aik = arow[k];
-                if (aik == 0) continue;
-                const int64_t* brow = b.RowPtr(k);
-                for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
-              }
-            }
-          }
+      ec.pool(), (a.rows() + kSlab - 1) / kSlab,
+      [&](int64_t slab_begin, int64_t slab_end) {
+        // No caller scratch: ParallelFor may invoke this chunk callback
+        // once per claimed slab, so a local MmPackScratch would
+        // re-allocate the pack buffers per slab. The nullptr path borrows
+        // a per-worker context arena, whose capacity persists across
+        // slabs and calls.
+        for (int64_t slab = slab_begin; slab < slab_end; ++slab) {
+          const int i0 = static_cast<int>(slab) * kSlab;
+          const int rows = std::min(kSlab, a.rows() - i0);
+          GemmAddAt(level, a.RowPtr(i0), a.cols(), b.RowPtr(0), b.cols(),
+                    out.RowPtr(i0), out.cols(), rows, a.cols(), b.cols(),
+                    &ec, nullptr);
         }
       });
   return out;
@@ -65,13 +68,14 @@ bool BitMatrix::AnyNonZero() const {
   return false;
 }
 
-BitMatrix BitMatrix::Multiply(const BitMatrix& a, const BitMatrix& b) {
+BitMatrix BitMatrix::Multiply(const BitMatrix& a, const BitMatrix& b,
+                              ExecContext* ctx) {
   FMMSW_CHECK(a.cols() == b.rows());
   BitMatrix out(a.rows(), b.cols());
   const int a_words = a.words_;
   const int b_words = b.words_;
   ParallelFor(
-      a.rows(),
+      ExecContext::Resolve(ctx).pool(), a.rows(),
       [&](int64_t row_begin, int64_t row_end) {
         for (int64_t i = row_begin; i < row_end; ++i) {
           uint64_t* out_row = &out.data_[static_cast<size_t>(i) * b_words];

@@ -1,6 +1,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/exec_context.h"
+#include "mm/kernel.h"
 #include "mm/matrix.h"
 #include "util/parallel.h"
 
@@ -22,6 +24,15 @@ struct MutView {
   int64_t* p;
   size_t stride;
   int64_t* Row(int r) const { return p + static_cast<size_t>(r) * stride; }
+};
+
+/// Per-multiply kernel state threaded through the recursion: the inner
+/// kernel level is resolved once per top-level call, and one pack scratch
+/// serves every (sequential) base-case product.
+struct KernelCtx {
+  SimdLevel level;
+  ExecContext* ec;
+  MmPackScratch* pack;
 };
 
 View Quad(View a, int n, int qr, int qc) {
@@ -63,27 +74,23 @@ void Accumulate(MutView c, const int64_t* m, int n, int64_t sign) {
   }
 }
 
-/// c = a * b (cubic base case; c is zeroed first).
-void MulBase(View a, View b, MutView c, int n) {
+/// c = a * b (micro-kernel base case; c is zeroed first).
+void MulBase(View a, View b, MutView c, int n, const KernelCtx& kc) {
   for (int i = 0; i < n; ++i) {
     int64_t* rc = c.Row(i);
     std::fill(rc, rc + n, 0);
-    const int64_t* ra = a.Row(i);
-    for (int k = 0; k < n; ++k) {
-      const int64_t aik = ra[k];
-      if (aik == 0) continue;
-      const int64_t* rb = b.Row(k);
-      for (int j = 0; j < n; ++j) rc[j] += aik * rb[j];
-    }
   }
+  GemmAddAt(kc.level, a.p, static_cast<int>(a.stride), b.p,
+            static_cast<int>(b.stride), c.p, static_cast<int>(c.stride), n,
+            n, n, kc.ec, kc.pack);
 }
 
 /// c = a * b, n a power of two. `scratch` must hold StrassenScratch(n)
 /// int64s; recursive calls run sequentially and reuse the tail.
 void StrassenRec(View a, View b, MutView c, int n, int cutoff,
-                 int64_t* scratch) {
+                 int64_t* scratch, const KernelCtx& kc) {
   if (n <= cutoff) {
-    MulBase(a, b, c, n);
+    MulBase(a, b, c, n, kc);
     return;
   }
   const int h = n / 2;
@@ -106,38 +113,38 @@ void StrassenRec(View a, View b, MutView c, int n, int cutoff,
   // M1 = (A11 + A22)(B11 + B22): C11 += M1, C22 += M1.
   AddInto(a11, a22, t1, h);
   AddInto(b11, b22, t2, h);
-  StrassenRec(vt1, vt2, vm, h, cutoff, tail);
+  StrassenRec(vt1, vt2, vm, h, cutoff, tail, kc);
   Accumulate(c11, m, h, 1);
   Accumulate(c22, m, h, 1);
   // M2 = (A21 + A22) B11: C21 += M2, C22 -= M2.
   AddInto(a21, a22, t1, h);
-  StrassenRec(vt1, b11, vm, h, cutoff, tail);
+  StrassenRec(vt1, b11, vm, h, cutoff, tail, kc);
   Accumulate(c21, m, h, 1);
   Accumulate(c22, m, h, -1);
   // M3 = A11 (B12 - B22): C12 += M3, C22 += M3.
   SubInto(b12, b22, t2, h);
-  StrassenRec(a11, vt2, vm, h, cutoff, tail);
+  StrassenRec(a11, vt2, vm, h, cutoff, tail, kc);
   Accumulate(c12, m, h, 1);
   Accumulate(c22, m, h, 1);
   // M4 = A22 (B21 - B11): C11 += M4, C21 += M4.
   SubInto(b21, b11, t2, h);
-  StrassenRec(a22, vt2, vm, h, cutoff, tail);
+  StrassenRec(a22, vt2, vm, h, cutoff, tail, kc);
   Accumulate(c11, m, h, 1);
   Accumulate(c21, m, h, 1);
   // M5 = (A11 + A12) B22: C11 -= M5, C12 += M5.
   AddInto(a11, a12, t1, h);
-  StrassenRec(vt1, b22, vm, h, cutoff, tail);
+  StrassenRec(vt1, b22, vm, h, cutoff, tail, kc);
   Accumulate(c11, m, h, -1);
   Accumulate(c12, m, h, 1);
   // M6 = (A21 - A11)(B11 + B12): C22 += M6.
   SubInto(a21, a11, t1, h);
   AddInto(b11, b12, t2, h);
-  StrassenRec(vt1, vt2, vm, h, cutoff, tail);
+  StrassenRec(vt1, vt2, vm, h, cutoff, tail, kc);
   Accumulate(c22, m, h, 1);
   // M7 = (A12 - A22)(B21 + B22): C11 += M7.
   SubInto(a12, a22, t1, h);
   AddInto(b21, b22, t2, h);
-  StrassenRec(vt1, vt2, vm, h, cutoff, tail);
+  StrassenRec(vt1, vt2, vm, h, cutoff, tail, kc);
   Accumulate(c11, m, h, 1);
 }
 
@@ -161,14 +168,27 @@ int NextPow2(int n) {
 
 }  // namespace
 
-Matrix MultiplyStrassen(const Matrix& a, const Matrix& b, int cutoff) {
+Matrix MultiplyStrassen(const Matrix& a, const Matrix& b, int cutoff,
+                        ExecContext* ctx) {
   FMMSW_CHECK(a.cols() == b.rows());
   if (cutoff < 2) cutoff = 2;
   // Embed into a zero-padded power-of-two square of the max dimension;
   // fine for the near-square shapes the engine produces (use
   // MultiplyRectangular otherwise).
+  if (a.rows() == 0 || a.cols() == 0 || b.cols() == 0) {
+    return Matrix(a.rows(), b.cols());
+  }
   const int n = std::max({a.rows(), a.cols(), b.cols()});
-  if (n == 0) return Matrix(a.rows(), b.cols());
+  if (n <= cutoff) {
+    // Below the recursion cutoff the whole product is one micro-kernel
+    // panel call on the original buffers — no pow2 embedding, no copies.
+    Matrix out(a.rows(), b.cols());
+    MmPackScratch pack;
+    GemmAddAt(ActiveSimdLevel(), a.RowPtr(0), a.cols(), b.RowPtr(0),
+              b.cols(), out.RowPtr(0), out.cols(), a.rows(), a.cols(),
+              b.cols(), ctx, &pack);
+    return out;
+  }
   const int p = NextPow2(n);
   std::vector<int64_t> pa(static_cast<size_t>(p) * p, 0);
   std::vector<int64_t> pb(static_cast<size_t>(p) * p, 0);
@@ -182,10 +202,12 @@ Matrix MultiplyStrassen(const Matrix& a, const Matrix& b, int cutoff) {
               pb.begin() + static_cast<size_t>(i) * p);
   }
   std::vector<int64_t> scratch(StrassenScratch(p));
+  MmPackScratch pack;
+  const KernelCtx kc{ActiveSimdLevel(), ctx, &pack};
   StrassenRec({pa.data(), static_cast<size_t>(p)},
               {pb.data(), static_cast<size_t>(p)},
               {pc.data(), static_cast<size_t>(p)}, p, cutoff,
-              scratch.data());
+              scratch.data(), kc);
   Matrix out(a.rows(), b.cols());
   for (int i = 0; i < a.rows(); ++i) {
     std::copy(pc.begin() + static_cast<size_t>(i) * p,
@@ -195,19 +217,24 @@ Matrix MultiplyStrassen(const Matrix& a, const Matrix& b, int cutoff) {
   return out;
 }
 
-Matrix MultiplyRectangular(const Matrix& a, const Matrix& b, int cutoff) {
+Matrix MultiplyRectangular(const Matrix& a, const Matrix& b, int cutoff,
+                           ExecContext* ctx) {
   FMMSW_CHECK(a.cols() == b.rows());
+  ExecContext& ec = ExecContext::Resolve(ctx);
   const int d = std::min({a.rows(), a.cols(), b.cols()});
   if (d == 0) return Matrix(a.rows(), b.cols());
-  // Partition into ceil(dim/d) blocks per axis and multiply d x d blocks
-  // with Strassen — the Eq. (6) scheme. Each output block is owned by one
-  // task, so the (bi, bj) grid parallelizes without write conflicts.
+  // Partition into ceil(dim/d) blocks per axis — the Eq. (6) scheme. Each
+  // output block is owned by one task, so the (bi, bj) grid parallelizes
+  // without write conflicts. Blocks at or below the Strassen cutoff skip
+  // the copy + pow2 padding entirely: the packed micro-kernel multiplies
+  // the strided views in place and accumulates straight into `out`.
   const int ra = (a.rows() + d - 1) / d;
   const int ca = (a.cols() + d - 1) / d;
   const int cb = (b.cols() + d - 1) / d;
+  const SimdLevel level = ActiveSimdLevel();
   Matrix out(a.rows(), b.cols());
   ParallelFor(
-      static_cast<int64_t>(ra) * cb,
+      ec.pool(), static_cast<int64_t>(ra) * cb,
       [&](int64_t begin, int64_t end) {
         for (int64_t task = begin; task < end; ++task) {
           const int bi = static_cast<int>(task / cb);
@@ -216,6 +243,16 @@ Matrix MultiplyRectangular(const Matrix& a, const Matrix& b, int cutoff) {
           const int j0 = bj * d, j1 = std::min(j0 + d, b.cols());
           for (int bk = 0; bk < ca; ++bk) {
             const int k0 = bk * d, k1 = std::min(k0 + d, a.cols());
+            if (d <= cutoff) {
+              // nullptr scratch -> persistent per-worker context arena
+              // (a callback-local MmPackScratch would re-allocate per
+              // claimed block; see MultiplyBlocked).
+              GemmAddAt(level, a.RowPtr(i0) + k0, a.cols(),
+                        b.RowPtr(k0) + j0, b.cols(), out.RowPtr(i0) + j0,
+                        out.cols(), i1 - i0, k1 - k0, j1 - j0, &ec,
+                        nullptr);
+              continue;
+            }
             Matrix ablk(i1 - i0, k1 - k0), bblk(k1 - k0, j1 - j0);
             for (int i = i0; i < i1; ++i) {
               for (int k = k0; k < k1; ++k) {
@@ -227,7 +264,7 @@ Matrix MultiplyRectangular(const Matrix& a, const Matrix& b, int cutoff) {
                 bblk.At(k - k0, j - j0) = b.At(k, j);
               }
             }
-            Matrix cblk = MultiplyStrassen(ablk, bblk, cutoff);
+            Matrix cblk = MultiplyStrassen(ablk, bblk, cutoff, &ec);
             for (int i = i0; i < i1; ++i) {
               for (int j = j0; j < j1; ++j) {
                 out.At(i, j) += cblk.At(i - i0, j - j0);

@@ -198,7 +198,7 @@ bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
       for (size_t r = 0; r < m2.size(); ++r) {
         b.Set(yi.FindValue(m2.Get(r, vy)), zi.FindValue(m2.Get(r, vz)));
       }
-      BitMatrix m = BitMatrix::Multiply(a, b);
+      BitMatrix m = BitMatrix::Multiply(a, b, &ec);
       for (size_t r = 0; r < rxz->size(); ++r) {
         const int ix = xi.FindValue(rxz->Get(r, vx));
         const int iz = zi.FindValue(rxz->Get(r, vz));
@@ -213,8 +213,7 @@ bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
       for (size_t r = 0; r < m2.size(); ++r) {
         b.At(yi.FindValue(m2.Get(r, vy)), zi.FindValue(m2.Get(r, vz))) = 1;
       }
-      Matrix m = kernel == MmKernel::kStrassen ? MultiplyRectangular(a, b)
-                                               : MultiplyNaive(a, b);
+      Matrix m = CountingProduct(a, b, kernel, &ec);
       for (size_t r = 0; r < rxz->size(); ++r) {
         const int ix = xi.FindValue(rxz->Get(r, vx));
         const int iz = zi.FindValue(rxz->Get(r, vz));

@@ -224,18 +224,36 @@ class FlatMultimap {
 
 /// Open-addressing set of packed keys (for on-the-fly dedup of narrow
 /// outputs; only meaningful for exact KeySpecs).
+///
+/// Capacity contract: the constructor and Reserve presize for `expected`
+/// entries at load factor <= 0.5, so a builder that knows its insert
+/// count up front (the clique pair sets, Project's dedup set — both pass
+/// the source row count, an upper bound on distinct keys) never pays the
+/// insert-time Grow rehash. Grow remains as a safety net for incremental
+/// callers that under-estimate.
 class FlatSet {
  public:
-  explicit FlatSet(size_t expected) {
+  /// Presizes for `expected` entries (no Grow for up to that many
+  /// distinct keys).
+  explicit FlatSet(size_t expected = 0) {
     const uint32_t cap = flat_internal::TableCapacity(expected);
     mask_ = cap - 1;
     slot_key_.resize(cap);
     used_.assign(cap, 0);
   }
 
+  /// Ensures capacity for `expected` total entries (existing + future),
+  /// rehashing at most once — the bulk-builder alternative to paying
+  /// O(log n) incremental Grows.
+  void Reserve(size_t expected) {
+    const uint32_t cap = flat_internal::TableCapacity(expected);
+    if (cap <= used_.size()) return;
+    Rehash(cap);
+  }
+
   /// Inserts the key; returns true if it was absent.
   bool Insert(uint64_t key) {
-    if (size_ * 2 >= used_.size()) Grow();
+    if (size_ * 2 >= used_.size()) Rehash(used_.size() * 2);
     uint32_t i = static_cast<uint32_t>(flat_internal::MixKey(key)) & mask_;
     while (used_[i]) {
       if (slot_key_[i] == key) return false;
@@ -257,12 +275,16 @@ class FlatSet {
     return false;
   }
 
+  size_t size() const { return size_; }
+  /// Slot count (power of two; exposed so tests can assert that presized
+  /// builds never rehash).
+  size_t capacity() const { return used_.size(); }
+
  private:
-  void Grow() {
+  void Rehash(size_t cap) {
     std::vector<uint64_t> old_keys = std::move(slot_key_);
     std::vector<uint8_t> old_used = std::move(used_);
-    const uint32_t cap = static_cast<uint32_t>(old_used.size()) * 2;
-    mask_ = cap - 1;
+    mask_ = static_cast<uint32_t>(cap) - 1;
     slot_key_.assign(cap, 0);
     used_.assign(cap, 0);
     size_ = 0;

@@ -259,6 +259,8 @@ Relation Project(const Relation& a, VarSet keep, ExecContext* ctx) {
   if (spec.exact()) {
     // Narrow output (<= 2 columns): dedupe on the fly with a flat set of
     // the packed keys — no sort pass over the materialized duplicates.
+    // Presized for the input row count (>= distinct keys), so the set
+    // never rehashes mid-insert.
     FlatSet seen(a.size());
     for (size_t r = 0; r < a.size(); ++r) {
       const Value* row = a.Row(r);

@@ -220,6 +220,7 @@ TEST_P(TriangleRegimeTest, AllAlgorithmsAgree) {
   EXPECT_EQ(TriangleMm(db, 2.0), expect);
   EXPECT_EQ(TriangleMm(db, 2.371552), expect);
   EXPECT_EQ(TriangleMm(db, 2.8073549, MmKernel::kStrassen), expect);
+  EXPECT_EQ(TriangleMm(db, 2.8073549, MmKernel::kBitSliced), expect);
   EXPECT_EQ(TriangleMm(db, 3.0), expect);
 }
 
@@ -239,6 +240,7 @@ TEST(TriangleTest, CountMatchesWcojCount) {
   Database db = MakeWorkload(h, opts);
   EXPECT_EQ(TriangleCountMm(db, MmKernel::kNaive), WcojCount(h, db));
   EXPECT_EQ(TriangleCountMm(db, MmKernel::kStrassen), WcojCount(h, db));
+  EXPECT_EQ(TriangleCountMm(db, MmKernel::kBitSliced), WcojCount(h, db));
 }
 
 TEST(TriangleTest, HeavyPartSizeBound) {
@@ -280,6 +282,8 @@ TEST_P(FourCycleRegimeTest, AllAlgorithmsAgree) {
   EXPECT_EQ(FourCycleMm(db, 2.371552), expect) << "seed=" << seed;
   EXPECT_EQ(FourCycleMm(db, 2.8073549, MmKernel::kStrassen), expect)
       << "seed=" << seed;
+  EXPECT_EQ(FourCycleMm(db, 2.8073549, MmKernel::kBitSliced), expect)
+      << "seed=" << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -307,6 +311,8 @@ TEST_P(CliqueRegimeTest, MmAgreesWithCombinatorial) {
     const bool expect = CliqueCombinatorial(k, db);
     EXPECT_EQ(CliqueMm(k, db), expect) << "k=" << k << " seed=" << seed;
     EXPECT_EQ(CliqueMm(k, db, MmKernel::kStrassen), expect)
+        << "k=" << k << " seed=" << seed;
+    EXPECT_EQ(CliqueMm(k, db, MmKernel::kBitSliced), expect)
         << "k=" << k << " seed=" << seed;
   }
 }

@@ -7,8 +7,10 @@
 #include <cstdlib>
 #include <vector>
 
+#include "core/exec_context.h"
 #include "gtest/gtest.h"
 #include "mm/cost_model.h"
+#include "mm/kernel.h"
 #include "mm/matrix.h"
 #include "util/parallel.h"
 #include "util/random.h"
@@ -210,6 +212,253 @@ TEST(ParallelKernelTest, ThreadCountHonorsEnvironment) {
       EXPECT_GE(ThreadPool::ConfiguredThreads(), 1);
     }
   }
+}
+
+// ------------------------------------------- micro-kernel layer --------
+// The packed micro-kernel (mm/kernel.h) must be bit-identical to
+// MultiplyNaive at every SIMD level. ctest runs this binary once with the
+// host's ActiveSimdLevel (AVX2 where supported) and CI re-runs it under
+// FMMSW_SIMD=off; the tests below additionally drive both levels
+// in-process via GemmAddAt, so the scalar fallback is exercised even on
+// AVX2 hosts and vice versa.
+
+std::vector<SimdLevel> TestableLevels() {
+  std::vector<SimdLevel> levels{SimdLevel::kScalar};
+  if (MaxSimdLevel() != SimdLevel::kScalar) levels.push_back(SimdLevel::kAvx2);
+  return levels;
+}
+
+Matrix GemmVia(SimdLevel level, const Matrix& a, const Matrix& b,
+               ExecContext* ec = nullptr) {
+  Matrix out(a.rows(), b.cols());
+  MmPackScratch pack;
+  // RowPtr(0) on a degenerate 0-cell matrix would index into an empty
+  // vector before GemmAddAt's shape guard runs; pass nullptr instead
+  // (the guard returns before any dereference).
+  GemmAddAt(level, a.empty() ? nullptr : a.RowPtr(0), a.cols(),
+            b.empty() ? nullptr : b.RowPtr(0), b.cols(),
+            out.empty() ? nullptr : out.RowPtr(0), out.cols(), a.rows(),
+            a.cols(), b.cols(), ec, &pack);
+  return out;
+}
+
+TEST(MicroKernelTest, MatchesNaiveAcrossEdgeShapes) {
+  // Shapes straddling the MR x NR tile and the KC chunk boundary,
+  // including single-row / single-column panels.
+  const struct {
+    int m, k, n;
+  } shapes[] = {{1, 1, 1},   {1, 7, 1},    {7, 1, 7},    {1, 200, 1},
+                {200, 1, 3}, {4, 16, 8},   {5, 16, 9},   {3, 384, 5},
+                {3, 385, 5}, {65, 33, 47}, {64, 770, 24}};
+  Rng rng(31);
+  for (SimdLevel level : TestableLevels()) {
+    for (const auto& s : shapes) {
+      Matrix a = RandomMatrix(s.m, s.k, &rng), b = RandomMatrix(s.k, s.n, &rng);
+      EXPECT_EQ(GemmVia(level, a, b), MultiplyNaive(a, b))
+          << SimdLevelName(level) << " " << s.m << "x" << s.k << "x" << s.n;
+    }
+  }
+}
+
+TEST(MicroKernelTest, WideValuesUseTheFullKernel) {
+  // Values outside int32 disable the narrow single-multiply path; the
+  // emulated 64-bit multiply must still match scalar imul exactly
+  // (including negatives). Products stay within int64, no UB.
+  Rng rng(32);
+  Matrix a = RandomMatrix(19, 41, &rng), b = RandomMatrix(41, 23, &rng);
+  a.At(3, 7) = (int64_t{1} << 40) + 12345;
+  a.At(18, 40) = -(int64_t{1} << 52) - 7;
+  b.At(12, 11) = (int64_t{1} << 38) - 1;
+  b.At(0, 0) = -(int64_t{1} << 34);
+  const Matrix ref = MultiplyNaive(a, b);
+  for (SimdLevel level : TestableLevels()) {
+    EXPECT_EQ(GemmVia(level, a, b), ref) << SimdLevelName(level);
+  }
+}
+
+TEST(MicroKernelTest, MixedNarrowAndWideChunks) {
+  // k spans three KC chunks; only the middle chunk holds a wide value, so
+  // the per-chunk dispatch must switch kernels mid-product.
+  Rng rng(33);
+  Matrix a = RandomMatrix(9, 900, &rng), b = RandomMatrix(900, 12, &rng);
+  a.At(5, 500) = int64_t{1} << 44;
+  b.At(450, 3) = -(int64_t{1} << 41);
+  const Matrix ref = MultiplyNaive(a, b);
+  for (SimdLevel level : TestableLevels()) {
+    EXPECT_EQ(GemmVia(level, a, b), ref) << SimdLevelName(level);
+  }
+}
+
+TEST(MicroKernelTest, AccumulatesIntoExistingOutput) {
+  Rng rng(34);
+  Matrix a = RandomMatrix(10, 17, &rng), b = RandomMatrix(17, 13, &rng);
+  Matrix expect = MultiplyNaive(a, b);
+  Matrix out(10, 13);
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 13; ++j) {
+      out.At(i, j) = 100 * i + j;
+      expect.At(i, j) += 100 * i + j;
+    }
+  }
+  for (SimdLevel level : TestableLevels()) {
+    Matrix c = out;
+    MmPackScratch pack;
+    GemmAddAt(level, a.RowPtr(0), 17, b.RowPtr(0), 13, c.RowPtr(0), 13, 10,
+              17, 13, nullptr, &pack);
+    EXPECT_EQ(c, expect) << SimdLevelName(level);
+  }
+}
+
+TEST(MicroKernelTest, StridedViewsMatchContiguous) {
+  // Sub-panels addressed with lda/ldb/ldc larger than the panel width —
+  // the shape MultiplyRectangular and the Strassen quadrants produce.
+  Rng rng(35);
+  Matrix a = RandomMatrix(40, 50, &rng), b = RandomMatrix(50, 60, &rng);
+  const int m = 13, k = 21, n = 17, i0 = 5, k0 = 9, j0 = 31;
+  Matrix asub(m, k), bsub(k, n);
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) asub.At(i, kk) = a.At(i0 + i, k0 + kk);
+  }
+  for (int kk = 0; kk < k; ++kk) {
+    for (int j = 0; j < n; ++j) bsub.At(kk, j) = b.At(k0 + kk, j0 + j);
+  }
+  const Matrix ref = MultiplyNaive(asub, bsub);
+  for (SimdLevel level : TestableLevels()) {
+    Matrix out(40, 60);
+    MmPackScratch pack;
+    GemmAddAt(level, a.RowPtr(i0) + k0, a.cols(), b.RowPtr(k0) + j0,
+              b.cols(), out.RowPtr(i0) + j0, out.cols(), m, k, n, nullptr,
+              &pack);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        ASSERT_EQ(out.At(i0 + i, j0 + j), ref.At(i, j))
+            << SimdLevelName(level) << " " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(MicroKernelTest, KernelStatsAccounting) {
+  ExecContext ec(1);
+  Rng rng(36);
+  Matrix a = RandomMatrix(96, 96, &rng), b = RandomMatrix(96, 96, &rng);
+  EXPECT_EQ(MultiplyBlocked(a, b, &ec), MultiplyNaive(a, b));
+  EXPECT_GT(ec.stats().mm_base_calls.load(), 0);
+  if (ActiveSimdLevel() == SimdLevel::kScalar) {
+    EXPECT_EQ(ec.stats().mm_simd_calls.load(), 0);
+  } else {
+    EXPECT_GT(ec.stats().mm_simd_calls.load(), 0);
+  }
+  EXPECT_EQ(ec.stats().mm_bitsliced_calls.load(), 0);
+}
+
+// --------------------------------------------- bit-sliced counting -----
+
+Matrix RandomIndicator(int rows, int cols, double density, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (rng->Flip(density)) m.At(i, j) = 1;
+    }
+  }
+  return m;
+}
+
+TEST(BitSlicedTest, MatchesNaiveAcrossShapes) {
+  // Inner dimensions straddling the 64-bit word boundary.
+  const struct {
+    int m, k, n;
+  } shapes[] = {{1, 1, 1},  {3, 63, 5},  {3, 64, 5},   {3, 65, 5},
+                {9, 128, 7}, {40, 200, 31}, {1, 300, 1}};
+  Rng rng(41);
+  for (const auto& s : shapes) {
+    Matrix a = RandomIndicator(s.m, s.k, 0.4, &rng);
+    Matrix b = RandomIndicator(s.k, s.n, 0.4, &rng);
+    EXPECT_EQ(MultiplyBitSliced(a, b), MultiplyNaive(a, b))
+        << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(BitSlicedTest, CountsNotJustExistence) {
+  // All-ones inputs: every entry of the product must equal k exactly.
+  Matrix a(3, 70), b(70, 4);
+  for (int i = 0; i < 3; ++i) {
+    for (int k = 0; k < 70; ++k) a.At(i, k) = 1;
+  }
+  for (int k = 0; k < 70; ++k) {
+    for (int j = 0; j < 4; ++j) b.At(k, j) = 1;
+  }
+  Matrix p = MultiplyBitSliced(a, b);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) ASSERT_EQ(p.At(i, j), 70);
+  }
+}
+
+TEST(BitSlicedTest, CountingProductDispatch) {
+  Rng rng(42);
+  ExecContext ec(1);
+  Matrix a = RandomIndicator(20, 90, 0.3, &rng);
+  Matrix b = RandomIndicator(90, 25, 0.3, &rng);
+  const Matrix ref = MultiplyNaive(a, b);
+  EXPECT_EQ(CountingProduct(a, b, MmKernel::kBitSliced, &ec), ref);
+  EXPECT_EQ(ec.stats().mm_bitsliced_calls.load(), 1);
+  // Non-0/1 input falls back to the cubic micro-kernel path.
+  Matrix c = RandomMatrix(20, 90, &rng);
+  EXPECT_EQ(CountingProduct(c, b, MmKernel::kBitSliced, &ec),
+            MultiplyNaive(c, b));
+  EXPECT_EQ(ec.stats().mm_bitsliced_calls.load(), 1);
+  // Every kernel choice agrees with the naive reference.
+  EXPECT_EQ(CountingProduct(a, b, MmKernel::kNaive, &ec), ref);
+  EXPECT_EQ(CountingProduct(a, b, MmKernel::kStrassen, &ec), ref);
+  EXPECT_EQ(CountingProduct(a, b, MmKernel::kBoolean, &ec), ref);
+}
+
+TEST(BitSlicedTest, IsZeroOne) {
+  Matrix m(2, 2);
+  EXPECT_TRUE(IsZeroOne(m));
+  m.At(0, 1) = 1;
+  EXPECT_TRUE(IsZeroOne(m));
+  m.At(1, 0) = 2;
+  EXPECT_FALSE(IsZeroOne(m));
+  m.At(1, 0) = -1;
+  EXPECT_FALSE(IsZeroOne(m));
+  EXPECT_TRUE(IsZeroOne(Matrix(0, 3)));
+}
+
+// --------------------------------------------- degenerate shapes -------
+
+TEST(DegenerateShapeTest, ZeroDimensionProductsAcrossKernels) {
+  // 0-row / 0-col / 0-inner products must return correctly shaped
+  // all-zero matrices from every kernel.
+  const struct {
+    int m, k, n;
+  } shapes[] = {{0, 0, 0}, {0, 5, 3}, {3, 0, 4}, {4, 6, 0}, {0, 0, 7}};
+  for (const auto& s : shapes) {
+    Matrix a(s.m, s.k), b(s.k, s.n);
+    const Matrix ref = MultiplyNaive(a, b);
+    EXPECT_EQ(ref.rows(), s.m);
+    EXPECT_EQ(ref.cols(), s.n);
+    EXPECT_FALSE(ref.AnyNonZero());
+    EXPECT_EQ(MultiplyBlocked(a, b), ref);
+    EXPECT_EQ(MultiplyStrassen(a, b), ref);
+    EXPECT_EQ(MultiplyRectangular(a, b), ref);
+    EXPECT_EQ(MultiplyBitSliced(a, b), ref);
+    for (SimdLevel level : TestableLevels()) {
+      EXPECT_EQ(GemmVia(level, a, b), ref) << SimdLevelName(level);
+    }
+  }
+}
+
+TEST(DegenerateShapeTest, AnyNonZeroAndEmptyOnDegenerateMatrices) {
+  EXPECT_TRUE(Matrix(0, 0).empty());
+  EXPECT_TRUE(Matrix(0, 5).empty());
+  EXPECT_TRUE(Matrix(5, 0).empty());
+  EXPECT_FALSE(Matrix(1, 1).empty());
+  EXPECT_FALSE(Matrix(0, 0).AnyNonZero());
+  EXPECT_FALSE(Matrix(0, 5).AnyNonZero());
+  EXPECT_FALSE(Matrix(5, 0).AnyNonZero());
+  EXPECT_FALSE(BitMatrix(0, 0).AnyNonZero());
+  EXPECT_FALSE(BitMatrix(0, 9).AnyNonZero());
 }
 
 TEST(CostModelTest, OmegaSquareExponent) {

@@ -3,6 +3,7 @@
 
 #include "gtest/gtest.h"
 #include "relation/degree.h"
+#include "relation/flat_index.h"
 #include "relation/generators.h"
 #include "relation/ops.h"
 #include "relation/relation.h"
@@ -181,6 +182,52 @@ TEST(OpsEdgeTest, UnionEmptyAndNullary) {
   Relation f(VarSet::Empty());
   EXPECT_FALSE(Union(t, f).empty());  // true OR false
   EXPECT_TRUE(Union(f, f).empty());
+}
+
+// FlatSet capacity contract (flat_index.h): builders that presize — via
+// the constructor or Reserve — never rehash mid-insert; under-provisioned
+// incremental callers still grow safely.
+TEST(FlatSetTest, PresizedBuildNeverRehashes) {
+  FlatSet s(1000);
+  const size_t cap = s.capacity();
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_TRUE(s.Insert(k * 0x9e3779b97f4a7c15ULL));
+  }
+  EXPECT_EQ(s.capacity(), cap);
+  EXPECT_EQ(s.size(), 1000u);
+}
+
+TEST(FlatSetTest, ReserveThenInsertKeepsCapacity) {
+  FlatSet s;  // default: minimal table
+  s.Reserve(5000);
+  const size_t cap = s.capacity();
+  EXPECT_GE(cap, 2 * 5000u);
+  for (uint64_t k = 0; k < 5000; ++k) s.Insert(k);
+  EXPECT_EQ(s.capacity(), cap);
+  for (uint64_t k = 0; k < 5000; ++k) EXPECT_TRUE(s.Contains(k));
+  EXPECT_FALSE(s.Contains(5000));
+  // Reserving less than the current capacity is a no-op.
+  s.Reserve(10);
+  EXPECT_EQ(s.capacity(), cap);
+}
+
+TEST(FlatSetTest, UnderProvisionedGrowsAndKeepsContents) {
+  FlatSet s(0);
+  const size_t cap0 = s.capacity();
+  for (uint64_t k = 0; k < 10000; ++k) {
+    EXPECT_TRUE(s.Insert(k ^ 0xdeadbeefULL));
+  }
+  EXPECT_GT(s.capacity(), cap0);
+  EXPECT_EQ(s.size(), 10000u);
+  for (uint64_t k = 0; k < 10000; ++k) {
+    EXPECT_TRUE(s.Contains(k ^ 0xdeadbeefULL));
+    EXPECT_FALSE(s.Insert(k ^ 0xdeadbeefULL));  // duplicate
+  }
+  // Reserve after growth mid-stream also works (rehash preserves keys).
+  s.Reserve(40000);
+  for (uint64_t k = 0; k < 10000; ++k) {
+    EXPECT_TRUE(s.Contains(k ^ 0xdeadbeefULL));
+  }
 }
 
 TEST(OpsEdgeTest, IntersectEmpty) {
