@@ -56,28 +56,30 @@ void Run() {
     Database db = MakeNegativeInstance(n);
     const int reps = n <= 8000 ? 3 : 1;
     double a_ib, b_ib, c_ib, d_ib;
-    const double a = bench::TimeWithIndexBuild(
-        ec, [&] { return TriangleCombinatorial(db, &ec); }, reps, &a_ib);
-    const double b = bench::TimeWithIndexBuild(
+    double a_sort, b_sort, c_sort, d_sort;
+    const double a = bench::TimeWithPhases(
+        ec, [&] { return TriangleCombinatorial(db, &ec); }, reps, &a_ib,
+        &a_sort);
+    const double b = bench::TimeWithPhases(
         ec,
         [&] {
           return TriangleMm(db, 2.371552, MmKernel::kBoolean, nullptr, &ec);
         },
-        reps, &b_ib);
-    const double c = bench::TimeWithIndexBuild(
+        reps, &b_ib, &b_sort);
+    const double c = bench::TimeWithPhases(
         ec,
         [&] {
           return TriangleMm(db, 2.8073549, MmKernel::kStrassen, nullptr,
                             &ec);
         },
-        reps, &c_ib);
-    const double d = bench::TimeWithIndexBuild(
+        reps, &c_ib, &c_sort);
+    const double d = bench::TimeWithPhases(
         ec,
         [&] {
           return PandaTriangleBoolean(db, 2.371552, MmKernel::kBoolean,
                                       nullptr, &ec);
         },
-        reps, &d_ib);
+        reps, &d_ib, &d_sort);
     ns.push_back(static_cast<double>(db.TotalSize()));
     t_wcoj.push_back(a);
     t_mm2.push_back(b);
@@ -85,10 +87,10 @@ void Run() {
     t_panda.push_back(d);
     const long long total = static_cast<long long>(db.TotalSize());
     std::printf("%10lld %12.5f %12.5f %12.5f %12.5f\n", total, a, b, c, d);
-    bench::Json("triangle", total, "wcoj", a * 1e3, a_ib);
-    bench::Json("triangle", total, "mm_w2.37", b * 1e3, b_ib);
-    bench::Json("triangle", total, "mm_strassen", c * 1e3, c_ib);
-    bench::Json("triangle", total, "panda", d * 1e3, d_ib);
+    bench::Json("triangle", total, "wcoj", a * 1e3, a_ib, a_sort);
+    bench::Json("triangle", total, "mm_w2.37", b * 1e3, b_ib, b_sort);
+    bench::Json("triangle", total, "mm_strassen", c * 1e3, c_ib, c_sort);
+    bench::Json("triangle", total, "panda", d * 1e3, d_ib, d_sort);
   }
   std::printf("\n");
   bench::Row("combinatorial exponent", "1.5000",

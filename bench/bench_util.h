@@ -45,46 +45,69 @@ inline bool StepEnabled(long long n) { return n <= max_n; }
 
 /// One machine-readable measurement line:
 ///   {"name":"triangle","n":242323,"kernel":"wcoj","wall_ms":293.1,
-///    "index_build_ms":12.4}
+///    "index_build_ms":12.4,"sort_ms":3.1}
 /// index_build_ms (aggregate flat-index construction time, from the
-/// ExecStats::index_build_ns delta — summed across workers, so it can
-/// exceed wall_ms when builds run concurrently inside parallel regions)
-/// is emitted when the caller passes a non-negative value. Emitted only
-/// in --json mode; human-readable output stays as-is, so consumers
-/// should filter for lines starting with '{'.
+/// ExecStats::index_build_ns delta) and sort_ms (aggregate wide-key
+/// sort-layer time, from the ExecStats::sort_ns delta) are each summed
+/// across workers, so they can exceed wall_ms when the phases run
+/// concurrently inside parallel regions; each is emitted when the caller
+/// passes a non-negative value. Emitted only in --json mode;
+/// human-readable output stays as-is, so consumers should filter for
+/// lines starting with '{'.
 inline void Json(const std::string& name, long long n,
                  const std::string& kernel, double wall_ms,
-                 double index_build_ms = -1.0) {
+                 double index_build_ms = -1.0, double sort_ms = -1.0) {
   if (!json_mode) return;
+  std::string line = "{\"name\":\"" + name + "\",\"n\":" + std::to_string(n) +
+                     ",\"kernel\":\"" + kernel + "\"";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"wall_ms\":%.6f", wall_ms);
+  line += buf;
   if (index_build_ms >= 0) {
-    std::printf(
-        "{\"name\":\"%s\",\"n\":%lld,\"kernel\":\"%s\",\"wall_ms\":%.6f,"
-        "\"index_build_ms\":%.6f}\n",
-        name.c_str(), n, kernel.c_str(), wall_ms, index_build_ms);
-    return;
+    std::snprintf(buf, sizeof(buf), ",\"index_build_ms\":%.6f",
+                  index_build_ms);
+    line += buf;
   }
-  std::printf("{\"name\":\"%s\",\"n\":%lld,\"kernel\":\"%s\",\"wall_ms\":%.6f}\n",
-              name.c_str(), n, kernel.c_str(), wall_ms);
+  if (sort_ms >= 0) {
+    std::snprintf(buf, sizeof(buf), ",\"sort_ms\":%.6f", sort_ms);
+    line += buf;
+  }
+  std::printf("%s}\n", line.c_str());
 }
 
 /// Times `reps` runs of f against `ec`, returning mean wall seconds and
-/// storing the mean per-rep aggregate index-build milliseconds (the
-/// context's index_build_ns delta; see Json above for the
-/// summed-across-workers caveat) in *index_build_ms — how the per-phase
-/// index-construction time is split out of the end-to-end numbers.
-inline double TimeWithIndexBuild(ExecContext& ec,
-                                 const std::function<bool()>& f, int reps,
-                                 double* index_build_ms) {
+/// storing the mean per-rep aggregate phase milliseconds (the context's
+/// index_build_ns / sort_ns deltas; see Json above for the
+/// summed-across-workers caveat) in the non-null out-params — how the
+/// per-phase index-construction and sort-layer times are split out of the
+/// end-to-end numbers.
+inline double TimeWithPhases(ExecContext& ec, const std::function<bool()>& f,
+                             int reps, double* index_build_ms,
+                             double* sort_ms = nullptr) {
   const int64_t ns0 = ec.stats().index_build_ns.load();
+  const int64_t sort0 = ec.stats().sort_ns.load();
   Stopwatch sw;
   bool sink = false;
   for (int i = 0; i < reps; ++i) sink ^= f();
   (void)sink;
   const double wall = sw.Seconds() / reps;
-  *index_build_ms =
-      static_cast<double>(ec.stats().index_build_ns.load() - ns0) * 1e-6 /
-      reps;
+  if (index_build_ms != nullptr) {
+    *index_build_ms =
+        static_cast<double>(ec.stats().index_build_ns.load() - ns0) * 1e-6 /
+        reps;
+  }
+  if (sort_ms != nullptr) {
+    *sort_ms =
+        static_cast<double>(ec.stats().sort_ns.load() - sort0) * 1e-6 / reps;
+  }
   return wall;
+}
+
+/// Back-compat alias: phase timing with only the index-build split.
+inline double TimeWithIndexBuild(ExecContext& ec,
+                                 const std::function<bool()>& f, int reps,
+                                 double* index_build_ms) {
+  return TimeWithPhases(ec, f, reps, index_build_ms);
 }
 
 inline void Header(const std::string& title) {

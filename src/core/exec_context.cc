@@ -17,6 +17,10 @@ void ExecStats::Reset() {
   select_calls = 0;
   partition_calls = 0;
   sort_order_hits = 0;
+  sort_calls = 0;
+  sort_rows = 0;
+  sort_parallel = 0;
+  sort_ns = 0;
   index_builds = 0;
   index_sharded_builds = 0;
   index_build_rows = 0;
@@ -57,6 +61,10 @@ std::string ExecStats::ToString() const {
   row("select_calls        ", select_calls);
   row("partition_calls     ", partition_calls);
   row("sort_order_hits     ", sort_order_hits);
+  row("sort_calls          ", sort_calls);
+  row("sort_rows           ", sort_rows);
+  row("sort_parallel       ", sort_parallel);
+  row("sort_ns             ", sort_ns);
   row("index_builds        ", index_builds);
   row("index_sharded_builds", index_sharded_builds);
   row("index_build_rows    ", index_build_rows);

@@ -55,6 +55,21 @@ namespace fmmsw {
 ///                             exceed wall time). Benches subtract
 ///                             snapshots of this to report index-build
 ///                             time separately from enumeration time.
+/// Wide-key sort-layer counters (relation/row_sort.h; every
+/// comparator-free row sort — SortAndDedupe at any arity, the
+/// generic-WCOJ trie build, degree-grouping orders — reports through the
+/// context it ran on):
+///   - sort_calls            : row sorts executed by the layer.
+///   - sort_rows             : rows passed through those sorts.
+///   - sort_parallel         : the subset that entered the pool-parallel
+///                             radix regime (chunk histograms +
+///                             chunk-ordered scatter; bit-identical to the
+///                             serial sort, see util/radix.h — a racing
+///                             fan-out on a shared pool can still degrade
+///                             individual passes to the caller alone).
+///   - sort_ns               : nanoseconds inside the sort layer
+///                             (pack + radix + unpack), summed across
+///                             calls and workers like index_build_ns.
 /// WCOJ sub-level stealing counters:
 ///   - wcoj_coop_tasks       : top-level tasks whose depth-1 candidate
 ///                             range was executed cooperatively (claimed in
@@ -88,6 +103,10 @@ struct ExecStats {
   std::atomic<int64_t> select_calls{0};
   std::atomic<int64_t> partition_calls{0};
   std::atomic<int64_t> sort_order_hits{0};      ///< partition sort orders reused
+  std::atomic<int64_t> sort_calls{0};           ///< wide-key row sorts executed
+  std::atomic<int64_t> sort_rows{0};            ///< rows through the sort layer
+  std::atomic<int64_t> sort_parallel{0};        ///< ...sorts run pool-parallel
+  std::atomic<int64_t> sort_ns{0};              ///< wall ns inside the sort layer
   std::atomic<int64_t> index_builds{0};         ///< context-aware index builds
   std::atomic<int64_t> index_sharded_builds{0}; ///< ...that ran sharded/parallel
   std::atomic<int64_t> index_build_rows{0};     ///< rows scanned into indexes

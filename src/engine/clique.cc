@@ -23,10 +23,11 @@ int PairEdgeIndex(int k, int i, int j) {
 }
 
 /// Flat set of the pairs in a binary relation, keyed (first var value,
-/// second var value). Presized for the row count (an upper bound on
-/// distinct pairs), so the build never rehashes mid-insert.
+/// second var value). Reserved for the row count (an upper bound on
+/// distinct pairs), so the build never grow-rehashes mid-insert.
 FlatSet PairSet(const Relation& r, int v1, int v2) {
-  FlatSet out(r.size());
+  FlatSet out;
+  out.Reserve(r.size());
   for (size_t row = 0; row < r.size(); ++row) {
     const uint64_t a = static_cast<uint32_t>(r.Get(row, v1));
     const uint64_t b = static_cast<uint32_t>(r.Get(row, v2));

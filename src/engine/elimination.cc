@@ -272,7 +272,7 @@ void EliminateMm(State* s, VarSet block, const MmExpr& mm,
       }
     }
   }
-  result.SortAndDedupe();
+  result.SortAndDedupe(ec);
   if (stats != nullptr) {
     ++stats->mm_steps;
     stats->intermediate_tuples += static_cast<int64_t>(result.size());

@@ -75,13 +75,13 @@ bool ForEachHeavy(ExecContext& ec, const Relation& heavy,
              row = ileft.Next(row)) {
           a_set.AddRow(&left.Row(row)[lcol]);
         }
-        a_set.SortAndDedupe();
+        a_set.SortAndDedupe(&ec);
         Relation b_set(right_other & right.schema());
         for (int32_t row = iright.First(key); row >= 0;
              row = iright.Next(row)) {
           b_set.AddRow(&right.Row(row)[rcol]);
         }
-        b_set.SortAndDedupe();
+        b_set.SortAndDedupe(&ec);
         probes.fetch_add(1, std::memory_order_relaxed);
         return check(a_set, b_set);
       },

@@ -6,6 +6,7 @@
 
 #include "core/exec_context.h"
 #include "relation/ops.h"
+#include "relation/row_sort.h"
 #include "util/check.h"
 
 namespace fmmsw {
@@ -50,7 +51,7 @@ struct EnumState {
 class GenericJoin {
  public:
   GenericJoin(const Hypergraph& h, const Database& db,
-              const std::vector<int>& order)
+              const std::vector<int>& order, ExecContext& ec)
       : order_(order) {
     FMMSW_CHECK(db.relations.size() == h.edges().size());
     // Position of each variable in the instantiation order.
@@ -65,24 +66,12 @@ class GenericJoin {
                 [&](int a, int b) { return pos[a] < pos[b]; });
       std::vector<int> cols;
       for (int v : ir.vars) cols.push_back(r.ColumnOf(v));
-      std::vector<uint32_t> rows(r.size());
-      for (size_t i = 0; i < rows.size(); ++i) {
-        rows[i] = static_cast<uint32_t>(i);
-      }
-      std::sort(rows.begin(), rows.end(), [&](uint32_t a, uint32_t b) {
-        const Value* ra = r.Row(a);
-        const Value* rb = r.Row(b);
-        for (int c : cols) {
-          if (ra[c] != rb[c]) return ra[c] < rb[c];
-        }
-        return false;
-      });
-      ir.data.resize(r.size() * cols.size());
-      size_t w = 0;
-      for (uint32_t row : rows) {
-        const Value* src = r.Row(row);
-        for (int c : cols) ir.data[w++] = src[c];
-      }
+      // The trie buffer is the projection onto `cols` in sorted row
+      // order: pack those columns, radix-sort the packed keys
+      // (comparator-free, pool-parallel for large relations), unpack
+      // once. Relations whose column order matches the instantiation
+      // order arrive presorted and skip the passes entirely.
+      SortProjectedRows(r, cols, ec, &ir.data);
       rels_.push_back(std::move(ir));
     }
   }
@@ -589,7 +578,7 @@ void DriveParallel(ExecContext& ec, GenericJoin& gj, size_t ntasks,
 bool WcojBoolean(const Hypergraph& h, const Database& db, ExecContext* ctx) {
   ExecContext& ec = ExecContext::Resolve(ctx);
   Bump(ec.stats().wcoj_runs);
-  GenericJoin gj(h, db, DefaultOrder(h));
+  GenericJoin gj(h, db, DefaultOrder(h), ec);
   const size_t ntasks = PrepareParallel(ec, &gj);
   if (ntasks == 0) {
     bool found = false;
@@ -622,7 +611,7 @@ Relation WcojJoin(const Hypergraph& h, const Database& db, VarSet output_vars,
   ExecContext& ec = ExecContext::Resolve(ctx);
   Bump(ec.stats().wcoj_runs);
   const std::vector<int> ord = order ? *order : DefaultOrder(h);
-  GenericJoin gj(h, db, ord);
+  GenericJoin gj(h, db, ord, ec);
   Relation out(output_vars & h.vertices());
   const std::vector<int> out_vars = out.vars();
   if (out_vars.empty()) {
@@ -640,7 +629,7 @@ Relation WcojJoin(const Hypergraph& h, const Database& db, VarSet output_vars,
       out.AddRow(tuple.data());
       return true;
     });
-    out.SortAndDedupe();
+    out.SortAndDedupe(&ec);
     return out;
   }
   // Task fan-out with depth-1 stealing. Each worker appends tuples to its
@@ -697,14 +686,17 @@ Relation WcojJoin(const Hypergraph& h, const Database& db, VarSet output_vars,
     out.AddRows(&outs[m.w].data[m.begin],
                 (m.end - m.begin) / out_vars.size());
   }
-  out.SortAndDedupe();
+  // Canonical sort: makes the merged relation bit-identical across
+  // thread counts; itself parallel (and itself thread-count-invariant)
+  // through the wide-key layer.
+  out.SortAndDedupe(&ec);
   return out;
 }
 
 int64_t WcojCount(const Hypergraph& h, const Database& db, ExecContext* ctx) {
   ExecContext& ec = ExecContext::Resolve(ctx);
   Bump(ec.stats().wcoj_runs);
-  GenericJoin gj(h, db, DefaultOrder(h));
+  GenericJoin gj(h, db, DefaultOrder(h), ec);
   const size_t ntasks = PrepareParallel(ec, &gj);
   if (ntasks == 0) {
     int64_t count = 0;

@@ -4,7 +4,7 @@
 
 #include "core/exec_context.h"
 #include "relation/ops.h"
-#include "util/radix.h"
+#include "relation/row_sort.h"
 
 namespace fmmsw {
 
@@ -13,11 +13,15 @@ namespace {
 /// Row indices of `r` sorted by the X-key columns, then the Y columns —
 /// one sort after which X-groups are contiguous runs and distinct Y values
 /// within a group are adjacent. Replaces the per-group std::map/std::set
-/// bookkeeping of the naive implementation. With a context: the packed
-/// sort borrows the arena's keyed buffers, and inside a SortOrderScope the
-/// computed order is cached per (buffer, rows, X, Y) and reused (the order
-/// is threshold-independent, so proof-sequence steps re-partitioning the
-/// same pinned table skip the sort entirely).
+/// bookkeeping of the naive implementation. Every arity routes through
+/// the wide-key layer (relation/row_sort.h): the (X, Y) columns pack into
+/// 1..8 order-preserving uint64 words with the row index as a payload
+/// word, sorted by stable LSD radix on the context's pool and arena —
+/// no comparator fallback for 3+ grouping columns anymore, which is also
+/// what the PANDA executor's sort-order cache fills run through. Inside a
+/// SortOrderScope the computed order is cached per (buffer, rows, X, Y)
+/// and reused (the order is threshold-independent, so proof-sequence
+/// steps re-partitioning the same pinned table skip the sort entirely).
 struct GroupedOrder {
   std::vector<int> xcols, ycols;
   std::vector<uint32_t> order;
@@ -38,54 +42,9 @@ struct GroupedOrder {
         return;
       }
     }
-    order.resize(r.size());
-    for (size_t i = 0; i < order.size(); ++i) {
-      order[i] = static_cast<uint32_t>(i);
-    }
-    if (xcols.size() + ycols.size() <= 2) {
-      // Binary-relation fast path: pack the (X, Y) key into one uint64
-      // (order-preserving bias) and sort flat PODs — LSD radix for large
-      // inputs — instead of running an indirect comparator over the row
-      // buffer.
-      std::vector<int> cols = xcols;
-      cols.insert(cols.end(), ycols.begin(), ycols.end());
-      // Borrow the context arena's buffers if it is free — callers inside
-      // parallel regions (or two threads sharing a context) lose the
-      // atomic acquire and use local buffers instead.
-      ScratchArena* arena =
-          ctx != nullptr && ctx->scratch().TryAcquire() ? &ctx->scratch()
-                                                        : nullptr;
-      std::vector<std::pair<uint64_t, uint32_t>> local_keyed, local_scratch;
-      std::vector<std::pair<uint64_t, uint32_t>>& keyed =
-          arena != nullptr ? arena->keyed() : local_keyed;
-      std::vector<std::pair<uint64_t, uint32_t>>& scratch =
-          arena != nullptr ? arena->keyedb() : local_scratch;
-      keyed.resize(r.size());
-      for (size_t i = 0; i < keyed.size(); ++i) {
-        const Value* row = r.Row(i);
-        uint64_t key = 0;
-        for (int c : cols) key = (key << 32) | BiasValue(row[c]);
-        keyed[i] = {key, static_cast<uint32_t>(i)};
-      }
-      RadixSortKeyed(keyed, &scratch);
-      for (size_t i = 0; i < keyed.size(); ++i) order[i] = keyed[i].second;
-      if (arena != nullptr) arena->Release();
-      if (ctx != nullptr && ctx->sort_cache_active()) {
-        ctx->StoreSortOrder(key_data, r.size(), x.mask(), y.mask(), order);
-      }
-      return;
-    }
-    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-      const Value* ra = r.Row(a);
-      const Value* rb = r.Row(b);
-      for (int c : xcols) {
-        if (ra[c] != rb[c]) return ra[c] < rb[c];
-      }
-      for (int c : ycols) {
-        if (ra[c] != rb[c]) return ra[c] < rb[c];
-      }
-      return false;
-    });
+    std::vector<int> cols = xcols;
+    cols.insert(cols.end(), ycols.begin(), ycols.end());
+    SortedRowOrder(r, cols, ExecContext::Resolve(ctx), &order);
     if (ctx != nullptr && ctx->sort_cache_active()) {
       ctx->StoreSortOrder(key_data, r.size(), x.mask(), y.mask(), order);
     }

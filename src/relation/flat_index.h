@@ -227,10 +227,11 @@ class FlatMultimap {
 ///
 /// Capacity contract: the constructor and Reserve presize for `expected`
 /// entries at load factor <= 0.5, so a builder that knows its insert
-/// count up front (the clique pair sets, Project's dedup set — both pass
-/// the source row count, an upper bound on distinct keys) never pays the
-/// insert-time Grow rehash. Grow remains as a safety net for incremental
-/// callers that under-estimate.
+/// count up front (the clique pair sets, Project's dedup set — both
+/// Reserve the source row count, an upper bound on distinct keys) never
+/// pays the insert-time Grow rehash. Grow remains as a safety net for
+/// incremental callers that under-estimate; grow_rehashes() counts how
+/// often it fired, so tests can assert presized builds never rehash.
 class FlatSet {
  public:
   /// Presizes for `expected` entries (no Grow for up to that many
@@ -244,7 +245,8 @@ class FlatSet {
 
   /// Ensures capacity for `expected` total entries (existing + future),
   /// rehashing at most once — the bulk-builder alternative to paying
-  /// O(log n) incremental Grows.
+  /// O(log n) incremental Grows. Not counted by grow_rehashes(): this is
+  /// the planned resize the counter exists to verify sufficient.
   void Reserve(size_t expected) {
     const uint32_t cap = flat_internal::TableCapacity(expected);
     if (cap <= used_.size()) return;
@@ -253,7 +255,10 @@ class FlatSet {
 
   /// Inserts the key; returns true if it was absent.
   bool Insert(uint64_t key) {
-    if (size_ * 2 >= used_.size()) Rehash(used_.size() * 2);
+    if (size_ * 2 >= used_.size()) {
+      ++grow_rehashes_;
+      Rehash(used_.size() * 2);
+    }
     uint32_t i = static_cast<uint32_t>(flat_internal::MixKey(key)) & mask_;
     while (used_[i]) {
       if (slot_key_[i] == key) return false;
@@ -279,6 +284,9 @@ class FlatSet {
   /// Slot count (power of two; exposed so tests can assert that presized
   /// builds never rehash).
   size_t capacity() const { return used_.size(); }
+  /// Insert-time Grow rehashes performed (0 for a correctly presized
+  /// build — the stats hook behind the presize-no-rehash contract).
+  int64_t grow_rehashes() const { return grow_rehashes_; }
 
  private:
   void Rehash(size_t cap) {
@@ -295,6 +303,7 @@ class FlatSet {
 
   uint32_t mask_ = 0;
   size_t size_ = 0;
+  int64_t grow_rehashes_ = 0;
   std::vector<uint64_t> slot_key_;
   std::vector<uint8_t> used_;
 };

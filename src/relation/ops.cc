@@ -55,7 +55,7 @@ Relation Join(const Relation& a, const Relation& b, const JoinOpts& opts,
     // Degenerate path: fall back to the semijoin chain the fused filters
     // are contracted to match.
     for (const Relation* f : filters) out = Semijoin(out, *f, ctx);
-    if (opts.set_semantics) out.SortAndDedupe();
+    if (opts.set_semantics) out.SortAndDedupe(ctx);
     Bump(st.join_output_tuples, static_cast<int64_t>(out.size()));
     return out;
   }
@@ -139,7 +139,7 @@ Relation Join(const Relation& a, const Relation& b, const JoinOpts& opts,
     Bump(st.fused_emit_tuples, probed - dropped);
   }
   Bump(st.join_output_tuples, static_cast<int64_t>(out.size()));
-  if (opts.set_semantics) out.SortAndDedupe();
+  if (opts.set_semantics) out.SortAndDedupe(ctx);
   return out;
 }
 
@@ -259,9 +259,11 @@ Relation Project(const Relation& a, VarSet keep, ExecContext* ctx) {
   if (spec.exact()) {
     // Narrow output (<= 2 columns): dedupe on the fly with a flat set of
     // the packed keys — no sort pass over the materialized duplicates.
-    // Presized for the input row count (>= distinct keys), so the set
-    // never rehashes mid-insert.
-    FlatSet seen(a.size());
+    // Reserved for the input row count (>= distinct keys), so the set
+    // never grow-rehashes mid-insert (asserted via grow_rehashes() in
+    // relation_test).
+    FlatSet seen;
+    seen.Reserve(a.size());
     for (size_t r = 0; r < a.size(); ++r) {
       const Value* row = a.Row(r);
       if (!seen.Insert(spec.KeyOf(row))) continue;
@@ -276,7 +278,7 @@ Relation Project(const Relation& a, VarSet keep, ExecContext* ctx) {
     for (size_t i = 0; i < cols.size(); ++i) tuple[i] = row[cols[i]];
     out.AddRow(tuple);
   }
-  out.SortAndDedupe();
+  out.SortAndDedupe(ctx);
   return out;
 }
 
@@ -308,7 +310,7 @@ Relation Union(const Relation& a, const Relation& b, ExecContext* ctx) {
   out.Reserve(a.size() + b.size());
   if (!a.empty()) out.AddRows(a.Row(0), a.size());
   if (!b.empty()) out.AddRows(b.Row(0), b.size());
-  out.SortAndDedupe();
+  out.SortAndDedupe(ctx);
   return out;
 }
 

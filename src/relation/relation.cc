@@ -2,66 +2,20 @@
 
 #include <algorithm>
 
-#include "util/radix.h"
+#include "core/exec_context.h"
+#include "relation/row_sort.h"
 
 namespace fmmsw {
 
-void Relation::SortAndDedupe() {
-  const size_t a = vars_.size();
-  if (a == 0 || data_.empty()) return;
-  if (a == 1) {
-    if (data_.size() >= kRadixMinN) {
-      // LSD radix on the order-preserving biased image (signed order ==
-      // unsigned order of the biased keys).
-      std::vector<uint32_t> keys(data_.size());
-      for (size_t i = 0; i < keys.size(); ++i) keys[i] = BiasValue(data_[i]);
-      RadixSortU32(keys);
-      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-      data_.resize(keys.size());
-      for (size_t i = 0; i < keys.size(); ++i) data_[i] = UnbiasValue(keys[i]);
-      return;
-    }
-    std::sort(data_.begin(), data_.end());
-    data_.erase(std::unique(data_.begin(), data_.end()), data_.end());
-    return;
-  }
-  if (a == 2) {
-    // Pack each row into one order-preserving uint64 and sort those — a
-    // single flat sort (LSD radix above kRadixMinN) instead of an index
-    // sort with indirect compares.
-    const size_t n = data_.size() / 2;
-    std::vector<uint64_t> keys(n);
-    for (size_t i = 0; i < n; ++i) {
-      keys[i] = (static_cast<uint64_t>(BiasValue(data_[2 * i])) << 32) |
-                BiasValue(data_[2 * i + 1]);
-    }
-    RadixSortU64(keys);
-    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-    data_.resize(keys.size() * 2);
-    for (size_t i = 0; i < keys.size(); ++i) {
-      data_[2 * i] = UnbiasValue(static_cast<uint32_t>(keys[i] >> 32));
-      data_[2 * i + 1] = UnbiasValue(static_cast<uint32_t>(keys[i]));
-    }
-    return;
-  }
-  std::vector<size_t> order(size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  const Value* base = data_.data();
-  std::sort(order.begin(), order.end(), [base, a](size_t x, size_t y) {
-    return std::lexicographical_compare(base + x * a, base + (x + 1) * a,
-                                        base + y * a, base + (y + 1) * a);
-  });
-  std::vector<Value> out;
-  out.reserve(data_.size());
-  for (size_t idx = 0; idx < order.size(); ++idx) {
-    const Value* row = base + order[idx] * a;
-    if (!out.empty() &&
-        std::equal(row, row + a, out.end() - static_cast<long>(a))) {
-      continue;
-    }
-    out.insert(out.end(), row, row + a);
-  }
-  data_ = std::move(out);
+void Relation::SortAndDedupe(ExecContext* ctx) {
+  if (vars_.empty() || data_.empty()) return;
+  // One comparator-free path for every arity: rows pack into 1..8
+  // order-preserving uint64 words, the packed records radix-sort (pool-
+  // parallel on large inputs, stable and bit-identical at any thread
+  // count), duplicates collapse on the packed words, and a single
+  // gather-unpack rewrites the buffer. See relation/row_sort.h.
+  SortDedupeRowBuffer(&data_, static_cast<int>(vars_.size()),
+                      ExecContext::Resolve(ctx));
 }
 
 bool Relation::Contains(const std::vector<Value>& values) const {
@@ -79,7 +33,10 @@ bool Relation::Contains(const std::vector<Value>& values) const {
 std::string Relation::ToString(int max_rows) const {
   std::string out = "R" + schema_.ToString() + "[" + std::to_string(size()) +
                     " rows]{";
-  const size_t limit = std::min<size_t>(size(), max_rows);
+  // Clamp negatives before widening: std::min<size_t> would convert a
+  // negative max_rows to a huge size_t and print every row.
+  const size_t limit =
+      std::min(size(), static_cast<size_t>(std::max(max_rows, 0)));
   for (size_t r = 0; r < limit; ++r) {
     if (r > 0) out += ", ";
     out += "(";

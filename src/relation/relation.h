@@ -25,6 +25,8 @@
 
 namespace fmmsw {
 
+class ExecContext;
+
 using Value = int32_t;
 
 /// Order-preserving bias: signed comparison of Value equals unsigned
@@ -107,8 +109,12 @@ class Relation {
   }
 
   /// Sorts rows lexicographically (signed value order) and removes
-  /// duplicates.
-  void SortAndDedupe();
+  /// duplicates. Comparator-free at every arity: rows route through the
+  /// wide-key radix layer (relation/row_sort.h) on `ctx` (nullptr = the
+  /// process-default context), which supplies the scratch arena and the
+  /// pool for large inputs; the result is bit-identical at any thread
+  /// count.
+  void SortAndDedupe(ExecContext* ctx = nullptr);
 
   /// True if the relation contains the given tuple (column order).
   bool Contains(const std::vector<Value>& values) const;

@@ -1,0 +1,160 @@
+#include "relation/row_sort.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "core/exec_context.h"
+#include "util/radix.h"
+#include "util/stopwatch.h"
+
+namespace fmmsw {
+
+namespace {
+
+/// Packs the `cols` projection of each row into records of `out_stride`
+/// words: col 2w in the high half of word w, col 2w+1 in the low half,
+/// odd-arity pad zero (constant across records, so its bytes cost no
+/// radix pass). Payload words past the key are left for the caller.
+void PackKeys(const Value* data, size_t rows, int row_stride,
+              const int* cols, int ncols, uint64_t* out, int out_stride) {
+  const int words = PackedKeyWords(ncols);
+  for (size_t i = 0; i < rows; ++i) {
+    const Value* row = data + i * row_stride;
+    uint64_t* rec = out + i * out_stride;
+    for (int w = 0; w < words; ++w) {
+      const int c1 = 2 * w + 1;
+      uint64_t k = static_cast<uint64_t>(BiasValue(row[cols[2 * w]])) << 32;
+      if (c1 < ncols) k |= BiasValue(row[cols[c1]]);
+      rec[w] = k;
+    }
+  }
+}
+
+/// Inverse of PackKeys' key layout: writes each record's ncols values
+/// (projection order) to consecutive output rows.
+void UnpackKeys(const uint64_t* recs, size_t rows, int stride, int ncols,
+                Value* out) {
+  for (size_t i = 0; i < rows; ++i) {
+    const uint64_t* rec = recs + i * stride;
+    Value* row = out + i * static_cast<size_t>(ncols);
+    for (int j = 0; j < ncols; ++j) {
+      const uint64_t w = rec[j >> 1];
+      row[j] = UnbiasValue(
+          static_cast<uint32_t>((j & 1) ? w : (w >> 32)));
+    }
+  }
+}
+
+/// Arena-or-local storage for the packed records and the radix ping-pong
+/// buffer. Callers inside parallel regions (or two threads sharing a
+/// context) lose the atomic acquire and fall back to local vectors.
+struct SortBuffers {
+  explicit SortBuffers(ExecContext& ec)
+      : arena(ec.scratch().TryAcquire() ? &ec.scratch() : nullptr) {}
+  ~SortBuffers() {
+    if (arena != nullptr) arena->Release();
+  }
+  SortBuffers(const SortBuffers&) = delete;
+  SortBuffers& operator=(const SortBuffers&) = delete;
+
+  std::vector<uint64_t>& recs() {
+    return arena != nullptr ? arena->u64() : local_recs;
+  }
+  std::vector<uint64_t>& scratch() {
+    return arena != nullptr ? arena->u64b() : local_scratch;
+  }
+
+  ScratchArena* arena;
+  std::vector<uint64_t> local_recs, local_scratch;
+};
+
+void NoteSort(ExecContext& ec, size_t rows, bool parallel,
+              const Stopwatch& sw) {
+  ExecStats& st = ec.stats();
+  Bump(st.sort_calls);
+  Bump(st.sort_rows, static_cast<int64_t>(rows));
+  if (parallel) Bump(st.sort_parallel);
+  Bump(st.sort_ns, static_cast<int64_t>(sw.Seconds() * 1e9));
+}
+
+}  // namespace
+
+void SortProjectedRows(const Relation& r, const std::vector<int>& cols,
+                       ExecContext& ec, std::vector<Value>* out) {
+  const size_t n = r.size();
+  const int ncols = static_cast<int>(cols.size());
+  out->resize(n * ncols);
+  if (n == 0 || ncols == 0) return;
+  Stopwatch sw;
+  const int words = PackedKeyWords(ncols);
+  SortBuffers bufs(ec);
+  std::vector<uint64_t>& recs = bufs.recs();
+  recs.resize(n * words);
+  PackKeys(r.Row(0), n, r.arity(), cols.data(), ncols, recs.data(), words);
+  const bool parallel = RadixSortRecords(recs.data(), n, words, words,
+                                         bufs.scratch(), &ec.pool());
+  UnpackKeys(recs.data(), n, words, ncols, out->data());
+  NoteSort(ec, n, parallel, sw);
+}
+
+void SortedRowOrder(const Relation& r, const std::vector<int>& cols,
+                    ExecContext& ec, std::vector<uint32_t>* order) {
+  const size_t n = r.size();
+  order->resize(n);
+  if (cols.empty() || n == 0) {
+    std::iota(order->begin(), order->end(), 0u);
+    return;
+  }
+  Stopwatch sw;
+  const int ncols = static_cast<int>(cols.size());
+  const int words = PackedKeyWords(ncols);
+  const int stride = words + 1;  // row index rides as a payload word
+  SortBuffers bufs(ec);
+  std::vector<uint64_t>& recs = bufs.recs();
+  recs.resize(n * stride);
+  PackKeys(r.Row(0), n, r.arity(), cols.data(), ncols, recs.data(), stride);
+  for (size_t i = 0; i < n; ++i) recs[i * stride + words] = i;
+  const bool parallel = RadixSortRecords(recs.data(), n, stride, words,
+                                         bufs.scratch(), &ec.pool());
+  for (size_t i = 0; i < n; ++i) {
+    (*order)[i] = static_cast<uint32_t>(recs[i * stride + words]);
+  }
+  NoteSort(ec, n, parallel, sw);
+}
+
+void SortDedupeRowBuffer(std::vector<Value>* data, int arity,
+                         ExecContext& ec) {
+  FMMSW_DCHECK(arity > 0);
+  const size_t n = data->size() / arity;
+  if (n == 0) return;
+  Stopwatch sw;
+  // Identity column permutation: dedupe sorts whole rows as stored.
+  int cols[kMaxVars];
+  for (int c = 0; c < arity; ++c) cols[c] = c;
+  const int words = PackedKeyWords(arity);
+  SortBuffers bufs(ec);
+  std::vector<uint64_t>& recs = bufs.recs();
+  recs.resize(n * words);
+  PackKeys(data->data(), n, arity, cols, arity, recs.data(), words);
+  const bool parallel = RadixSortRecords(recs.data(), n, words, words,
+                                         bufs.scratch(), &ec.pool());
+  // The packing is injective per layout, so equal packed words == equal
+  // rows: dedupe adjacent records, then unpack the survivors once.
+  size_t unique = 1;
+  for (size_t i = 1; i < n; ++i) {
+    if (std::memcmp(&recs[i * words], &recs[(unique - 1) * words],
+                    sizeof(uint64_t) * words) != 0) {
+      if (unique != i) {
+        std::memcpy(&recs[unique * words], &recs[i * words],
+                    sizeof(uint64_t) * words);
+      }
+      ++unique;
+    }
+  }
+  data->resize(unique * arity);
+  UnpackKeys(recs.data(), unique, words, arity, data->data());
+  NoteSort(ec, n, parallel, sw);
+}
+
+}  // namespace fmmsw

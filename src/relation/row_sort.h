@@ -1,0 +1,58 @@
+#ifndef FMMSW_RELATION_ROW_SORT_H_
+#define FMMSW_RELATION_ROW_SORT_H_
+
+/// \file
+/// Wide-key row sorting: the comparator-free sort layer the data plane's
+/// hot paths route through. A row's sort columns (in any requested
+/// permutation) are packed two per uint64 word via BiasValue — the biased
+/// images make unsigned word order equal signed value order, so
+/// lexicographic compare of the 1..8 packed words IS lexicographic row
+/// compare. The packed records then go through RadixSortRecords
+/// (util/radix.h): presorted pre-scan, stable LSD counting passes over
+/// only the varying key bytes, pool-parallel above
+/// kRadixParallelMinRecords, bit-identical at every thread count.
+///
+/// Three entry points cover the routing sites:
+///   - SortProjectedRows : the generic-WCOJ trie build (pack projected
+///     columns -> sort -> one unpack; duplicates kept, stable).
+///   - SortedRowOrder    : degree grouping / partition sort orders (a row
+///     index rides as a payload word; ties keep input order).
+///   - SortDedupeRowBuffer: Relation::SortAndDedupe for every arity
+///     (dedup on the packed words, then one gather-unpack).
+/// Each call borrows the context arena's u64 buffers when free (local
+/// vectors otherwise), engages ctx's pool, and accounts itself in the
+/// ExecStats sort_* counters.
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace fmmsw {
+
+class ExecContext;
+
+/// uint64 words in the packed key of `ncols` columns (two biased values
+/// per word; odd arities zero-pad the last low half).
+inline int PackedKeyWords(int ncols) { return (ncols + 1) / 2; }
+
+/// Writes the projection of r onto `cols` (values in that column order),
+/// rows sorted lexicographically by it (signed value order), to *out
+/// (r.size() * cols.size() values). Stable; duplicates kept.
+void SortProjectedRows(const Relation& r, const std::vector<int>& cols,
+                       ExecContext& ec, std::vector<Value>* out);
+
+/// Writes the stable permutation of r's row indices sorted
+/// lexicographically by `cols` to *order; equal rows keep input order.
+/// Empty `cols` yields the identity.
+void SortedRowOrder(const Relation& r, const std::vector<int>& cols,
+                    ExecContext& ec, std::vector<uint32_t>* order);
+
+/// Sorts a flat row-major buffer of `arity`-column rows lexicographically
+/// and removes duplicate rows in place.
+void SortDedupeRowBuffer(std::vector<Value>* data, int arity,
+                         ExecContext& ec);
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_RELATION_ROW_SORT_H_

@@ -1,0 +1,237 @@
+#include "util/radix.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace fmmsw {
+
+namespace {
+
+/// Fixed-width record view over the caller's flat word buffer. POD so the
+/// scatter passes move whole records with one fixed-size copy.
+template <int S>
+struct Rec {
+  uint64_t w[S];
+};
+
+template <int S>
+inline bool LexLess(const Rec<S>& a, const Rec<S>& b, int key_words) {
+  for (int i = 0; i < key_words; ++i) {
+    if (a.w[i] != b.w[i]) return a.w[i] < b.w[i];
+  }
+  return false;
+}
+
+struct BytePass {
+  int word;
+  int shift;
+};
+
+/// LSD pass list (least-significant byte of the least-significant key
+/// word first) restricted to bytes that vary at all — packed keys from
+/// small domains leave most bytes constant, and a constant byte needs no
+/// pass.
+int CollectPasses(const uint64_t* varying, int key_words, BytePass* passes) {
+  int n = 0;
+  for (int w = key_words - 1; w >= 0; --w) {
+    for (int p = 0; p < 8; ++p) {
+      if ((varying[w] >> (8 * p)) & 0xff) passes[n++] = {w, 8 * p};
+    }
+  }
+  return n;
+}
+
+/// Runs fn(c) for every chunk c in [0, chunks) across the pool. Chunks
+/// are claimed from a shared cursor, so the work completes (and produces
+/// the same result) no matter how many workers actually show up — in
+/// particular when a racing fan-out degrades Run to the caller alone.
+template <typename Fn>
+void RunChunks(ThreadPool& pool, int chunks, const Fn& fn) {
+  std::atomic<int> next(0);
+  pool.Run([&](int) {
+    while (true) {
+      const int c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      fn(c);
+    }
+  });
+}
+
+template <int S>
+void SortSerial(Rec<S>* v, size_t n, int key_words, Rec<S>* tmp) {
+  uint64_t varying[S] = {};
+  for (size_t i = 1; i < n; ++i) {
+    for (int w = 0; w < key_words; ++w) varying[w] |= v[i].w[w] ^ v[0].w[w];
+  }
+  BytePass passes[8 * S];
+  const int n_passes = CollectPasses(varying, key_words, passes);
+  if (n_passes == 0) return;  // all keys equal: stable no-op
+  // Histograms for every active byte in one scan.
+  std::vector<size_t> hist(static_cast<size_t>(n_passes) * 256, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (int a = 0; a < n_passes; ++a) {
+      ++hist[static_cast<size_t>(a) * 256 +
+             ((v[i].w[passes[a].word] >> passes[a].shift) & 0xff)];
+    }
+  }
+  Rec<S>* src = v;
+  Rec<S>* dst = tmp;
+  for (int a = 0; a < n_passes; ++a) {
+    const int word = passes[a].word;
+    const int shift = passes[a].shift;
+    const size_t* h = &hist[static_cast<size_t>(a) * 256];
+    size_t offs[256];
+    size_t sum = 0;
+    for (int b = 0; b < 256; ++b) {
+      offs[b] = sum;
+      sum += h[b];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      dst[offs[(src[i].w[word] >> shift) & 0xff]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != v) std::memcpy(v, src, n * sizeof(Rec<S>));
+}
+
+/// Pool-parallel stable LSD: every pass histograms per chunk, prefix-sums
+/// bucket offsets in (bucket, chunk) order, then scatters each chunk into
+/// its own precomputed slots. Records of one bucket land chunk by chunk in
+/// input order — the exact permutation of the serial stable scatter — so
+/// the result is bit-identical for any chunk count or worker schedule.
+template <int S>
+void SortParallel(Rec<S>* v, size_t n, int key_words, Rec<S>* tmp,
+                  ThreadPool& pool) {
+  const int chunks = pool.threads();
+  auto chunk_lo = [n, chunks](int c) {
+    return n * static_cast<size_t>(c) / chunks;
+  };
+  // Varying-byte masks, chunk-parallel with a serial combine.
+  std::vector<uint64_t> chunk_var(static_cast<size_t>(chunks) * S, 0);
+  RunChunks(pool, chunks, [&](int c) {
+    uint64_t local[S] = {};
+    const size_t hi = chunk_lo(c + 1);
+    for (size_t i = chunk_lo(c); i < hi; ++i) {
+      for (int w = 0; w < key_words; ++w) local[w] |= v[i].w[w] ^ v[0].w[w];
+    }
+    for (int w = 0; w < key_words; ++w) chunk_var[c * S + w] = local[w];
+  });
+  uint64_t varying[S] = {};
+  for (int c = 0; c < chunks; ++c) {
+    for (int w = 0; w < key_words; ++w) varying[w] |= chunk_var[c * S + w];
+  }
+  BytePass passes[8 * S];
+  const int n_passes = CollectPasses(varying, key_words, passes);
+  if (n_passes == 0) return;
+  std::vector<size_t> chunk_off(static_cast<size_t>(chunks) * 256);
+  Rec<S>* src = v;
+  Rec<S>* dst = tmp;
+  for (int a = 0; a < n_passes; ++a) {
+    const int word = passes[a].word;
+    const int shift = passes[a].shift;
+    RunChunks(pool, chunks, [&](int c) {
+      size_t* h = &chunk_off[static_cast<size_t>(c) * 256];
+      std::fill(h, h + 256, 0);
+      const size_t hi = chunk_lo(c + 1);
+      for (size_t i = chunk_lo(c); i < hi; ++i) {
+        ++h[(src[i].w[word] >> shift) & 0xff];
+      }
+    });
+    // Global offsets in (bucket, chunk) order; chunk_off becomes each
+    // chunk's private write cursors for this pass.
+    size_t sum = 0;
+    for (int b = 0; b < 256; ++b) {
+      for (int c = 0; c < chunks; ++c) {
+        const size_t count = chunk_off[static_cast<size_t>(c) * 256 + b];
+        chunk_off[static_cast<size_t>(c) * 256 + b] = sum;
+        sum += count;
+      }
+    }
+    RunChunks(pool, chunks, [&](int c) {
+      size_t* offs = &chunk_off[static_cast<size_t>(c) * 256];
+      const size_t hi = chunk_lo(c + 1);
+      for (size_t i = chunk_lo(c); i < hi; ++i) {
+        dst[offs[(src[i].w[word] >> shift) & 0xff]++] = src[i];
+      }
+    });
+    std::swap(src, dst);
+  }
+  if (src != v) {
+    RunChunks(pool, chunks, [&](int c) {
+      const size_t lo = chunk_lo(c);
+      std::memcpy(v + lo, src + lo, (chunk_lo(c + 1) - lo) * sizeof(Rec<S>));
+    });
+  }
+}
+
+template <int S>
+bool SortRecs(uint64_t* buf, size_t n, int key_words,
+              std::vector<uint64_t>& scratch, ThreadPool* pool) {
+  Rec<S>* v = reinterpret_cast<Rec<S>*>(buf);
+  // Relations are dedup-sorted upstream, so presorted inputs are common:
+  // one predictable scan beats any sort.
+  bool sorted = true;
+  for (size_t i = 1; i < n; ++i) {
+    if (LexLess(v[i], v[i - 1], key_words)) {
+      sorted = false;
+      break;
+    }
+  }
+  if (sorted) return false;
+  if (n < kRadixMinN) {
+    // Key-only comparison under stable_sort keeps payload words in input
+    // order for equal keys, matching the LSD paths above the threshold.
+    std::stable_sort(v, v + n,
+                     [key_words](const Rec<S>& a, const Rec<S>& b) {
+                       return LexLess(a, b, key_words);
+                     });
+    return false;
+  }
+  scratch.resize(n * S);
+  Rec<S>* tmp = reinterpret_cast<Rec<S>*>(scratch.data());
+  if (pool != nullptr && pool->threads() > 1 && !pool->busy() &&
+      n >= kRadixParallelMinRecords) {
+    SortParallel<S>(v, n, key_words, tmp, *pool);
+    return true;
+  }
+  SortSerial<S>(v, n, key_words, tmp);
+  return false;
+}
+
+}  // namespace
+
+bool RadixSortRecords(uint64_t* buf, size_t n, int stride, int key_words,
+                      std::vector<uint64_t>& scratch, ThreadPool* pool) {
+  FMMSW_CHECK(stride >= 1 && key_words >= 1 && key_words <= stride);
+  if (n <= 1) return false;
+  switch (stride) {
+    case 1:
+      return SortRecs<1>(buf, n, key_words, scratch, pool);
+    case 2:
+      return SortRecs<2>(buf, n, key_words, scratch, pool);
+    case 3:
+      return SortRecs<3>(buf, n, key_words, scratch, pool);
+    case 4:
+      return SortRecs<4>(buf, n, key_words, scratch, pool);
+    case 5:
+      return SortRecs<5>(buf, n, key_words, scratch, pool);
+    case 6:
+      return SortRecs<6>(buf, n, key_words, scratch, pool);
+    case 7:
+      return SortRecs<7>(buf, n, key_words, scratch, pool);
+    case 8:
+      return SortRecs<8>(buf, n, key_words, scratch, pool);
+    case 9:
+      return SortRecs<9>(buf, n, key_words, scratch, pool);
+    default:
+      // kMaxVars = 16 columns pack to 8 key words; one payload word on
+      // top is the widest record the data plane produces.
+      FMMSW_CHECK(false && "record stride above 9 words unsupported");
+      return false;
+  }
+}
+
+}  // namespace fmmsw

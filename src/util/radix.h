@@ -2,18 +2,25 @@
 #define FMMSW_UTIL_RADIX_H_
 
 /// \file
-/// LSD radix sorts over packed sort keys. The data plane packs rows of
-/// arity <= 2 into order-preserving 32/64-bit keys (see BiasValue in
-/// relation.h); sorting those keys is the inner loop of SortAndDedupe and
-/// of degree grouping. Below kRadixMinN the functions fall back to
-/// std::sort (introsort wins on small inputs); above it they run byte-wise
-/// counting passes, skipping passes whose byte is constant across the
-/// whole input — for keys drawn from small domains most passes are skipped
-/// and the sort degenerates to one or two linear scatters.
+/// LSD radix sorts over packed sort keys. The data plane packs rows into
+/// order-preserving multi-word records (see BiasValue in relation.h and
+/// relation/row_sort.h) sorted by RadixSortRecords below — the inner loop
+/// of SortAndDedupe, degree grouping, and the generic-WCOJ trie build —
+/// while RadixSortKeyed orders (packed key, payload) pairs for the
+/// sharded interner ranking. Below kRadixMinN the functions fall back to
+/// std::sort/std::stable_sort (introsort wins on small inputs); above it
+/// they run byte-wise counting
+/// passes, skipping passes whose byte is constant across the whole input —
+/// for keys drawn from small domains most passes are skipped and the sort
+/// degenerates to one or two linear scatters.
 ///
 /// All variants are stable and accept optional caller-owned scratch
 /// buffers so arenas (ExecContext::scratch) can absorb the ping-pong
-/// allocation.
+/// allocation. RadixSortRecords additionally takes a thread pool: above
+/// kRadixParallelMinRecords each counting pass runs chunk-parallel
+/// (per-chunk histograms, prefix-summed global offsets, chunk-ordered
+/// scatter), which preserves stability exactly, so the parallel sort is
+/// bit-identical to the serial one at every thread count.
 
 #include <algorithm>
 #include <cstdint>
@@ -23,7 +30,35 @@
 
 namespace fmmsw {
 
+class ThreadPool;
+
 inline constexpr size_t kRadixMinN = 2048;
+
+/// Minimum record count before RadixSortRecords engages the pool: each
+/// byte pass costs two pool fan-outs (histogram + scatter), which only
+/// amortize on inputs well past the serial radix threshold.
+inline constexpr size_t kRadixParallelMinRecords = size_t{1} << 15;
+
+/// Stable sort of `n` fixed-width records stored back to back in `buf`
+/// (`stride` uint64 words each), ordered lexicographically by the leading
+/// `key_words` words (word 0 most significant, unsigned word compare);
+/// trailing words are payload carried along unsorted. This is the wide-key
+/// engine behind the data plane's packed row sorts: arities 3..kMaxVars
+/// pack to 2..8 key words (see relation/row_sort.h) and an optional row
+/// index rides as one payload word.
+///
+/// Regimes: a presorted pre-scan returns immediately; below kRadixMinN a
+/// key-only std::stable_sort wins; otherwise LSD counting passes over the
+/// varying key bytes run serially, or chunk-parallel on `pool` (nullable)
+/// when it has idle workers and n >= kRadixParallelMinRecords. Every
+/// regime produces the identical stable permutation. `scratch` is the
+/// caller-owned ping-pong buffer (resized to n * stride words). Returns
+/// true iff the pool-parallel regime was entered (its chunk work is
+/// claimed from a shared cursor, so a fan-out racing in on the shared
+/// pool can still degrade individual passes to the caller alone — the
+/// result is unaffected, only the realized concurrency).
+bool RadixSortRecords(uint64_t* buf, size_t n, int stride, int key_words,
+                      std::vector<uint64_t>& scratch, ThreadPool* pool);
 
 namespace radix_internal {
 
@@ -73,34 +108,6 @@ void LsdSort(std::vector<T>& v, std::vector<T>& scratch, int key_bytes,
 }
 
 }  // namespace radix_internal
-
-/// Sorts 64-bit keys ascending.
-inline void RadixSortU64(std::vector<uint64_t>& v,
-                         std::vector<uint64_t>* scratch = nullptr) {
-  // Relations are dedup-sorted upstream, so sort inputs are frequently
-  // already ordered: one predictable scan beats any sort.
-  if (std::is_sorted(v.begin(), v.end())) return;
-  if (v.size() < kRadixMinN) {
-    std::sort(v.begin(), v.end());
-    return;
-  }
-  std::vector<uint64_t> local;
-  radix_internal::LsdSort(v, scratch != nullptr ? *scratch : local, 8,
-                          [](uint64_t x) { return x; });
-}
-
-/// Sorts 32-bit keys ascending.
-inline void RadixSortU32(std::vector<uint32_t>& v,
-                         std::vector<uint32_t>* scratch = nullptr) {
-  if (std::is_sorted(v.begin(), v.end())) return;
-  if (v.size() < kRadixMinN) {
-    std::sort(v.begin(), v.end());
-    return;
-  }
-  std::vector<uint32_t> local;
-  radix_internal::LsdSort(v, scratch != nullptr ? *scratch : local, 4,
-                          [](uint32_t x) { return static_cast<uint64_t>(x); });
-}
 
 /// Stable sort of (key, payload) pairs by key; equal keys keep their input
 /// order, so sorting (key, row-index) pairs yields a deterministic

@@ -1,6 +1,11 @@
 // Tests for relations, relational operators, degree statistics /
 // partitioning (Definition E.9), and the workload generators.
 
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "gtest/gtest.h"
 #include "relation/degree.h"
 #include "relation/flat_index.h"
@@ -35,6 +40,78 @@ TEST(RelationTest, SortAndDedupe) {
   EXPECT_TRUE(r.Contains({1, 1}));
   EXPECT_TRUE(r.Contains({2, 1}));
   EXPECT_FALSE(r.Contains({0, 0}));
+}
+
+std::vector<std::vector<Value>> RowsOf(const Relation& r) {
+  std::vector<std::vector<Value>> out;
+  out.reserve(r.size());
+  for (size_t i = 0; i < r.size(); ++i) {
+    out.emplace_back(r.Row(i), r.Row(i) + r.arity());
+  }
+  return out;
+}
+
+// SortAndDedupe routes every arity through the wide-key radix layer;
+// the differential reference is the mathematical spec itself: sorted
+// unique rows under signed lexicographic order.
+TEST(RelationTest, WideSortAndDedupeMatchesReferenceAcrossArities) {
+  Rng rng(31);
+  for (int arity : {1, 2, 3, 5, 8, 16}) {
+    const VarSet schema = VarSet::Full(arity);
+    // Below and above the radix threshold (fallback and LSD regimes);
+    // small signed domain -> dup-heavy rows and negative values.
+    for (size_t n : {size_t{60}, size_t{5000}}) {
+      Relation r(schema);
+      std::vector<Value> row(arity);
+      std::vector<std::vector<Value>> ref;
+      ref.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        for (int c = 0; c < arity; ++c) {
+          row[c] = static_cast<Value>(rng.Uniform(-6, 6));
+        }
+        r.AddRow(row.data());
+        ref.push_back(row);
+      }
+      std::sort(ref.begin(), ref.end());
+      ref.erase(std::unique(ref.begin(), ref.end()), ref.end());
+      r.SortAndDedupe();
+      EXPECT_EQ(RowsOf(r), ref) << "arity=" << arity << " n=" << n;
+      // Idempotence: the presorted pre-scan must leave it unchanged.
+      Relation again = r;
+      again.SortAndDedupe();
+      EXPECT_EQ(RowsOf(again), ref) << "arity=" << arity << " n=" << n;
+    }
+  }
+}
+
+TEST(RelationTest, WideSortAndDedupeExtremeValues) {
+  // Full-int32 extremes exercise every key byte and the signed/unsigned
+  // bias at both ends.
+  Relation r = MakeRel(VarSet{0, 1, 2},
+                       {{INT32_MAX, 0, INT32_MIN},
+                        {INT32_MIN, INT32_MIN, INT32_MIN},
+                        {-1, 1, 0},
+                        {INT32_MIN, INT32_MIN, INT32_MIN},
+                        {0, -1, INT32_MAX},
+                        {INT32_MAX, INT32_MAX, INT32_MAX}});
+  r.SortAndDedupe();
+  const std::vector<std::vector<Value>> want = {
+      {INT32_MIN, INT32_MIN, INT32_MIN},
+      {-1, 1, 0},
+      {0, -1, INT32_MAX},
+      {INT32_MAX, 0, INT32_MIN},
+      {INT32_MAX, INT32_MAX, INT32_MAX}};
+  EXPECT_EQ(RowsOf(r), want);
+}
+
+TEST(RelationTest, ToStringClampsNegativeMaxRows) {
+  Relation r = MakeRel(VarSet{0, 1}, {{1, 2}, {3, 4}, {5, 6}});
+  // A negative max_rows used to widen to a huge size_t and print every
+  // row; it must clamp to zero rows instead.
+  EXPECT_EQ(r.ToString(-1), r.ToString(0));
+  EXPECT_EQ(r.ToString(-1000000), r.ToString(0));
+  EXPECT_EQ(r.ToString(-1).find("(1,2)"), std::string::npos);
+  EXPECT_NE(r.ToString(2).find("(1,2)"), std::string::npos);
 }
 
 TEST(RelationTest, NullaryBooleanSemantics) {
@@ -209,6 +286,27 @@ TEST(FlatSetTest, ReserveThenInsertKeepsCapacity) {
   // Reserving less than the current capacity is a no-op.
   s.Reserve(10);
   EXPECT_EQ(s.capacity(), cap);
+}
+
+// The grow_rehashes() stat distinguishes a planned Reserve resize from
+// insert-time growth: the production builders (Project's dedup set, the
+// clique pair sets) Reserve their row-count bound up front and must show
+// zero — this is the stats-backed half of the presize-no-rehash contract.
+TEST(FlatSetTest, GrowRehashCounterSeparatesPresizeFromGrowth) {
+  FlatSet presized;
+  presized.Reserve(4096);  // the PairSet / Project pattern
+  for (uint64_t k = 0; k < 4096; ++k) {
+    presized.Insert(k * 0x9e3779b97f4a7c15ULL);
+  }
+  EXPECT_EQ(presized.grow_rehashes(), 0);
+  EXPECT_EQ(presized.size(), 4096u);
+
+  FlatSet incremental;  // same keys, no presize: must have grown
+  for (uint64_t k = 0; k < 4096; ++k) {
+    incremental.Insert(k * 0x9e3779b97f4a7c15ULL);
+  }
+  EXPECT_GT(incremental.grow_rehashes(), 0);
+  EXPECT_EQ(incremental.size(), 4096u);
 }
 
 TEST(FlatSetTest, UnderProvisionedGrowsAndKeepsContents) {

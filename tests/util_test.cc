@@ -1,8 +1,10 @@
 // Unit and property tests for src/util: VarSet, BigInt, Rational, Rng,
-// and the radix-sort stability contract.
+// and the radix-sort stability contracts (keyed pairs and the wide-key
+// record sorter behind the data plane's packed row sorts).
 
 #include <algorithm>
 #include <cstdint>
+#include <numeric>
 #include <set>
 #include <string>
 #include <utility>
@@ -10,6 +12,7 @@
 
 #include "gtest/gtest.h"
 #include "util/bigint.h"
+#include "util/parallel.h"
 #include "util/radix.h"
 #include "util/random.h"
 #include "util/rational.h"
@@ -269,6 +272,129 @@ TEST(RadixSortTest, LsdSortHandlesEmptyInput) {
                             return x.first;
                           });
   EXPECT_TRUE(kv.empty());
+}
+
+// ---------------------------------------------------- RadixSortRecords --
+
+uint64_t RandomWord(Rng* rng) {
+  return (static_cast<uint64_t>(rng->Uniform(0, 0xffffffffLL)) << 32) |
+         static_cast<uint64_t>(rng->Uniform(0, 0xffffffffLL));
+}
+
+/// n records of `stride` words; key words masked by `key_mask` (sparse
+/// masks leave constant bytes, exercising the pass-skip), payload words
+/// set to the input position so stability violations are visible.
+std::vector<uint64_t> RandomRecords(size_t n, int stride, int key_words,
+                                    uint64_t key_mask, Rng* rng) {
+  std::vector<uint64_t> buf(n * stride);
+  for (size_t i = 0; i < n; ++i) {
+    for (int w = 0; w < key_words; ++w) {
+      buf[i * stride + w] = RandomWord(rng) & key_mask;
+    }
+    for (int w = key_words; w < stride; ++w) buf[i * stride + w] = i;
+  }
+  return buf;
+}
+
+/// The contract: RadixSortRecords must equal a stable sort comparing only
+/// the key words (payload order within equal keys == input order).
+void ExpectMatchesStableReference(std::vector<uint64_t> buf, size_t n,
+                                  int stride, int key_words,
+                                  ThreadPool* pool = nullptr) {
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return std::lexicographical_compare(
+        buf.begin() + a * stride, buf.begin() + a * stride + key_words,
+        buf.begin() + b * stride, buf.begin() + b * stride + key_words);
+  });
+  std::vector<uint64_t> want;
+  want.reserve(buf.size());
+  for (size_t i : idx) {
+    want.insert(want.end(), buf.begin() + i * stride,
+                buf.begin() + (i + 1) * stride);
+  }
+  std::vector<uint64_t> scratch;
+  RadixSortRecords(buf.data(), n, stride, key_words, scratch, pool);
+  ASSERT_EQ(buf, want) << "n=" << n << " stride=" << stride
+                       << " key_words=" << key_words;
+}
+
+TEST(RadixRecordsTest, MatchesReferenceAcrossShapesAndRegimes) {
+  Rng rng(21);
+  // Dense and byte-sparse keys (high bits set half the time — the biased
+  // image of negative values), below and above the LSD threshold.
+  for (uint64_t mask : {~uint64_t{0}, uint64_t{0x00ff00070000ffffULL}}) {
+    for (int stride = 1; stride <= 9; ++stride) {
+      const int key_words = stride > 1 ? stride - 1 : 1;  // payload word
+      for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{500},
+                       kRadixMinN * 2}) {
+        ExpectMatchesStableReference(
+            RandomRecords(n, stride, key_words, mask, &rng), n, stride,
+            key_words);
+      }
+      // All words are key (no payload): the SortAndDedupe shape.
+      ExpectMatchesStableReference(
+          RandomRecords(kRadixMinN + 33, stride, stride, mask, &rng),
+          kRadixMinN + 33, stride, stride);
+    }
+  }
+}
+
+TEST(RadixRecordsTest, DupHeavyKeysStayStable) {
+  Rng rng(22);
+  for (size_t n : {size_t{300}, kRadixMinN * 2}) {
+    // 5 distinct keys -> long equal runs; payload word records input
+    // order, which the reference demands be preserved.
+    std::vector<uint64_t> buf(n * 3);
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t k = static_cast<uint64_t>(rng.Uniform(0, 4));
+      buf[i * 3 + 0] = k << 40;
+      buf[i * 3 + 1] = k;
+      buf[i * 3 + 2] = i;
+    }
+    ExpectMatchesStableReference(buf, n, 3, 2);
+  }
+}
+
+TEST(RadixRecordsTest, PresortedInputShortCircuitsUnchanged) {
+  const size_t n = kRadixMinN * 2;
+  std::vector<uint64_t> buf(n * 2);
+  for (size_t i = 0; i < n; ++i) {
+    buf[i * 2 + 0] = i / 3;  // sorted with duplicate runs
+    buf[i * 2 + 1] = i;      // payload in input order
+  }
+  std::vector<uint64_t> want = buf;
+  std::vector<uint64_t> scratch;
+  EXPECT_FALSE(RadixSortRecords(buf.data(), n, 2, 1, scratch, nullptr));
+  EXPECT_EQ(buf, want);
+  EXPECT_TRUE(scratch.empty());  // the pre-scan never touches scratch
+}
+
+TEST(RadixRecordsTest, ParallelBitIdenticalToSerial) {
+  Rng rng(23);
+  const size_t n = kRadixParallelMinRecords + 1234;
+  for (uint64_t mask :
+       {uint64_t{0xffff}, uint64_t{0x00ff00070000ffffULL}}) {
+    std::vector<uint64_t> buf = RandomRecords(n, 3, 2, mask, &rng);
+    std::vector<uint64_t> serial = buf;
+    std::vector<uint64_t> scratch;
+    EXPECT_FALSE(RadixSortRecords(serial.data(), n, 3, 2, scratch, nullptr));
+    for (int threads : {2, 4, 8}) {
+      ThreadPool pool(threads);
+      std::vector<uint64_t> par = buf;
+      std::vector<uint64_t> pscratch;
+      EXPECT_TRUE(RadixSortRecords(par.data(), n, 3, 2, pscratch, &pool));
+      EXPECT_EQ(par, serial) << "threads=" << threads;
+    }
+  }
+  // Below the parallel floor the pool is declined even when offered.
+  ThreadPool pool(4);
+  std::vector<uint64_t> small =
+      RandomRecords(kRadixMinN * 2, 2, 2, ~uint64_t{0}, &rng);
+  std::vector<uint64_t> scratch;
+  EXPECT_FALSE(RadixSortRecords(small.data(), kRadixMinN * 2, 2, 2, scratch,
+                                &pool));
 }
 
 // ------------------------------------------------------------------- Rng --
