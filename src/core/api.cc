@@ -60,4 +60,42 @@ bool EvaluateBoolean(const Hypergraph& h, const Database& db,
   return false;
 }
 
+ExecResult ValidateQuery(const Hypergraph& h, const Database& db) {
+  const auto invalid = [](std::string msg) {
+    return ExecResult{ExecStatus::kInvalidArgument, std::move(msg)};
+  };
+  if (h.edges().empty()) {
+    return invalid("query has no hyperedges");
+  }
+  if (db.relations.size() != h.edges().size()) {
+    return invalid("database has " + std::to_string(db.relations.size()) +
+                   " relations for " + std::to_string(h.edges().size()) +
+                   " hyperedges");
+  }
+  for (size_t i = 0; i < h.edges().size(); ++i) {
+    const VarSet edge = h.edges()[i];
+    if (!h.vertices().ContainsAll(edge)) {
+      return invalid("edge " + std::to_string(i) +
+                     " uses variables outside the hypergraph's vertex set");
+    }
+    if (db.relations[i].schema() != edge) {
+      return invalid("relation " + std::to_string(i) +
+                     " schema does not match its hyperedge's variable set");
+    }
+  }
+  return {};
+}
+
+ExecResult EvaluateBooleanGuarded(const Hypergraph& h, const Database& db,
+                                  bool* result, EvalStrategy strategy,
+                                  ExecContext* ctx,
+                                  const QueryLimits& limits) {
+  ExecResult valid = ValidateQuery(h, db);
+  if (!valid.ok()) return valid;
+  ExecContext& ec = ExecContext::Resolve(ctx);
+  return RunGuarded(ec, limits, [&] {
+    *result = EvaluateBoolean(h, db, strategy, &ec);
+  });
+}
+
 }  // namespace fmmsw

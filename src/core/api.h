@@ -60,6 +60,28 @@ bool EvaluateBoolean(const Hypergraph& h, const Database& db,
                      EvalStrategy strategy = EvalStrategy::kWcoj,
                      ExecContext* ctx = nullptr);
 
+/// Structural validation of a (query, database) pair: one relation per
+/// hyperedge, each relation's schema equal to its edge's variable set,
+/// and every edge variable inside the hypergraph's vertex range. Returns
+/// kOk or kInvalidArgument with a message naming the first mismatch.
+/// The guarded evaluation below runs this before touching the engines;
+/// call it directly to validate inputs without evaluating.
+ExecResult ValidateQuery(const Hypergraph& h, const Database& db);
+
+/// Status-returning evaluation with guardrails: validates inputs
+/// (kInvalidArgument), arms `limits` — wall-clock deadline, memory
+/// budget, cancellation via ctx->guard().Cancel() — on the context's
+/// guard for the duration of the run, and converts a guardrail abort
+/// unwinding out of the engines into the matching ExecStatus. On any
+/// non-kOk status `*result` is untouched and the context is immediately
+/// reusable for the next query (arenas released, stats preserved). See
+/// the "Error handling & guardrails" section of the README.
+ExecResult EvaluateBooleanGuarded(const Hypergraph& h, const Database& db,
+                                  bool* result,
+                                  EvalStrategy strategy = EvalStrategy::kWcoj,
+                                  ExecContext* ctx = nullptr,
+                                  const QueryLimits& limits = {});
+
 }  // namespace fmmsw
 
 #endif  // FMMSW_CORE_API_H_

@@ -1,6 +1,96 @@
 #include "core/exec_context.h"
 
+#include <chrono>
+#include <cstdlib>
+
 namespace fmmsw {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void QueryGuard::Arm(const QueryLimits& limits) {
+  polls_.store(0, std::memory_order_relaxed);
+  rows_.store(0, std::memory_order_relaxed);
+  mem_budget_.store(limits.memory_budget_bytes, std::memory_order_relaxed);
+  row_limit_.store(limits.max_output_rows, std::memory_order_relaxed);
+  deadline_ns_.store(
+      limits.deadline_ms > 0 ? SteadyNowNs() + limits.deadline_ms * 1000000
+                             : 0,
+      std::memory_order_relaxed);
+  if (const char* env = std::getenv("FMMSW_FAULT_AT")) {
+    const long long n = std::atoll(env);
+    if (n > 0) fault_at_.store(n, std::memory_order_relaxed);
+  }
+  // Cancel() issued before Arm() sticks: it targets "the next guarded
+  // execution" and trips the first poll. armed_ goes true iff any poll
+  // must take the slow path.
+  const bool armed = limits.deadline_ms > 0 ||
+                     limits.memory_budget_bytes > 0 ||
+                     limits.max_output_rows > 0 ||
+                     fault_at_.load(std::memory_order_relaxed) > 0 ||
+                     has_hook_.load(std::memory_order_relaxed) ||
+                     cancelled_.load(std::memory_order_relaxed);
+  armed_.store(armed, std::memory_order_relaxed);
+}
+
+void QueryGuard::Disarm() {
+  armed_.store(false, std::memory_order_relaxed);
+  cancelled_.store(false, std::memory_order_relaxed);
+  deadline_ns_.store(0, std::memory_order_relaxed);
+  mem_budget_.store(0, std::memory_order_relaxed);
+  row_limit_.store(0, std::memory_order_relaxed);
+  fault_at_.store(0, std::memory_order_relaxed);
+}
+
+void QueryGuard::SetPollHook(std::function<void(int64_t)> hook) {
+  hook_ = std::move(hook);
+  has_hook_.store(static_cast<bool>(hook_), std::memory_order_relaxed);
+}
+
+void QueryGuard::PollSlow() {
+  const int64_t poll = polls_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const int64_t fault = fault_at_.load(std::memory_order_relaxed);
+  if (fault > 0 && poll >= fault) {
+    throw QueryAbort(ExecStatus::kCancelled,
+                     "fault injection fired at poll #" +
+                         std::to_string(poll));
+  }
+  if (has_hook_.load(std::memory_order_relaxed)) hook_(poll);
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    throw QueryAbort(ExecStatus::kCancelled, "query cancelled");
+  }
+  const int64_t budget = mem_budget_.load(std::memory_order_relaxed);
+  if (budget > 0) {
+    const int64_t now =
+        stats_->mem_current_bytes.load(std::memory_order_relaxed);
+    if (now > budget) ThrowMemoryLimit(now, budget);
+  }
+  const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline > 0 && SteadyNowNs() > deadline) {
+    throw QueryAbort(ExecStatus::kDeadlineExceeded,
+                     "wall-clock deadline exceeded");
+  }
+}
+
+void QueryGuard::ThrowMemoryLimit(int64_t now, int64_t budget) {
+  throw QueryAbort(ExecStatus::kMemoryLimitExceeded,
+                   "memory budget exceeded: " + std::to_string(now) +
+                       " bytes tracked > " + std::to_string(budget) +
+                       " byte budget");
+}
+
+void QueryGuard::ThrowRowLimit(int64_t now, int64_t limit) {
+  throw QueryAbort(ExecStatus::kCapacityExceeded,
+                   "max_output_rows exceeded: " + std::to_string(now) +
+                       " rows emitted > limit " + std::to_string(limit));
+}
 
 void ExecStats::Reset() {
   join_calls = 0;
@@ -35,6 +125,8 @@ void ExecStats::Reset() {
   mm_simd_calls = 0;
   mm_bitsliced_calls = 0;
   mm_pack_ns = 0;
+  mem_current_bytes = 0;
+  mem_peak_bytes = 0;
 }
 
 std::string ExecStats::ToString() const {
@@ -79,6 +171,8 @@ std::string ExecStats::ToString() const {
   row("mm_simd_calls       ", mm_simd_calls);
   row("mm_bitsliced_calls  ", mm_bitsliced_calls);
   row("mm_pack_ns          ", mm_pack_ns);
+  row("mem_current_bytes   ", mem_current_bytes);
+  row("mem_peak_bytes      ", mem_peak_bytes);
   return out;
 }
 

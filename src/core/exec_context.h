@@ -14,9 +14,15 @@
 ///     temporaries on every call, and
 ///   - per-op stats counters: joins/semijoins executed, tuples
 ///     materialized, tuples *not* materialized thanks to fused
-///     existence-only probes, WCOJ task fan-out, MM kernel launches, and
-///     sort-order cache hits. Counters are relaxed atomics so operators
-///     running inside parallel regions can bump them safely.
+///     existence-only probes, WCOJ task fan-out, MM kernel launches,
+///     sort-order cache hits, and tracked memory (current/peak bytes).
+///     Counters are relaxed atomics so operators running inside parallel
+///     regions can bump them safely, and
+///   - a QueryGuard: cooperative guardrails (cancellation, wall-clock
+///     deadline, memory budget, max-output-rows) polled at every morsel
+///     boundary of the exec pipeline and armed per run by the
+///     status-returning entry points (RunGuarded below, the *Guarded
+///     engine wrappers, core/api.h EvaluateBooleanGuarded).
 ///
 /// Every operator and engine entry point accepts an `ExecContext* ctx`
 /// (nullptr = the process-default context, ExecContext::Default()). An
@@ -24,12 +30,15 @@
 /// indices passed to scratch() come from ThreadPool::Run.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/exec_status.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -121,6 +130,11 @@ struct ExecStats {
   std::atomic<int64_t> mm_simd_calls{0};        ///< ...with a vector inner kernel
   std::atomic<int64_t> mm_bitsliced_calls{0};   ///< bit-sliced 0/1 counting products
   std::atomic<int64_t> mm_pack_ns{0};           ///< wall ns packing panels/planes
+  // Memory accounting (maintained by QueryGuard::ChargeMem/ReleaseMem;
+  // charged at the data plane's large transient allocations — packed sort
+  // records, trie buffers, flat-index slot arrays, MM pads/panels):
+  std::atomic<int64_t> mem_current_bytes{0};    ///< tracked live allocation bytes
+  std::atomic<int64_t> mem_peak_bytes{0};       ///< high-water mark of the above
 
   void Reset();
   /// Human-readable counter dump (one `name : value` line per counter).
@@ -131,6 +145,130 @@ struct ExecStats {
 inline void Bump(std::atomic<int64_t>& counter, int64_t delta = 1) {
   counter.fetch_add(delta, std::memory_order_relaxed);
 }
+
+/// Cooperative guardrails for one query at a time on an ExecContext:
+/// a cancellation token, a wall-clock deadline, a memory budget, and a
+/// max-output-rows limit (see QueryLimits in exec_status.h).
+///
+/// The engines call Poll() at every morsel boundary — WCOJ task claims
+/// and depth-1 coop blocks, ParallelFor chunk claims, radix sort passes
+/// and scatter chunks, sharded index-build chunks, MM slabs/Strassen
+/// recursions, PANDA proof steps. The fast path is a single relaxed load
+/// of `armed_`: an unguarded query (no limits armed, no Cancel() issued)
+/// pays ~1ns per poll. When armed, a violation throws QueryAbort, which
+/// unwinds through the (exception-safe) engines to the status-returning
+/// entry point that armed the guard (RunGuarded below).
+///
+/// Memory accounting runs unconditionally (it feeds the
+/// mem_current_bytes/mem_peak_bytes stats); the budget is only enforced
+/// while armed. An armed deadline reads the steady clock at every poll —
+/// polls sit at morsel boundaries (the hot enumeration loops amortize
+/// them locally, e.g. every 256 value runs), so the read is off the
+/// per-tuple path. Violations are sticky until Disarm(), so every
+/// worker inside a fan-out aborts at its next poll once any one of
+/// them trips a limit.
+///
+/// Fault injection for the unwind tests: FMMSW_FAULT_AT=<n> in the
+/// environment (read at Arm() time) or SetFaultAt(n) aborts the query
+/// with kCancelled at the n-th armed poll; SetPollHook installs a
+/// callback invoked with each armed poll's ordinal (it may Cancel() or
+/// throw QueryAbort itself; it must be thread-safe and is only written
+/// while no query runs).
+class QueryGuard {
+ public:
+  explicit QueryGuard(ExecStats* stats) : stats_(stats) {}
+
+  // ---- external control (any thread, any time) ----
+  /// Requests cancellation: the running query aborts with kCancelled at
+  /// its next poll. Sticky until the owning guarded execution ends.
+  void Cancel() {
+    cancelled_.store(true, std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_relaxed);
+  }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  // ---- arm/disarm (done by RunGuarded around one execution) ----
+  void Arm(const QueryLimits& limits);
+  void Disarm();
+
+  // ---- poll points ----
+  /// Throws QueryAbort if the query was cancelled, the deadline passed,
+  /// the memory budget is exceeded, or fault injection fires. No-op (one
+  /// relaxed load) when nothing is armed.
+  void Poll() {
+    if (!armed_.load(std::memory_order_relaxed)) return;
+    PollSlow();
+  }
+
+  // ---- memory accounting ----
+  /// Records `bytes` of tracked allocation; throws kMemoryLimitExceeded
+  /// if an armed budget is now exceeded (the charge stays recorded — the
+  /// caller's MemCharge releases it during unwind).
+  void ChargeMem(int64_t bytes) {
+    const int64_t now =
+        stats_->mem_current_bytes.fetch_add(bytes,
+                                            std::memory_order_relaxed) +
+        bytes;
+    int64_t peak = stats_->mem_peak_bytes.load(std::memory_order_relaxed);
+    while (now > peak && !stats_->mem_peak_bytes.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+    const int64_t budget = mem_budget_.load(std::memory_order_relaxed);
+    if (budget > 0 && now > budget) ThrowMemoryLimit(now, budget);
+  }
+  void ReleaseMem(int64_t bytes) {
+    stats_->mem_current_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  // ---- output-row accounting (amortized batches from emit loops) ----
+  /// Adds `rows` emitted tuples; throws kCapacityExceeded once an armed
+  /// max_output_rows limit is crossed. Enforcement is amortized: callers
+  /// flush local counts every few thousand emits, so the abort lands
+  /// within one batch of the limit.
+  void CountRows(int64_t rows) {
+    const int64_t limit = row_limit_.load(std::memory_order_relaxed);
+    if (limit <= 0) return;
+    const int64_t now =
+        rows_.fetch_add(rows, std::memory_order_relaxed) + rows;
+    if (now > limit) ThrowRowLimit(now, limit);
+  }
+  /// True when a max_output_rows limit is armed (emit loops skip their
+  /// local batching entirely when it is not).
+  bool row_limit_armed() const {
+    return row_limit_.load(std::memory_order_relaxed) > 0;
+  }
+
+  // ---- fault injection (tests) ----
+  void SetFaultAt(int64_t poll_number) {
+    fault_at_.store(poll_number, std::memory_order_relaxed);
+    if (poll_number > 0) armed_.store(true, std::memory_order_relaxed);
+  }
+  void SetPollHook(std::function<void(int64_t)> hook);
+
+  /// Armed polls observed since the last Arm().
+  int64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+
+ private:
+  void PollSlow();
+  [[noreturn]] void ThrowMemoryLimit(int64_t now, int64_t budget);
+  [[noreturn]] void ThrowRowLimit(int64_t now, int64_t limit);
+
+  ExecStats* stats_;
+  /// True iff any poll must take the slow path (limit armed, Cancel()
+  /// issued, fault injection or hook installed).
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{0};  ///< steady-clock ns; 0 = none
+  std::atomic<int64_t> mem_budget_{0};   ///< bytes; 0 = none
+  std::atomic<int64_t> row_limit_{0};    ///< rows; 0 = none
+  std::atomic<int64_t> rows_{0};
+  std::atomic<int64_t> polls_{0};
+  std::atomic<int64_t> fault_at_{0};     ///< 0 = disabled
+  std::atomic<bool> has_hook_{false};
+  std::function<void(int64_t)> hook_;
+};
 
 /// Reusable per-worker scratch buffers. Callers resize/clear as needed;
 /// capacity persists across calls, which is the whole point. Exclusive
@@ -191,6 +329,10 @@ class ExecContext {
   ThreadPool& pool() const { return *pool_; }
   int threads() const { return pool_->threads(); }
   ExecStats& stats() const { return stats_; }
+  /// Guardrails for the query currently driven on this context (poll
+  /// points, cancellation, limits, memory accounting). One guarded
+  /// execution at a time per context; see RunGuarded below.
+  QueryGuard& guard() const { return guard_; }
   /// Scratch arena of worker `worker` (0 = the calling thread outside
   /// parallel regions).
   ScratchArena& scratch(int worker = 0) { return scratch_[worker]; }
@@ -243,10 +385,138 @@ class ExecContext {
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;
   mutable ExecStats stats_;
+  mutable QueryGuard guard_{&stats_};
   std::vector<ScratchArena> scratch_;
   int sort_cache_depth_ = 0;
   std::vector<SortOrderEntry> sort_orders_;
 };
+
+/// RAII lease of the first free worker arena on a context, or unbound
+/// when every arena is held (callers fall back to local buffers). The
+/// destructor releases during normal return *and* exception unwinding —
+/// the raw TryAcquire/Release pattern would leave the arena busy forever
+/// if a QueryAbort unwound between the two calls.
+class ArenaLease {
+ public:
+  ArenaLease() = default;
+  explicit ArenaLease(ExecContext& ec) {
+    for (int w = 0; w < ec.threads(); ++w) {
+      if (ec.scratch(w).TryAcquire()) {
+        arena_ = &ec.scratch(w);
+        break;
+      }
+    }
+  }
+  /// Leases exactly `arena` if it is free.
+  explicit ArenaLease(ScratchArena& arena) {
+    if (arena.TryAcquire()) arena_ = &arena;
+  }
+  ArenaLease(ArenaLease&& other) noexcept : arena_(other.arena_) {
+    other.arena_ = nullptr;
+  }
+  ArenaLease& operator=(ArenaLease&& other) noexcept {
+    if (this != &other) {
+      if (arena_ != nullptr) arena_->Release();
+      arena_ = other.arena_;
+      other.arena_ = nullptr;
+    }
+    return *this;
+  }
+  ArenaLease(const ArenaLease&) = delete;
+  ArenaLease& operator=(const ArenaLease&) = delete;
+  ~ArenaLease() {
+    if (arena_ != nullptr) arena_->Release();
+  }
+
+  /// The leased arena, or nullptr when unbound.
+  ScratchArena* get() const { return arena_; }
+  explicit operator bool() const { return arena_ != nullptr; }
+
+ private:
+  ScratchArena* arena_ = nullptr;
+};
+
+/// RAII memory charge against a context's guard: Add() records bytes
+/// (and may throw kMemoryLimitExceeded once an armed budget is
+/// exceeded); the destructor releases everything recorded so far, so an
+/// unwinding QueryAbort leaves mem_current_bytes balanced. Default
+/// construction is unbound (no-op), letting call sites charge only when
+/// a context is available.
+class MemCharge {
+ public:
+  MemCharge() = default;
+  MemCharge(ExecContext& ec, int64_t bytes) : guard_(&ec.guard()) {
+    Add(bytes);
+  }
+  explicit MemCharge(ExecContext& ec) : guard_(&ec.guard()) {}
+  MemCharge(MemCharge&& other) noexcept
+      : guard_(other.guard_), bytes_(other.bytes_) {
+    other.guard_ = nullptr;
+    other.bytes_ = 0;
+  }
+  MemCharge& operator=(MemCharge&&) = delete;
+  MemCharge(const MemCharge&) = delete;
+  MemCharge& operator=(const MemCharge&) = delete;
+  ~MemCharge() {
+    if (guard_ != nullptr && bytes_ != 0) guard_->ReleaseMem(bytes_);
+  }
+
+  /// Charges `more` bytes. The local total is bumped before the guard
+  /// call, so when ChargeMem throws over-budget the destructor still
+  /// releases the full recorded amount.
+  void Add(int64_t more) {
+    if (guard_ == nullptr || more <= 0) return;
+    bytes_ += more;
+    guard_->ChargeMem(more);
+  }
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  QueryGuard* guard_ = nullptr;
+  int64_t bytes_ = 0;
+};
+
+/// Runs `fn` with `limits` armed on `ec`'s guard and converts a
+/// QueryAbort (or std::bad_alloc) unwinding out of it into an
+/// ExecResult. The guard is disarmed on every path — cancellation,
+/// fault injection, and partial row/poll counts never leak into the
+/// next query, so a failed ExecContext is immediately reusable (arenas
+/// are released by RAII during the unwind; stats are preserved).
+template <typename Fn>
+ExecResult RunGuarded(ExecContext& ec, const QueryLimits& limits, Fn&& fn) {
+  struct ArmScope {
+    QueryGuard& g;
+    ~ArmScope() { g.Disarm(); }
+  } scope{ec.guard()};
+  ec.guard().Arm(limits);
+  ExecResult result;
+  try {
+    fn();
+  } catch (const QueryAbort& e) {
+    result.status = e.status();
+    result.message = e.what();
+  } catch (const std::bad_alloc&) {
+    result.status = ExecStatus::kMemoryLimitExceeded;
+    result.message = "allocation failed (std::bad_alloc)";
+  }
+  return result;
+}
+
+/// ParallelFor over a context's pool that polls the context's guard at
+/// every chunk claim — the standard morsel boundary for data-parallel
+/// loops (MM row slabs, rectangular block grids, bit-plane rows).
+inline void ParallelFor(ExecContext& ec, int64_t n,
+                        const std::function<void(int64_t, int64_t)>& chunk,
+                        int64_t grain = 1) {
+  QueryGuard& g = ec.guard();
+  ParallelFor(
+      ec.pool(), n,
+      [&g, &chunk](int64_t begin, int64_t end) {
+        g.Poll();
+        chunk(begin, end);
+      },
+      grain);
+}
 
 }  // namespace fmmsw
 

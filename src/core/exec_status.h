@@ -1,0 +1,83 @@
+#ifndef FMMSW_CORE_EXEC_STATUS_H_
+#define FMMSW_CORE_EXEC_STATUS_H_
+
+/// \file
+/// Terminal status taxonomy for guarded query execution, plus the
+/// exception type that carries a violation out of the engines.
+///
+/// The engines signal guardrail violations (cancellation, deadline,
+/// memory budget, capacity caps, bad input) by throwing QueryAbort from
+/// a poll point or accounting site; the abort unwinds through the
+/// operator/engine stack — which is exception-safe: scratch-arena leases
+/// and memory charges are RAII, and ThreadPool::Run captures worker
+/// exceptions and rethrows on the caller — until a status-returning
+/// entry point (RunGuarded in exec_context.h, the *Guarded engine
+/// wrappers, core/api.h EvaluateBooleanGuarded) converts it into an
+/// ExecResult. Programmer errors (contract violations) remain
+/// FMMSW_CHECK aborts; QueryAbort is reserved for data- and
+/// resource-dependent failures a correct program can hit at runtime.
+
+#include <stdexcept>
+#include <string>
+
+namespace fmmsw {
+
+/// Terminal status of a guarded execution.
+enum class ExecStatus {
+  kOk = 0,
+  kCancelled,            ///< QueryGuard::Cancel() (or fault injection) fired
+  kDeadlineExceeded,     ///< wall-clock deadline passed at a poll point
+  kMemoryLimitExceeded,  ///< tracked allocations exceeded the byte budget
+  kCapacityExceeded,     ///< structural cap (2^30-entry flat index,
+                         ///< max-output-rows limit) exceeded
+  kInvalidArgument,      ///< malformed query/database (arity mismatch,
+                         ///< unknown variable, edge/relation count skew)
+};
+
+/// Stable lower-case name for a status (logs, bench JSON, tests).
+inline const char* StatusString(ExecStatus s) {
+  switch (s) {
+    case ExecStatus::kOk: return "ok";
+    case ExecStatus::kCancelled: return "cancelled";
+    case ExecStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case ExecStatus::kMemoryLimitExceeded: return "memory_limit_exceeded";
+    case ExecStatus::kCapacityExceeded: return "capacity_exceeded";
+    case ExecStatus::kInvalidArgument: return "invalid_argument";
+  }
+  return "unknown";
+}
+
+/// Exception carrying a non-kOk status out of the exec pipeline. Derives
+/// from std::runtime_error so legacy callers that bypass the guarded
+/// entry points still see a catchable exception instead of an abort.
+class QueryAbort : public std::runtime_error {
+ public:
+  QueryAbort(ExecStatus status, const std::string& message)
+      : std::runtime_error(message), status_(status) {}
+
+  ExecStatus status() const { return status_; }
+
+ private:
+  ExecStatus status_;
+};
+
+/// Resource limits armed on a QueryGuard for one guarded execution.
+/// Zero means "no limit" for every field.
+struct QueryLimits {
+  int64_t deadline_ms = 0;          ///< wall-clock budget from Arm() time
+  int64_t memory_budget_bytes = 0;  ///< cap on tracked live allocations
+  int64_t max_output_rows = 0;      ///< cap on emitted result tuples
+};
+
+/// Outcome of a guarded execution: a status plus a human-readable
+/// failure detail (empty on kOk).
+struct ExecResult {
+  ExecStatus status = ExecStatus::kOk;
+  std::string message;
+
+  bool ok() const { return status == ExecStatus::kOk; }
+};
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_CORE_EXEC_STATUS_H_

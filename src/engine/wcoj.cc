@@ -46,13 +46,17 @@ struct Range {
 struct EnumState {
   std::vector<std::vector<Range>> ranges;
   std::vector<Value> assignment;
+  /// Per-worker run counter amortizing the guard polls of EnumerateRuns:
+  /// persists across calls so short ranges still accumulate toward the
+  /// next poll instead of resetting below the mask every time.
+  uint32_t poll_tick = 0;
 };
 
 class GenericJoin {
  public:
   GenericJoin(const Hypergraph& h, const Database& db,
               const std::vector<int>& order, ExecContext& ec)
-      : order_(order) {
+      : order_(order), guard_(&ec.guard()), trie_charge_(ec) {
     FMMSW_CHECK(db.relations.size() == h.edges().size());
     // Position of each variable in the instantiation order.
     std::vector<int> pos(kMaxVars, -1);
@@ -66,6 +70,11 @@ class GenericJoin {
                 [&](int a, int b) { return pos[a] < pos[b]; });
       std::vector<int> cols;
       for (int v : ir.vars) cols.push_back(r.ColumnOf(v));
+      // Trie buffers live for the whole join; charging before each build
+      // lets a memory budget stop the query before the allocation, not
+      // after.
+      trie_charge_.Add(static_cast<int64_t>(r.size()) *
+                       static_cast<int64_t>(cols.size()) * sizeof(Value));
       // The trie buffer is the projection onto `cols` in sorted row
       // order: pack those columns, radix-sort the packed keys
       // (comparator-free, pool-parallel for large relations), unpack
@@ -129,7 +138,9 @@ class GenericJoin {
     std::vector<uint32_t> cursor(active_.size(), 0);
     std::vector<Range> sub(active_.size());
     uint32_t pos = 0;
+    uint32_t runs = 0;
     while (pos < pend) {
+      if ((++runs & 1023) == 0) guard_->Poll();
       const Value value = pr.At(pos, 0);
       uint32_t run_end = pos + 1;
       while (run_end < pend && pr.At(run_end, 0) == value) ++run_end;
@@ -253,6 +264,7 @@ class GenericJoin {
     while (keep_going && !stop()) {
       const uint32_t lo = cursor->fetch_add(block, std::memory_order_relaxed);
       if (lo >= end) break;
+      guard_->Poll();
       begin_block(task, lo);
       keep_going = RunBlock(st, task, lo, std::min(lo + block, end), emit);
     }
@@ -302,6 +314,12 @@ class GenericJoin {
     }
     uint32_t pos = lo;
     while (pos < hi) {
+      // Morsel-boundary poll, confined to the top two instantiation
+      // levels and amortized to every 256th run (the worker-local tick
+      // keeps the armed slow path — an atomic fetch_add on a shared
+      // counter — off the per-run critical path; depth-1 coop block
+      // claims still poll unconditionally, bounding abort latency).
+      if (next_depth <= 2 && (++st->poll_tick & 255) == 0) guard_->Poll();
       const Value value = pr.At(pos, plevel);
       uint32_t run_end = pos + 1;
       while (run_end < prange.end && pr.At(run_end, plevel) == value) {
@@ -438,6 +456,8 @@ class GenericJoin {
   }
 
   std::vector<int> order_;
+  QueryGuard* guard_;
+  MemCharge trie_charge_;  ///< trie buffers, held for the join's lifetime
   std::vector<IndexedRelation> rels_;
   size_t total_rows_ = 0;
   std::vector<size_t> active_;     // relations constrained at depth 0
@@ -533,6 +553,7 @@ void DriveParallel(ExecContext& ec, GenericJoin& gj, size_t ntasks,
                    const MakeHooks& make_hooks) {
   CoopPlan plan(&gj, ntasks);
   ExecStats& stats = ec.stats();
+  QueryGuard& guard = ec.guard();
   const int nthreads = ec.threads();
   std::atomic<int64_t> next(0);
   ec.pool().Run([&](int w) {
@@ -548,6 +569,7 @@ void DriveParallel(ExecContext& ec, GenericJoin& gj, size_t ntasks,
     while (!stop()) {
       const int64_t t = next.fetch_add(1, std::memory_order_relaxed);
       if (t >= static_cast<int64_t>(ntasks)) break;
+      guard.Poll();
       if (plan.coop[t]) {
         Bump(stats.wcoj_coop_tasks);
         if (!gj.RunTaskCoop(&st, t, &plan.cursors[t],
@@ -562,6 +584,7 @@ void DriveParallel(ExecContext& ec, GenericJoin& gj, size_t ntasks,
     }
     // Dry: steal depth-1 blocks from the heaviest unfinished coop task.
     while (!stop()) {
+      guard.Poll();
       const size_t t = plan.Heaviest(gj);
       if (t == SIZE_MAX) return;
       if (!gj.RunTaskCoop(&st, t, &plan.cursors[t],
@@ -619,14 +642,24 @@ Relation WcojJoin(const Hypergraph& h, const Database& db, VarSet output_vars,
     if (WcojBoolean(h, db, ctx)) out.Add({});
     return out;
   }
+  QueryGuard& guard = ec.guard();
+  const int64_t row_bytes =
+      static_cast<int64_t>(out_vars.size()) * sizeof(Value);
+  constexpr int64_t kEmitBatch = 1024;  // row-limit/charge flush cadence
   const size_t ntasks = PrepareParallel(ec, &gj);
   if (ntasks == 0) {
     std::vector<Value> tuple(out_vars.size());
+    MemCharge charge(ec);
+    int64_t emitted = 0;
     gj.Run([&](const std::vector<Value>& assignment) {
       for (size_t i = 0; i < out_vars.size(); ++i) {
         tuple[i] = assignment[out_vars[i]];
       }
       out.AddRow(tuple.data());
+      if ((++emitted & (kEmitBatch - 1)) == 0) {
+        guard.CountRows(kEmitBatch);
+        charge.Add(kEmitBatch * row_bytes);
+      }
       return true;
     });
     out.SortAndDedupe(&ec);
@@ -649,11 +682,22 @@ Relation WcojJoin(const Hypergraph& h, const Database& db, VarSet output_vars,
       WorkerOut* out;
       std::vector<Value> tuple;
       const std::vector<int>* out_vars;
+      QueryGuard* guard;
+      int64_t row_bytes;
+      int64_t emitted = 0;
+      int64_t charged = 0;
       bool Emit(const std::vector<Value>& assignment) {
         for (size_t i = 0; i < out_vars->size(); ++i) {
           tuple[i] = assignment[(*out_vars)[i]];
         }
         out->data.insert(out->data.end(), tuple.begin(), tuple.end());
+        if ((++emitted & (kEmitBatch - 1)) == 0) {
+          // Charge before CountRows: if either throws, the destructor
+          // below releases exactly what was recorded.
+          charged += kEmitBatch * row_bytes;
+          guard->ChargeMem(kEmitBatch * row_bytes);
+          guard->CountRows(kEmitBatch);
+        }
         return true;
       }
       void BeginBlock(size_t task, uint32_t lo) {
@@ -661,8 +705,18 @@ Relation WcojJoin(const Hypergraph& h, const Database& db, VarSet output_vars,
             {(static_cast<uint64_t>(task) << 32) | lo, out->data.size()});
       }
       bool Stop() const { return false; }
+      Hooks(const Hooks&) = delete;
+      Hooks& operator=(const Hooks&) = delete;
+      Hooks(WorkerOut* o, std::vector<Value> t, const std::vector<int>* ov,
+            QueryGuard* g, int64_t rb)
+          : out(o), tuple(std::move(t)), out_vars(ov), guard(g),
+            row_bytes(rb) {}
+      ~Hooks() {
+        if (charged != 0) guard->ReleaseMem(charged);
+      }
     };
-    return Hooks{&outs[w], std::vector<Value>(out_vars.size()), &out_vars};
+    return Hooks{&outs[w], std::vector<Value>(out_vars.size()), &out_vars,
+                 &guard, row_bytes};
   });
   // Deterministic merge: segments in ascending (task, block) order.
   struct MergeSeg {
@@ -682,6 +736,11 @@ Relation WcojJoin(const Hypergraph& h, const Database& db, VarSet output_vars,
   std::sort(
       merged.begin(), merged.end(),
       [](const MergeSeg& a, const MergeSeg& b) { return a.tag < b.tag; });
+  int64_t merged_bytes = 0;
+  for (const MergeSeg& m : merged) {
+    merged_bytes += static_cast<int64_t>(m.end - m.begin) * sizeof(Value);
+  }
+  MemCharge merge_charge(ec, merged_bytes);
   for (const MergeSeg& m : merged) {
     out.AddRows(&outs[m.w].data[m.begin],
                 (m.end - m.begin) / out_vars.size());
@@ -733,6 +792,31 @@ int64_t WcojCount(const Hypergraph& h, const Database& db, ExecContext* ctx) {
     return h;
   });
   return total.load();
+}
+
+ExecResult WcojBooleanGuarded(const Hypergraph& h, const Database& db,
+                              bool* result, ExecContext* ctx,
+                              const QueryLimits& limits) {
+  ExecContext& ec = ExecContext::Resolve(ctx);
+  return RunGuarded(ec, limits,
+                    [&] { *result = WcojBoolean(h, db, &ec); });
+}
+
+ExecResult WcojJoinGuarded(const Hypergraph& h, const Database& db,
+                           VarSet output_vars, Relation* result,
+                           const std::vector<int>* order, ExecContext* ctx,
+                           const QueryLimits& limits) {
+  ExecContext& ec = ExecContext::Resolve(ctx);
+  return RunGuarded(ec, limits, [&] {
+    *result = WcojJoin(h, db, output_vars, order, &ec);
+  });
+}
+
+ExecResult WcojCountGuarded(const Hypergraph& h, const Database& db,
+                            int64_t* result, ExecContext* ctx,
+                            const QueryLimits& limits) {
+  ExecContext& ec = ExecContext::Resolve(ctx);
+  return RunGuarded(ec, limits, [&] { *result = WcojCount(h, db, &ec); });
 }
 
 }  // namespace fmmsw

@@ -241,26 +241,29 @@ void GemmAddAt(SimdLevel level, const int64_t* a, int lda, const int64_t* b,
                ExecContext* ctx, MmPackScratch* scratch) {
   if (m <= 0 || n <= 0 || k <= 0) return;  // degenerate shapes are no-ops
   ExecContext& ec = ExecContext::Resolve(ctx);
+  // One poll per base-case product: every blocked slab, Strassen leaf and
+  // rectangular block passes through here.
+  ec.guard().Poll();
   Bump(ec.stats().mm_base_calls);
   if (level != SimdLevel::kScalar) Bump(ec.stats().mm_simd_calls);
   const MicroFn micro = MicroKernelFor(level);
 
   // Pack buffers: caller-provided scratch, else a free worker arena of
   // the context (losers of the atomic acquire — e.g. several slabs
-  // multiplying concurrently — use call-local buffers).
+  // multiplying concurrently — use call-local buffers). The lease is
+  // RAII: a QueryAbort unwinding out of a poll below must not leave the
+  // arena permanently busy.
   MmPackScratch local;
-  ScratchArena* arena = nullptr;
+  ArenaLease lease;
   std::vector<uint64_t>* apv = nullptr;
   std::vector<uint64_t>* bpv = nullptr;
   if (scratch != nullptr) {
     apv = &scratch->a_pack;
     bpv = &scratch->b_pack;
   } else {
-    for (int w = 0; w < ec.threads() && arena == nullptr; ++w) {
-      if (ec.scratch(w).TryAcquire()) arena = &ec.scratch(w);
-    }
-    apv = arena != nullptr ? &arena->u64() : &local.a_pack;
-    bpv = arena != nullptr ? &arena->u64b() : &local.b_pack;
+    lease = ArenaLease(ec);
+    apv = lease ? &lease.get()->u64() : &local.a_pack;
+    bpv = lease ? &lease.get()->u64b() : &local.b_pack;
   }
 
   const int mstrips = (m + kMr - 1) / kMr;
@@ -365,7 +368,6 @@ void GemmAddAt(SimdLevel level, const int64_t* a, int lda, const int64_t* b,
     }
   }
   Bump(ec.stats().mm_pack_ns, pack_ns);
-  if (arena != nullptr) arena->Release();
 }
 
 bool IsZeroOne(const Matrix& m) {
@@ -387,6 +389,9 @@ Matrix MultiplyBitSliced(const Matrix& a, const Matrix& b,
   Bump(ec.stats().mm_bitsliced_calls);
   const int words = (k + 63) / 64;
   Stopwatch sw;
+  // Bit planes + counting output, held until the product returns.
+  MemCharge charge(ec, (static_cast<int64_t>(m) + n) * words * 8 +
+                           static_cast<int64_t>(m) * n * 8);
   std::vector<uint64_t> abits(static_cast<size_t>(m) * words, 0);
   std::vector<uint64_t> bbits(static_cast<size_t>(n) * words, 0);
   for (int i = 0; i < m; ++i) {
@@ -426,7 +431,7 @@ Matrix MultiplyBitSliced(const Matrix& a, const Matrix& b,
   }
   Bump(ec.stats().mm_pack_ns, static_cast<int64_t>(sw.Seconds() * 1e9));
   ParallelFor(
-      ec.pool(), m,
+      ec, m,
       [&](int64_t row_begin, int64_t row_end) {
         for (int64_t i = row_begin; i < row_end; ++i) {
           const uint64_t* arow = &abits[static_cast<size_t>(i) * words];

@@ -36,6 +36,8 @@ Matrix MultiplyBlocked(const Matrix& a, const Matrix& b, ExecContext* ctx) {
   ExecContext& ec = ExecContext::Resolve(ctx);
   Matrix out(a.rows(), b.cols());
   if (a.rows() == 0 || a.cols() == 0 || b.cols() == 0) return out;
+  // Output matrix, charged for the duration of the product.
+  MemCharge charge(ec, static_cast<int64_t>(a.rows()) * b.cols() * 8);
   const SimdLevel level = ActiveSimdLevel();
   // Each task owns a slab of output rows, so the writes never overlap;
   // the slab product itself is the packed micro-kernel. Slab height
@@ -43,7 +45,7 @@ Matrix MultiplyBlocked(const Matrix& a, const Matrix& b, ExecContext* ctx) {
   // repack is <1% of the slab's multiply work.
   constexpr int kSlab = 128;
   ParallelFor(
-      ec.pool(), (a.rows() + kSlab - 1) / kSlab,
+      ec, (a.rows() + kSlab - 1) / kSlab,
       [&](int64_t slab_begin, int64_t slab_end) {
         // No caller scratch: ParallelFor may invoke this chunk callback
         // once per claimed slab, so a local MmPackScratch would
@@ -71,11 +73,13 @@ bool BitMatrix::AnyNonZero() const {
 BitMatrix BitMatrix::Multiply(const BitMatrix& a, const BitMatrix& b,
                               ExecContext* ctx) {
   FMMSW_CHECK(a.cols() == b.rows());
+  ExecContext& ec = ExecContext::Resolve(ctx);
   BitMatrix out(a.rows(), b.cols());
   const int a_words = a.words_;
   const int b_words = b.words_;
+  MemCharge charge(ec, static_cast<int64_t>(out.data_.size()) * 8);
   ParallelFor(
-      ExecContext::Resolve(ctx).pool(), a.rows(),
+      ec, a.rows(),
       [&](int64_t row_begin, int64_t row_end) {
         for (int64_t i = row_begin; i < row_end; ++i) {
           uint64_t* out_row = &out.data_[static_cast<size_t>(i) * b_words];

@@ -33,6 +33,7 @@ struct KernelCtx {
   SimdLevel level;
   ExecContext* ec;
   MmPackScratch* pack;
+  QueryGuard* guard;
 };
 
 View Quad(View a, int n, int qr, int qc) {
@@ -93,6 +94,9 @@ void StrassenRec(View a, View b, MutView c, int n, int cutoff,
     MulBase(a, b, c, n, kc);
     return;
   }
+  // One poll per recursion node: 7^depth nodes, each doing O(h^2) adds
+  // and a recursive product — a natural morsel boundary.
+  kc.guard->Poll();
   const int h = n / 2;
   const size_t q = static_cast<size_t>(h) * h;
   int64_t* t1 = scratch;
@@ -189,7 +193,13 @@ Matrix MultiplyStrassen(const Matrix& a, const Matrix& b, int cutoff,
               b.cols(), ctx, &pack);
     return out;
   }
+  ExecContext& ec = ExecContext::Resolve(ctx);
   const int p = NextPow2(n);
+  // Three p x p pads plus the recursion scratch, held until the result
+  // is copied out.
+  MemCharge charge(ec, (3 * static_cast<int64_t>(p) * p +
+                        static_cast<int64_t>(StrassenScratch(p))) *
+                           8);
   std::vector<int64_t> pa(static_cast<size_t>(p) * p, 0);
   std::vector<int64_t> pb(static_cast<size_t>(p) * p, 0);
   std::vector<int64_t> pc(static_cast<size_t>(p) * p, 0);
@@ -203,7 +213,7 @@ Matrix MultiplyStrassen(const Matrix& a, const Matrix& b, int cutoff,
   }
   std::vector<int64_t> scratch(StrassenScratch(p));
   MmPackScratch pack;
-  const KernelCtx kc{ActiveSimdLevel(), ctx, &pack};
+  const KernelCtx kc{ActiveSimdLevel(), &ec, &pack, &ec.guard()};
   StrassenRec({pa.data(), static_cast<size_t>(p)},
               {pb.data(), static_cast<size_t>(p)},
               {pc.data(), static_cast<size_t>(p)}, p, cutoff,
@@ -233,8 +243,9 @@ Matrix MultiplyRectangular(const Matrix& a, const Matrix& b, int cutoff,
   const int cb = (b.cols() + d - 1) / d;
   const SimdLevel level = ActiveSimdLevel();
   Matrix out(a.rows(), b.cols());
+  MemCharge charge(ec, static_cast<int64_t>(a.rows()) * b.cols() * 8);
   ParallelFor(
-      ec.pool(), static_cast<int64_t>(ra) * cb,
+      ec, static_cast<int64_t>(ra) * cb,
       [&](int64_t begin, int64_t end) {
         for (int64_t task = begin; task < end; ++task) {
           const int bi = static_cast<int>(task / cb);

@@ -37,10 +37,12 @@ void PartitionRows(const Relation& r, const KeySpec& spec, ExecContext& ec,
   bufs->assign(nchunks * kShards, {});
   const int col = spec.arity() == 1 ? spec.cols()[0] : -1;
   std::atomic<size_t> next_chunk(0);
+  QueryGuard& guard = ec.guard();
   ec.pool().Run([&](int) {
     while (true) {
       const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= nchunks) return;
+      guard.Poll();
       std::vector<ShardEntry>* chunk_bufs = bufs->data() + c * kShards;
       const size_t begin = c * n / nchunks;
       const size_t end = (c + 1) * n / nchunks;
@@ -108,6 +110,10 @@ void FlatMultimap::BuildSharded(const Relation& r, const KeySpec& spec,
   PartitionRows(r, spec, ec, nchunks, &bufs);
   shard_bits_ = kShardBits;
   const size_t total = LayoutShards(bufs, nchunks, &shard_off_, &shard_mask_);
+  // Slot arrays + chain array: the build's dominant allocation (the
+  // partition buffers hold the same n entries at 12 bytes each).
+  MemCharge charge(ec, static_cast<int64_t>(total) * 12 +
+                           static_cast<int64_t>(n) * 16);
   slot_key_.resize(total);
   slot_head_.assign(total, -1);
   next_.resize(n);
@@ -117,10 +123,12 @@ void FlatMultimap::BuildSharded(const Relation& r, const KeySpec& spec,
   // keeps every equal-key chain in reverse row order, exactly like the
   // serial build, for any worker count.
   std::atomic<size_t> next_shard(0);
+  QueryGuard& guard = ec.guard();
   ec.pool().Run([&](int) {
     while (true) {
       const size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
       if (s >= kShards) return;
+      guard.Poll();
       const size_t base = shard_off_[s];
       const uint32_t m = shard_mask_[s];
       for (size_t c = 0; c < nchunks; ++c) {
@@ -182,6 +190,8 @@ void FlatInterner::BuildSharded(const Relation& r, const KeySpec& spec,
   PartitionRows(r, spec, ec, nchunks, &bufs);
   shard_bits_ = kShardBits;
   const size_t total = LayoutShards(bufs, nchunks, &shard_off_, &shard_mask_);
+  MemCharge charge(ec, static_cast<int64_t>(total) * 12 +
+                           static_cast<int64_t>(r.size()) * 12);
   slot_key_.resize(total);
   slot_id_.assign(total, -1);
   // Phase 2: per shard, claim a slot for each distinct key and record its
@@ -190,10 +200,12 @@ void FlatInterner::BuildSharded(const Relation& r, const KeySpec& spec,
   // Ids stay pending (INT32_MAX) until phase 3 ranks them globally.
   std::vector<std::vector<std::pair<uint64_t, uint32_t>>> firsts(kShards);
   std::atomic<size_t> next_shard(0);
+  QueryGuard& guard = ec.guard();
   ec.pool().Run([&](int) {
     while (true) {
       const size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
       if (s >= kShards) return;
+      guard.Poll();
       const size_t base = shard_off_[s];
       const uint32_t m = shard_mask_[s];
       std::vector<std::pair<uint64_t, uint32_t>>& mine = firsts[s];

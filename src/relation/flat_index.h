@@ -32,8 +32,10 @@
 /// for every thread count (differential-tested in exec_pipeline_test.cc).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/exec_status.h"
 #include "relation/relation.h"
 #include "util/varset.h"
 
@@ -106,10 +108,16 @@ inline uint64_t MixKey(uint64_t k) {
 /// Smallest power-of-two capacity holding `entries` at load factor <= 0.5.
 /// Computed in 64 bits: a 32-bit `cap <<= 1` wraps to 0 once cap reaches
 /// 2^31 (entries > 2^30), turning the loop into an infinite hang. Row ids
-/// are int32_t, so entry counts beyond 2^30 are rejected outright.
+/// are int32_t, so entry counts beyond 2^30 are rejected outright — as a
+/// kCapacityExceeded QueryAbort, which the guarded entry points
+/// (RunGuarded, core/api.h EvaluateBooleanGuarded) convert to a returned
+/// status instead of killing the process over one oversized input.
 inline uint32_t TableCapacity(size_t entries) {
-  FMMSW_CHECK(entries <= (size_t{1} << 30) &&
-              "flat index capped at 2^30 entries");
+  if (entries > (size_t{1} << 30)) {
+    throw QueryAbort(ExecStatus::kCapacityExceeded,
+                     "flat index capped at 2^30 entries (got " +
+                         std::to_string(entries) + ")");
+  }
   uint64_t cap = 8;
   while (cap < static_cast<uint64_t>(entries) * 2) cap <<= 1;
   return static_cast<uint32_t>(cap);

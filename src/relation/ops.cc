@@ -103,9 +103,19 @@ Relation Join(const Relation& a, const Relation& b, const JoinOpts& opts,
   size_t emitted = 0;
   std::vector<Value> tuple(out_schema.size());
   out.Reserve(probes.empty() ? probe.size() : 0);
+  // Guardrails: poll every 1024 probe rows and flush output accounting
+  // (row limit + memory budget) in the same batches; the charge is
+  // released when `charge` unwinds or the result is handed back.
+  QueryGuard& guard = ExecContext::Resolve(ctx).guard();
+  MemCharge charge(ExecContext::Resolve(ctx));
+  const int64_t row_bytes =
+      static_cast<int64_t>(out_schema.size()) * sizeof(Value);
+  constexpr size_t kEmitBatch = 1024;
+  size_t acct = 0;
   for (size_t pr = 0; pr < probe.size() && !(opts.limit > 0 &&
                                              emitted >= opts.limit);
        ++pr) {
+    if ((pr & 1023) == 0) guard.Poll();
     const Value* prow = probe.Row(pr);
     const uint64_t key = kprobe.KeyOf(prow);
     int32_t br = index.First(key);
@@ -130,6 +140,10 @@ Relation Join(const Relation& a, const Relation& b, const JoinOpts& opts,
         }
       }
       out.AddRow(tuple.data());
+      if ((++acct & (kEmitBatch - 1)) == 0) {
+        guard.CountRows(static_cast<int64_t>(kEmitBatch));
+        charge.Add(static_cast<int64_t>(kEmitBatch) * row_bytes);
+      }
       if (opts.limit > 0 && ++emitted >= opts.limit) break;
     }
   }
@@ -157,7 +171,9 @@ Relation FilterByMatch(const Relation& a, const Relation& b,
   const FlatMultimap index(b, kb, ctx);
   const bool exact = kb.exact();
   Relation out(a.schema());
+  QueryGuard& guard = ExecContext::Resolve(ctx).guard();
   for (size_t r = 0; r < a.size(); ++r) {
+    if ((r & 1023) == 0) guard.Poll();
     const Value* arow = a.Row(r);
     int32_t br = index.First(ka.KeyOf(arow));
     bool match = br >= 0;
@@ -215,7 +231,9 @@ Relation SemijoinAll(const Relation& a,
   probes.reserve(filters.size());
   for (const Relation* b : filters) probes.emplace_back(a, *b, ctx);
   Relation out(a.schema());
+  QueryGuard& guard = ExecContext::Resolve(ctx).guard();
   for (size_t r = 0; r < a.size(); ++r) {
+    if ((r & 1023) == 0) guard.Poll();
     const Value* arow = a.Row(r);
     bool pass = true;
     for (const ExistProbe& p : probes) {

@@ -15,6 +15,15 @@
 /// context's pool is already busy with an enclosing parallel region — so
 /// operators remain safe to call from inside parallel regions.
 ///
+/// Guardrails: the probe loops poll the context's QueryGuard every 1024
+/// rows and Join flushes output accounting (max_output_rows + memory
+/// budget) in the same batches, so an armed limit aborts the operator
+/// with QueryAbort within one batch of its boundary (see
+/// core/exec_status.h; core/exec_context.h documents the full poll-point
+/// map). The operators are exception-safe — index builds, sort scratch
+/// and memory charges are RAII — so an abort unwinding out of one leaves
+/// the context balanced and immediately reusable.
+///
 /// Duplicate-handling contract (uniform across ops):
 ///   - Join     : emits one output tuple per matching input pair. If both
 ///                inputs are duplicate-free the output is duplicate-free,

@@ -89,11 +89,14 @@ void SortProjectedRows(const Relation& r, const std::vector<int>& cols,
   Stopwatch sw;
   const int words = PackedKeyWords(ncols);
   SortBuffers bufs(ec);
+  // Records + radix ping-pong scratch, the sort layer's big transients.
+  MemCharge charge(ec, static_cast<int64_t>(2 * n * words) * 8);
   std::vector<uint64_t>& recs = bufs.recs();
   recs.resize(n * words);
   PackKeys(r.Row(0), n, r.arity(), cols.data(), ncols, recs.data(), words);
   const bool parallel = RadixSortRecords(recs.data(), n, words, words,
-                                         bufs.scratch(), &ec.pool());
+                                         bufs.scratch(), &ec.pool(),
+                                         &ec.guard());
   UnpackKeys(recs.data(), n, words, ncols, out->data());
   NoteSort(ec, n, parallel, sw);
 }
@@ -111,12 +114,14 @@ void SortedRowOrder(const Relation& r, const std::vector<int>& cols,
   const int words = PackedKeyWords(ncols);
   const int stride = words + 1;  // row index rides as a payload word
   SortBuffers bufs(ec);
+  MemCharge charge(ec, static_cast<int64_t>(2 * n * stride) * 8);
   std::vector<uint64_t>& recs = bufs.recs();
   recs.resize(n * stride);
   PackKeys(r.Row(0), n, r.arity(), cols.data(), ncols, recs.data(), stride);
   for (size_t i = 0; i < n; ++i) recs[i * stride + words] = i;
   const bool parallel = RadixSortRecords(recs.data(), n, stride, words,
-                                         bufs.scratch(), &ec.pool());
+                                         bufs.scratch(), &ec.pool(),
+                                         &ec.guard());
   for (size_t i = 0; i < n; ++i) {
     (*order)[i] = static_cast<uint32_t>(recs[i * stride + words]);
   }
@@ -134,11 +139,13 @@ void SortDedupeRowBuffer(std::vector<Value>* data, int arity,
   for (int c = 0; c < arity; ++c) cols[c] = c;
   const int words = PackedKeyWords(arity);
   SortBuffers bufs(ec);
+  MemCharge charge(ec, static_cast<int64_t>(2 * n * words) * 8);
   std::vector<uint64_t>& recs = bufs.recs();
   recs.resize(n * words);
   PackKeys(data->data(), n, arity, cols, arity, recs.data(), words);
   const bool parallel = RadixSortRecords(recs.data(), n, words, words,
-                                         bufs.scratch(), &ec.pool());
+                                         bufs.scratch(), &ec.pool(),
+                                         &ec.guard());
   // The packing is injective per layout, so equal packed words == equal
   // rows: dedupe adjacent records, then unpack the survivors once.
   size_t unique = 1;

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -55,6 +56,14 @@ class ThreadPool {
   /// private-pool worker invoking a matrix kernel that targets the global
   /// pool) atomically fail the acquire and run fn(0) serially instead of
   /// corrupting the in-flight job.
+  ///
+  /// Exception contract: a throw from any invocation of fn — the
+  /// caller's own fn(0) or a worker's fn(t) — is held until every worker
+  /// has drained (they share fn and the caller's stack), then rethrown
+  /// on the calling thread; when several invocations throw, the caller's
+  /// exception wins, else the first worker's. The pool itself is left
+  /// fully reusable: in_parallel_ is released via RAII and no worker is
+  /// ever left wedged on pending_.
   void Run(const std::function<void(int)>& fn) {
     bool expected = false;
     if (threads_ == 1 ||
@@ -62,20 +71,37 @@ class ThreadPool {
       fn(0);
       return;
     }
+    // Released on every exit path, including an unwind out of the
+    // rethrows below. Runs after the fan-in, so the slot is never handed
+    // to another caller while workers still reference this job.
+    struct ParallelRegion {
+      std::atomic<bool>& flag;
+      ~ParallelRegion() { flag.store(false, std::memory_order_release); }
+    } region{in_parallel_};
     {
       std::unique_lock<std::mutex> lock(mu_);
       job_ = &fn;
       pending_ = threads_ - 1;
+      error_ = nullptr;
       ++generation_;
     }
     wake_.notify_all();
-    fn(0);
+    std::exception_ptr caller_error;
+    try {
+      fn(0);
+    } catch (...) {
+      caller_error = std::current_exception();
+    }
+    std::exception_ptr worker_error;
     {
       std::unique_lock<std::mutex> lock(mu_);
       done_.wait(lock, [this] { return pending_ == 0; });
       job_ = nullptr;
+      worker_error = error_;
+      error_ = nullptr;
     }
-    in_parallel_ = false;
+    if (caller_error) std::rethrow_exception(caller_error);
+    if (worker_error) std::rethrow_exception(worker_error);
   }
 
   /// The process-wide pool, sized by FMMSW_THREADS.
@@ -105,9 +131,19 @@ class ThreadPool {
         if (stop_) return;
         job = job_;
       }
-      if (job != nullptr) (*job)(index);
+      std::exception_ptr err;
+      if (job != nullptr) {
+        try {
+          (*job)(index);
+        } catch (...) {
+          // Letting the exception escape the worker thread would call
+          // std::terminate; capture it for the caller instead.
+          err = std::current_exception();
+        }
+      }
       {
         std::unique_lock<std::mutex> lock(mu_);
+        if (err && !error_) error_ = err;
         if (--pending_ == 0) done_.notify_one();
       }
     }
@@ -122,6 +158,9 @@ class ThreadPool {
   uint64_t generation_ = 0;
   int pending_ = 0;
   bool stop_ = false;
+  /// First exception thrown by a worker in the current fan-out
+  /// (mu_-protected); rethrown on the caller by Run.
+  std::exception_ptr error_;
   // Held (via compare-exchange) while a fan-out is active on this pool;
   // losers of the acquire — nested calls and concurrent callers from
   // other threads — run their job serially.

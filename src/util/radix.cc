@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstring>
 
+#include "core/exec_context.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -48,20 +49,26 @@ int CollectPasses(const uint64_t* varying, int key_words, BytePass* passes) {
 /// are claimed from a shared cursor, so the work completes (and produces
 /// the same result) no matter how many workers actually show up — in
 /// particular when a racing fan-out degrades Run to the caller alone.
+/// `guard` (nullable) is polled at every chunk claim — the sort layer's
+/// morsel boundary; a violation throws out of the worker and is rethrown
+/// on the caller by ThreadPool::Run.
 template <typename Fn>
-void RunChunks(ThreadPool& pool, int chunks, const Fn& fn) {
+void RunChunks(ThreadPool& pool, int chunks, QueryGuard* guard,
+               const Fn& fn) {
   std::atomic<int> next(0);
   pool.Run([&](int) {
     while (true) {
       const int c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) return;
+      if (guard != nullptr) guard->Poll();
       fn(c);
     }
   });
 }
 
 template <int S>
-void SortSerial(Rec<S>* v, size_t n, int key_words, Rec<S>* tmp) {
+void SortSerial(Rec<S>* v, size_t n, int key_words, Rec<S>* tmp,
+                QueryGuard* guard) {
   uint64_t varying[S] = {};
   for (size_t i = 1; i < n; ++i) {
     for (int w = 0; w < key_words; ++w) varying[w] |= v[i].w[w] ^ v[0].w[w];
@@ -80,6 +87,7 @@ void SortSerial(Rec<S>* v, size_t n, int key_words, Rec<S>* tmp) {
   Rec<S>* src = v;
   Rec<S>* dst = tmp;
   for (int a = 0; a < n_passes; ++a) {
+    if (guard != nullptr) guard->Poll();
     const int word = passes[a].word;
     const int shift = passes[a].shift;
     const size_t* h = &hist[static_cast<size_t>(a) * 256];
@@ -104,14 +112,14 @@ void SortSerial(Rec<S>* v, size_t n, int key_words, Rec<S>* tmp) {
 /// the result is bit-identical for any chunk count or worker schedule.
 template <int S>
 void SortParallel(Rec<S>* v, size_t n, int key_words, Rec<S>* tmp,
-                  ThreadPool& pool) {
+                  ThreadPool& pool, QueryGuard* guard) {
   const int chunks = pool.threads();
   auto chunk_lo = [n, chunks](int c) {
     return n * static_cast<size_t>(c) / chunks;
   };
   // Varying-byte masks, chunk-parallel with a serial combine.
   std::vector<uint64_t> chunk_var(static_cast<size_t>(chunks) * S, 0);
-  RunChunks(pool, chunks, [&](int c) {
+  RunChunks(pool, chunks, guard, [&](int c) {
     uint64_t local[S] = {};
     const size_t hi = chunk_lo(c + 1);
     for (size_t i = chunk_lo(c); i < hi; ++i) {
@@ -132,7 +140,7 @@ void SortParallel(Rec<S>* v, size_t n, int key_words, Rec<S>* tmp,
   for (int a = 0; a < n_passes; ++a) {
     const int word = passes[a].word;
     const int shift = passes[a].shift;
-    RunChunks(pool, chunks, [&](int c) {
+    RunChunks(pool, chunks, guard, [&](int c) {
       size_t* h = &chunk_off[static_cast<size_t>(c) * 256];
       std::fill(h, h + 256, 0);
       const size_t hi = chunk_lo(c + 1);
@@ -150,7 +158,7 @@ void SortParallel(Rec<S>* v, size_t n, int key_words, Rec<S>* tmp,
         sum += count;
       }
     }
-    RunChunks(pool, chunks, [&](int c) {
+    RunChunks(pool, chunks, guard, [&](int c) {
       size_t* offs = &chunk_off[static_cast<size_t>(c) * 256];
       const size_t hi = chunk_lo(c + 1);
       for (size_t i = chunk_lo(c); i < hi; ++i) {
@@ -160,7 +168,7 @@ void SortParallel(Rec<S>* v, size_t n, int key_words, Rec<S>* tmp,
     std::swap(src, dst);
   }
   if (src != v) {
-    RunChunks(pool, chunks, [&](int c) {
+    RunChunks(pool, chunks, guard, [&](int c) {
       const size_t lo = chunk_lo(c);
       std::memcpy(v + lo, src + lo, (chunk_lo(c + 1) - lo) * sizeof(Rec<S>));
     });
@@ -169,7 +177,8 @@ void SortParallel(Rec<S>* v, size_t n, int key_words, Rec<S>* tmp,
 
 template <int S>
 bool SortRecs(uint64_t* buf, size_t n, int key_words,
-              std::vector<uint64_t>& scratch, ThreadPool* pool) {
+              std::vector<uint64_t>& scratch, ThreadPool* pool,
+              QueryGuard* guard) {
   Rec<S>* v = reinterpret_cast<Rec<S>*>(buf);
   // Relations are dedup-sorted upstream, so presorted inputs are common:
   // one predictable scan beats any sort.
@@ -194,38 +203,39 @@ bool SortRecs(uint64_t* buf, size_t n, int key_words,
   Rec<S>* tmp = reinterpret_cast<Rec<S>*>(scratch.data());
   if (pool != nullptr && pool->threads() > 1 && !pool->busy() &&
       n >= kRadixParallelMinRecords) {
-    SortParallel<S>(v, n, key_words, tmp, *pool);
+    SortParallel<S>(v, n, key_words, tmp, *pool, guard);
     return true;
   }
-  SortSerial<S>(v, n, key_words, tmp);
+  SortSerial<S>(v, n, key_words, tmp, guard);
   return false;
 }
 
 }  // namespace
 
 bool RadixSortRecords(uint64_t* buf, size_t n, int stride, int key_words,
-                      std::vector<uint64_t>& scratch, ThreadPool* pool) {
+                      std::vector<uint64_t>& scratch, ThreadPool* pool,
+                      QueryGuard* guard) {
   FMMSW_CHECK(stride >= 1 && key_words >= 1 && key_words <= stride);
   if (n <= 1) return false;
   switch (stride) {
     case 1:
-      return SortRecs<1>(buf, n, key_words, scratch, pool);
+      return SortRecs<1>(buf, n, key_words, scratch, pool, guard);
     case 2:
-      return SortRecs<2>(buf, n, key_words, scratch, pool);
+      return SortRecs<2>(buf, n, key_words, scratch, pool, guard);
     case 3:
-      return SortRecs<3>(buf, n, key_words, scratch, pool);
+      return SortRecs<3>(buf, n, key_words, scratch, pool, guard);
     case 4:
-      return SortRecs<4>(buf, n, key_words, scratch, pool);
+      return SortRecs<4>(buf, n, key_words, scratch, pool, guard);
     case 5:
-      return SortRecs<5>(buf, n, key_words, scratch, pool);
+      return SortRecs<5>(buf, n, key_words, scratch, pool, guard);
     case 6:
-      return SortRecs<6>(buf, n, key_words, scratch, pool);
+      return SortRecs<6>(buf, n, key_words, scratch, pool, guard);
     case 7:
-      return SortRecs<7>(buf, n, key_words, scratch, pool);
+      return SortRecs<7>(buf, n, key_words, scratch, pool, guard);
     case 8:
-      return SortRecs<8>(buf, n, key_words, scratch, pool);
+      return SortRecs<8>(buf, n, key_words, scratch, pool, guard);
     case 9:
-      return SortRecs<9>(buf, n, key_words, scratch, pool);
+      return SortRecs<9>(buf, n, key_words, scratch, pool, guard);
     default:
       // kMaxVars = 16 columns pack to 8 key words; one payload word on
       // top is the widest record the data plane produces.

@@ -31,6 +31,7 @@
 namespace fmmsw {
 
 class ThreadPool;
+class QueryGuard;
 
 inline constexpr size_t kRadixMinN = 2048;
 
@@ -57,8 +58,15 @@ inline constexpr size_t kRadixParallelMinRecords = size_t{1} << 15;
 /// claimed from a shared cursor, so a fan-out racing in on the shared
 /// pool can still degrade individual passes to the caller alone — the
 /// result is unaffected, only the realized concurrency).
+///
+/// `guard` (nullable) is polled at every counting pass of the serial
+/// regime and at every chunk claim of the parallel regime; a guardrail
+/// violation throws QueryAbort out of the sort. The input buffer is left
+/// in an unspecified permutation of its records in that case — callers
+/// treat it as transient state discarded during the unwind.
 bool RadixSortRecords(uint64_t* buf, size_t n, int stride, int key_words,
-                      std::vector<uint64_t>& scratch, ThreadPool* pool);
+                      std::vector<uint64_t>& scratch, ThreadPool* pool,
+                      QueryGuard* guard = nullptr);
 
 namespace radix_internal {
 

@@ -5,8 +5,12 @@
 // radix-sort path of SortAndDedupe.
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <limits>
 #include <set>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/api.h"
@@ -545,6 +549,263 @@ TEST(WideSortTest, SortStatsAccounted) {
   }
   WcojJoin(h, db, h.vertices(), nullptr, &ec);
   EXPECT_GE(ec.stats().sort_calls.load(), 4);
+}
+
+// ------------------------------------------------ execution guardrails --
+
+/// Triangle workload big enough that every engine layer (index builds,
+/// trie sorts, WCOJ fan-out, canonical output sort) passes many poll
+/// points.
+Database GuardWorkload(uint64_t seed) {
+  WorkloadOptions opts;
+  opts.kind = WorkloadKind::kUniform;
+  opts.tuples_per_relation = 4000;
+  opts.domain = 90;
+  opts.seed = seed;
+  opts.plant_witness = true;
+  return MakeWorkload(Hypergraph::Triangle(), opts);
+}
+
+TEST(GuardrailTest, FaultInjectionUnwindsAndContextIsReusable) {
+  const Hypergraph h = Hypergraph::Triangle();
+  const Database db = GuardWorkload(71);
+  ExecContext ref_ec(1);
+  const Relation ref = WcojJoin(h, db, h.vertices(), nullptr, &ref_ec);
+  ASSERT_FALSE(ref.empty());
+  for (int threads : {1, 2, 4, 8}) {
+    ExecContext ec(threads);
+    // The serial run crosses ~a dozen morsel boundaries on this input;
+    // the parallel runs (task + coop block claims) cross ~100. Sweep
+    // fault points across the span each regime actually reaches.
+    std::vector<int64_t> fault_points = {1, 3, 10};
+    if (threads > 1) {
+      fault_points.push_back(40);
+      fault_points.push_back(90);
+    }
+    for (int64_t fault_at : fault_points) {
+      ec.guard().SetFaultAt(fault_at);
+      Relation out;
+      const ExecResult r =
+          WcojJoinGuarded(h, db, h.vertices(), &out, nullptr, &ec);
+      ASSERT_EQ(r.status, ExecStatus::kCancelled)
+          << "threads=" << threads << " fault_at=" << fault_at;
+      EXPECT_NE(r.message.find("fault injection"), std::string::npos);
+      // The unwind must leave the context balanced: no leaked memory
+      // charges, every scratch arena released.
+      EXPECT_EQ(ec.stats().mem_current_bytes.load(), 0)
+          << "threads=" << threads << " fault_at=" << fault_at;
+      for (int w = 0; w < ec.threads(); ++w) {
+        EXPECT_TRUE(ec.scratch(w).TryAcquire()) << "arena " << w << " stuck";
+        ec.scratch(w).Release();
+      }
+      // The same context runs the same query to completion,
+      // bit-identically (Disarm cleared the fault).
+      Relation again;
+      const ExecResult ok =
+          WcojJoinGuarded(h, db, h.vertices(), &again, nullptr, &ec);
+      ASSERT_TRUE(ok.ok()) << StatusString(ok.status) << ": " << ok.message;
+      EXPECT_EQ(Rows(again), Rows(ref))
+          << "threads=" << threads << " fault_at=" << fault_at;
+    }
+  }
+}
+
+TEST(GuardrailTest, FaultInjectionMidSortAndMidIndexBuild) {
+  // Target the sort layer and the sharded index build directly: both run
+  // enough polls on their own for early fault points to land inside them.
+  const Relation input = WideSortInput(70000, 72);
+  Relation big = SkewedBinary(VarSet{0, 1}, 40000, 5000, 7, 4000, 73);
+  const KeySpec spec(big, VarSet{0});
+  for (int threads : {1, 4}) {
+    ExecContext ec(threads);
+    ec.guard().SetFaultAt(2);
+    ExecResult r = RunGuarded(ec, {}, [&] {
+      Relation s = input;
+      s.SortAndDedupe(&ec);
+    });
+    EXPECT_EQ(r.status, ExecStatus::kCancelled) << "threads=" << threads;
+    EXPECT_EQ(ec.stats().mem_current_bytes.load(), 0);
+    ec.guard().SetFaultAt(2);
+    r = RunGuarded(ec, {}, [&] { FlatMultimap idx(big, spec, &ec); });
+    // Poll points sit at the sharded build's chunk claims; the 1-thread
+    // serial build is a poll-free tight loop and completes.
+    EXPECT_EQ(r.status, threads > 1 ? ExecStatus::kCancelled
+                                    : ExecStatus::kOk)
+        << "threads=" << threads;
+    EXPECT_EQ(ec.stats().mem_current_bytes.load(), 0);
+    // The context still sorts and builds correctly afterwards.
+    Relation s = input;
+    ExecResult ok = RunGuarded(ec, {}, [&] { s.SortAndDedupe(&ec); });
+    ASSERT_TRUE(ok.ok()) << ok.message;
+    Relation ref = input;
+    ref.SortAndDedupe();
+    EXPECT_EQ(Rows(s), Rows(ref)) << "threads=" << threads;
+  }
+}
+
+// Driven by the CI sanitizer job: FMMSW_FAULT_AT=<n> in the environment
+// is read at Arm() time and must abort the guarded run at poll n exactly
+// like the in-process SetFaultAt. Run standalone (gtest_filter) — the env
+// var poisons every other guarded re-run in this file.
+TEST(GuardrailTest, EnvFaultInjection) {
+  if (std::getenv("FMMSW_FAULT_AT") == nullptr) {
+    GTEST_SKIP() << "set FMMSW_FAULT_AT=<poll#> to run";
+  }
+  const Hypergraph h = Hypergraph::Triangle();
+  const Database db = GuardWorkload(79);
+  ExecContext ec(4);
+  Relation out;
+  const ExecResult r = WcojJoinGuarded(h, db, h.vertices(), &out, nullptr,
+                                       &ec, {});
+  EXPECT_EQ(r.status, ExecStatus::kCancelled);
+  EXPECT_NE(r.message.find("fault injection"), std::string::npos);
+  EXPECT_EQ(ec.stats().mem_current_bytes.load(), 0);
+  // With the env fault gone, the same context completes the same query.
+  unsetenv("FMMSW_FAULT_AT");
+  Relation again;
+  const ExecResult ok =
+      WcojJoinGuarded(h, db, h.vertices(), &again, nullptr, &ec);
+  ASSERT_TRUE(ok.ok()) << ok.message;
+  ExecContext ref_ec(1);
+  EXPECT_EQ(Rows(again),
+            Rows(WcojJoin(h, db, h.vertices(), nullptr, &ref_ec)));
+}
+
+TEST(GuardrailTest, CancellationViaPollHook) {
+  const Hypergraph h = Hypergraph::Triangle();
+  const Database db = GuardWorkload(74);
+  ExecContext ec(4);
+  ec.guard().SetPollHook([&ec](int64_t poll) {
+    if (poll == 10) ec.guard().Cancel();
+  });
+  int64_t count = -1;
+  const ExecResult r = WcojCountGuarded(h, db, &count, &ec);
+  ec.guard().SetPollHook(nullptr);
+  EXPECT_EQ(r.status, ExecStatus::kCancelled);
+  EXPECT_EQ(count, -1);  // output untouched on failure
+  EXPECT_GE(ec.guard().polls(), 10);
+  // Reusable afterwards, and cancellation did not stick.
+  const ExecResult ok = WcojCountGuarded(h, db, &count, &ec);
+  ASSERT_TRUE(ok.ok()) << ok.message;
+  ExecContext ref_ec(1);
+  EXPECT_EQ(count, WcojCount(h, db, &ref_ec));
+}
+
+TEST(GuardrailTest, DeadlineExceededTerminatesEarly) {
+  const Hypergraph h = Hypergraph::Triangle();
+  const Database db = GuardWorkload(75);
+  ExecContext ec(4);
+  // Each armed poll sleeps ~1ms and an armed deadline reads the clock at
+  // every poll, so the 5ms budget expires within the first handful of
+  // polls — deterministic regardless of machine speed.
+  ec.guard().SetPollHook([](int64_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  // A count visits the whole join (no witness short-circuit), so the run
+  // is guaranteed to keep polling until the deadline trips.
+  int64_t count = -1;
+  const ExecResult r =
+      WcojCountGuarded(h, db, &count, &ec, {.deadline_ms = 5});
+  ec.guard().SetPollHook(nullptr);
+  EXPECT_EQ(r.status, ExecStatus::kDeadlineExceeded);
+  EXPECT_EQ(count, -1);
+  // Fresh run on the same context succeeds.
+  bool answer = false;
+  const ExecResult ok =
+      EvaluateBooleanGuarded(h, db, &answer, EvalStrategy::kWcoj, &ec);
+  ASSERT_TRUE(ok.ok()) << ok.message;
+  EXPECT_TRUE(answer);  // witness planted
+}
+
+TEST(GuardrailTest, MemoryBudgetExceededAndBalancedAfter) {
+  const Hypergraph h = Hypergraph::Triangle();
+  const Database db = GuardWorkload(76);
+  ExecContext ec(2);
+  Relation out;
+  // The trie build alone charges ~3 * 4000 rows * 2 cols * 8 bytes.
+  const ExecResult r = WcojJoinGuarded(h, db, h.vertices(), &out, nullptr,
+                                       &ec, {.memory_budget_bytes = 16384});
+  EXPECT_EQ(r.status, ExecStatus::kMemoryLimitExceeded);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(ec.stats().mem_current_bytes.load(), 0);
+  EXPECT_GT(ec.stats().mem_peak_bytes.load(), 0);
+  // An ample budget lets the same query through on the same context.
+  const ExecResult ok =
+      WcojJoinGuarded(h, db, h.vertices(), &out, nullptr, &ec,
+                      {.memory_budget_bytes = int64_t{1} << 32});
+  ASSERT_TRUE(ok.ok()) << ok.message;
+  EXPECT_FALSE(out.empty());
+  EXPECT_EQ(ec.stats().mem_current_bytes.load(), 0);
+}
+
+TEST(GuardrailTest, RowLimitExceeded) {
+  // A join with a huge output: every a-row matches every b-row on y=0.
+  Relation a(VarSet{0, 1}), b(VarSet{1, 2});
+  for (Value i = 0; i < 300; ++i) {
+    a.Add({i, 0});
+    b.Add({0, i});
+  }
+  ExecContext ec(1);
+  const ExecResult r = RunGuarded(ec, {.max_output_rows = 1000},
+                                  [&] { Join(a, b, {}, &ec); });
+  EXPECT_EQ(r.status, ExecStatus::kCapacityExceeded);
+  EXPECT_NE(r.message.find("max_output_rows"), std::string::npos);
+  // 90000 output rows pass well within budget when no limit is armed.
+  const ExecResult ok = RunGuarded(ec, {}, [&] {
+    EXPECT_EQ(Join(a, b, {}, &ec).size(), 90000u);
+  });
+  ASSERT_TRUE(ok.ok()) << ok.message;
+}
+
+TEST(GuardrailTest, InvalidArgumentFromValidation) {
+  const Hypergraph h = Hypergraph::Triangle();
+  Database db = GuardWorkload(77);
+  bool answer = false;
+  // Relation-count mismatch.
+  Database short_db;
+  short_db.relations.push_back(db.relations[0]);
+  EXPECT_EQ(EvaluateBooleanGuarded(h, short_db, &answer).status,
+            ExecStatus::kInvalidArgument);
+  // Schema mismatch: swap two relations so schemas disagree with edges.
+  Database swapped = db;
+  std::swap(swapped.relations[0], swapped.relations[1]);
+  EXPECT_EQ(EvaluateBooleanGuarded(h, swapped, &answer).status,
+            ExecStatus::kInvalidArgument);
+  EXPECT_EQ(ValidateQuery(h, swapped).status, ExecStatus::kInvalidArgument);
+  // The untouched database validates and evaluates.
+  EXPECT_TRUE(ValidateQuery(h, db).ok());
+  const ExecResult ok = EvaluateBooleanGuarded(h, db, &answer);
+  ASSERT_TRUE(ok.ok()) << ok.message;
+  EXPECT_TRUE(answer);
+}
+
+TEST(GuardrailTest, GuardedMatchesUnguardedForEveryStrategy) {
+  const Hypergraph h = Hypergraph::Triangle();
+  const Database db = GuardWorkload(78);
+  for (EvalStrategy strategy : {EvalStrategy::kWcoj, EvalStrategy::kBestTd,
+                                EvalStrategy::kElimination}) {
+    ExecContext ec(4);
+    const bool plain = EvaluateBoolean(h, db, strategy, &ec);
+    bool guarded = !plain;
+    const ExecResult r = EvaluateBooleanGuarded(h, db, &guarded, strategy,
+                                                &ec, {.deadline_ms = 60000});
+    ASSERT_TRUE(r.ok()) << r.message;
+    EXPECT_EQ(guarded, plain);
+  }
+}
+
+TEST(GuardrailTest, FlatIndexCapacityOverflowThrowsQueryAbort) {
+  // Beyond the 2^30-entry cap the build reports kCapacityExceeded
+  // instead of aborting the process (capacity math only, no allocation).
+  try {
+    flat_internal::TableCapacity(size_t{1} << 31);
+    FAIL() << "expected QueryAbort";
+  } catch (const QueryAbort& e) {
+    EXPECT_EQ(e.status(), ExecStatus::kCapacityExceeded);
+    EXPECT_NE(std::string(e.what()).find("2^30"), std::string::npos);
+  }
+  // The boundary itself still fits.
+  EXPECT_EQ(flat_internal::TableCapacity(size_t{1} << 30), 2147483648u);
 }
 
 TEST(WideSortTest, TrieBuildOrderInvariantUnderColumnPermutation) {

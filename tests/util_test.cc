@@ -3,9 +3,11 @@
 // record sorter behind the data plane's packed row sorts).
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -395,6 +397,76 @@ TEST(RadixRecordsTest, ParallelBitIdenticalToSerial) {
   std::vector<uint64_t> scratch;
   EXPECT_FALSE(RadixSortRecords(small.data(), kRadixMinN * 2, 2, 2, scratch,
                                 &pool));
+}
+
+// ------------------------------------------------------- pool exceptions --
+
+TEST(ThreadPoolTest, CallerThrowLeavesPoolReusable) {
+  // Regression: a throw from fn(0) used to skip the in_parallel_ release,
+  // wedging every later Run into the serial fallback forever.
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.Run([](int t) {
+        if (t == 0) throw std::runtime_error("caller boom");
+      }),
+      std::runtime_error);
+  EXPECT_FALSE(pool.busy());
+  std::atomic<int> ran(0);
+  pool.Run([&](int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);  // all workers participate again
+}
+
+TEST(ThreadPoolTest, WorkerThrowRethrownOnCaller) {
+  // Regression: an exception escaping a worker thread called
+  // std::terminate; it must be captured and rethrown on the caller.
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    try {
+      pool.Run([](int t) {
+        if (t == 2) throw std::runtime_error("worker boom");
+      });
+      FAIL() << "expected rethrow, round " << round;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "worker boom");
+    }
+    EXPECT_FALSE(pool.busy());
+  }
+  std::atomic<int> ran(0);
+  pool.Run([&](int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPoolTest, CallerExceptionWinsOverWorkerException) {
+  ThreadPool pool(4);
+  try {
+    pool.Run([](int t) {
+      if (t == 0) throw std::runtime_error("caller");
+      throw std::runtime_error("worker");
+    });
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "caller");
+  }
+  EXPECT_FALSE(pool.busy());
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesChunkException) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> done(0);
+  EXPECT_THROW(ParallelFor(
+                   pool, 100000,
+                   [&](int64_t begin, int64_t end) {
+                     if (begin >= 50000) throw std::runtime_error("chunk");
+                     done.fetch_add(end - begin);
+                   },
+                   1),
+               std::runtime_error);
+  EXPECT_FALSE(pool.busy());
+  // The loop still works afterwards.
+  done = 0;
+  ParallelFor(pool, 1000,
+              [&](int64_t begin, int64_t end) { done.fetch_add(end - begin); });
+  EXPECT_EQ(done.load(), 1000);
 }
 
 // ------------------------------------------------------------------- Rng --
