@@ -39,8 +39,21 @@ void Run() {
   std::printf("    <= 2 h(XY) + (w-1) h(YZ) + (w-1) h(XZ)\n");
   bench::Row("w-dominance (Def E.1/E.3)", "holds",
              CheckDominance(ineq, omega) ? "holds" : "VIOLATED");
+  // Run the Shannon-cone LP on a private context so the planner counters
+  // (lps_solved / lp_warm_starts / plan time) are this check's alone.
+  ExecContext ec;
+  Stopwatch plan_sw;
+  const bool shannon_ok = VerifyShannon(ineq, VarSet::Full(3), &ec);
+  const double plan_ms = plan_sw.Seconds() * 1000.0;
   bench::Row("Shannon validity (LP over cone)", "valid",
-             VerifyShannon(ineq, VarSet::Full(3)) ? "valid" : "INVALID");
+             shannon_ok ? "valid" : "INVALID");
+  char planner[128];
+  std::snprintf(planner, sizeof(planner),
+                "lps_solved=%lld lp_warm_starts=%lld plan_ms=%.2f",
+                static_cast<long long>(ec.stats().lp_solves.load()),
+                static_cast<long long>(ec.stats().lp_warm_starts.load()),
+                plan_ms);
+  bench::Row("planner counters (LP verify)", "-", planner);
 
   auto seq = TriangleProofSequence(omega);
   std::printf("\nproof sequence (%zu primitive steps; Figure 1 rows are\n"

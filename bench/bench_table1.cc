@@ -16,25 +16,36 @@ namespace {
 
 namespace cf = closed_forms;
 
+// The planner counters for the LP-computed rows: how many simplex
+// solves the row cost, how many replayed a warm basis, and the plan
+// wall time.
+std::string Planner(const OmegaSubwResult& r) {
+  char buf[112];
+  std::snprintf(buf, sizeof(buf),
+                "lps_solved=%ld lp_warm_starts=%ld plan_ms=%.2f", r.lps_solved,
+                r.lp_warm_starts, static_cast<double>(r.plan_ns) * 1e-6);
+  return buf;
+}
+
 void PrintForOmega(const Rational& omega) {
   const double w = omega.ToDouble();
   std::printf("\n-- omega = %s (~%.6f) --\n", omega.ToString().c_str(), w);
   bench::Row("arbitrary Q", "O(N^subw)", "O(N^{w-subw})",
              "w-subw <= subw (Prop 4.9)");
   // Triangle.
+  const OmegaSubwResult tri = OmegaSubw(Hypergraph::Triangle(), omega);
   bench::Row("triangle", bench::Fmt(cf::OmegaSubwTriangle(omega).ToDouble()),
-             bench::Fmt(OmegaSubw(Hypergraph::Triangle(), omega)
-                            .value.ToDouble()),
-             "2w/(w+1), LP-computed");
+             bench::Fmt(tri.value.ToDouble()),
+             "2w/(w+1), LP-computed  " + Planner(tri));
   // 4- and 5-clique.
+  const OmegaSubwResult k4 = OmegaSubw(Hypergraph::Clique(4), omega);
   bench::Row("4-clique", bench::Fmt(cf::OmegaSubwClique4(omega).ToDouble()),
-             bench::Fmt(OmegaSubw(Hypergraph::Clique(4), omega)
-                            .value.ToDouble()),
-             "(w+1)/2, LP-computed");
+             bench::Fmt(k4.value.ToDouble()),
+             "(w+1)/2, LP-computed  " + Planner(k4));
+  const OmegaSubwResult k5 = OmegaSubw(Hypergraph::Clique(5), omega);
   bench::Row("5-clique", bench::Fmt(cf::OmegaSubwClique5(omega).ToDouble()),
-             bench::Fmt(OmegaSubw(Hypergraph::Clique(5), omega)
-                            .value.ToDouble()),
-             "w/2+1, LP-computed");
+             bench::Fmt(k5.value.ToDouble()),
+             "w/2+1, LP-computed  " + Planner(k5));
   // k-clique for k >= 6: prior uses rectangular MM (reported through the
   // square-MM bound), ours is the Lemma C.8 closed form.
   for (int k = 6; k <= 8; ++k) {

@@ -3,7 +3,9 @@
 // forms; plus verification that the Figure 2-4 witness polymatroids are
 // valid, edge-dominated, and attain the widths.
 
+#include <cstdint>
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
 #include "entropy/witnesses.h"
@@ -18,6 +20,19 @@ namespace {
 namespace cf = closed_forms;
 
 const char* Mark(bool ok) { return ok ? "MATCH" : "MISMATCH"; }
+
+// Planner-counter columns shared by every LP-computed row.
+std::string Planner(long lps, long warm, int64_t plan_ns) {
+  char buf[112];
+  std::snprintf(buf, sizeof(buf),
+                "lps_solved=%ld lp_warm_starts=%ld plan_ms=%.2f", lps, warm,
+                static_cast<double>(plan_ns) * 1e-6);
+  return buf;
+}
+
+std::string Planner(const OmegaSubwResult& r) {
+  return Planner(r.lps_solved, r.lp_warm_starts, r.plan_ns);
+}
 
 void SubwRows() {
   bench::Header("Table 2, column 'Submodular Width' (exact LP)");
@@ -41,8 +56,8 @@ void SubwRows() {
   for (const Case& c : cases) {
     auto r = SubmodularWidth(c.h);
     bench::Row(c.name, c.expect.ToString(), r.value.ToString(),
-               std::string(Mark(r.value == c.expect)) + " (" +
-                   std::to_string(r.lps_solved) + " LPs)");
+               std::string(Mark(r.value == c.expect)) + "  " +
+                   Planner(r.lps_solved, r.lp_warm_starts, r.plan_ns));
   }
 }
 
@@ -54,20 +69,23 @@ void OmegaSubwRows(const Rational& omega) {
     auto r = OmegaSubw(Hypergraph::Triangle(), omega);
     const Rational expect = cf::OmegaSubwTriangle(omega);
     bench::Row("triangle", expect.ToString(), r.value.ToString(),
-               Mark(r.exact && r.value == expect));
+               std::string(Mark(r.exact && r.value == expect)) + "  " +
+                   Planner(r));
   }
   {
     auto r = OmegaSubw(Hypergraph::Clique(4), omega);
     const Rational expect = cf::OmegaSubwClique4(omega);
     bench::Row("4-clique", expect.ToString(), r.value.ToString(),
                std::string(Mark(r.exact && r.value == expect)) + " (" +
-                   std::to_string(r.num_mm_terms) + " MM terms)");
+                   std::to_string(r.num_mm_terms) + " MM terms)  " +
+                   Planner(r));
   }
   {
     auto r = OmegaSubw(Hypergraph::Clique(5), omega);
     const Rational expect = cf::OmegaSubwClique5(omega);
     bench::Row("5-clique", expect.ToString(), r.value.ToString(),
-               Mark(r.exact && r.value == expect));
+               std::string(Mark(r.exact && r.value == expect)) + "  " +
+                   Planner(r));
   }
   bench::Row("k-clique k=7 (closed form)",
              cf::OmegaSubwClique(7, omega).ToString(),
@@ -81,16 +99,20 @@ void OmegaSubwRows(const Rational& omega) {
     }
     auto r = OmegaSubw(Hypergraph::Cycle(4), omega, opts);
     const Rational expect = cf::OmegaSubwCycle4(omega);
+    std::string note = "lower ";
+    note += Mark(r.lower == expect);
+    note += " (witness-certified)  ";
+    note += Planner(r);
     bench::Row("4-cycle", expect.ToString(),
                "[" + r.lower.ToString() + ", " + r.upper.ToString() + "]",
-               std::string("lower ") + Mark(r.lower == expect) +
-                   " (witness-certified)");
+               note);
   }
   {
     auto r = OmegaSubw(Hypergraph::Pyramid(3), omega);
     const Rational expect = cf::OmegaSubwPyramid3(omega);
     bench::Row("3-pyramid", expect.ToString(), r.value.ToString(),
-               Mark(r.exact && r.value == expect));
+               std::string(Mark(r.exact && r.value == expect)) + "  " +
+                   Planner(r));
   }
   bench::Row("k-pyramid k=5 (upper bound)",
              cf::OmegaSubwPyramidUpper(5, omega).ToString(),
@@ -99,8 +121,9 @@ void OmegaSubwRows(const Rational& omega) {
     auto r = OmegaSubw(Hypergraph::LemmaC15(), omega);
     const Rational bound = cf::OmegaSubwLemmaC15Upper(omega);
     bench::Row("Lemma C.15", "<= " + bound.ToString(), r.value.ToString(),
-               r.value <= bound ? "WITHIN BOUND (exact value!)"
-                                : "EXCEEDS BOUND");
+               (r.value <= bound ? std::string("WITHIN BOUND (exact value!)")
+                                 : std::string("EXCEEDS BOUND")) +
+                   "  " + Planner(r));
   }
 }
 

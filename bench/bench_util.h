@@ -51,12 +51,15 @@ inline bool StepEnabled(long long n) { return n <= max_n; }
 /// sort-layer time, from the ExecStats::sort_ns delta) are each summed
 /// across workers, so they can exceed wall_ms when the phases run
 /// concurrently inside parallel regions; each is emitted when the caller
-/// passes a non-negative value. Emitted only in --json mode;
-/// human-readable output stays as-is, so consumers should filter for
-/// lines starting with '{'.
+/// passes a non-negative value. `extra`, when non-empty, is a raw JSON
+/// fragment (e.g. "\"lps_solved\":12") spliced in before the closing
+/// brace — the planner benches use it for LP counters. Emitted only in
+/// --json mode; human-readable output stays as-is, so consumers should
+/// filter for lines starting with '{'.
 inline void Json(const std::string& name, long long n,
                  const std::string& kernel, double wall_ms,
-                 double index_build_ms = -1.0, double sort_ms = -1.0) {
+                 double index_build_ms = -1.0, double sort_ms = -1.0,
+                 const std::string& extra = "") {
   if (!json_mode) return;
   std::string line = "{\"name\":\"" + name + "\",\"n\":" + std::to_string(n) +
                      ",\"kernel\":\"" + kernel + "\"";
@@ -72,6 +75,7 @@ inline void Json(const std::string& name, long long n,
     std::snprintf(buf, sizeof(buf), ",\"sort_ms\":%.6f", sort_ms);
     line += buf;
   }
+  if (!extra.empty()) line += "," + extra;
   std::printf("%s}\n", line.c_str());
 }
 

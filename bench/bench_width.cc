@@ -1,0 +1,349 @@
+// E13 — the planner plane as a workload: subw and w-subw over the
+// Table 1/2 hypergraph families, warm-started vs cold simplex, the
+// step-digest keyed caches, and the process-wide width cache.
+//
+// Every row reports the planner counters next to the wall time:
+// lps_solved / lp_warm_starts / lp_pivots / plan_ms. The cold-vs-warm
+// A/B asserts value equality (the simplex canonicalizes its optima, so
+// warm starting cannot change the answer) and prints the pivot
+// reduction. --json emits one line per measurement for BENCH_*.json.
+
+#include <cstdint>
+#include <cstdio>
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "entropy/witnesses.h"
+#include "core/api.h"
+#include "hypergraph/hypergraph.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+#include "width/omega_subw.h"
+#include "width/subw.h"
+#include "width/width_cache.h"
+
+namespace {
+
+using namespace fmmsw;
+
+const Rational kOmega(2371552, 1000000);  // 2.371552
+
+std::string Counters(long lps, long warm, long piv, int64_t plan_ns) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "\"lps_solved\":%ld,\"lp_warm_starts\":%ld,"
+                "\"lp_pivots\":%ld,\"plan_ms\":%.3f",
+                lps, warm, piv, static_cast<double>(plan_ns) * 1e-6);
+  return buf;
+}
+
+std::string Note(double ms, long lps, long warm, long piv) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%8.2f ms  lps=%-6ld warm=%-6ld piv=%ld",
+                ms, lps, warm, piv);
+  return buf;
+}
+
+OmegaSubwOptions Opts(bool warm) {
+  OmegaSubwOptions o;
+  o.warm_start = warm;
+  o.use_width_cache = false;  // honest timings: never serve from the cache
+  return o;
+}
+
+// --- subw rows --------------------------------------------------------
+
+void SubwRows() {
+  struct Case {
+    const char* name;
+    Hypergraph h;
+    int reps;
+  };
+  const std::vector<Case> cases = {
+      {"triangle", Hypergraph::Triangle(), 20},
+      {"cycle4", Hypergraph::Cycle(4), 10},
+      {"clique4", Hypergraph::Clique(4), 5},
+      {"clique5", Hypergraph::Clique(5), 1},
+      {"cycle5", Hypergraph::Cycle(5), 1},
+      {"cycle6", Hypergraph::Cycle(6), 1},
+      {"pyramid4", Hypergraph::Pyramid(4), 1},
+      {"lemmaC15", Hypergraph::LemmaC15(), 1},
+  };
+  bench::Header("subw(H): exact submodular width (warm-started LP tower)");
+  for (const Case& c : cases) {
+    const long long n = c.h.vertices().size();
+    if (!bench::StepEnabled(n)) continue;
+    SubwResult r;
+    Stopwatch sw;
+    for (int i = 0; i < c.reps; ++i) r = SubmodularWidth(c.h);
+    const double ms = sw.Seconds() * 1000.0 / c.reps;
+    bench::Row(std::string("subw ") + c.name, "-", r.value.ToString(),
+               Note(ms, r.lps_solved, r.lp_warm_starts, r.lp_pivots));
+    bench::Json(c.name, n, "subw", ms, -1, -1,
+                Counters(r.lps_solved, r.lp_warm_starts, r.lp_pivots,
+                         r.plan_ns));
+  }
+}
+
+// --- w-subw rows, warm vs cold ---------------------------------------
+
+void OmegaSubwRows() {
+  struct Case {
+    const char* name;
+    Hypergraph h;
+    int reps;
+    bool cold_ab;  // also run the cold-start A/B for this shape
+    std::vector<SetFn<Rational>> witnesses;
+  };
+  std::vector<Case> cases = {
+      {"triangle", Hypergraph::Triangle(), 10, true, {}},
+      {"clique4", Hypergraph::Clique(4), 5, true, {}},
+      {"pyramid3", Hypergraph::Pyramid(3), 5, true, {}},
+      {"clique5", Hypergraph::Clique(5), 1, true, {}},
+      {"pyramid4", Hypergraph::Pyramid(4), 1, false, {}},
+      {"lemmaC15", Hypergraph::LemmaC15(), 1, false, {}},
+      {"cycle4", Hypergraph::Cycle(4), 1, false,
+       {FourCycleWitnessLow(kOmega), FourCycleWitnessHigh()}},
+      {"cycle5", Hypergraph::Cycle(5), 1, false, {}},
+  };
+  bench::Header("w-subw(H): warm-started vs cold LPs (values must agree)");
+  for (const Case& c : cases) {
+    const long long n = c.h.vertices().size();
+    if (!bench::StepEnabled(n)) continue;
+
+    OmegaSubwOptions warm = Opts(true);
+    warm.witnesses = c.witnesses;
+    OmegaSubwResult rw;
+    Stopwatch sw;
+    for (int i = 0; i < c.reps; ++i) rw = OmegaSubw(c.h, kOmega, warm);
+    const double warm_ms = sw.Seconds() * 1000.0 / c.reps;
+    bench::Row(std::string("osubw ") + c.name + " warm", "-",
+               rw.value.ToString(),
+               Note(warm_ms, rw.lps_solved, rw.lp_warm_starts, rw.lp_pivots));
+    bench::Json(c.name, n, "osubw-warm", warm_ms, -1, -1,
+                Counters(rw.lps_solved, rw.lp_warm_starts, rw.lp_pivots,
+                         rw.plan_ns));
+
+    if (!c.cold_ab) continue;
+    OmegaSubwOptions cold = Opts(false);
+    cold.witnesses = c.witnesses;
+    OmegaSubwResult rc;
+    Stopwatch sc;
+    for (int i = 0; i < c.reps; ++i) rc = OmegaSubw(c.h, kOmega, cold);
+    const double cold_ms = sc.Seconds() * 1000.0 / c.reps;
+    const bool match = rc.value == rw.value && rc.lower == rw.lower &&
+                       rc.upper == rw.upper;
+    char note[224];
+    std::snprintf(note, sizeof(note), "%s  piv %ld -> %ld (%.1fx fewer)",
+                  Note(cold_ms, rc.lps_solved, rc.lp_warm_starts,
+                       rc.lp_pivots)
+                      .c_str(),
+                  rc.lp_pivots, rw.lp_pivots,
+                  rw.lp_pivots > 0 ? static_cast<double>(rc.lp_pivots) /
+                                         static_cast<double>(rw.lp_pivots)
+                                   : 0.0);
+    bench::Row(std::string("osubw ") + c.name + " cold", "-",
+               match ? "MATCH" : "MISMATCH", note);
+    bench::Json(c.name, n, "osubw-cold", cold_ms, -1, -1,
+                Counters(rc.lps_solved, rc.lp_warm_starts, rc.lp_pivots,
+                         rc.plan_ns));
+  }
+}
+
+// --- the mechanical algorithm (Example D.1 full enumeration) ----------
+
+void FullEnumerationRow() {
+  if (!bench::StepEnabled(4)) return;
+  OmegaSubwOptions full = Opts(true);
+  full.full_enumeration = true;
+  Stopwatch sw;
+  OmegaSubwResult r = OmegaSubwClustered(Hypergraph::Clique(4), kOmega, full);
+  const double ms = sw.Seconds() * 1000.0;
+  bench::Header("Example D.1: 4-clique full enumeration (3^10 LP family)");
+  bench::Row("osubw clique4 full-enum", "59049 LPs",
+             std::to_string(r.lps_solved) + " LPs",
+             Note(ms, r.lps_solved, r.lp_warm_starts, r.lp_pivots));
+  bench::Json("clique4_full", 4, "osubw-full", ms, -1, -1,
+              Counters(r.lps_solved, r.lp_warm_starts, r.lp_pivots,
+                       r.plan_ns));
+}
+
+// --- the process-wide width cache ------------------------------------
+
+void WidthCacheRows() {
+  if (!bench::StepEnabled(4)) return;
+  bench::Header("WidthCache: repeated plans over the same query shape");
+  WidthCache::Global().Clear();
+  OmegaSubwOptions opts;  // cache ON (the default)
+  Stopwatch miss;
+  OmegaSubwResult r1 = OmegaSubw(Hypergraph::Clique(4), kOmega, opts);
+  const double miss_ms = miss.Seconds() * 1000.0;
+  Stopwatch hit;
+  OmegaSubwResult r2 = OmegaSubw(Hypergraph::Clique(4), kOmega, opts);
+  const double hit_ms = hit.Seconds() * 1000.0;
+  bench::Row("osubw clique4 1st (miss)", "-",
+             r1.from_cache ? "from_cache" : "computed",
+             Note(miss_ms, r1.lps_solved, r1.lp_warm_starts, r1.lp_pivots));
+  bench::Row("osubw clique4 2nd (hit)", "-",
+             r2.from_cache ? "from_cache" : "computed",
+             bench::Fmt(hit_ms) + " ms  (" +
+                 bench::Fmt(miss_ms / (hit_ms > 0 ? hit_ms : 1e-9)) +
+                 "x faster)");
+  bench::Json("clique4_cache", 4, "width-cache-miss", miss_ms, -1, -1,
+              Counters(r1.lps_solved, r1.lp_warm_starts, r1.lp_pivots,
+                       r1.plan_ns));
+  bench::Json("clique4_cache", 4, "width-cache-hit", hit_ms);
+  WidthCache::Global().Clear();
+}
+
+// --- ComputeWidths end to end ----------------------------------------
+
+void ComputeWidthsRows() {
+  struct Case {
+    const char* name;
+    Hypergraph h;
+    int reps;
+  };
+  const std::vector<Case> cases = {
+      {"triangle", Hypergraph::Triangle(), 10},
+      {"cycle4", Hypergraph::Cycle(4), 5},
+  };
+  bench::Header("ComputeWidths: rho* + fhtw + subw + w-subw in one call");
+  for (const Case& c : cases) {
+    const long long n = c.h.vertices().size();
+    if (!bench::StepEnabled(n)) continue;
+    OmegaSubwOptions opts = Opts(true);
+    WidthReport r;
+    Stopwatch sw;
+    for (int i = 0; i < c.reps; ++i) r = ComputeWidths(c.h, kOmega, opts);
+    const double ms = sw.Seconds() * 1000.0 / c.reps;
+    bench::Row(std::string("widths ") + c.name, "-",
+               "subw=" + r.subw.ToString(),
+               Note(ms, r.lps_solved, r.lp_warm_starts, r.lp_pivots));
+    bench::Json(c.name, n, "widths", ms, -1, -1,
+                Counters(r.lps_solved, r.lp_warm_starts, r.lp_pivots,
+                         r.plan_ns));
+  }
+}
+
+// --- StepKey micro-benchmark -----------------------------------------
+//
+// The planner's per-step caches used to key on a materialized
+// std::vector<uint32_t> (before-mask, block-mask, sorted incident edge
+// masks) in a std::map. The refactor keys on an incrementally folded
+// 128-bit digest in an unordered_map — no allocation, no sort, O(1)
+// probes. This micro-benchmark replays the same synthetic step stream
+// through both keying schemes.
+
+uint64_t SplitMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct SynthStep {
+  uint32_t before = 0;
+  uint32_t block = 0;
+  std::vector<uint32_t> edges;  // unsorted, as the walk discovers them
+};
+
+std::vector<SynthStep> MakeSteps(int count) {
+  std::vector<SynthStep> steps;
+  steps.reserve(count);
+  uint64_t state = 0x5eed5eed5eed5eedull;
+  auto next = [&state]() { return state = SplitMix(state); };
+  for (int i = 0; i < count; ++i) {
+    SynthStep s;
+    s.before = static_cast<uint32_t>(next() & 0xffff);
+    s.block = static_cast<uint32_t>(next() & 0xffff);
+    const int ne = 3 + static_cast<int>(next() % 6);
+    for (int e = 0; e < ne; ++e) {
+      s.edges.push_back(static_cast<uint32_t>(next() & 0xffff));
+    }
+    steps.push_back(std::move(s));
+  }
+  return steps;
+}
+
+struct Digest {
+  uint64_t a = 0, b = 0;
+  bool operator==(const Digest& o) const { return a == o.a && b == o.b; }
+};
+struct DigestHash {
+  size_t operator()(const Digest& d) const { return d.a; }
+};
+
+void StepKeyRows() {
+  const int kSteps = 4096;
+  const int kPasses = 64;
+  if (!bench::StepEnabled(kSteps)) return;
+  const std::vector<SynthStep> steps = MakeSteps(kSteps);
+
+  // Scheme A: materialize + sort a vector key per lookup, std::map.
+  std::map<std::vector<uint32_t>, int> vec_map;
+  long long vec_sink = 0;
+  Stopwatch sa;
+  for (int p = 0; p < kPasses; ++p) {
+    for (const SynthStep& s : steps) {
+      std::vector<uint32_t> key;
+      key.reserve(2 + s.edges.size());
+      key.push_back(s.before);
+      key.push_back(s.block);
+      std::vector<uint32_t> es = s.edges;
+      std::sort(es.begin(), es.end());
+      key.insert(key.end(), es.begin(), es.end());
+      auto [it, fresh] =
+          vec_map.try_emplace(std::move(key), static_cast<int>(vec_map.size()));
+      vec_sink += it->second + (fresh ? 1 : 0);
+    }
+  }
+  const double vec_ms = sa.Seconds() * 1000.0 / kPasses;
+
+  // Scheme B: fold an order-independent 128-bit digest, unordered_map.
+  std::unordered_map<Digest, int, DigestHash> dig_map;
+  dig_map.reserve(kSteps * 2);
+  long long dig_sink = 0;
+  Stopwatch sb;
+  for (int p = 0; p < kPasses; ++p) {
+    for (const SynthStep& s : steps) {
+      Digest d;
+      d.a = SplitMix(s.before) + SplitMix(static_cast<uint64_t>(s.block) << 32);
+      d.b = SplitMix(d.a);
+      for (uint32_t e : s.edges) {
+        d.a += SplitMix(e);  // commutative: walk order cannot matter
+        d.b += SplitMix(static_cast<uint64_t>(e) ^ 0xc2b2ae3d27d4eb4full);
+      }
+      auto [it, fresh] =
+          dig_map.try_emplace(d, static_cast<int>(dig_map.size()));
+      dig_sink += it->second + (fresh ? 1 : 0);
+    }
+  }
+  const double dig_ms = sb.Seconds() * 1000.0 / kPasses;
+
+  bench::Header("StepKey: vector-keyed map vs incremental 128-bit digest");
+  FMMSW_CHECK(vec_sink == dig_sink);  // both schemes saw identical streams
+  bench::Row("vector key + std::map", "-", bench::Fmt(vec_ms) + " ms/pass",
+             std::to_string(vec_map.size()) + " distinct steps");
+  bench::Row("digest key + flat hash", "-", bench::Fmt(dig_ms) + " ms/pass",
+             bench::Fmt(vec_ms / (dig_ms > 0 ? dig_ms : 1e-9)) + "x faster");
+  bench::Json("stepkey", kSteps, "stepkey-vector", vec_ms);
+  bench::Json("stepkey", kSteps, "stepkey-digest", dig_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fmmsw::bench::Init(argc, argv);
+  SubwRows();
+  OmegaSubwRows();
+  FullEnumerationRow();
+  WidthCacheRows();
+  ComputeWidthsRows();
+  StepKeyRows();
+  return 0;
+}

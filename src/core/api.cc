@@ -1,23 +1,36 @@
 #include "core/api.h"
 
+#include <chrono>
+
 #include "engine/td_eval.h"
 #include "engine/wcoj.h"
 
 namespace fmmsw {
 
 WidthReport ComputeWidths(const Hypergraph& h, const Rational& omega,
-                          const OmegaSubwOptions& opts) {
+                          const OmegaSubwOptions& opts, ExecContext* ctx) {
+  ExecContext& ec = ExecContext::Resolve(ctx);
+  const auto t0 = std::chrono::steady_clock::now();
   WidthReport out;
-  out.rho_star = RhoStar(h);
-  out.fhtw = Fhtw(h);
-  auto subw = SubmodularWidth(h);
+  out.rho_star = RhoStar(h, &ec);
+  out.fhtw = Fhtw(h, &ec);
+  auto subw = SubmodularWidth(h, &ec);
   out.subw = subw.value;
-  auto osubw = OmegaSubw(h, omega, opts);
+  out.lps_solved += subw.lps_solved;
+  out.lp_warm_starts += subw.lp_warm_starts;
+  out.lp_pivots += subw.lp_pivots;
+  auto osubw = OmegaSubw(h, omega, opts, &ec);
   out.omega_subw_lower = osubw.lower;
   out.omega_subw_upper = osubw.upper;
   out.omega_subw_exact = osubw.exact;
   out.num_mm_terms = osubw.num_mm_terms;
-  out.lps_solved = osubw.lps_solved;
+  out.lps_solved += osubw.lps_solved;
+  out.lp_warm_starts += osubw.lp_warm_starts;
+  out.lp_pivots += osubw.lp_pivots;
+  out.from_cache = osubw.from_cache;
+  out.plan_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
   return out;
 }
 

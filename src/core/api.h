@@ -30,14 +30,22 @@ struct WidthReport {
   bool omega_subw_exact = false;
   int num_mm_terms = 0;
   long lps_solved = 0;
+  long lp_warm_starts = 0;   ///< LPs that replayed a previous basis
+  long lp_pivots = 0;        ///< total simplex pivots across all width LPs
+  int64_t plan_ns = 0;       ///< wall time spent planning (all widths)
+  bool from_cache = false;   ///< w-subw served by the process WidthCache
 };
 
 /// Computes every width of the query hypergraph at the given omega.
 /// For clustered hypergraphs (cliques, pyramids, Lemma C.15) the w-subw is
 /// exact; otherwise certified bounds are returned (add witnesses via
 /// OmegaSubwOptions to tighten the lower bound).
+/// `ctx` (nullptr = process default) supplies the planner thread pool,
+/// the guardrail polled between LP solves, and the planner ExecStats
+/// counters; results are identical at every thread count.
 WidthReport ComputeWidths(const Hypergraph& h, const Rational& omega,
-                          const OmegaSubwOptions& opts = {});
+                          const OmegaSubwOptions& opts = {},
+                          ExecContext* ctx = nullptr);
 
 /// Renders the report as a human-readable table.
 std::string FormatWidthReport(const Hypergraph& h, const Rational& omega,

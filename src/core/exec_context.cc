@@ -125,6 +125,11 @@ void ExecStats::Reset() {
   mm_simd_calls = 0;
   mm_bitsliced_calls = 0;
   mm_pack_ns = 0;
+  lp_solves = 0;
+  lp_warm_starts = 0;
+  lp_pivots = 0;
+  width_cache_hits = 0;
+  plan_ns = 0;
   mem_current_bytes = 0;
   mem_peak_bytes = 0;
 }
@@ -171,6 +176,11 @@ std::string ExecStats::ToString() const {
   row("mm_simd_calls       ", mm_simd_calls);
   row("mm_bitsliced_calls  ", mm_bitsliced_calls);
   row("mm_pack_ns          ", mm_pack_ns);
+  row("lp_solves           ", lp_solves);
+  row("lp_warm_starts      ", lp_warm_starts);
+  row("lp_pivots           ", lp_pivots);
+  row("width_cache_hits    ", width_cache_hits);
+  row("plan_ns             ", plan_ns);
   row("mem_current_bytes   ", mem_current_bytes);
   row("mem_peak_bytes      ", mem_peak_bytes);
   return out;

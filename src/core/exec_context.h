@@ -130,6 +130,12 @@ struct ExecStats {
   std::atomic<int64_t> mm_simd_calls{0};        ///< ...with a vector inner kernel
   std::atomic<int64_t> mm_bitsliced_calls{0};   ///< bit-sliced 0/1 counting products
   std::atomic<int64_t> mm_pack_ns{0};           ///< wall ns packing panels/planes
+  // Planner counters (lp/ + width/; see the README "Planner" section):
+  std::atomic<int64_t> lp_solves{0};            ///< simplex solves (double+exact)
+  std::atomic<int64_t> lp_warm_starts{0};       ///< ...that replayed a prior basis
+  std::atomic<int64_t> lp_pivots{0};            ///< total simplex pivots
+  std::atomic<int64_t> width_cache_hits{0};     ///< WidthCache lookups served
+  std::atomic<int64_t> plan_ns{0};              ///< wall ns inside width planning
   // Memory accounting (maintained by QueryGuard::ChargeMem/ReleaseMem;
   // charged at the data plane's large transient allocations — packed sort
   // records, trie buffers, flat-index slot arrays, MM pads/panels):

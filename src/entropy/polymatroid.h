@@ -18,23 +18,39 @@
 
 #include "hypergraph/hypergraph.h"
 #include "lp/model.h"
+#include "util/check.h"
 #include "util/rational.h"
 #include "util/varset.h"
 
 namespace fmmsw {
 
 /// A set function over subsets of a fixed universe, stored densely by mask.
+/// Storage is sized by the universe (masks of subsets are <= the universe
+/// mask), not by kMaxVars — the width LPs construct one of these per solve,
+/// so a 4-variable query allocates 16 slots instead of 65536.
 template <typename T>
 class SetFn {
  public:
   SetFn() : universe_() {}
   explicit SetFn(VarSet universe)
-      : universe_(universe), values_(1u << kMaxVars, T{}) {}
+      : universe_(universe),
+        values_(static_cast<size_t>(universe.mask()) + 1, T{}) {}
 
   VarSet universe() const { return universe_; }
 
-  T& operator[](VarSet s) { return values_[s.mask()]; }
-  const T& operator[](VarSet s) const { return values_[s.mask()]; }
+  T& operator[](VarSet s) {
+    FMMSW_DCHECK(universe_.ContainsAll(s));
+    return values_[s.mask()];
+  }
+  const T& operator[](VarSet s) const {
+    FMMSW_DCHECK(universe_.ContainsAll(s));
+    return values_[s.mask()];
+  }
+
+  friend bool operator==(const SetFn& a, const SetFn& b) {
+    return a.universe_ == b.universe_ && a.values_ == b.values_;
+  }
+  friend bool operator!=(const SetFn& a, const SetFn& b) { return !(a == b); }
 
  private:
   VarSet universe_;
@@ -82,7 +98,8 @@ template <typename T>
 class PolymatroidLp {
  public:
   explicit PolymatroidLp(const Hypergraph& hg)
-      : universe_(hg.vertices()), var_of_(1u << kMaxVars, -1) {
+      : universe_(hg.vertices()),
+        var_of_(static_cast<size_t>(universe_.mask()) + 1, -1) {
     for (VarSet s : Subsets(universe_)) {
       if (s.empty()) continue;
       var_of_[s.mask()] = model_.AddVar();

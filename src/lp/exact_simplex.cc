@@ -4,6 +4,8 @@
 
 namespace fmmsw {
 
-template LpResult<Rational> SolveSimplex<Rational>(const LpModel<Rational>&);
+template LpResult<Rational> SolveSimplex<Rational>(const LpModel<Rational>&,
+                                                   WarmStart*,
+                                                   const SimplexOptions&);
 
 }  // namespace fmmsw

@@ -18,7 +18,10 @@ namespace fmmsw {
 
 enum class Sense { kLe, kGe, kEq };
 
-enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+/// kPivotLimit: the pivot budget (SimplexOptions::max_pivots) ran out
+/// before optimality — a recoverable outcome the width planner surfaces
+/// as a kCapacityExceeded QueryAbort instead of aborting the process.
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kPivotLimit };
 
 /// A linear program: optimize c.x subject to rows, x >= 0.
 template <typename T>
@@ -55,6 +58,9 @@ struct LpResult {
   std::vector<T> primal;
   std::vector<T> duals;
   int pivots = 0;
+  /// True when the solve started from a replayed WarmStart basis instead
+  /// of the all-slack basis.
+  bool warm_started = false;
 };
 
 }  // namespace fmmsw

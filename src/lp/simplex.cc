@@ -4,6 +4,8 @@
 
 namespace fmmsw {
 
-template LpResult<double> SolveSimplex<double>(const LpModel<double>&);
+template LpResult<double> SolveSimplex<double>(const LpModel<double>&,
+                                               WarmStart*,
+                                               const SimplexOptions&);
 
 }  // namespace fmmsw

@@ -5,9 +5,19 @@
 /// Two-phase dense-tableau primal simplex, templated on the scalar type.
 ///
 /// Instantiated for `double` (fast path: the 59049-LP sweep of Example D.1)
-/// and for exact `Rational` (certifying Table 2 closed forms). Bland's rule
-/// guarantees termination; the LPs here are tiny (tens of variables), so a
+/// and for exact `Rational` (certifying Table 2 closed forms). The tableau
+/// is one contiguous row-major buffer; pricing is Dantzig's rule (most
+/// positive reduced cost) with an automatic Bland fallback on degeneracy
+/// stalls, so termination stays guaranteed while the common case pivots far
+/// less than pure Bland. The LPs here are tiny (tens of variables), so a
 /// dense tableau is the right tool.
+///
+/// Successive LPs that share a constraint-matrix shape (the MaxMinSolver
+/// coordinate-ascent / branch-and-bound tower, the subw term lattice) can
+/// chain a WarmStart: the optimal basis of one solve is replayed as the
+/// starting basis of the next, collapsing most re-solves to a handful of
+/// pivots. The snapshot is scalar-type independent, so the basis found by
+/// the double search also seeds the final exact Rational solve.
 
 #include <cmath>
 #include <vector>
@@ -40,13 +50,50 @@ struct ScalarTraits<Rational> {
   static Rational One() { return Rational(1); }
 };
 
-/// Solves the LP. See LpResult for conventions.
-template <typename T>
-LpResult<T> SolveSimplex(const LpModel<T>& model);
+/// Solver controls.
+struct SimplexOptions {
+  /// Total pivot budget across both phases (and the canonicalization
+  /// stages). Exhausting it returns LpStatus::kPivotLimit — a recoverable
+  /// status — instead of aborting the process.
+  int max_pivots = 200000;
+  /// After optimality, continue pivoting to the lexicographically-minimal
+  /// optimal point (minimize x_0, then x_1, ... over the optimal face).
+  /// That point is unique, so the extracted primal no longer depends on
+  /// the pivot path that reached the optimum — the width code relies on
+  /// this to make witnesses identical between cold and warm-started
+  /// solves. Duals are reported at the first optimal basis.
+  bool lex_canonical = false;
+};
 
-extern template LpResult<double> SolveSimplex<double>(const LpModel<double>&);
+/// Reusable basis snapshot for warm-starting a solve from the previous
+/// optimum. Scalar-type independent (only tableau column indices), valid
+/// across models with the same row/column structure; a mismatched,
+/// singular, or primal-infeasible replay silently falls back to a cold
+/// start. Pass the same object to successive SolveSimplex calls — each
+/// optimal solve refreshes it.
+struct WarmStart {
+  std::vector<int> basis_cols;  ///< per tableau row: its basic column
+  int num_rows = 0;
+  int num_cols = 0;
+  bool valid = false;
+};
+
+/// Solves the LP, optionally warm-starting from (and refreshing) `warm`.
+/// See LpResult for conventions; `warm` may be nullptr.
+template <typename T>
+LpResult<T> SolveSimplex(const LpModel<T>& model, WarmStart* warm,
+                         const SimplexOptions& opts = {});
+
+/// Cold-start convenience overload.
+template <typename T>
+LpResult<T> SolveSimplex(const LpModel<T>& model) {
+  return SolveSimplex<T>(model, nullptr, SimplexOptions{});
+}
+
+extern template LpResult<double> SolveSimplex<double>(
+    const LpModel<double>&, WarmStart*, const SimplexOptions&);
 extern template LpResult<Rational> SolveSimplex<Rational>(
-    const LpModel<Rational>&);
+    const LpModel<Rational>&, WarmStart*, const SimplexOptions&);
 
 /// Convenience: converts a double model to an exact model by snapping each
 /// coefficient to the nearest rational with denominator <= kSnapDen. Only

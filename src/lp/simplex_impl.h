@@ -5,6 +5,11 @@
 /// Templated body of the two-phase primal simplex. Included by simplex.cc
 /// (double instantiation) and exact_simplex.cc (Rational instantiation);
 /// callers include lp/simplex.h.
+///
+/// Layout: the tableau is a single contiguous row-major buffer of
+/// num_rows x (num_cols + 1) scalars (the trailing column is the rhs), so
+/// the pivot elimination and pricing loops stream linear memory instead of
+/// chasing one heap allocation per row.
 
 #include <algorithm>
 #include <vector>
@@ -14,23 +19,42 @@
 namespace fmmsw {
 namespace internal {
 
+enum class PivotOutcome { kOptimal, kUnbounded, kLimit };
+
 template <typename T>
 class Tableau {
   using Tr = ScalarTraits<T>;
 
  public:
-  explicit Tableau(const LpModel<T>& model) : model_(model) {
+  Tableau(const LpModel<T>& model, const SimplexOptions& opts)
+      : model_(model), opts_(opts) {
     Build();
   }
 
-  LpResult<T> Solve() {
+  LpResult<T> Solve(WarmStart* warm) {
     LpResult<T> res;
+    // Replay a prior optimal basis when the tableau shape matches. The
+    // replay path requires an artificial-free build (true for every
+    // polymatroid LP: all >=-rows normalize to <=-form); a singular or
+    // primal-infeasible replay rebuilds and cold-starts.
+    if (warm != nullptr && warm->valid && artificial_cols_.empty() &&
+        warm->num_rows == num_rows_ && warm->num_cols == num_cols_) {
+      if (ReplayBasis(warm->basis_cols)) {
+        res.warm_started = true;
+      } else {
+        Build();
+      }
+    }
     // Phase 1: maximize -(sum of artificials).
     if (!artificial_cols_.empty()) {
       std::vector<T> c1(num_cols_, Tr::Zero());
       for (int j : artificial_cols_) c1[j] = -Tr::One();
       SetObjective(c1);
-      RunPivots(&res.pivots);
+      // Phase 1 is bounded above by zero, so kUnbounded cannot happen.
+      if (RunPivots(&res.pivots) == PivotOutcome::kLimit) {
+        res.status = LpStatus::kPivotLimit;
+        return res;
+      }
       if (Tr::IsNeg(Objective())) {
         res.status = LpStatus::kInfeasible;
         return res;
@@ -44,18 +68,21 @@ class Tableau {
       c2[var] = model_.maximize ? c2[var] + coeff : c2[var] - coeff;
     }
     SetObjective(c2);
-    bool bounded = RunPivots(&res.pivots);
-    if (!bounded) {
-      res.status = LpStatus::kUnbounded;
-      return res;
+    switch (RunPivots(&res.pivots)) {
+      case PivotOutcome::kLimit:
+        res.status = LpStatus::kPivotLimit;
+        return res;
+      case PivotOutcome::kUnbounded:
+        res.status = LpStatus::kUnbounded;
+        return res;
+      case PivotOutcome::kOptimal:
+        break;
     }
-    res.status = LpStatus::kOptimal;
-    T z = -obj_[num_cols_];
+    // Objective and duals are taken at the first optimal basis (the
+    // canonicalization below moves within the optimal face, where duals
+    // are not unique anyway).
+    const T z = -obj_[num_cols_];
     res.objective = model_.maximize ? z : -z;
-    res.primal.assign(model_.num_vars, Tr::Zero());
-    for (int i = 0; i < num_rows_; ++i) {
-      if (basis_[i] < model_.num_vars) res.primal[basis_[i]] = Rhs(i);
-    }
     res.duals.assign(num_rows_, Tr::Zero());
     for (int i = 0; i < num_rows_; ++i) {
       // The initial basis column of row i is an identity column with zero
@@ -65,84 +92,158 @@ class Tableau {
       if (!model_.maximize) y = -y;
       res.duals[i] = y;
     }
+    if (opts_.lex_canonical &&
+        LexCanonicalize(&res.pivots) == PivotOutcome::kLimit) {
+      res.status = LpStatus::kPivotLimit;
+      return res;
+    }
+    res.status = LpStatus::kOptimal;
+    res.primal.assign(model_.num_vars, Tr::Zero());
+    for (int i = 0; i < num_rows_; ++i) {
+      if (basis_[i] < model_.num_vars) res.primal[basis_[i]] = Rhs(i);
+    }
+    if (warm != nullptr) {
+      warm->basis_cols = basis_;
+      warm->num_rows = num_rows_;
+      warm->num_cols = num_cols_;
+      warm->valid = true;
+    }
     return res;
   }
 
  private:
+  T* RowPtr(int i) { return tab_.data() + static_cast<size_t>(i) * stride_; }
+
   void Build() {
     const int n = model_.num_vars;
     const int m = static_cast<int>(model_.rows.size());
     num_rows_ = m;
     row_flipped_.assign(m, false);
-    // Count extra columns.
-    int extra = 0;
-    for (const auto& row : model_.rows) {
-      extra += (row.sense == Sense::kLe || row.sense == Sense::kGe) ? 1 : 0;
-    }
-    // Upper bound on artificials: one per row.
-    num_cols_ = n + extra + m;
-    tab_.assign(m, std::vector<T>(num_cols_ + 1, Tr::Zero()));
     basis_.assign(m, -1);
     dual_col_.assign(m, -1);
-    allowed_.assign(num_cols_, true);
+    artificial_cols_.clear();
+    // First pass: the normalized sense of each row decides its extra
+    // columns, so the flat buffer is allocated at its final width.
+    std::vector<Sense> sense(m);
     int next = n;
     for (int i = 0; i < m; ++i) {
       const auto& row = model_.rows[i];
-      for (const auto& [var, coeff] : row.coeffs) {
-        FMMSW_CHECK(var >= 0 && var < n);
-        tab_[i][var] = tab_[i][var] + coeff;
-      }
-      tab_[i][num_cols_] = row.rhs;
-      Sense sense = row.sense;
+      T r = row.rhs;
+      Sense s = row.sense;
+      bool flipped = false;
       // A >=-row with non-positive rhs is equivalent to a <=-row after
       // negation, and the <=-form needs no artificial variable. This makes
       // the all-slack basis feasible for the polymatroid LPs (all Shannon
       // rows are ">= 0"), eliminating phase 1 entirely.
-      if (sense == Sense::kGe && !Tr::IsPos(tab_[i][num_cols_])) {
-        for (int j = 0; j <= num_cols_; ++j) tab_[i][j] = -tab_[i][j];
-        row_flipped_[i] = !row_flipped_[i];
-        sense = Sense::kLe;
+      if (s == Sense::kGe && !Tr::IsPos(r)) {
+        r = -r;
+        flipped = !flipped;
+        s = Sense::kLe;
       }
-      if (Tr::IsNeg(tab_[i][num_cols_])) {
-        for (int j = 0; j <= num_cols_; ++j) tab_[i][j] = -tab_[i][j];
-        row_flipped_[i] = !row_flipped_[i];
-        if (sense == Sense::kLe) {
-          sense = Sense::kGe;
-        } else if (sense == Sense::kGe) {
-          sense = Sense::kLe;
+      if (Tr::IsNeg(r)) {
+        r = -r;
+        flipped = !flipped;
+        if (s == Sense::kLe) {
+          s = Sense::kGe;
+        } else if (s == Sense::kGe) {
+          s = Sense::kLe;
         }
       }
-      if (sense == Sense::kLe) {
-        int slack = next++;
-        tab_[i][slack] = Tr::One();
+      sense[i] = s;
+      row_flipped_[i] = flipped;
+      next += sense[i] == Sense::kGe ? 2 : 1;  // slack | surplus+artificial
+    }
+    num_cols_ = next;
+    stride_ = num_cols_ + 1;
+    tab_.assign(static_cast<size_t>(m) * stride_, Tr::Zero());
+    allowed_.assign(num_cols_, true);
+    obj_.assign(num_cols_ + 1, Tr::Zero());
+    next = n;
+    for (int i = 0; i < m; ++i) {
+      const auto& row = model_.rows[i];
+      T* tr = RowPtr(i);
+      for (const auto& [var, coeff] : row.coeffs) {
+        FMMSW_CHECK(var >= 0 && var < n);
+        tr[var] = tr[var] + coeff;
+      }
+      tr[num_cols_] = row.rhs;
+      if (row_flipped_[i]) {
+        for (int j = 0; j < n; ++j) tr[j] = -tr[j];
+        tr[num_cols_] = -tr[num_cols_];
+      }
+      if (sense[i] == Sense::kLe) {
+        const int slack = next++;
+        tr[slack] = Tr::One();
         basis_[i] = slack;
         dual_col_[i] = slack;
-      } else if (sense == Sense::kGe) {
-        int surplus = next++;
-        tab_[i][surplus] = -Tr::One();
-        int art = next++;
-        tab_[i][art] = Tr::One();
+      } else if (sense[i] == Sense::kGe) {
+        const int surplus = next++;
+        tr[surplus] = -Tr::One();
+        const int art = next++;
+        tr[art] = Tr::One();
         basis_[i] = art;
         dual_col_[i] = art;
         artificial_cols_.push_back(art);
       } else {
-        int art = next++;
-        tab_[i][art] = Tr::One();
+        const int art = next++;
+        tr[art] = Tr::One();
         basis_[i] = art;
         dual_col_[i] = art;
         artificial_cols_.push_back(art);
       }
     }
-    // Shrink to the columns actually created.
-    for (auto& r : tab_) {
-      r[next] = r[num_cols_];  // move rhs next to last used column
-      r.resize(next + 1);
-    }
-    allowed_.resize(next, true);
-    num_cols_ = next;
   }
 
-  T Rhs(int i) const { return tab_[i][num_cols_]; }
+  /// Factors the stored basis back in by Gaussian elimination with free
+  /// row choice: the basis is a *set* of columns, and a column must pivot
+  /// in whatever row still has a nonzero entry for it after the earlier
+  /// eliminations — its row index in the previous solve's tableau means
+  /// nothing in a fresh build. Columns that are basic in the fresh build
+  /// already (slacks) just claim their row. A column with no eligible
+  /// nonzero entry means the set is singular (or numerically so): the
+  /// replay aborts and the caller rebuilds and cold-starts. Accepts iff
+  /// the replayed basis is primal-feasible.
+  bool ReplayBasis(const std::vector<int>& cols) {
+    if (static_cast<int>(cols.size()) != num_rows_) return false;
+    std::vector<char> claimed(num_rows_, 0);
+    std::vector<int> pending;
+    std::vector<int> row_of(num_cols_, -1);
+    for (int i = 0; i < num_rows_; ++i) row_of[basis_[i]] = i;
+    for (int c : cols) {
+      if (c < 0 || c >= num_cols_) return false;
+      const int r = row_of[c];
+      if (r >= 0 && !claimed[r]) {
+        claimed[r] = 1;
+      } else {
+        pending.push_back(c);
+      }
+    }
+    for (int c : pending) {
+      // Largest-magnitude eligible pivot (lowest row on exact ties) keeps
+      // the double replay numerically sane; for rationals any nonzero
+      // entry is exact.
+      int pick = -1;
+      T best = Tr::Zero();
+      for (int i = 0; i < num_rows_; ++i) {
+        if (claimed[i] || Tr::IsZero(RowPtr(i)[c])) continue;
+        T mag = RowPtr(i)[c];
+        if (Tr::IsNeg(mag)) mag = -mag;
+        if (pick < 0 || best < mag) {
+          pick = i;
+          best = mag;
+        }
+      }
+      if (pick < 0) return false;
+      Pivot(pick, c);
+      claimed[pick] = 1;
+    }
+    for (int i = 0; i < num_rows_; ++i) {
+      if (Tr::IsNeg(Rhs(i))) return false;
+    }
+    return true;
+  }
+
+  T Rhs(int i) { return RowPtr(i)[num_cols_]; }
   T Objective() const { return -obj_[num_cols_]; }
 
   /// Prices out the given cost vector against the current basis.
@@ -154,68 +255,118 @@ class Tableau {
     for (int i = 0; i < num_rows_; ++i) {
       const T cb = cost_[basis_[i]];
       if (Tr::IsZero(cb)) continue;
+      const T* tr = RowPtr(i);
       for (int j = 0; j <= num_cols_; ++j) {
-        obj_[j] = obj_[j] - cb * tab_[i][j];
+        obj_[j] = obj_[j] - cb * tr[j];
       }
     }
   }
 
-  /// Bland's rule pivoting until optimal (returns true) or unbounded
-  /// (returns false).
-  bool RunPivots(int* pivot_count) {
-    for (int iter = 0; iter < kMaxPivots; ++iter) {
+  /// Pivots until optimal, unbounded, or out of budget. Pricing is
+  /// Dantzig's rule (most positive reduced cost, lowest index on ties);
+  /// after 2m+16 consecutive pivots without strict objective improvement
+  /// it degrades to Bland's rule, whose anti-cycling guarantee restores
+  /// termination, and switches back on the next strict improvement.
+  PivotOutcome RunPivots(int* pivot_count) {
+    const int stall_limit = 2 * num_rows_ + 16;
+    int stall = 0;
+    T last = Objective();
+    while (true) {
+      if (*pivot_count >= opts_.max_pivots) return PivotOutcome::kLimit;
       int enter = -1;
-      for (int j = 0; j < num_cols_; ++j) {
-        if (allowed_[j] && Tr::IsPos(obj_[j])) {
-          enter = j;
-          break;
+      if (stall >= stall_limit) {
+        for (int j = 0; j < num_cols_; ++j) {
+          if (allowed_[j] && Tr::IsPos(obj_[j])) {
+            enter = j;
+            break;
+          }
+        }
+      } else {
+        for (int j = 0; j < num_cols_; ++j) {
+          if (allowed_[j] && Tr::IsPos(obj_[j]) &&
+              (enter < 0 || obj_[enter] < obj_[j])) {
+            enter = j;
+          }
         }
       }
-      if (enter < 0) return true;  // optimal
+      if (enter < 0) return PivotOutcome::kOptimal;
       int leave = -1;
       for (int i = 0; i < num_rows_; ++i) {
-        if (!Tr::IsPos(tab_[i][enter])) continue;
+        if (!Tr::IsPos(RowPtr(i)[enter])) continue;
         if (leave < 0) {
           leave = i;
           continue;
         }
         // ratio(i) < ratio(leave)? Cross-multiplied to stay exact.
-        const T lhs = Rhs(i) * tab_[leave][enter];
-        const T rhs = Rhs(leave) * tab_[i][enter];
+        const T lhs = Rhs(i) * RowPtr(leave)[enter];
+        const T rhs = Rhs(leave) * RowPtr(i)[enter];
         if (lhs < rhs || (!(rhs < lhs) && basis_[i] < basis_[leave])) {
           leave = i;
         }
       }
-      if (leave < 0) return false;  // unbounded
+      if (leave < 0) return PivotOutcome::kUnbounded;
       Pivot(leave, enter);
       ++*pivot_count;
+      const T now = Objective();
+      if (last < now) {
+        stall = 0;
+        last = now;
+      } else {
+        ++stall;
+      }
     }
-    FMMSW_CHECK(false && "simplex pivot limit exceeded");
-    return false;
   }
 
   void Pivot(int pr, int pc) {
-    const T inv_pivot = Tr::One() / tab_[pr][pc];
+    T* prow = RowPtr(pr);
+    const T inv_pivot = Tr::One() / prow[pc];
     for (int j = 0; j <= num_cols_; ++j) {
-      tab_[pr][j] = tab_[pr][j] * inv_pivot;
+      prow[j] = prow[j] * inv_pivot;
     }
-    tab_[pr][pc] = Tr::One();  // remove residual rounding in double mode
+    prow[pc] = Tr::One();  // remove residual rounding in double mode
     for (int i = 0; i < num_rows_; ++i) {
-      if (i == pr || Tr::IsZero(tab_[i][pc])) continue;
-      const T f = tab_[i][pc];
+      if (i == pr) continue;
+      T* r = RowPtr(i);
+      if (Tr::IsZero(r[pc])) continue;
+      const T f = r[pc];
       for (int j = 0; j <= num_cols_; ++j) {
-        tab_[i][j] = tab_[i][j] - f * tab_[pr][j];
+        r[j] = r[j] - f * prow[j];
       }
-      tab_[i][pc] = Tr::Zero();
+      r[pc] = Tr::Zero();
     }
     if (!Tr::IsZero(obj_[pc])) {
       const T f = obj_[pc];
       for (int j = 0; j <= num_cols_; ++j) {
-        obj_[j] = obj_[j] - f * tab_[pr][j];
+        obj_[j] = obj_[j] - f * prow[j];
       }
       obj_[pc] = Tr::Zero();
     }
     basis_[pr] = pc;
+  }
+
+  /// From an optimal basis, pivots on to the lexicographically-minimal
+  /// optimal point: minimize x_0 over the optimal face, then x_1 over
+  /// what remains, and so on. Each stage first bars every column whose
+  /// current reduced cost is nonzero (entering one would strictly
+  /// degrade a previously optimized objective), so all earlier objective
+  /// values are preserved exactly. The resulting point is unique, hence
+  /// independent of the pivot path — and of whether the solve was cold
+  /// or warm-started. Stages are cheap: a single-variable objective
+  /// prices in O(rows + cols), and most stages need zero pivots.
+  PivotOutcome LexCanonicalize(int* pivot_count) {
+    std::vector<T> c(num_cols_, Tr::Zero());
+    for (int v = 0; v < model_.num_vars; ++v) {
+      for (int j = 0; j < num_cols_; ++j) {
+        if (allowed_[j] && !Tr::IsZero(obj_[j])) allowed_[j] = false;
+      }
+      c[v] = -Tr::One();  // maximize -x_v == minimize x_v (bounded: x >= 0)
+      SetObjective(c);
+      c[v] = Tr::Zero();
+      if (RunPivots(pivot_count) == PivotOutcome::kLimit) {
+        return PivotOutcome::kLimit;
+      }
+    }
+    return PivotOutcome::kOptimal;
   }
 
   /// After phase 1, pivots basic artificials out on any eligible column so
@@ -238,7 +389,7 @@ class Tableau {
             break;
           }
         }
-        if (j_art || Tr::IsZero(tab_[i][j])) continue;
+        if (j_art || Tr::IsZero(RowPtr(i)[j])) continue;
         Pivot(i, j);
         break;
       }
@@ -248,12 +399,12 @@ class Tableau {
     }
   }
 
-  static constexpr int kMaxPivots = 200000;
-
   const LpModel<T>& model_;
+  const SimplexOptions opts_;
   int num_rows_ = 0;
   int num_cols_ = 0;
-  std::vector<std::vector<T>> tab_;
+  int stride_ = 0;
+  std::vector<T> tab_;   // row-major num_rows_ x stride_, rhs in last slot
   std::vector<T> obj_;   // reduced costs, plus -z in the rhs slot
   std::vector<T> cost_;  // current cost vector
   std::vector<int> basis_;
@@ -266,9 +417,10 @@ class Tableau {
 }  // namespace internal
 
 template <typename T>
-LpResult<T> SolveSimplex(const LpModel<T>& model) {
-  internal::Tableau<T> tableau(model);
-  return tableau.Solve();
+LpResult<T> SolveSimplex(const LpModel<T>& model, WarmStart* warm,
+                        const SimplexOptions& opts) {
+  internal::Tableau<T> tableau(model, opts);
+  return tableau.Solve(warm);
 }
 
 }  // namespace fmmsw

@@ -1,5 +1,7 @@
 #include "panda/inequality.h"
 
+#include "core/exec_context.h"
+
 #include "lp/simplex.h"
 #include "util/check.h"
 
@@ -40,7 +42,8 @@ Rational InequalitySlack(const OmegaShannonInequality& ineq,
   return lhs - rhs;
 }
 
-bool VerifyShannon(const OmegaShannonInequality& ineq, VarSet universe) {
+bool VerifyShannon(const OmegaShannonInequality& ineq, VarSet universe,
+                   ExecContext* ctx) {
   // Build max (LHS - RHS) over the Shannon cone (no edge domination: the
   // inequality must hold for all polymatroids). The cone is scale
   // invariant, so the optimum is 0 (valid) or unbounded (invalid); we add
@@ -70,8 +73,13 @@ bool VerifyShannon(const OmegaShannonInequality& ineq, VarSet universe) {
     append(t.g, VarSet::Empty(), t.kappa);
   }
   for (const CondTerm& t : ineq.rhs) append(t.y, t.x, -t.w);
+  if (ctx != nullptr) ctx->guard().Poll();
   auto res = SolveSimplex(lp.model());
   FMMSW_CHECK(res.status == LpStatus::kOptimal);
+  if (ctx != nullptr) {
+    Bump(ctx->stats().lp_solves);
+    Bump(ctx->stats().lp_pivots, res.pivots);
+  }
   return res.objective <= Rational(0);
 }
 

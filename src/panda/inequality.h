@@ -25,6 +25,8 @@
 
 namespace fmmsw {
 
+class ExecContext;
+
 /// w * h(y | x); x may be empty (unconditional).
 struct CondTerm {
   VarSet y;
@@ -60,7 +62,8 @@ Rational InequalitySlack(const OmegaShannonInequality& ineq,
 
 /// Certifies validity over all polymatroids on `universe` by solving
 /// max_{h in Gamma} (LHS - RHS); valid iff the optimum is 0.
-bool VerifyShannon(const OmegaShannonInequality& ineq, VarSet universe);
+bool VerifyShannon(const OmegaShannonInequality& ineq, VarSet universe,
+                   ExecContext* ctx = nullptr);
 
 /// The triangle inequality, Eq. (13):
 ///   w h(XYZ) + [h(X) + h(Y) + (w-2) h(Z)]

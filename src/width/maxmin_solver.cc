@@ -1,14 +1,32 @@
 #include "width/maxmin_solver.h"
 
 #include <limits>
+#include <string>
+#include <type_traits>
 
-#include "lp/simplex.h"
+#include "core/exec_context.h"
+#include "core/exec_status.h"
 #include "util/check.h"
 
 namespace fmmsw {
 
+namespace {
+
+template <typename S>
+S ScalarFrom(const Rational& r) {
+  if constexpr (std::is_same_v<S, double>) {
+    return r.ToDouble();
+  } else {
+    return r;
+  }
+}
+
+}  // namespace
+
 void MaxMinSolver::AddTerm(std::vector<LinComb> alternatives) {
   FMMSW_CHECK(!alternatives.empty());
+  FMMSW_CHECK(dmodel_.lp == nullptr && emodel_.lp == nullptr &&
+              "terms must be added before the first solve");
   terms_.push_back(std::move(alternatives));
 }
 
@@ -17,32 +35,95 @@ void MaxMinSolver::AddCapTerm(VarSet s) {
   AddTerm({LinComb{LinTerm{s, Rational(1)}}});
 }
 
-double MaxMinSolver::SolveDouble(const std::vector<int>& sel,
-                                 SetFn<double>* h_out) {
-  PolymatroidLp<double> lp(orig_);
-  const int t = lp.model().AddVar();
-  lp.model().AddObjective(t, 1.0);
+template <typename S>
+void MaxMinSolver::EnsureModel(SelModel<S>* m) {
+  if (m->lp != nullptr) return;
+  m->lp = std::make_unique<PolymatroidLp<S>>(orig_);
+  auto& model = m->lp->model();
+  m->t = model.AddVar();
+  model.AddObjective(m->t, S(1));
   {
     // Every leaf value is at most max_h h(V) (all terms are monotone
     // h-measures of subsets of V), so this built-in row keeps partial
     // LPs bounded without changing any leaf optimum.
-    auto& row = lp.model().AddRow(Sense::kLe, 0.0, "t<=h(V)");
-    row.coeffs.emplace_back(t, 1.0);
-    lp.AppendH(&row.coeffs, orig_.vertices(), -1.0);
+    auto& row = model.AddRow(Sense::kLe, S(0), "t<=h(V)");
+    row.coeffs.emplace_back(m->t, S(1));
+    m->lp->AppendH(&row.coeffs, orig_.vertices(), S(-1));
   }
+  // One rewritable row per term; the rhs toggles between 0 (selected)
+  // and kInactiveRhs (deselected), so the tableau shape never changes
+  // and warm starts stay valid across the whole selection tower.
+  m->first_term_row = static_cast<int>(model.rows.size());
   for (int j = 0; j < num_terms(); ++j) {
-    if (sel[j] < 0) continue;
-    auto& row = lp.model().AddRow(Sense::kLe, 0.0, "t<=term");
-    row.coeffs.emplace_back(t, 1.0);
-    for (const LinTerm& lt : terms_[j][sel[j]]) {
-      lp.AppendH(&row.coeffs, lt.set, -lt.coeff.ToDouble());
+    auto& row = model.AddRow(Sense::kLe, S(kInactiveRhs), "t<=term");
+    row.coeffs.emplace_back(m->t, S(1));
+  }
+}
+
+template <typename S>
+void MaxMinSolver::ApplySelection(SelModel<S>* m,
+                                  const std::vector<int>& sel) {
+  auto& model = m->lp->model();
+  for (int j = 0; j < num_terms(); ++j) {
+    auto& row = model.rows[m->first_term_row + j];
+    row.coeffs.clear();
+    row.coeffs.emplace_back(m->t, S(1));
+    if (sel[j] >= 0) {
+      row.rhs = S(0);
+      for (const LinTerm& lt : terms_[j][sel[j]]) {
+        m->lp->AppendH(&row.coeffs, lt.set, ScalarFrom<S>(-lt.coeff));
+      }
+    } else {
+      row.rhs = S(kInactiveRhs);
     }
   }
-  auto res = SolveSimplex(lp.model());
+}
+
+template <typename S>
+LpResult<S> MaxMinSolver::RunLp(SelModel<S>* m, const std::vector<int>& sel,
+                                WarmStart* warm, bool canonical) {
+  EnsureModel(m);
+  ApplySelection(m, sel);
+  if (ctx_ != nullptr) ctx_->guard().Poll();
+  SimplexOptions opts;
+  opts.max_pivots = max_pivots_;
+  opts.lex_canonical = canonical;
+  auto res = SolveSimplex<S>(m->lp->model(), warm_enabled_ ? warm : nullptr,
+                             opts);
+  if (res.status == LpStatus::kPivotLimit) {
+    throw QueryAbort(ExecStatus::kCapacityExceeded,
+                     "planner LP exceeded its pivot budget (" +
+                         std::to_string(max_pivots_) + " pivots)");
+  }
   FMMSW_CHECK(res.status == LpStatus::kOptimal);
   ++lps_;
-  if (h_out != nullptr) *h_out = lp.ExtractSolution(res);
+  pivots_ += res.pivots;
+  if (res.warm_started) ++warm_starts_;
+  if (ctx_ != nullptr) {
+    ExecStats& st = ctx_->stats();
+    Bump(st.lp_solves);
+    Bump(st.lp_pivots, res.pivots);
+    if (res.warm_started) Bump(st.lp_warm_starts);
+  }
+  return res;
+}
+
+double MaxMinSolver::SolveDouble(const std::vector<int>& sel,
+                                 SetFn<double>* h_out) {
+  // Canonicalize only when the primal is consumed: the argmax point must
+  // not depend on the pivot path, but value-only solves (FullEnumerate)
+  // skip the extra stages.
+  auto res = RunLp(&dmodel_, sel, &warm_d_, /*canonical=*/h_out != nullptr);
+  if (h_out != nullptr) *h_out = dmodel_.lp->ExtractSolution(res);
   return res.objective;
+}
+
+void MaxMinSolver::NoteIncumbent(double v, const std::vector<int>& sel) {
+  if (v <= best_) return;
+  best_ = v;
+  best_sel_ = sel;
+  // The incumbent's basis seeds the exact re-solve of best_sel_.
+  warm_best_ = warm_d_;
 }
 
 double MaxMinSolver::AlternativeValue(int term, int alt,
@@ -72,10 +153,7 @@ double MaxMinSolver::FullEnumerate() {
   best_ = -1e300;
   while (true) {
     const double v = SolveDouble(sel, nullptr);
-    if (v > best_) {
-      best_ = v;
-      best_sel_ = sel;
-    }
+    NoteIncumbent(v, sel);
     int i = 0;
     while (i < num_terms() &&
            ++sel[i] == static_cast<int>(terms_[i].size())) {
@@ -107,10 +185,7 @@ double MaxMinSolver::CoordinateAscent() {
     sel = next;
     v = SolveDouble(sel, &h);
   }
-  if (v > best_) {
-    best_ = v;
-    best_sel_ = sel;
-  }
+  NoteIncumbent(v, sel);
   return v;
 }
 
@@ -137,10 +212,7 @@ void MaxMinSolver::Recurse(std::vector<int>* sel) {
     }
   }
   if (pick < 0) {
-    if (v > best_) {
-      best_ = v;
-      best_sel_ = *sel;
-    }
+    NoteIncumbent(v, *sel);
     return;
   }
   // Argmax alternative first: the current h stays feasible, surfacing good
@@ -159,21 +231,12 @@ void MaxMinSolver::Recurse(std::vector<int>* sel) {
 
 Rational MaxMinSolver::SolveExactSelection(const std::vector<int>& sel,
                                            SetFn<Rational>* h_out) {
-  PolymatroidLp<Rational> lp(orig_);
-  const int t = lp.model().AddVar();
-  lp.model().AddObjective(t, Rational(1));
-  for (int j = 0; j < num_terms(); ++j) {
-    if (sel[j] < 0) continue;
-    auto& row = lp.model().AddRow(Sense::kLe, Rational(0), "t<=term");
-    row.coeffs.emplace_back(t, Rational(1));
-    for (const LinTerm& lt : terms_[j][sel[j]]) {
-      lp.AppendH(&row.coeffs, lt.set, -lt.coeff);
-    }
-  }
-  auto res = SolveSimplex(lp.model());
-  FMMSW_CHECK(res.status == LpStatus::kOptimal);
-  ++lps_;
-  if (h_out != nullptr) *h_out = lp.ExtractSolution(res);
+  // Seeded with the double search's incumbent basis (warm_best_): basis
+  // column indices are scalar-type independent, and the replay's exact
+  // feasibility check falls back to a cold start when the double basis
+  // does not transfer.
+  auto res = RunLp(&emodel_, sel, &warm_best_, /*canonical=*/true);
+  if (h_out != nullptr) *h_out = emodel_.lp->ExtractSolution(res);
   return res.objective;
 }
 

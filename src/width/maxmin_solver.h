@@ -18,33 +18,66 @@
 ///     and most-binding-term branching.
 /// The winning selection is re-solved over exact rationals.
 ///
+/// Every LP in the tower shares one constraint matrix: the polymatroid
+/// cone + edge domination + a "t <= h(V)" bounding row + one row per term.
+/// The solver builds that model once and rewrites only the term rows
+/// between solves (a deselected term's row relaxes to "t <= 2^10", far
+/// above any attainable optimum), which keeps the tableau shape constant
+/// so successive solves chain a WarmStart: each solve replays the
+/// previous optimal basis. The basis of the incumbent (best) selection is
+/// kept separately and seeds the exact Rational re-solve — basis indices
+/// are scalar-type independent. All solves run with
+/// SimplexOptions::lex_canonical, so extracted polymatroids are the
+/// unique lexicographically-minimal optima: witnesses do not depend on
+/// whether a solve was cold or warm-started.
+///
 /// subw instantiates terms = tree decompositions (alternatives = bags);
 /// w-subw instantiates terms = MM expressions (alternatives = the three
 /// gamma-rotations of Eq. 21) plus single-alternative h(U) caps.
 
+#include <memory>
 #include <vector>
 
 #include "entropy/polymatroid.h"
 #include "hypergraph/hypergraph.h"
+#include "lp/simplex.h"
 #include "util/rational.h"
 #include "width/mm_expr.h"
 
 namespace fmmsw {
 
+class ExecContext;
+
 class MaxMinSolver {
  public:
   /// `orig` supplies the polymatroid cone and edge-domination constraints.
-  explicit MaxMinSolver(const Hypergraph& orig) : orig_(orig) {}
+  /// `ctx` (optional) supplies the guardrail polled before every LP solve
+  /// and the ExecStats planner counters (lp_solves, lp_warm_starts,
+  /// lp_pivots).
+  explicit MaxMinSolver(const Hypergraph& orig, ExecContext* ctx = nullptr)
+      : orig_(orig), ctx_(ctx) {}
 
   /// Adds a term: the inner min ranges over terms, each term contributing
-  /// max over its alternatives. Alternatives must be non-empty.
+  /// max over its alternatives. Alternatives must be non-empty. All terms
+  /// must be added before the first solve (the shared LP model freezes).
   void AddTerm(std::vector<LinComb> alternatives);
 
   /// Convenience: a single-alternative term "t <= h(s)".
   void AddCapTerm(VarSet s);
 
+  /// Disables (or re-enables) warm-start chaining; every LP then cold
+  /// starts from the all-slack basis. Values and witnesses are unchanged
+  /// either way (witnesses are lex-canonical); tests use this to prove it.
+  void SetWarmStart(bool enabled) { warm_enabled_ = enabled; }
+
+  /// Pivot budget per LP; exceeding it throws a kCapacityExceeded
+  /// QueryAbort instead of aborting the process.
+  void SetMaxPivots(int max_pivots) { max_pivots_ = max_pivots; }
+
   int num_terms() const { return static_cast<int>(terms_.size()); }
   long lps_solved() const { return lps_; }
+  long lp_warm_starts() const { return warm_starts_; }
+  long lp_pivots() const { return pivots_; }
   const std::vector<int>& best_selection() const { return best_sel_; }
 
   /// Enumerates every selection; returns the best double value.
@@ -63,19 +96,51 @@ class MaxMinSolver {
                                SetFn<Rational>* h_out);
 
  private:
+  /// The persistent selection LP for one scalar type: the polymatroid
+  /// base model plus one rewritable row per term.
+  template <typename S>
+  struct SelModel {
+    std::unique_ptr<PolymatroidLp<S>> lp;
+    int t = -1;              ///< the objective variable
+    int first_term_row = 0;  ///< index of terms_[0]'s row in the model
+  };
+
+  template <typename S>
+  void EnsureModel(SelModel<S>* m);
+  template <typename S>
+  void ApplySelection(SelModel<S>* m, const std::vector<int>& sel);
+  template <typename S>
+  LpResult<S> RunLp(SelModel<S>* m, const std::vector<int>& sel,
+                    WarmStart* warm, bool canonical);
+
   std::vector<int> InitialSelection() const;
   double SolveDouble(const std::vector<int>& sel, SetFn<double>* h_out);
   int ArgmaxAlternative(int term, const SetFn<double>& h) const;
   double AlternativeValue(int term, int alt, const SetFn<double>& h) const;
   void Recurse(std::vector<int>* sel);
+  /// Records an improving incumbent (selection + its basis, which later
+  /// seeds the exact re-solve).
+  void NoteIncumbent(double v, const std::vector<int>& sel);
 
   static constexpr double kPruneTol = 1e-7;
+  /// Rhs of a deselected term row "t <= kInactiveRhs". Any power of two
+  /// comfortably above max h(V) <= |edges| works (exact in double).
+  static constexpr int kInactiveRhs = 1 << 10;
 
   const Hypergraph& orig_;
+  ExecContext* ctx_;
   std::vector<std::vector<LinComb>> terms_;
+  SelModel<double> dmodel_;
+  SelModel<Rational> emodel_;
+  WarmStart warm_d_;     ///< chains across the double LP tower
+  WarmStart warm_best_;  ///< basis of the incumbent; seeds the exact solve
+  bool warm_enabled_ = true;
+  int max_pivots_ = 200000;
   double best_ = -1e300;
   std::vector<int> best_sel_;
   long lps_ = 0;
+  long warm_starts_ = 0;
+  long pivots_ = 0;
 };
 
 }  // namespace fmmsw

@@ -1,12 +1,26 @@
 #include "width/subw.h"
 
+#include <chrono>
+
+#include "core/exec_context.h"
 #include "lp/simplex.h"
 #include "util/check.h"
 #include "width/maxmin_solver.h"
 
 namespace fmmsw {
 
-Rational FractionalEdgeCover(const Hypergraph& h, VarSet target) {
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Rational FractionalEdgeCover(const Hypergraph& h, VarSet target,
+                             ExecContext* ctx) {
   FMMSW_CHECK(!target.empty());
   LpModel<Rational> m;
   m.maximize = false;
@@ -25,16 +39,21 @@ Rational FractionalEdgeCover(const Hypergraph& h, VarSet target) {
     }
     FMMSW_CHECK(!row.coeffs.empty() && "vertex not covered by any edge");
   }
+  if (ctx != nullptr) ctx->guard().Poll();
   auto res = SolveSimplex(m);
   FMMSW_CHECK(res.status == LpStatus::kOptimal);
+  if (ctx != nullptr) {
+    Bump(ctx->stats().lp_solves);
+    Bump(ctx->stats().lp_pivots, res.pivots);
+  }
   return res.objective;
 }
 
-Rational RhoStar(const Hypergraph& h) {
-  return FractionalEdgeCover(h, h.vertices());
+Rational RhoStar(const Hypergraph& h, ExecContext* ctx) {
+  return FractionalEdgeCover(h, h.vertices(), ctx);
 }
 
-Rational Fhtw(const Hypergraph& h) {
+Rational Fhtw(const Hypergraph& h, ExecContext* ctx) {
   auto tds = EnumerateTds(h);
   FMMSW_CHECK(!tds.empty());
   bool first_td = true;
@@ -42,7 +61,7 @@ Rational Fhtw(const Hypergraph& h) {
   for (const auto& td : tds) {
     Rational width(0);
     for (const VarSet& bag : td.bags) {
-      width = Rational::Max(width, FractionalEdgeCover(h, bag));
+      width = Rational::Max(width, FractionalEdgeCover(h, bag, ctx));
     }
     if (first_td || width < best) {
       best = width;
@@ -52,7 +71,8 @@ Rational Fhtw(const Hypergraph& h) {
   return best;
 }
 
-SubwResult SubmodularWidth(const Hypergraph& h) {
+SubwResult SubmodularWidth(const Hypergraph& h, ExecContext* ctx) {
+  const int64_t t0 = NowNs();
   SubwResult out;
   out.tds = EnumerateTds(h);
   FMMSW_CHECK(!out.tds.empty());
@@ -61,7 +81,7 @@ SubwResult SubmodularWidth(const Hypergraph& h) {
   //   subw = max_h min_TD max_bag h(bag)           (Eq. 19)
   // distributed into one LP per bag selection (Eq. 37/39), searched with
   // branch-and-bound instead of full tuple enumeration.
-  MaxMinSolver solver(h);
+  MaxMinSolver solver(h, ctx);
   for (const auto& td : out.tds) {
     std::vector<LinComb> alternatives;
     for (const VarSet& bag : td.bags) {
@@ -73,6 +93,10 @@ SubwResult SubmodularWidth(const Hypergraph& h) {
   solver.BranchAndBound();
   out.value = solver.SolveExact(&out.worst_case);
   out.lps_solved = static_cast<int>(solver.lps_solved());
+  out.lp_warm_starts = solver.lp_warm_starts();
+  out.lp_pivots = solver.lp_pivots();
+  out.plan_ns = NowNs() - t0;
+  if (ctx != nullptr) Bump(ctx->stats().plan_ns, out.plan_ns);
   return out;
 }
 

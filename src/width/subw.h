@@ -7,6 +7,7 @@
 /// submodular width subw (Eq. 19), computed exactly over rationals via the
 /// TD-tuple LP reduction of Appendix A.4 (Eq. 36-39).
 
+#include <cstdint>
 #include <vector>
 
 #include "entropy/polymatroid.h"
@@ -16,17 +17,20 @@
 
 namespace fmmsw {
 
+class ExecContext;
+
 /// Fractional edge cover number of the vertices in `target` using all
 /// hyperedges of H (min sum of edge weights covering each target vertex).
 /// With target == vertices() this is rho*(H), the AGM-bound exponent.
-Rational FractionalEdgeCover(const Hypergraph& h, VarSet target);
+Rational FractionalEdgeCover(const Hypergraph& h, VarSet target,
+                             ExecContext* ctx = nullptr);
 
 /// rho*(H) = FractionalEdgeCover over all vertices.
-Rational RhoStar(const Hypergraph& h);
+Rational RhoStar(const Hypergraph& h, ExecContext* ctx = nullptr);
 
 /// Fractional hypertree width: min over TDs of max over bags of the
 /// fractional edge cover of the bag.
-Rational Fhtw(const Hypergraph& h);
+Rational Fhtw(const Hypergraph& h, ExecContext* ctx = nullptr);
 
 struct SubwResult {
   Rational value;
@@ -36,11 +40,14 @@ struct SubwResult {
   /// The TDs the max-min ranged over.
   std::vector<TreeDecomposition> tds;
   int lps_solved = 0;
+  long lp_warm_starts = 0;  ///< LPs that replayed a previous basis
+  long lp_pivots = 0;       ///< total simplex pivots
+  int64_t plan_ns = 0;      ///< wall time of the computation
 };
 
 /// Exact submodular width via one LP per tuple of bags (one bag from each
 /// non-redundant TD), Eq. (39).
-SubwResult SubmodularWidth(const Hypergraph& h);
+SubwResult SubmodularWidth(const Hypergraph& h, ExecContext* ctx = nullptr);
 
 }  // namespace fmmsw
 

@@ -1,0 +1,52 @@
+#ifndef FMMSW_WIDTH_WIDTH_CACHE_H_
+#define FMMSW_WIDTH_WIDTH_CACHE_H_
+
+/// \file
+/// A process-wide cache of w-subw results keyed by a canonical hypergraph
+/// digest. Width computations depend only on the hypergraph's edge
+/// *multiset* (as vertex masks), omega, and the solver options, so repeated
+/// plans over the same query shape — the common case for a planner serving
+/// a workload — skip the whole LP tower.
+///
+/// The key is a canonical string: the sorted edge masks and every
+/// result-affecting option are spelled out in full (plus a 128-bit
+/// multiset hash as a cheap prefix), so two distinct inputs can never
+/// collide. Lookup/Insert are mutex-protected; the stored results are
+/// returned by value.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "width/omega_subw.h"
+
+namespace fmmsw {
+
+/// The canonical cache key for OmegaSubw(h, omega, opts). Includes every
+/// option that affects the result's value *or* its reported counters
+/// (full_enumeration changes lps_solved; warm_start changes lp_pivots).
+std::string WidthCacheKey(const Hypergraph& h, const Rational& omega,
+                          const OmegaSubwOptions& opts);
+
+class WidthCache {
+ public:
+  static WidthCache& Global();
+
+  /// Returns true and copies the stored result on a hit (bumping hits()).
+  bool Lookup(const std::string& key, OmegaSubwResult* out);
+  void Insert(const std::string& key, const OmegaSubwResult& result);
+  void Clear();
+
+  size_t size() const;
+  int64_t hits() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, OmegaSubwResult> map_;
+  int64_t hits_ = 0;
+};
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_WIDTH_WIDTH_CACHE_H_

@@ -193,6 +193,144 @@ TEST(SimplexCrossCheckTest, RandomSmallLpsAgree) {
   EXPECT_GT(optimal_seen, 20);  // the generator must exercise the main path
 }
 
+TEST(SimplexOptionsTest, PivotLimitIsRecoverable) {
+  // A tiny budget must surface as LpStatus::kPivotLimit — a status the
+  // caller can handle — not a process abort.
+  SimplexOptions opts;
+  opts.max_pivots = 1;
+  auto res = SolveSimplex(MakeProductionLp<Rational>(), nullptr, opts);
+  EXPECT_EQ(res.status, LpStatus::kPivotLimit);
+  // The same model solves fine once the budget is restored.
+  opts.max_pivots = 200000;
+  EXPECT_EQ(SolveSimplex(MakeProductionLp<Rational>(), nullptr, opts).status,
+            LpStatus::kOptimal);
+}
+
+TEST(WarmStartTest, ReplaysPreviousBasis) {
+  WarmStart ws;
+  SimplexOptions opts;
+  auto first = SolveSimplex(MakeProductionLp<Rational>(), &ws, opts);
+  ASSERT_EQ(first.status, LpStatus::kOptimal);
+  EXPECT_FALSE(first.warm_started);
+  ASSERT_TRUE(ws.valid);
+  // Re-solving the same model from its own optimal basis takes 0 pivots.
+  auto second = SolveSimplex(MakeProductionLp<Rational>(), &ws, opts);
+  ASSERT_EQ(second.status, LpStatus::kOptimal);
+  EXPECT_TRUE(second.warm_started);
+  EXPECT_EQ(second.pivots, 0);
+  EXPECT_EQ(second.objective, first.objective);
+}
+
+TEST(WarmStartTest, GarbageBasisFallsBackToColdStart) {
+  WarmStart ws;
+  auto first = SolveSimplex(MakeProductionLp<Rational>(), &ws);
+  ASSERT_TRUE(ws.valid);
+  // Corrupt the snapshot: every row claims column 0. The replay is
+  // singular, so the solve must silently cold-start and still be right.
+  for (int& c : ws.basis_cols) c = 0;
+  auto res = SolveSimplex(MakeProductionLp<Rational>(), &ws);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_FALSE(res.warm_started);
+  EXPECT_EQ(res.objective, first.objective);
+  EXPECT_TRUE(ws.valid);  // refreshed from the (cold) optimal solve
+}
+
+TEST(WarmStartTest, ShapeMismatchFallsBackToColdStart) {
+  WarmStart ws;
+  SolveSimplex(MakeProductionLp<Rational>(), &ws);
+  ASSERT_TRUE(ws.valid);
+  // A model with one extra row cannot reuse the snapshot.
+  auto m = MakeProductionLp<Rational>();
+  m.AddRow(Sense::kLe, Rational(100)).coeffs = {{0, Rational(1)}};
+  auto res = SolveSimplex(m, &ws);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_FALSE(res.warm_started);
+  EXPECT_EQ(res.objective, Rational(36));
+}
+
+// The warm-start contract the planner relies on: over a chain of
+// perturbed models sharing one constraint shape, a warm-started solve
+// with lex canonicalization returns *identical* objective, primal, and
+// duals to a cold solve of the same model — the basis replay can only
+// change the pivot path, never the answer. Rational mode demands exact
+// equality; double mode allows the last-ulp drift different pivot
+// orders accumulate.
+void ExpectSameValue(const Rational& a, const Rational& b) {
+  EXPECT_EQ(a, b);
+}
+void ExpectSameValue(double a, double b) { EXPECT_NEAR(a, b, 1e-9); }
+
+template <typename T>
+void RunWarmVsColdDifferential() {
+  Rng rng(4242);
+  SimplexOptions opts;
+  opts.lex_canonical = true;
+  int warm_hits = 0;
+  long cold_pivots = 0, warm_pivots = 0;
+  for (int family = 0; family < 8; ++family) {
+    const int n = static_cast<int>(rng.Uniform(2, 5));
+    const int rows = static_cast<int>(rng.Uniform(2, 6));
+    // Base shape: random <= rows plus a box per variable, so every
+    // perturbed instance stays feasible (origin) and bounded.
+    std::vector<std::vector<int64_t>> a(rows, std::vector<int64_t>(n));
+    for (auto& row : a) {
+      for (int64_t& v : row) v = rng.Uniform(-2, 4);
+    }
+    std::vector<int64_t> c(n), b(rows);
+    for (int64_t& v : c) v = rng.Uniform(0, 5);
+    for (int64_t& v : b) v = rng.Uniform(2, 10);
+
+    WarmStart ws;
+    for (int step = 0; step < 6; ++step) {
+      LpModel<T> m;
+      for (int j = 0; j < n; ++j) {
+        m.AddVar();
+        m.AddObjective(j, T(c[j]));
+      }
+      for (int i = 0; i < rows; ++i) {
+        auto& r = m.AddRow(Sense::kLe, T(b[i]));
+        for (int j = 0; j < n; ++j) {
+          if (a[i][j] != 0) r.coeffs.emplace_back(j, T(a[i][j]));
+        }
+      }
+      for (int j = 0; j < n; ++j) {
+        m.AddRow(Sense::kLe, T(12)).coeffs = {{j, T(1)}};
+      }
+      auto cold = SolveSimplex(m, nullptr, opts);
+      auto warm = SolveSimplex(m, &ws, opts);
+      ASSERT_EQ(cold.status, warm.status) << "family " << family;
+      if (cold.status == LpStatus::kOptimal) {
+        ExpectSameValue(cold.objective, warm.objective);
+        ASSERT_EQ(cold.primal.size(), warm.primal.size());
+        for (size_t j = 0; j < cold.primal.size(); ++j) {
+          ExpectSameValue(cold.primal[j], warm.primal[j]);
+        }
+        ASSERT_EQ(cold.duals.size(), warm.duals.size());
+        for (size_t i = 0; i < cold.duals.size(); ++i) {
+          ExpectSameValue(cold.duals[i], warm.duals[i]);
+        }
+        cold_pivots += cold.pivots;
+        warm_pivots += warm.pivots;
+        if (warm.warm_started) ++warm_hits;
+      }
+      // Perturb rhs and objective; the shape (and thus the warm basis
+      // structure) is unchanged.
+      for (int64_t& v : b) v = rng.Uniform(2, 10);
+      for (int64_t& v : c) v = rng.Uniform(0, 5);
+    }
+  }
+  EXPECT_GT(warm_hits, 10);  // the chain must actually replay bases
+  EXPECT_LT(warm_pivots, cold_pivots);  // ...and save pivots overall
+}
+
+TEST(WarmStartTest, WarmVsColdDifferentialExact) {
+  RunWarmVsColdDifferential<Rational>();
+}
+
+TEST(WarmStartTest, WarmVsColdDifferentialDouble) {
+  RunWarmVsColdDifferential<double>();
+}
+
 TEST(ToExactModelTest, SnapsSimpleFractions) {
   LpModel<double> dm;
   int x = dm.AddVar();

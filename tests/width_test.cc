@@ -2,6 +2,8 @@
 // and w-subw (Definition 4.7) against the closed forms of Appendix C /
 // Table 2 — all exact over rationals.
 
+#include "core/exec_context.h"
+#include "core/exec_status.h"
 #include "entropy/witnesses.h"
 #include "gtest/gtest.h"
 #include "hypergraph/hypergraph.h"
@@ -12,6 +14,7 @@
 #include "width/mm_expr.h"
 #include "width/omega_subw.h"
 #include "width/subw.h"
+#include "width/width_cache.h"
 
 namespace fmmsw {
 namespace {
@@ -325,6 +328,158 @@ TEST(OmegaSubwTest, FourCycleBoundsBracketClosedForm) {
   EXPECT_FALSE(r.used_clustered_form);
   EXPECT_EQ(r.lower, cf::OmegaSubwCycle4(omega));
   EXPECT_GE(r.upper, r.lower);
+}
+
+// ------------------------------------- planner determinism, warmth, cache --
+
+// The full OmegaSubwResult must be bit-identical at every thread count —
+// values, bounds, witness polymatroid, and all planner counters. The
+// search is phase-structured so parallel fan-outs fill disjoint slots and
+// every reduction runs serially; this test is the contract.
+void ExpectSameResult(const OmegaSubwResult& a, const OmegaSubwResult& b,
+                      bool compare_counters) {
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.lower, b.lower);
+  EXPECT_EQ(a.upper, b.upper);
+  EXPECT_EQ(a.exact, b.exact);
+  EXPECT_EQ(a.used_clustered_form, b.used_clustered_form);
+  EXPECT_EQ(a.num_mm_terms, b.num_mm_terms);
+  EXPECT_TRUE(a.worst_case == b.worst_case);
+  if (compare_counters) {
+    EXPECT_EQ(a.lps_solved, b.lps_solved);
+    EXPECT_EQ(a.lp_warm_starts, b.lp_warm_starts);
+    EXPECT_EQ(a.lp_pivots, b.lp_pivots);
+  }
+}
+
+TEST(PlannerDeterminismTest, ParallelMatchesSerialClusteredForm) {
+  const Rational omega(2371552, 1000000);
+  OmegaSubwOptions opts;
+  opts.use_width_cache = false;
+  for (const Hypergraph& h :
+       {Hypergraph::Clique(4), Hypergraph::Pyramid(3)}) {
+    ExecContext serial(1);
+    const auto reference = OmegaSubw(h, omega, opts, &serial);
+    ASSERT_TRUE(reference.used_clustered_form);
+    for (int threads : {2, 4, 8}) {
+      ExecContext ec(threads);
+      ExpectSameResult(reference, OmegaSubw(h, omega, opts, &ec),
+                       /*compare_counters=*/true);
+    }
+  }
+}
+
+TEST(PlannerDeterminismTest, ParallelMatchesSerialGeneralForm) {
+  const Rational omega(2371552, 1000000);
+  OmegaSubwOptions opts;
+  opts.use_width_cache = false;
+  opts.witnesses.push_back(FourCycleWitnessLow(omega));
+  opts.witnesses.push_back(FourCycleWitnessHigh());
+  ExecContext serial(1);
+  const auto reference =
+      OmegaSubw(Hypergraph::Cycle(4), omega, opts, &serial);
+  ASSERT_FALSE(reference.used_clustered_form);
+  for (int threads : {2, 4, 8}) {
+    ExecContext ec(threads);
+    ExpectSameResult(reference,
+                     OmegaSubw(Hypergraph::Cycle(4), omega, opts, &ec),
+                     /*compare_counters=*/true);
+  }
+}
+
+TEST(PlannerDeterminismTest, WidthAtThreadCountInvariant) {
+  const Rational omega(2371552, 1000000);
+  const auto w = FourCycleWitnessHigh();
+  OmegaSubwOptions opts;
+  ExecContext serial(1);
+  const Rational reference =
+      WidthAt(Hypergraph::Cycle(4), w, omega, opts, &serial);
+  for (int threads : {2, 4, 8}) {
+    ExecContext ec(threads);
+    EXPECT_EQ(reference, WidthAt(Hypergraph::Cycle(4), w, omega, opts, &ec))
+        << threads;
+  }
+}
+
+TEST(PlannerWarmStartTest, ColdSolveMatchesWarmSolve) {
+  // Warm starting may change LP trajectories (and so lps_solved /
+  // lp_pivots) but never the answer: value, bounds, and the canonical
+  // witness polymatroid must be exactly equal.
+  const Rational omega(2371552, 1000000);
+  OmegaSubwOptions warm;
+  warm.use_width_cache = false;
+  OmegaSubwOptions cold = warm;
+  cold.warm_start = false;
+  {
+    const auto rw = OmegaSubw(Hypergraph::Clique(4), omega, warm);
+    const auto rc = OmegaSubw(Hypergraph::Clique(4), omega, cold);
+    ExpectSameResult(rw, rc, /*compare_counters=*/false);
+    EXPECT_GT(rw.lp_warm_starts, 0);
+    EXPECT_EQ(rc.lp_warm_starts, 0);
+    EXPECT_LT(rw.lp_pivots, rc.lp_pivots);
+  }
+  {
+    OmegaSubwOptions warm_g = warm, cold_g = cold;
+    warm_g.witnesses.push_back(FourCycleWitnessHigh());
+    cold_g.witnesses.push_back(FourCycleWitnessHigh());
+    const auto rw = OmegaSubw(Hypergraph::Cycle(4), omega, warm_g);
+    const auto rc = OmegaSubw(Hypergraph::Cycle(4), omega, cold_g);
+    ExpectSameResult(rw, rc, /*compare_counters=*/false);
+    EXPECT_GT(rw.lp_warm_starts, 0);
+    EXPECT_EQ(rc.lp_warm_starts, 0);
+  }
+}
+
+TEST(WidthCacheTest, SecondSolveIsServedFromCache) {
+  const Rational omega(2371552, 1000000);
+  WidthCache::Global().Clear();
+  ExecContext ec(1);
+  OmegaSubwOptions opts;  // cache on by default
+  const auto first = OmegaSubw(Hypergraph::Clique(4), omega, opts, &ec);
+  EXPECT_FALSE(first.from_cache);
+  EXPECT_EQ(ec.stats().width_cache_hits.load(), 0);
+  const auto second = OmegaSubw(Hypergraph::Clique(4), omega, opts, &ec);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(ec.stats().width_cache_hits.load(), 1);
+  EXPECT_EQ(WidthCache::Global().hits(), 1);
+  ExpectSameResult(first, second, /*compare_counters=*/true);
+  // Distinct options key distinct entries: full enumeration is a miss.
+  OmegaSubwOptions full = opts;
+  full.full_enumeration = true;
+  ExecContext ec2(1);
+  // (Use the triangle so the full enumeration stays cheap.)
+  const auto tri = OmegaSubw(Hypergraph::Triangle(), omega, full, &ec2);
+  EXPECT_FALSE(tri.from_cache);
+  WidthCache::Global().Clear();
+  EXPECT_EQ(WidthCache::Global().size(), 0u);
+}
+
+TEST(PlannerGuardrailTest, PivotBudgetRaisesRecoverableAbort) {
+  // An absurdly small per-LP pivot budget must surface as a catchable
+  // QueryAbort(kCapacityExceeded), not a process abort.
+  OmegaSubwOptions opts;
+  opts.use_width_cache = false;
+  opts.max_pivots = 1;
+  try {
+    OmegaSubw(Hypergraph::Clique(4), Rational(5, 2), opts);
+    FAIL() << "expected QueryAbort";
+  } catch (const QueryAbort& e) {
+    EXPECT_EQ(e.status(), ExecStatus::kCapacityExceeded);
+  }
+}
+
+TEST(PlannerStatsTest, CountersFlowIntoExecContext) {
+  const Rational omega(2371552, 1000000);
+  ExecContext ec(1);
+  OmegaSubwOptions opts;
+  opts.use_width_cache = false;
+  const auto r = OmegaSubw(Hypergraph::Clique(4), omega, opts, &ec);
+  EXPECT_GT(r.lps_solved, 0);
+  EXPECT_GT(r.plan_ns, 0);
+  EXPECT_EQ(ec.stats().lp_solves.load(), r.lps_solved);
+  EXPECT_EQ(ec.stats().lp_warm_starts.load(), r.lp_warm_starts);
+  EXPECT_EQ(ec.stats().lp_pivots.load(), r.lp_pivots);
+  EXPECT_GE(ec.stats().plan_ns.load(), r.plan_ns);
 }
 
 // ------------------------------------------------------- closed forms ----
