@@ -16,6 +16,10 @@ int64_t SteadyNowNs() {
 }  // namespace
 
 void QueryGuard::Arm(const QueryLimits& limits) {
+  // relaxed: every store below runs on the single driving thread before
+  // the query's fan-out; ThreadPool::Run's mutex handshake publishes
+  // them to the workers that will poll them, so none needs ordering of
+  // its own.
   polls_.store(0, std::memory_order_relaxed);
   rows_.store(0, std::memory_order_relaxed);
   mem_budget_.store(limits.memory_budget_bytes, std::memory_order_relaxed);
@@ -26,11 +30,14 @@ void QueryGuard::Arm(const QueryLimits& limits) {
       std::memory_order_relaxed);
   if (const char* env = std::getenv("FMMSW_FAULT_AT")) {
     const long long n = std::atoll(env);
+    // relaxed: driving-thread store, published like the ones above.
     if (n > 0) fault_at_.store(n, std::memory_order_relaxed);
   }
   // Cancel() issued before Arm() sticks: it targets "the next guarded
   // execution" and trips the first poll. armed_ goes true iff any poll
   // must take the slow path.
+  // relaxed: driving-thread loads/store; pre-Arm writers (Cancel,
+  // SetFaultAt, SetPollHook) install before the run they target.
   const bool armed = limits.deadline_ms > 0 ||
                      limits.memory_budget_bytes > 0 ||
                      limits.max_output_rows > 0 ||
@@ -41,6 +48,9 @@ void QueryGuard::Arm(const QueryLimits& limits) {
 }
 
 void QueryGuard::Disarm() {
+  // relaxed: like Arm() — every store below runs on the driving thread
+  // after the fan-in, so the pool handshake already ordered it against
+  // every worker.
   armed_.store(false, std::memory_order_relaxed);
   cancelled_.store(false, std::memory_order_relaxed);
   deadline_ns_.store(0, std::memory_order_relaxed);
@@ -50,11 +60,18 @@ void QueryGuard::Disarm() {
 }
 
 void QueryGuard::SetPollHook(std::function<void(int64_t)> hook) {
+  MutexLock lock(&hook_mu_);
   hook_ = std::move(hook);
+  // relaxed: gate only — PollSlow re-checks under hook_mu_ before
+  // invoking, so a stale read merely skips or takes the mutex once.
   has_hook_.store(static_cast<bool>(hook_), std::memory_order_relaxed);
 }
 
 void QueryGuard::PollSlow() {
+  // relaxed: poll ordinal is an exact atomic RMW; fault/limit loads are
+  // published by Arm() before the fan-out (see Arm above) and latches
+  // like cancelled_ are re-polled every morsel, so delayed visibility
+  // delays an abort by one poll at most.
   const int64_t poll = polls_.fetch_add(1, std::memory_order_relaxed) + 1;
   const int64_t fault = fault_at_.load(std::memory_order_relaxed);
   if (fault > 0 && poll >= fault) {
@@ -62,7 +79,15 @@ void QueryGuard::PollSlow() {
                      "fault injection fired at poll #" +
                          std::to_string(poll));
   }
-  if (has_hook_.load(std::memory_order_relaxed)) hook_(poll);
+  if (has_hook_.load(std::memory_order_relaxed)) {
+    // Invoked under hook_mu_: a concurrent SetPollHook can never destroy
+    // the std::function mid-call. Hooks are test instruments; the lock
+    // is off the production path (has_hook_ false) entirely.
+    MutexLock lock(&hook_mu_);
+    if (hook_) hook_(poll);
+  }
+  // relaxed: latches and limits below — published by Arm() before the
+  // fan-out; staleness delays the abort by one poll at most.
   if (cancelled_.load(std::memory_order_relaxed)) {
     throw QueryAbort(ExecStatus::kCancelled, "query cancelled");
   }
@@ -137,6 +162,8 @@ void ExecStats::Reset() {
 std::string ExecStats::ToString() const {
   std::string out;
   auto row = [&out](const char* name, const std::atomic<int64_t>& v) {
+    // relaxed: reporting snapshot — read after the run (pool fan-in
+    // ordered the bumps) or as an intentionally racy live dump.
     const int64_t x = v.load(std::memory_order_relaxed);
     if (x == 0) return;
     out += name;

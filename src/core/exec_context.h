@@ -41,6 +41,7 @@
 #include "core/exec_status.h"
 #include "util/check.h"
 #include "util/parallel.h"
+#include "util/thread_safety.h"
 
 namespace fmmsw {
 
@@ -97,20 +98,24 @@ namespace fmmsw {
 ///   - mm_pack_ns            : nanoseconds spent packing A/B panels and
 ///                             bit-planes, summed across calls (and
 ///                             workers, like index_build_ns).
+/// Contract (machine-enforced by tools/check_contracts.py): every counter
+/// declared here must (a) carry a doc comment, (b) be zeroed in Reset(),
+/// and (c) be printed by ToString(). Adding a counter means touching all
+/// three places, or the `stats-coverage` lint fails the build.
 struct ExecStats {
-  std::atomic<int64_t> join_calls{0};
-  std::atomic<int64_t> join_output_tuples{0};
+  std::atomic<int64_t> join_calls{0};           ///< Join operator invocations
+  std::atomic<int64_t> join_output_tuples{0};   ///< tuples materialized by Join
   std::atomic<int64_t> fused_joins{0};          ///< Join calls with exist filters
   std::atomic<int64_t> fused_probe_tuples{0};   ///< join pairs probed against filters
   std::atomic<int64_t> fused_drop_tuples{0};    ///< pairs rejected, never materialized
   std::atomic<int64_t> fused_emit_tuples{0};    ///< pairs surviving every filter
-  std::atomic<int64_t> semijoin_calls{0};
-  std::atomic<int64_t> semijoin_all_calls{0};
-  std::atomic<int64_t> antijoin_calls{0};
-  std::atomic<int64_t> project_calls{0};
-  std::atomic<int64_t> union_calls{0};
-  std::atomic<int64_t> select_calls{0};
-  std::atomic<int64_t> partition_calls{0};
+  std::atomic<int64_t> semijoin_calls{0};       ///< Semijoin operator invocations
+  std::atomic<int64_t> semijoin_all_calls{0};   ///< SemijoinAll (fused chain) calls
+  std::atomic<int64_t> antijoin_calls{0};       ///< Antijoin operator invocations
+  std::atomic<int64_t> project_calls{0};        ///< Project operator invocations
+  std::atomic<int64_t> union_calls{0};          ///< Union operator invocations
+  std::atomic<int64_t> select_calls{0};         ///< SelectEq operator invocations
+  std::atomic<int64_t> partition_calls{0};      ///< PartitionByDegree invocations
   std::atomic<int64_t> sort_order_hits{0};      ///< partition sort orders reused
   std::atomic<int64_t> sort_calls{0};           ///< wide-key row sorts executed
   std::atomic<int64_t> sort_rows{0};            ///< rows through the sort layer
@@ -120,8 +125,8 @@ struct ExecStats {
   std::atomic<int64_t> index_sharded_builds{0}; ///< ...that ran sharded/parallel
   std::atomic<int64_t> index_build_rows{0};     ///< rows scanned into indexes
   std::atomic<int64_t> index_build_ns{0};       ///< wall ns inside index builds
-  std::atomic<int64_t> wcoj_runs{0};
-  std::atomic<int64_t> wcoj_parallel_runs{0};
+  std::atomic<int64_t> wcoj_runs{0};            ///< generic-WCOJ executions
+  std::atomic<int64_t> wcoj_parallel_runs{0};   ///< ...that fanned out on the pool
   std::atomic<int64_t> wcoj_tasks{0};           ///< top-level candidate runs fanned out
   std::atomic<int64_t> wcoj_coop_tasks{0};      ///< tasks run via shared depth-1 cursor
   std::atomic<int64_t> wcoj_steal_claims{0};    ///< depth-1 blocks claimed by dry workers
@@ -148,6 +153,9 @@ struct ExecStats {
 };
 
 /// Relaxed add on a stats counter.
+// relaxed: stats-only — counters are monotone sums read for reporting
+// after the pool fan-in (which orders them); no control flow or data
+// publication depends on their ordering mid-flight.
 inline void Bump(std::atomic<int64_t>& counter, int64_t delta = 1) {
   counter.fetch_add(delta, std::memory_order_relaxed);
 }
@@ -178,8 +186,18 @@ inline void Bump(std::atomic<int64_t>& counter, int64_t delta = 1) {
 /// environment (read at Arm() time) or SetFaultAt(n) aborts the query
 /// with kCancelled at the n-th armed poll; SetPollHook installs a
 /// callback invoked with each armed poll's ordinal (it may Cancel() or
-/// throw QueryAbort itself; it must be thread-safe and is only written
-/// while no query runs).
+/// throw QueryAbort itself; it must be thread-safe and must not call
+/// SetPollHook reentrantly — the hook is invoked under hook_mu_).
+///
+/// Synchronization model (checked by clang -Wthread-safety and the
+/// `relaxed-justified` lint): all guard state is either an atomic with a
+/// written `// relaxed:` invariant or guarded by hook_mu_. Arm/Disarm
+/// are called by the single driving thread *outside* any fan-out; the
+/// pool's mutex handshake (ThreadPool::Run) publishes the armed limits
+/// to workers, so the limit fields themselves need no ordering. Cancel()
+/// may race in from any thread: its relaxed stores are latches whose
+/// only consumer is a poll that retries forever, so delayed visibility
+/// delays the abort by at most one poll, never loses it.
 class QueryGuard {
  public:
   explicit QueryGuard(ExecStats* stats) : stats_(stats) {}
@@ -188,10 +206,14 @@ class QueryGuard {
   /// Requests cancellation: the running query aborts with kCancelled at
   /// its next poll. Sticky until the owning guarded execution ends.
   void Cancel() {
+    // relaxed: one-way latches polled repeatedly — a worker that misses
+    // this store sees it on a later poll (violations are sticky until
+    // Disarm), so ordering buys nothing and the store stays wait-free.
     cancelled_.store(true, std::memory_order_relaxed);
     armed_.store(true, std::memory_order_relaxed);
   }
   bool cancelled() const {
+    // relaxed: advisory read-back of the latch above.
     return cancelled_.load(std::memory_order_relaxed);
   }
 
@@ -204,6 +226,9 @@ class QueryGuard {
   /// the memory budget is exceeded, or fault injection fires. No-op (one
   /// relaxed load) when nothing is armed.
   void Poll() {
+    // relaxed: the ~1ns disarmed fast path. Arm() happens-before the
+    // fan-out that polls (pool handshake), so an armed query always sees
+    // true; an async Cancel() is a latch re-polled at the next morsel.
     if (!armed_.load(std::memory_order_relaxed)) return;
     PollSlow();
   }
@@ -213,6 +238,10 @@ class QueryGuard {
   /// if an armed budget is now exceeded (the charge stays recorded — the
   /// caller's MemCharge releases it during unwind).
   void ChargeMem(int64_t bytes) {
+    // relaxed: accounting sums — the fetch_add is an atomic RMW so the
+    // running total is exact regardless of ordering; the peak CAS loop is
+    // monotone; the budget comparison tolerates momentary staleness
+    // (cooperative enforcement, re-checked at every charge and poll).
     const int64_t now =
         stats_->mem_current_bytes.fetch_add(bytes,
                                             std::memory_order_relaxed) +
@@ -225,6 +254,7 @@ class QueryGuard {
     if (budget > 0 && now > budget) ThrowMemoryLimit(now, budget);
   }
   void ReleaseMem(int64_t bytes) {
+    // relaxed: exact atomic RMW on the accounting sum (see ChargeMem).
     stats_->mem_current_bytes.fetch_sub(bytes, std::memory_order_relaxed);
   }
 
@@ -234,6 +264,10 @@ class QueryGuard {
   /// flush local counts every few thousand emits, so the abort lands
   /// within one batch of the limit.
   void CountRows(int64_t rows) {
+    // relaxed: limit fields are published by Arm() before the fan-out
+    // (pool handshake); the row total is an exact atomic RMW and the
+    // threshold check is re-run on every batch, so a stale-by-one-batch
+    // view only shifts *where* the abort lands, never whether.
     const int64_t limit = row_limit_.load(std::memory_order_relaxed);
     if (limit <= 0) return;
     const int64_t now =
@@ -243,21 +277,25 @@ class QueryGuard {
   /// True when a max_output_rows limit is armed (emit loops skip their
   /// local batching entirely when it is not).
   bool row_limit_armed() const {
+    // relaxed: published by Arm() before the fan-out (see CountRows).
     return row_limit_.load(std::memory_order_relaxed) > 0;
   }
 
   // ---- fault injection (tests) ----
   void SetFaultAt(int64_t poll_number) {
+    // relaxed: test-only latch, installed before the run it targets;
+    // same retry-until-seen argument as Cancel().
     fault_at_.store(poll_number, std::memory_order_relaxed);
     if (poll_number > 0) armed_.store(true, std::memory_order_relaxed);
   }
-  void SetPollHook(std::function<void(int64_t)> hook);
+  void SetPollHook(std::function<void(int64_t)> hook) FMMSW_EXCLUDES(hook_mu_);
 
   /// Armed polls observed since the last Arm().
+  // relaxed: monotone test/diagnostic counter, read after the run.
   int64_t polls() const { return polls_.load(std::memory_order_relaxed); }
 
  private:
-  void PollSlow();
+  void PollSlow() FMMSW_EXCLUDES(hook_mu_);
   [[noreturn]] void ThrowMemoryLimit(int64_t now, int64_t budget);
   [[noreturn]] void ThrowRowLimit(int64_t now, int64_t limit);
 
@@ -272,8 +310,13 @@ class QueryGuard {
   std::atomic<int64_t> rows_{0};
   std::atomic<int64_t> polls_{0};
   std::atomic<int64_t> fault_at_{0};     ///< 0 = disabled
+  /// Fast-path gate for hook_ below: polls skip the mutex entirely when
+  /// no hook is installed (the production case).
   std::atomic<bool> has_hook_{false};
-  std::function<void(int64_t)> hook_;
+  /// Protects hook_ (a std::function is not atomically assignable; the
+  /// mutex makes SetPollHook safe against concurrent armed polls).
+  Mutex hook_mu_;
+  std::function<void(int64_t)> hook_ FMMSW_GUARDED_BY(hook_mu_);
 };
 
 /// Reusable per-worker scratch buffers. Callers resize/clear as needed;
@@ -293,12 +336,17 @@ class ScratchArena {
     // A held arena must never be relocated: the holder's reference would
     // dangle and the fresh busy_ flag would hand the buffers to a second
     // caller.
+    // relaxed: debug assertion on a context with no legitimate
+    // concurrent holder; a racing acquire is itself the bug being
+    // flagged.
     FMMSW_DCHECK(!other.busy_.load(std::memory_order_relaxed) &&
                  "moving a ScratchArena that is still acquired");
   }
 
   /// Atomically claims the arena; returns false if another caller holds
-  /// it (use local buffers instead).
+  /// it (use local buffers instead). The winning CAS (seq_cst, hence
+  /// acquire) pairs with Release()'s release store: the new holder
+  /// observes every buffer write the previous holder made.
   bool TryAcquire() {
     bool expected = false;
     return busy_.compare_exchange_strong(expected, true);

@@ -32,6 +32,8 @@ void EliminateForLoop(State* s, VarSet block, EliminationStats* stats,
   Hypergraph sub(s->hg.num_vars(), s->hg.names());
   sub = sub.Eliminate(VarSet::Full(s->hg.num_vars()) - s->hg.U(block));
   Database sub_db;
+  // contracts: allow(no-node-map) schema-keyed merge pool, O(#edges)
+  // entries per elimination step.
   std::map<VarSet, Relation> merged;
   for (int e : incident) {
     auto it = merged.find(s->hg.edges()[e]);
@@ -54,6 +56,8 @@ void EliminateForLoop(State* s, VarSet block, EliminationStats* stats,
   // (deduped) plus N(block); relations are matched to edges by schema.
   State next;
   next.hg = s->hg.Eliminate(block);
+  // contracts: allow(no-node-map) schema-keyed relation pool, O(#edges)
+  // entries per elimination step.
   std::map<VarSet, Relation> pool;
   for (size_t e = 0; e < s->hg.edges().size(); ++e) {
     if (std::find(incident.begin(), incident.end(), static_cast<int>(e)) !=
@@ -109,6 +113,8 @@ class KeyIndex {
   }
 
  private:
+  // contracts: allow(no-node-map) reference MM-step evaluator; keys are
+  // variable-length Value tuples with no packed-key form yet (ROADMAP).
   std::map<std::vector<Value>, int> map_;
 };
 
@@ -188,6 +194,8 @@ void EliminateMm(State* s, VarSet block, const MmExpr& mm,
                          m1_z = ColsFor(m1, block);
   const std::vector<int> m2_g = ColsFor(m2, mm.g), m2_y = ColsFor(m2, mm.y),
                          m2_z = ColsFor(m2, block);
+  // contracts: allow(no-node-map) reference MM-step evaluator; keys are
+  // variable-length Value tuples with no packed-key form yet (ROADMAP).
   std::map<std::vector<Value>, std::pair<std::vector<size_t>,
                                          std::vector<size_t>>>
       groups;
@@ -281,6 +289,8 @@ void EliminateMm(State* s, VarSet block, const MmExpr& mm,
   // Rebuild state exactly as the for-loop path does.
   State next;
   next.hg = s->hg.Eliminate(block);
+  // contracts: allow(no-node-map) schema-keyed relation pool, O(#edges)
+  // entries per elimination step.
   std::map<VarSet, Relation> pool;
   for (size_t e = 0; e < s->hg.edges().size(); ++e) {
     if (s->hg.edges()[e].Intersects(block)) continue;

@@ -82,6 +82,7 @@ bool ForEachHeavy(ExecContext& ec, const Relation& heavy,
           b_set.AddRow(&right.Row(row)[rcol]);
         }
         b_set.SortAndDedupe(&ec);
+        // relaxed: stats-only sum, read after the fan-in below.
         probes.fetch_add(1, std::memory_order_relaxed);
         return check(a_set, b_set);
       },

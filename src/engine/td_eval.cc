@@ -19,6 +19,8 @@ Relation MaterializeBag(const Hypergraph& h, const Database& db, VarSet bag,
                         ExecContext* ec) {
   // Merge relations with the same projected schema by intersection so the
   // sub-hypergraph's edges and relations stay aligned.
+  // contracts: allow(no-node-map) schema-keyed merge pool, O(#edges)
+  // entries per bag.
   std::map<VarSet, Relation> by_schema;
   for (size_t e = 0; e < h.edges().size(); ++e) {
     const VarSet overlap = h.edges()[e] & bag;

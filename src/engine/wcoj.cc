@@ -66,6 +66,8 @@ class GenericJoin {
       ir.vars = r.vars();
       ir.arity = r.arity();
       total_rows_ += r.size();
+      // contracts: allow(no-comparator-sort) sorts <= kMaxVars schema
+      // variables once per relation at setup, not tuples.
       std::sort(ir.vars.begin(), ir.vars.end(),
                 [&](int a, int b) { return pos[a] < pos[b]; });
       std::vector<int> cols;
@@ -262,12 +264,20 @@ class GenericJoin {
     const uint32_t end = d1_range_[task].end;
     bool keep_going = true;
     while (keep_going && !stop()) {
+      // relaxed: work-claim RMW — atomicity alone hands each depth-1
+      // position block to exactly one claimant (the claim partition is
+      // what determinism rests on, and it holds under any ordering);
+      // claimed blocks read only the shared immutable trie, and worker
+      // outputs are published by the pool's fan-in.
       const uint32_t lo = cursor->fetch_add(block, std::memory_order_relaxed);
       if (lo >= end) break;
       guard_->Poll();
       begin_block(task, lo);
       keep_going = RunBlock(st, task, lo, std::min(lo + block, end), emit);
     }
+    // relaxed: poison latch — saturating the cursor stops further
+    // claims; racing claimants that already passed the fetch_add just
+    // finish their block, which the early-exit contract permits.
     if (!keep_going) cursor->store(end, std::memory_order_relaxed);
     for (size_t a = 0; a < na; ++a) st->ranges[active_[a]].resize(1);
     return keep_going;
@@ -513,6 +523,8 @@ struct CoopPlan {
     for (size_t t = 0; t < ntasks; ++t) {
       if (gj->D1Span(t) >= kCoopMinSpan) {
         coop[t] = 1;
+        // relaxed: initialization before the fan-out — DriveParallel's
+        // pool handshake publishes the cursors to every worker.
         cursors[t].store(gj->D1Begin(t), std::memory_order_relaxed);
       }
     }
@@ -525,6 +537,9 @@ struct CoopPlan {
     uint32_t best_left = 0;
     for (size_t t = 0; t < coop.size(); ++t) {
       if (!coop[t]) continue;
+      // relaxed: scheduling heuristic — a stale cursor only makes a dry
+      // worker pick a lighter task (or retry); actual work is still
+      // handed out solely by the claiming fetch_add in RunTaskCoop.
       const uint32_t cur = cursors[t].load(std::memory_order_relaxed);
       const uint32_t end = gj.D1End(t);
       const uint32_t left = cur < end ? end - cur : 0;
@@ -567,6 +582,8 @@ void DriveParallel(ExecContext& ec, GenericJoin& gj, size_t ntasks,
     };
     auto stop = [&] { return hooks.Stop(); };
     while (!stop()) {
+      // relaxed: work-claim RMW — each whole task claimed exactly once;
+      // outputs are published by the pool's fan-in (see RunTaskCoop).
       const int64_t t = next.fetch_add(1, std::memory_order_relaxed);
       if (t >= static_cast<int64_t>(ntasks)) break;
       guard.Poll();
@@ -616,11 +633,15 @@ bool WcojBoolean(const Hypergraph& h, const Database& db, ExecContext* ctx) {
     struct Hooks {
       std::atomic<bool>* found;
       bool Emit(const std::vector<Value>&) {
+        // relaxed: idempotent one-way latch; the authoritative read is
+        // the fan-in-ordered load after DriveParallel returns.
         found->store(true, std::memory_order_relaxed);
         return false;  // stop at the first witness
       }
       void BeginBlock(size_t, uint32_t) {}
       bool Stop() const {
+        // relaxed: early-exit hint — a stale false only costs redundant
+        // side-effect-free enumeration before the next check.
         return found->load(std::memory_order_relaxed);
       }
     };
@@ -733,6 +754,8 @@ Relation WcojJoin(const Hypergraph& h, const Database& db, VarSet output_vars,
       if (end > begin) merged.push_back({o.segs[s].first, w, begin, end});
     }
   }
+  // contracts: allow(no-comparator-sort) O(workers * tasks) segment
+  // descriptors once per parallel join, not tuples.
   std::sort(
       merged.begin(), merged.end(),
       [](const MergeSeg& a, const MergeSeg& b) { return a.tag < b.tag; });
@@ -783,6 +806,8 @@ int64_t WcojCount(const Hypergraph& h, const Database& db, ExecContext* ctx) {
       // Flush on every exit path of the worker.
       ~Hooks() {
         if (total != nullptr) {
+          // relaxed: per-worker partial sum — commutative RMW, read
+          // only after the pool fan-in orders it.
           total->fetch_add(local, std::memory_order_relaxed);
         }
       }

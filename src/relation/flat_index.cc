@@ -40,6 +40,8 @@ void PartitionRows(const Relation& r, const KeySpec& spec, ExecContext& ec,
   QueryGuard& guard = ec.guard();
   ec.pool().Run([&](int) {
     while (true) {
+      // relaxed: work-claim RMW — each chunk claimed exactly once; the
+      // scanned buffers are published by the pool's fan-in.
       const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= nchunks) return;
       guard.Poll();
@@ -126,6 +128,8 @@ void FlatMultimap::BuildSharded(const Relation& r, const KeySpec& spec,
   QueryGuard& guard = ec.guard();
   ec.pool().Run([&](int) {
     while (true) {
+      // relaxed: work-claim RMW — each shard claimed exactly once; the
+      // disjoint sub-tables are published by the pool's fan-in.
       const size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
       if (s >= kShards) return;
       guard.Poll();
@@ -203,6 +207,8 @@ void FlatInterner::BuildSharded(const Relation& r, const KeySpec& spec,
   QueryGuard& guard = ec.guard();
   ec.pool().Run([&](int) {
     while (true) {
+      // relaxed: work-claim RMW — each shard claimed exactly once; the
+      // disjoint sub-tables are published by the pool's fan-in.
       const size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
       if (s >= kShards) return;
       guard.Poll();

@@ -9,7 +9,9 @@
 ///
 /// Every operator takes an optional ExecContext (nullptr = the process
 /// default): it supplies the per-op stats counters and, where relevant,
-/// scratch arenas. The engines own the enumeration fan-out; the only
+/// scratch arenas. This is a machine-enforced contract: the `ctx-threading`
+/// rule of tools/check_contracts.py fails the build if a declaration in
+/// this header (or engine/*.h) drops the ExecContext parameter. The engines own the enumeration fan-out; the only
 /// parallel work an operator may start itself is the sharded flat-index
 /// build (flat_index.h), which degrades to a serial build whenever the
 /// context's pool is already busy with an enclosing parallel region — so

@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/thread_safety.h"
+
 namespace fmmsw {
 
 class ThreadPool {
@@ -33,7 +35,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stop_ = true;
       ++generation_;
     }
@@ -48,6 +50,8 @@ class ThreadPool {
   /// algorithm instead of running the parallel one on a single worker; a
   /// stale answer only costs speed, never correctness (Run still degrades
   /// nested calls safely).
+  // relaxed: advisory snapshot only — a stale value changes which
+  // algorithm a caller picks, never what it computes (documented above).
   bool busy() const { return in_parallel_.load(std::memory_order_relaxed); }
 
   /// Runs fn(t) for every t in [0, threads()); the caller executes t = 0.
@@ -76,10 +80,13 @@ class ThreadPool {
     // to another caller while workers still reference this job.
     struct ParallelRegion {
       std::atomic<bool>& flag;
+      // release: pairs with the acquire CAS above — the next winner of
+      // in_parallel_ must observe this fan-out's completed fan-in
+      // (pending_ == 0 handshake) before reusing job_/error_.
       ~ParallelRegion() { flag.store(false, std::memory_order_release); }
     } region{in_parallel_};
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       job_ = &fn;
       pending_ = threads_ - 1;
       error_ = nullptr;
@@ -94,8 +101,10 @@ class ThreadPool {
     }
     std::exception_ptr worker_error;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      done_.wait(lock, [this] { return pending_ == 0; });
+      MutexLock lock(&mu_);
+      done_.wait(lock.native(), [this]() FMMSW_REQUIRES(mu_) {
+        return pending_ == 0;
+      });
       job_ = nullptr;
       worker_error = error_;
       error_ = nullptr;
@@ -125,8 +134,10 @@ class ThreadPool {
     while (true) {
       const std::function<void(int)>* job = nullptr;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        MutexLock lock(&mu_);
+        wake_.wait(lock.native(), [&]() FMMSW_REQUIRES(mu_) {
+          return stop_ || generation_ != seen;
+        });
         seen = generation_;
         if (stop_) return;
         job = job_;
@@ -142,8 +153,15 @@ class ThreadPool {
         }
       }
       {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         if (err && !error_) error_ = err;
+        // Drop this worker's reference *before* the pending_ decrement:
+        // once pending_ hits 0 the caller may rethrow and destroy the
+        // exception, and the exception_ptr refcount lives in libstdc++
+        // internals outside mu_. Releasing under the lock keeps every
+        // worker-side touch of the exception object ordered before the
+        // caller's use, so the final destroy always runs on the caller.
+        err = nullptr;
         if (--pending_ == 0) done_.notify_one();
       }
     }
@@ -151,19 +169,27 @@ class ThreadPool {
 
   const int threads_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable wake_;
   std::condition_variable done_;
-  const std::function<void(int)>* job_ = nullptr;
-  uint64_t generation_ = 0;
-  int pending_ = 0;
-  bool stop_ = false;
-  /// First exception thrown by a worker in the current fan-out
-  /// (mu_-protected); rethrown on the caller by Run.
-  std::exception_ptr error_;
+  /// The fan-out handshake state: one job at a time, published to the
+  /// workers and fanned back in entirely under mu_ (the lock acquisition
+  /// in WorkerLoop is what makes the caller-side writes to `fn`'s
+  /// closure — and, transitively, all data the job reads — visible to
+  /// every worker, and the workers' writes visible to the caller after
+  /// the pending_ == 0 wait).
+  const std::function<void(int)>* job_ FMMSW_GUARDED_BY(mu_) = nullptr;
+  uint64_t generation_ FMMSW_GUARDED_BY(mu_) = 0;
+  int pending_ FMMSW_GUARDED_BY(mu_) = 0;
+  bool stop_ FMMSW_GUARDED_BY(mu_) = false;
+  /// First exception thrown by a worker in the current fan-out;
+  /// rethrown on the caller by Run.
+  std::exception_ptr error_ FMMSW_GUARDED_BY(mu_);
   // Held (via compare-exchange) while a fan-out is active on this pool;
   // losers of the acquire — nested calls and concurrent callers from
-  // other threads — run their job serially.
+  // other threads — run their job serially. The winning CAS is seq_cst
+  // (acquire): it pairs with the releasing store in ParallelRegion so a
+  // new fan-out observes the previous one's completed fan-in.
   std::atomic<bool> in_parallel_ = false;
 };
 
@@ -215,12 +241,17 @@ inline bool ParallelAnyOf(ThreadPool& pool, int64_t n,
   const int64_t step =
       std::max<int64_t>(grain, n / (8 * static_cast<int64_t>(pool.threads())));
   pool.Run([&](int) {
+    // relaxed: early-exit hint only — a worker missing the flag for a
+    // few iterations does redundant (side-effect-free) probes; the
+    // authoritative read below is ordered by the pool's fan-in.
     while (!found.load(std::memory_order_relaxed)) {
       const int64_t begin = next.fetch_add(step);
       if (begin >= n) return;
       const int64_t end = std::min(begin + step, n);
       for (int64_t i = begin; i < end; ++i) {
         if (item(i)) {
+          // relaxed: idempotent one-way latch (false -> true), read for
+          // real only after the fan-in below.
           found.store(true, std::memory_order_relaxed);
           return;
         }

@@ -58,6 +58,9 @@ void RunChunks(ThreadPool& pool, int chunks, QueryGuard* guard,
   std::atomic<int> next(0);
   pool.Run([&](int) {
     while (true) {
+      // relaxed: work-claim RMW — atomicity alone hands each chunk to
+      // exactly one worker; the chunk's results are published by the
+      // pool's mutex fan-in, not by this counter.
       const int c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) return;
       if (guard != nullptr) guard->Poll();
@@ -193,6 +196,8 @@ bool SortRecs(uint64_t* buf, size_t n, int key_words,
   if (n < kRadixMinN) {
     // Key-only comparison under stable_sort keeps payload words in input
     // order for equal keys, matching the LSD paths above the threshold.
+    // contracts: allow(no-comparator-sort) the sub-kRadixMinN fallback of
+    // the radix layer itself; introsort wins below the threshold.
     std::stable_sort(v, v + n,
                      [key_words](const Rec<S>& a, const Rec<S>& b) {
                        return LexLess(a, b, key_words);

@@ -111,7 +111,7 @@ void LsdSort(std::vector<T>& v, std::vector<T>& scratch, int key_bytes,
     std::swap(src, dst);
   }
   if (src != v.data()) {
-    std::memcpy(v.data(), src, n * sizeof(T));
+    std::copy(src, src + n, v.data());
   }
 }
 
@@ -136,6 +136,8 @@ inline void RadixSortKeyed(
     // Key-only comparison under stable_sort: a plain std::sort over the
     // pairs would order equal keys by payload, breaking the documented
     // input-order guarantee the deterministic permutations rely on.
+    // contracts: allow(no-comparator-sort) the sub-kRadixMinN fallback of
+    // the radix layer itself; introsort wins below the threshold.
     std::stable_sort(v.begin(), v.end(),
                      [](const std::pair<uint64_t, uint32_t>& a,
                         const std::pair<uint64_t, uint32_t>& b) {

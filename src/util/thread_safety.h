@@ -1,0 +1,124 @@
+#ifndef FMMSW_UTIL_THREAD_SAFETY_H_
+#define FMMSW_UTIL_THREAD_SAFETY_H_
+
+/// \file
+/// Clang thread-safety-analysis annotations plus an annotated mutex.
+///
+/// The repo's standing concurrency contract — bit-identical results at
+/// every thread count — rests on a small set of synchronization
+/// disciplines (the ThreadPool fan-out handshake, the WidthCache mutex,
+/// the QueryGuard arm/disarm protocol). The FMMSW_* macros below attach
+/// those disciplines to the code so `clang -Wthread-safety -Werror`
+/// (the CI `clang-checks` job) rejects any access that violates them;
+/// under gcc (and any compiler without the attribute) they compile away
+/// to nothing.
+///
+/// libstdc++'s std::mutex carries no capability attributes, so locking
+/// it through std::lock_guard is invisible to the analysis. The Mutex /
+/// MutexLock pair wraps std::mutex with annotated lock()/unlock() and a
+/// scoped lock that exposes the underlying std::unique_lock for
+/// condition-variable waits (cv.wait re-acquires before returning, so
+/// the capability is genuinely held whenever MutexLock is alive).
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define FMMSW_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FMMSW_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Marks a class as a capability (lockable). The string names the
+/// capability kind in diagnostics ("mutex").
+#define FMMSW_CAPABILITY(x) FMMSW_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime equals holding a capability.
+#define FMMSW_SCOPED_CAPABILITY FMMSW_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define FMMSW_GUARDED_BY(x) FMMSW_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define FMMSW_PT_GUARDED_BY(x) FMMSW_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability/-ies to be held on entry.
+#define FMMSW_REQUIRES(...) \
+  FMMSW_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability (and does not release it).
+#define FMMSW_ACQUIRE(...) \
+  FMMSW_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define FMMSW_RELEASE(...) \
+  FMMSW_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define FMMSW_TRY_ACQUIRE(b, ...) \
+  FMMSW_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function must NOT be called while holding the capability
+/// (self-deadlock guard for non-reentrant locks).
+#define FMMSW_EXCLUDES(...) \
+  FMMSW_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Return value is a reference to data guarded by the capability.
+#define FMMSW_RETURN_CAPABILITY(x) FMMSW_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment stating the invariant that makes the unchecked access
+/// safe (enforced by tools/check_contracts.py).
+#define FMMSW_NO_THREAD_SAFETY_ANALYSIS \
+  FMMSW_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace fmmsw {
+
+/// std::mutex with capability annotations (see file comment). native()
+/// exposes the wrapped mutex for std::unique_lock / condition_variable
+/// interop; callers going through native() take responsibility for the
+/// capability bookkeeping (normally via MutexLock below).
+class FMMSW_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FMMSW_ACQUIRE() { mu_.lock(); }
+  void unlock() FMMSW_RELEASE() { mu_.unlock(); }
+  bool try_lock() FMMSW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over Mutex, annotated so the analysis knows the
+/// capability is held for the object's lifetime. Holds a real
+/// std::unique_lock so condition variables can wait on it:
+///
+///   MutexLock lock(&mu_);
+///   cv_.wait(lock.native(), [&] { return ready_; });   // reacquires
+///
+/// cv.wait releases and re-acquires native() internally; the capability
+/// is held again by the time wait returns, so guarded accesses after the
+/// wait are sound (the analysis treats the capability as held
+/// throughout, which matches every point where user code actually runs).
+class FMMSW_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) FMMSW_ACQUIRE(mu) : lock_(mu->native()) {}
+  ~MutexLock() FMMSW_RELEASE() = default;
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_UTIL_THREAD_SAFETY_H_

@@ -54,7 +54,7 @@ WidthCache& WidthCache::Global() {
 }
 
 bool WidthCache::Lookup(const std::string& key, OmegaSubwResult* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = map_.find(key);
   if (it == map_.end()) return false;
   *out = it->second;
@@ -64,23 +64,23 @@ bool WidthCache::Lookup(const std::string& key, OmegaSubwResult* out) {
 
 void WidthCache::Insert(const std::string& key,
                         const OmegaSubwResult& result) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   map_.emplace(key, result);
 }
 
 void WidthCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   map_.clear();
   hits_ = 0;
 }
 
 size_t WidthCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return map_.size();
 }
 
 int64_t WidthCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return hits_;
 }
 

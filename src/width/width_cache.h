@@ -15,10 +15,10 @@
 /// returned by value.
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "util/thread_safety.h"
 #include "width/omega_subw.h"
 
 namespace fmmsw {
@@ -29,22 +29,28 @@ namespace fmmsw {
 std::string WidthCacheKey(const Hypergraph& h, const Rational& omega,
                           const OmegaSubwOptions& opts);
 
+/// Thread-safe: every member is mutex-protected (clang -Wthread-safety
+/// verifies the discipline via the annotations below). Concurrent
+/// Lookup/Insert of the same key are benign — both compute, one wins the
+/// emplace, the results are identical by the determinism contract.
 class WidthCache {
  public:
   static WidthCache& Global();
 
   /// Returns true and copies the stored result on a hit (bumping hits()).
-  bool Lookup(const std::string& key, OmegaSubwResult* out);
-  void Insert(const std::string& key, const OmegaSubwResult& result);
-  void Clear();
+  bool Lookup(const std::string& key, OmegaSubwResult* out)
+      FMMSW_EXCLUDES(mu_);
+  void Insert(const std::string& key, const OmegaSubwResult& result)
+      FMMSW_EXCLUDES(mu_);
+  void Clear() FMMSW_EXCLUDES(mu_);
 
-  size_t size() const;
-  int64_t hits() const;
+  size_t size() const FMMSW_EXCLUDES(mu_);
+  int64_t hits() const FMMSW_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, OmegaSubwResult> map_;
-  int64_t hits_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, OmegaSubwResult> map_ FMMSW_GUARDED_BY(mu_);
+  int64_t hits_ FMMSW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace fmmsw

@@ -5,6 +5,7 @@
 // radix-sort path of SortAndDedupe.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <limits>
@@ -410,6 +411,31 @@ TEST(ParallelWcojTest, SubLevelStealingOnDominantTask) {
   EXPECT_GT(ec.stats().wcoj_coop_tasks.load(), 0);
 }
 
+TEST(ParallelWcojTest, StealCursorsStableUnderRepeatedEightWorkerRuns) {
+  // Regression pinned at 8 workers — oversubscribed on the dev sandboxes,
+  // so the coop morsel cursors and depth-1 steal claims race under real
+  // preemption. Repeated runs must stay bit-identical to the serial
+  // reference; the CI tsan job runs this under TSan, which validates the
+  // work-claim cursors' relaxed fetch_adds empirically.
+  WorkloadOptions opts;
+  opts.kind = WorkloadKind::kZipf;
+  opts.tuples_per_relation = 1200;
+  opts.domain = 100;
+  opts.zipf_alpha = 1.4;
+  opts.seed = 9;
+  Hypergraph h = Hypergraph::Triangle();
+  Database db = MakeWorkload(h, opts);
+  PlantHeavyHitter(&db, /*hot=*/0, /*fanout=*/150);
+  ExecContext ref(1);
+  const Relation expect = WcojJoin(h, db, h.vertices(), nullptr, &ref);
+  for (int round = 0; round < 5; ++round) {
+    ExecContext ec(8);
+    Relation got = WcojJoin(h, db, h.vertices(), nullptr, &ec);
+    EXPECT_EQ(Rows(got), Rows(expect)) << "round " << round;
+    EXPECT_GT(ec.stats().wcoj_parallel_runs.load(), 0);
+  }
+}
+
 TEST(ParallelWcojTest, EnginesAgreeUnderParallelContext) {
   WorkloadOptions opts;
   opts.kind = WorkloadKind::kZipf;
@@ -687,6 +713,28 @@ TEST(GuardrailTest, CancellationViaPollHook) {
   // Reusable afterwards, and cancellation did not stick.
   const ExecResult ok = WcojCountGuarded(h, db, &count, &ec);
   ASSERT_TRUE(ok.ok()) << ok.message;
+  ExecContext ref_ec(1);
+  EXPECT_EQ(count, WcojCount(h, db, &ref_ec));
+}
+
+TEST(GuardrailTest, PollHookFiresConcurrentlyAtEightWorkers) {
+  // Regression for the hook_mu_ handshake: the poll hook is a non-atomic
+  // std::function invoked from every worker's PollSlow, serialized by
+  // hook_mu_ behind the relaxed has_hook_ gate. With 8 oversubscribed
+  // workers polling, the CI tsan job checks the gate/lock pairing
+  // empirically; the counts check that every armed poll fired the hook
+  // exactly once.
+  const Hypergraph h = Hypergraph::Triangle();
+  const Database db = GuardWorkload(76);
+  ExecContext ec(8);
+  std::atomic<int64_t> fires(0);
+  ec.guard().SetPollHook([&fires](int64_t) { fires.fetch_add(1); });
+  int64_t count = -1;
+  const ExecResult r = WcojCountGuarded(h, db, &count, &ec);
+  ec.guard().SetPollHook(nullptr);
+  ASSERT_TRUE(r.ok()) << r.message;
+  EXPECT_GT(fires.load(), 0);
+  EXPECT_EQ(fires.load(), ec.guard().polls());
   ExecContext ref_ec(1);
   EXPECT_EQ(count, WcojCount(h, db, &ref_ec));
 }

@@ -185,7 +185,9 @@ TEST(TdTest, CycleBagCountsGrow) {
     for (const auto& td : tds) {
       for (const VarSet& a : td.bags) {
         for (const VarSet& b : td.bags) {
-          if (a != b) EXPECT_FALSE(a.ContainsAll(b));
+          if (a != b) {
+            EXPECT_FALSE(a.ContainsAll(b));
+          }
         }
       }
     }

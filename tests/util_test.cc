@@ -469,6 +469,33 @@ TEST(ThreadPoolTest, ParallelForPropagatesChunkException) {
   EXPECT_EQ(done.load(), 1000);
 }
 
+TEST(ThreadPoolTest, OversubscribedExceptionHammerAtEightWorkers) {
+  // Regression pinned at 8 workers — more than the dev sandboxes have
+  // cores, so fan-outs, throws and the fan-in handshake interleave under
+  // real preemption. Several workers throw concurrently every round; the
+  // pool must capture exactly one exception, rethrow it on the caller,
+  // and come back fully reusable. Under TSan (CI tsan job) this also
+  // validates the error_ / pending_ mutex handshake empirically.
+  ThreadPool pool(8);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> ran(0);
+    try {
+      pool.Run([&](int t) {
+        ran.fetch_add(1);
+        if (t % 3 == 1) throw std::runtime_error("hammer");
+      });
+      FAIL() << "expected rethrow, round " << round;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "hammer");
+    }
+    EXPECT_FALSE(pool.busy());
+    EXPECT_EQ(ran.load(), 8) << "round " << round;
+  }
+  std::atomic<int> ran(0);
+  pool.Run([&](int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8);
+}
+
 // ------------------------------------------------------------------- Rng --
 
 TEST(RngTest, DeterministicWithSeed) {

@@ -7,6 +7,7 @@
 #include "entropy/witnesses.h"
 #include "gtest/gtest.h"
 #include "hypergraph/hypergraph.h"
+#include "util/parallel.h"
 #include "util/rational.h"
 #include "width/closed_forms.h"
 #include "width/cycle_dp.h"
@@ -452,6 +453,39 @@ TEST(WidthCacheTest, SecondSolveIsServedFromCache) {
   EXPECT_FALSE(tri.from_cache);
   WidthCache::Global().Clear();
   EXPECT_EQ(WidthCache::Global().size(), 0u);
+}
+
+TEST(WidthCacheTest, ConcurrentLookupInsertAtEightThreads) {
+  // Regression pinned at 8 threads (oversubscribed on the dev sandboxes):
+  // planners racing on the global cache — mixed Lookup/Insert/size/hits
+  // on overlapping keys — must be free of data races (the CI tsan job
+  // runs this under TSan) and converge to exactly one entry per distinct
+  // key. Duplicate Insert keeps the first entry, so a key's stored value
+  // is whichever thread won; all writers store the same bounds here,
+  // mirroring the determinism contract real solvers obey.
+  WidthCache::Global().Clear();
+  constexpr int kKeys = 8;
+  ThreadPool pool(8);
+  pool.Run([&](int t) {
+    for (int i = 0; i < 200; ++i) {
+      const std::string key =
+          std::string("hammer-key-") + std::to_string((i + t) % kKeys);
+      OmegaSubwResult r;
+      if (!WidthCache::Global().Lookup(key, &r)) {
+        r.value = Rational(3, 2);
+        r.exact = true;
+        WidthCache::Global().Insert(key, r);
+      } else {
+        EXPECT_EQ(r.value, Rational(3, 2));
+        EXPECT_TRUE(r.exact);
+      }
+      (void)WidthCache::Global().size();
+      (void)WidthCache::Global().hits();
+    }
+  });
+  EXPECT_EQ(WidthCache::Global().size(), static_cast<size_t>(kKeys));
+  EXPECT_GT(WidthCache::Global().hits(), 0);
+  WidthCache::Global().Clear();
 }
 
 TEST(PlannerGuardrailTest, PivotBudgetRaisesRecoverableAbort) {
