@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "bench_util.h"
+#include "core/api.h"
 #include "engine/triangle.h"
 #include "engine/wcoj.h"
 #include "panda/executor.h"
@@ -182,6 +183,131 @@ void RunGuardrails() {
              StatusString(mb.status), "64KiB budget");
 }
 
+/// Recovery plane on the same instance: (1) the no-fault cost of running
+/// through RunWithRecovery — guard armed, ladder machinery engaged, zero
+/// retries — vs the same strategy called directly (target < 2%);
+/// (2) a degradation demo: the memory-hungry MM count rung trips a
+/// budget chosen between the two strategies' measured peaks and the
+/// ladder falls through to WCOJ, with both timings reported.
+void RunRecovery() {
+  bench::Header("Recovery plane (same instance, largest enabled N)");
+  const Hypergraph h = Hypergraph::Triangle();
+  int64_t n = 0;
+  for (int64_t step : {4000, 8000, 16000, 32000, 64000, 128000}) {
+    if (bench::StepEnabled(step)) n = step;
+  }
+  if (n == 0) return;
+  Database db = MakeNegativeInstance(n);
+  const long long total = static_cast<long long>(db.TotalSize());
+  ExecContext ec;
+  const int reps = n <= 32000 ? 9 : 5;
+
+  // --- A/B: recovery-armed (no fault) vs unguarded, same strategy. ---
+  bool ans = false;
+  std::vector<PlanRung> wcoj_only;
+  wcoj_only.push_back({"wcoj", [&h, &db, &ans](ExecContext& e) {
+                         ans = WcojBoolean(h, db, &e);
+                       }});
+  bool negative = !WcojBoolean(h, db, &ec);  // warm-up
+  double unguarded = 1e100, armed = 1e100;
+  Stopwatch sw;
+  for (int i = 0; i < reps; ++i) {
+    sw.Reset();
+    negative &= !WcojBoolean(h, db, &ec);
+    unguarded = std::min(unguarded, sw.Seconds());
+    sw.Reset();
+    const ExecResult r = RunWithRecovery(ec, {}, {}, wcoj_only);
+    armed = std::min(armed, sw.Seconds());
+    negative &= r.ok() && !ans;
+  }
+  const double overhead = (armed - unguarded) / unguarded * 100.0;
+  std::printf("  instance: negative=%d  N=%lld\n", negative ? 1 : 0, total);
+  std::printf("  wcoj direct          : %10.5f s\n", unguarded);
+  std::printf("  wcoj recovery-armed  : %10.5f s   (%+.2f%%, target < 2%%)\n",
+              armed, overhead);
+  bench::Json("triangle_recovery", total, "unguarded", unguarded * 1e3);
+  bench::Json("triangle_recovery", total, "recovery_armed", armed * 1e3);
+  bench::Row("recovery-armed overhead", "<2%", bench::Fmt(overhead) + "%",
+             "RunWithRecovery, no fault, vs direct call");
+
+  // --- Degradation demos. Two pressure sources: ---
+  // (a) a real memory budget between the measured Strassen and WCOJ
+  //     peaks — the pow2-padded top rung trips it and the ladder settles
+  //     on the hungriest strategy that fits (on this dense-square shape
+  //     that is blocked GEMM, whose slab charges are tiny);
+  // (b) the deterministic mm:1 fault plan — simulated memory pressure on
+  //     the whole MM plane, so every MM rung aborts retryably and the
+  //     ladder falls all the way to WCOJ.
+  ec.stats().Reset();
+  sw.Reset();
+  const int64_t mm_count = TriangleCountMm(db, MmKernel::kStrassen, &ec);
+  const double t_mm = sw.Seconds();
+  const int64_t mm_peak = ec.stats().mem_peak_bytes.load();
+  ec.stats().Reset();
+  sw.Reset();
+  const int64_t wcoj_count = WcojCount(h, db, &ec);
+  const double t_wcoj = sw.Seconds();
+  const int64_t wcoj_peak = ec.stats().mem_peak_bytes.load();
+  std::printf("  mm count clean       : %10.5f s   peak %lld bytes\n", t_mm,
+              static_cast<long long>(mm_peak));
+  std::printf("  wcoj count clean     : %10.5f s   peak %lld bytes\n", t_wcoj,
+              static_cast<long long>(wcoj_peak));
+  bench::Json("triangle_recovery", total, "mm_clean", t_mm * 1e3);
+  bench::Json("triangle_recovery", total, "wcoj_clean", t_wcoj * 1e3);
+  if (mm_peak > wcoj_peak) {
+    ec.stats().Reset();
+    QueryLimits budgeted;
+    budgeted.memory_budget_bytes = wcoj_peak + (mm_peak - wcoj_peak) / 2;
+    int64_t budget_count = -1;
+    RecoveryReport budget_report;
+    sw.Reset();
+    const ExecResult rb = EvaluateCountWithRecovery(
+        h, db, &budget_count, &ec, budgeted, {}, &budget_report);
+    const double t_budget = sw.Seconds();
+    std::printf("  budget-degraded      : %10.5f s   status=%s rung=%s "
+                "retries=%lld (budget between peaks)\n",
+                t_budget, StatusString(rb.status),
+                budget_report.winning_rung.c_str(),
+                static_cast<long long>(ec.stats().retries.load()));
+    bench::Json("triangle_recovery", total, "recovered_budget",
+                t_budget * 1e3);
+    bench::Row("budget-degraded status", "ok", StatusString(rb.status),
+               "real budget between peaks, rung " + budget_report.winning_rung);
+    bench::Row("budget-degraded count matches", "yes",
+               budget_count == wcoj_count ? "yes" : "no",
+               "recovered == clean wcoj count");
+  } else {
+    std::printf("  budget-degraded      : skipped (mm peak <= wcoj peak "
+                "on this shape)\n");
+  }
+  ec.stats().Reset();
+  FaultPlan plan;
+  std::string plan_err;
+  ParseFaultPlan("mm:1", &plan, &plan_err);
+  ec.guard().SetFaultPlan(plan);
+  int64_t recovered_count = -1;
+  RecoveryReport report;
+  sw.Reset();
+  const ExecResult r =
+      EvaluateCountWithRecovery(h, db, &recovered_count, &ec, {}, {}, &report);
+  const double t_recovered = sw.Seconds();
+  ec.guard().SetFaultPlan(FaultPlan{});
+  std::printf("  mm-fault degraded    : %10.5f s   status=%s rung=%s "
+              "retries=%lld (fault plan mm:1)\n",
+              t_recovered, StatusString(r.status), report.winning_rung.c_str(),
+              static_cast<long long>(ec.stats().retries.load()));
+  bench::Json("triangle_recovery", total, "recovered_degraded",
+              t_recovered * 1e3);
+  bench::Row("degraded run status", "ok", StatusString(r.status),
+             "MM rungs abort retryably, ladder falls to WCOJ");
+  bench::Row("degraded winning rung", "wcoj", report.winning_rung,
+             "answer bit-identical to clean WCOJ run");
+  bench::Row("degraded count matches", "yes",
+             recovered_count == wcoj_count && mm_count == wcoj_count ? "yes"
+                                                                    : "no",
+             "recovered == clean wcoj == clean mm");
+}
+
 }  // namespace
 }  // namespace fmmsw
 
@@ -189,5 +315,6 @@ int main(int argc, char** argv) {
   fmmsw::bench::Init(argc, argv);
   fmmsw::Run();
   fmmsw::RunGuardrails();
+  fmmsw::RunRecovery();
   return 0;
 }

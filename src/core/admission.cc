@@ -1,0 +1,112 @@
+#include "core/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace fmmsw {
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config) {}
+
+AdmissionController::Ticket& AdmissionController::Ticket::operator=(
+    Ticket&& other) noexcept {
+  if (this != &other) {
+    if (controller_ != nullptr) controller_->Release(cls_);
+    controller_ = other.controller_;
+    cls_ = other.cls_;
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+AdmissionController::Ticket::~Ticket() {
+  if (controller_ != nullptr) controller_->Release(cls_);
+}
+
+ExecResult AdmissionController::Admit(QueryClass cls,
+                                      const QueryLimits& limits,
+                                      ExecContext& ec, Ticket* ticket) {
+  const int c = static_cast<int>(cls);
+  const auto start = std::chrono::steady_clock::now();
+  MutexLock lock(&mu_);
+  // Fast path: free slot and nobody queued ahead — admit immediately.
+  if (active_[c] < slots(cls) && queue_[c].empty()) {
+    ++active_[c];
+    Bump(ec.stats().admitted);
+    *ticket = Ticket(this, cls);
+    return {};
+  }
+  // Overload shed: every slot busy and the FIFO is full. Returning
+  // kRejected without blocking is the point — a spike degrades to fast
+  // failures the caller can retry elsewhere, not an unbounded queue.
+  if (static_cast<int>(queue_[c].size()) >= config_.max_queued) {
+    Bump(ec.stats().shed);
+    return {ExecStatus::kRejected,
+            "admission queue full (" + std::to_string(queue_[c].size()) +
+                " waiters) for class " +
+                (cls == QueryClass::kSmallProbe ? "small-probe"
+                                                : "heavy-analytic")};
+  }
+  // FIFO wait, bounded by the query's own deadline. The loop re-checks
+  // "am I at the front with a free slot" under mu_ after every wake
+  // (cv_.wait re-acquires lock.native() — i.e. mu_ — before returning,
+  // so the guarded reads below are always under the lock).
+  const uint64_t id = next_ticket_++;
+  queue_[c].push_back(id);
+  const bool bounded = limits.deadline_ms > 0;
+  const auto deadline =
+      start + std::chrono::milliseconds(bounded ? limits.deadline_ms : 0);
+  bool got = true;
+  while (!(queue_[c].front() == id && active_[c] < slots(cls))) {
+    if (bounded) {
+      if (cv_.wait_until(lock.native(), deadline) ==
+          std::cv_status::timeout) {
+        got = queue_[c].front() == id && active_[c] < slots(cls);
+        break;
+      }
+    } else {
+      cv_.wait(lock.native());
+    }
+  }
+  const int64_t waited_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  Bump(ec.stats().queued_ns, waited_ns);
+  if (!got) {
+    queue_[c].erase(std::find(queue_[c].begin(), queue_[c].end(), id));
+    // A departure can unblock the waiter behind us (it may now be at
+    // the front with a slot free).
+    cv_.notify_all();
+    return {ExecStatus::kDeadlineExceeded,
+            "deadline passed after " + std::to_string(waited_ns / 1000000) +
+                "ms queued for admission"};
+  }
+  queue_[c].pop_front();
+  ++active_[c];
+  Bump(ec.stats().admitted);
+  // The next waiter may also be admissible (multi-slot classes).
+  cv_.notify_all();
+  *ticket = Ticket(this, cls);
+  return {};
+}
+
+void AdmissionController::Release(QueryClass cls) {
+  {
+    MutexLock lock(&mu_);
+    --active_[static_cast<int>(cls)];
+  }
+  cv_.notify_all();
+}
+
+int AdmissionController::active(QueryClass cls) const {
+  MutexLock lock(&mu_);
+  return active_[static_cast<int>(cls)];
+}
+
+int AdmissionController::queued(QueryClass cls) const {
+  MutexLock lock(&mu_);
+  return static_cast<int>(queue_[static_cast<int>(cls)].size());
+}
+
+}  // namespace fmmsw

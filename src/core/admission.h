@@ -1,0 +1,117 @@
+#ifndef FMMSW_CORE_ADMISSION_H_
+#define FMMSW_CORE_ADMISSION_H_
+
+/// \file
+/// Admission control for concurrent guarded queries (ROADMAP item 1:
+/// "a million small probe queries coexist with one giant analytic
+/// join"). Callers declare a memory class up front — a small probe that
+/// touches bounded state, or a heavy analytic join that may claim large
+/// transient buffers — and the AdmissionController gates entry so that
+/// at most `small_slots` probes and `heavy_slots` analytic queries hold
+/// execution slots at once.
+///
+/// Waiting is FIFO per class (a ticket queue: arrivals enqueue a
+/// monotone ticket id and are admitted strictly in id order, so
+/// admission order is deterministic given arrival order) and bounded by
+/// the query's own deadline: a waiter whose deadline passes leaves the
+/// queue with kDeadlineExceeded. Overload is shed immediately — when
+/// every slot is busy *and* the class's queue is at max_queued, Admit
+/// returns kRejected without blocking, so a traffic spike degrades to
+/// fast failures instead of an unbounded queue.
+///
+/// Observability flows through the context's ExecStats: `admitted`,
+/// `queued_ns` (wall time spent waiting, summed), and `shed`
+/// (kRejected returns), per the stats-coverage contract.
+
+#include <cstdint>
+#include <deque>
+
+#include "core/exec_context.h"
+#include "core/exec_status.h"
+#include "util/thread_safety.h"
+
+#include <condition_variable>
+
+namespace fmmsw {
+
+/// Declared memory class of a query, chosen by the caller (the
+/// controller cannot infer it: the declaration is the contract).
+enum class QueryClass {
+  kSmallProbe = 0,   ///< bounded state: point lookups, Boolean probes
+  kHeavyAnalytic,    ///< may claim large transient buffers (MM hybrids,
+                     ///< full joins, width planning)
+};
+inline constexpr int kNumQueryClasses = 2;
+
+/// Slot/queue sizing. Defaults follow the ROADMAP shape: many cheap
+/// probes, one heavyweight at a time.
+struct AdmissionConfig {
+  int small_slots = 64;   ///< concurrent kSmallProbe slots
+  int heavy_slots = 1;    ///< concurrent kHeavyAnalytic slots
+  int max_queued = 16;    ///< per-class FIFO bound; beyond it, shed
+};
+
+/// Gate for concurrent guarded queries. Thread-safe; one controller is
+/// meant to front a set of ExecContexts (one per driving thread).
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config = {});
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII slot held by an admitted query; releasing (destruction) wakes
+  /// the class's next FIFO waiter. Default-constructed = not admitted.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept
+        : controller_(other.controller_), cls_(other.cls_) {
+      other.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept;
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket();
+
+    bool admitted() const { return controller_ != nullptr; }
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* controller, QueryClass cls)
+        : controller_(controller), cls_(cls) {}
+
+    AdmissionController* controller_ = nullptr;
+    QueryClass cls_ = QueryClass::kSmallProbe;
+  };
+
+  /// Admits one query of class `cls`, blocking FIFO until a slot frees,
+  /// `limits.deadline_ms` (measured from the Admit call) passes, or the
+  /// queue overflows. On kOk, *ticket holds the slot until destroyed.
+  /// Stats (admitted / queued_ns / shed) are bumped on `ec`.
+  ExecResult Admit(QueryClass cls, const QueryLimits& limits,
+                   ExecContext& ec, Ticket* ticket) FMMSW_EXCLUDES(mu_);
+
+  /// Live slot holders / waiters of a class (deterministic test probes).
+  int active(QueryClass cls) const FMMSW_EXCLUDES(mu_);
+  int queued(QueryClass cls) const FMMSW_EXCLUDES(mu_);
+
+ private:
+  void Release(QueryClass cls) FMMSW_EXCLUDES(mu_);
+  int slots(QueryClass cls) const {
+    return cls == QueryClass::kSmallProbe ? config_.small_slots
+                                          : config_.heavy_slots;
+  }
+
+  const AdmissionConfig config_;
+  mutable Mutex mu_;
+  /// Signalled on every release and queue departure; waiters re-check
+  /// their FIFO position under mu_.
+  std::condition_variable cv_;
+  int active_[kNumQueryClasses] FMMSW_GUARDED_BY(mu_) = {0, 0};
+  uint64_t next_ticket_ FMMSW_GUARDED_BY(mu_) = 1;
+  std::deque<uint64_t> queue_[kNumQueryClasses] FMMSW_GUARDED_BY(mu_);
+};
+
+}  // namespace fmmsw
+
+#endif  // FMMSW_CORE_ADMISSION_H_

@@ -2,7 +2,9 @@
 
 #include <chrono>
 
+#include "engine/strategy.h"
 #include "engine/td_eval.h"
+#include "engine/triangle.h"
 #include "engine/wcoj.h"
 
 namespace fmmsw {
@@ -109,6 +111,139 @@ ExecResult EvaluateBooleanGuarded(const Hypergraph& h, const Database& db,
   return RunGuarded(ec, limits, [&] {
     *result = EvaluateBoolean(h, db, strategy, &ec);
   });
+}
+
+ExecResult EvaluateCountGuarded(const Hypergraph& h, const Database& db,
+                                int64_t* count, ExecContext* ctx,
+                                const QueryLimits& limits) {
+  ExecResult valid = ValidateQuery(h, db);
+  if (!valid.ok()) return valid;
+  ExecContext& ec = ExecContext::Resolve(ctx);
+  return RunGuarded(ec, limits, [&] { *count = WcojCount(h, db, &ec); });
+}
+
+ExecResult EvaluateJoinGuarded(const Hypergraph& h, const Database& db,
+                               VarSet output_vars, Relation* result,
+                               ExecContext* ctx, const QueryLimits& limits) {
+  ExecResult valid = ValidateQuery(h, db);
+  if (!valid.ok()) return valid;
+  ExecContext& ec = ExecContext::Resolve(ctx);
+  return RunGuarded(ec, limits, [&] {
+    *result = WcojJoin(h, db, output_vars, nullptr, &ec);
+  });
+}
+
+namespace {
+
+/// Maps a strategy card to a Boolean-query rung closure. `*result` is
+/// only written on normal return (an abort unwinds first), so a failed
+/// rung can never leak a partial answer.
+std::vector<PlanRung> BooleanLadder(const Hypergraph& h, const Database& db,
+                                    bool* result) {
+  std::vector<PlanRung> ladder;
+  if (IsTriangleQuery(h)) {
+    for (const StrategyCard& card : TriangleBooleanLadder()) {
+      if (card.uses_mm) {
+        ladder.push_back({card.name, [&db, card, result](ExecContext& ec) {
+                            *result = TriangleMm(db, card.omega, card.kernel,
+                                                 nullptr, &ec);
+                          }});
+      } else {
+        ladder.push_back({card.name, [&h, &db, result](ExecContext& ec) {
+                            *result = WcojBoolean(h, db, &ec);
+                          }});
+      }
+    }
+    return ladder;
+  }
+  for (const StrategyCard& card : GenericBooleanLadder()) {
+    const EvalStrategy strategy = card.name == "elimination"
+                                      ? EvalStrategy::kElimination
+                                  : card.name == "best-td"
+                                      ? EvalStrategy::kBestTd
+                                      : EvalStrategy::kWcoj;
+    ladder.push_back({card.name, [&h, &db, strategy, result](ExecContext& ec) {
+                        *result = EvaluateBoolean(h, db, strategy, &ec);
+                      }});
+  }
+  return ladder;
+}
+
+std::vector<PlanRung> CountLadder(const Hypergraph& h, const Database& db,
+                                  int64_t* count) {
+  std::vector<PlanRung> ladder;
+  if (IsTriangleQuery(h)) {
+    for (const StrategyCard& card : TriangleCountLadder()) {
+      if (card.uses_mm) {
+        ladder.push_back({card.name, [&db, card, count](ExecContext& ec) {
+                            *count = TriangleCountMm(db, card.kernel, &ec);
+                          }});
+      } else {
+        ladder.push_back({card.name, [&h, &db, count](ExecContext& ec) {
+                            *count = WcojCount(h, db, &ec);
+                          }});
+      }
+    }
+    return ladder;
+  }
+  ladder.push_back({"wcoj", [&h, &db, count](ExecContext& ec) {
+                      *count = WcojCount(h, db, &ec);
+                    }});
+  return ladder;
+}
+
+}  // namespace
+
+ExecResult EvaluateBooleanWithRecovery(const Hypergraph& h, const Database& db,
+                                       bool* result, ExecContext* ctx,
+                                       const QueryLimits& limits,
+                                       const RetryPolicy& policy,
+                                       RecoveryReport* report) {
+  ExecResult valid = ValidateQuery(h, db);
+  if (!valid.ok()) return valid;
+  ExecContext& ec = ExecContext::Resolve(ctx);
+  bool scratch = false;
+  const ExecResult r = RunWithRecovery(ec, limits, policy,
+                                       BooleanLadder(h, db, &scratch), report);
+  if (r.ok()) *result = scratch;
+  return r;
+}
+
+ExecResult EvaluateCountWithRecovery(const Hypergraph& h, const Database& db,
+                                     int64_t* count, ExecContext* ctx,
+                                     const QueryLimits& limits,
+                                     const RetryPolicy& policy,
+                                     RecoveryReport* report) {
+  ExecResult valid = ValidateQuery(h, db);
+  if (!valid.ok()) return valid;
+  ExecContext& ec = ExecContext::Resolve(ctx);
+  int64_t scratch = 0;
+  const ExecResult r = RunWithRecovery(ec, limits, policy,
+                                       CountLadder(h, db, &scratch), report);
+  if (r.ok()) *count = scratch;
+  return r;
+}
+
+ExecResult EvaluateJoinWithRecovery(const Hypergraph& h, const Database& db,
+                                    VarSet output_vars, Relation* result,
+                                    ExecContext* ctx,
+                                    const QueryLimits& limits,
+                                    const RetryPolicy& policy,
+                                    RecoveryReport* report) {
+  ExecResult valid = ValidateQuery(h, db);
+  if (!valid.ok()) return valid;
+  ExecContext& ec = ExecContext::Resolve(ctx);
+  // One rung today: WcojJoin is already the memory-lightest strategy
+  // that materializes the full join. The ladder shape still buys the
+  // deadline re-arming and uniform reporting.
+  Relation scratch;
+  std::vector<PlanRung> ladder;
+  ladder.push_back({"wcoj", [&h, &db, output_vars, &scratch](ExecContext& ec) {
+                      scratch = WcojJoin(h, db, output_vars, nullptr, &ec);
+                    }});
+  const ExecResult r = RunWithRecovery(ec, limits, policy, ladder, report);
+  if (r.ok()) *result = std::move(scratch);
+  return r;
 }
 
 }  // namespace fmmsw

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "core/exec_context.h"
+#include "core/recovery.h"
 #include "engine/elimination.h"
 #include "hypergraph/hypergraph.h"
 #include "relation/relation.h"
@@ -89,6 +90,52 @@ ExecResult EvaluateBooleanGuarded(const Hypergraph& h, const Database& db,
                                   EvalStrategy strategy = EvalStrategy::kWcoj,
                                   ExecContext* ctx = nullptr,
                                   const QueryLimits& limits = {});
+
+/// Guarded counting evaluation: validates, arms `limits`, and counts the
+/// full join (WcojCount — no materialization, so max_output_rows does not
+/// apply). On any non-kOk status `*count` is untouched.
+ExecResult EvaluateCountGuarded(const Hypergraph& h, const Database& db,
+                                int64_t* count, ExecContext* ctx = nullptr,
+                                const QueryLimits& limits = {});
+
+/// Guarded full-join evaluation: validates, arms `limits`, and
+/// materializes the join projected onto `output_vars` (canonically
+/// sorted; max_output_rows applies). On any non-kOk status `*result` is
+/// untouched.
+ExecResult EvaluateJoinGuarded(const Hypergraph& h, const Database& db,
+                               VarSet output_vars, Relation* result,
+                               ExecContext* ctx = nullptr,
+                               const QueryLimits& limits = {});
+
+/// \name Recovery entry points
+/// Guarded evaluation with degraded-plan retry (core/recovery.h): each
+/// call builds the query's degradation ladder from the engine/strategy.h
+/// capability cards — for the canonical triangle query the full
+/// MM-hybrid/Strassen -> blocked GEMM -> bit-sliced -> plain-WCOJ ladder
+/// (Boolean: Strassen hybrid -> Boolean-product hybrid -> WCOJ); for
+/// general queries elimination -> best-TD -> WCOJ (Boolean) or the
+/// single-rung WCOJ (count/join) — and walks it with RunWithRecovery
+/// under `limits` and `policy`. A retryable abort (memory budget,
+/// capacity cap, injected fault-plan pressure) falls through to the next
+/// cheaper rung; the answer returned is bit-identical to a clean run of
+/// the winning rung at every thread count. On any non-kOk status the
+/// output parameter is untouched. `report`, when non-null, records the
+/// ladder walk (attempts, failures, winning rung).
+/// @{
+ExecResult EvaluateBooleanWithRecovery(
+    const Hypergraph& h, const Database& db, bool* result,
+    ExecContext* ctx = nullptr, const QueryLimits& limits = {},
+    const RetryPolicy& policy = {}, RecoveryReport* report = nullptr);
+ExecResult EvaluateCountWithRecovery(
+    const Hypergraph& h, const Database& db, int64_t* count,
+    ExecContext* ctx = nullptr, const QueryLimits& limits = {},
+    const RetryPolicy& policy = {}, RecoveryReport* report = nullptr);
+ExecResult EvaluateJoinWithRecovery(
+    const Hypergraph& h, const Database& db, VarSet output_vars,
+    Relation* result, ExecContext* ctx = nullptr,
+    const QueryLimits& limits = {}, const RetryPolicy& policy = {},
+    RecoveryReport* report = nullptr);
+/// @}
 
 }  // namespace fmmsw
 

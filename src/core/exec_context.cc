@@ -13,7 +13,84 @@ int64_t SteadyNowNs() {
       .count();
 }
 
+/// Site tags in FaultSite enum order (keep in sync — FaultSiteName and
+/// the FMMSW_FAULT_PLAN parser both index by enum value).
+const char* const kFaultSiteNames[kNumFaultSites] = {
+    "wcoj", "sort", "index", "mm", "lp", "panda", "ops",
+};
+
 }  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  const int s = static_cast<int>(site);
+  FMMSW_DCHECK(s >= 0 && s < kNumFaultSites);
+  return kFaultSiteNames[s];
+}
+
+bool ParseFaultPlan(const std::string& spec, FaultPlan* plan,
+                    std::string* error) {
+  FaultPlan out;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;  // tolerate empty clauses / trailing ';'
+    const size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      if (error != nullptr) {
+        *error = "fault-plan clause '" + clause + "' has no ':'";
+      }
+      return false;
+    }
+    const std::string tag = clause.substr(0, colon);
+    std::string count = clause.substr(colon + 1);
+    int site = -1;
+    for (int s = 0; s < kNumFaultSites; ++s) {
+      if (tag == kFaultSiteNames[s]) {
+        site = s;
+        break;
+      }
+    }
+    if (site < 0) {
+      if (error != nullptr) {
+        *error = "fault-plan clause '" + clause + "' names unknown site '" +
+                 tag + "'";
+      }
+      return false;
+    }
+    const bool repeating = count.rfind("every-", 0) == 0;
+    if (repeating) count = count.substr(6);
+    long long n = 0;
+    if (count.empty() ||
+        count.find_first_not_of("0123456789") != std::string::npos ||
+        (n = std::atoll(count.c_str())) <= 0) {
+      if (error != nullptr) {
+        *error = "fault-plan clause '" + clause +
+                 "' needs a positive integer count";
+      }
+      return false;
+    }
+    (repeating ? out.every : out.at)[site] = n;
+  }
+  *plan = out;
+  return true;
+}
+
+void QueryGuard::SetFaultPlan(const FaultPlan& plan) {
+  // relaxed: driving-thread stores between guarded executions; the next
+  // Arm()'s pool handshake publishes them to workers (same argument as
+  // Arm below).
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    plan_at_[s].store(plan.at[s], std::memory_order_relaxed);
+    plan_every_[s].store(plan.every[s], std::memory_order_relaxed);
+  }
+  const bool active = !plan.empty();
+  plan_set_.store(active, std::memory_order_relaxed);
+  has_plan_.store(active, std::memory_order_relaxed);
+  if (active) armed_.store(true, std::memory_order_relaxed);
+}
 
 void QueryGuard::Arm(const QueryLimits& limits) {
   // relaxed: every store below runs on the single driving thread before
@@ -22,6 +99,11 @@ void QueryGuard::Arm(const QueryLimits& limits) {
   // its own.
   polls_.store(0, std::memory_order_relaxed);
   rows_.store(0, std::memory_order_relaxed);
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    site_polls_[s].store(0, std::memory_order_relaxed);
+  }
+  // relaxed: driving-thread stores, published by the pool handshake
+  // (see the function comment above).
   mem_budget_.store(limits.memory_budget_bytes, std::memory_order_relaxed);
   row_limit_.store(limits.max_output_rows, std::memory_order_relaxed);
   deadline_ns_.store(
@@ -33,15 +115,34 @@ void QueryGuard::Arm(const QueryLimits& limits) {
     // relaxed: driving-thread store, published like the ones above.
     if (n > 0) fault_at_.store(n, std::memory_order_relaxed);
   }
+  // A programmatic plan (SetFaultPlan) is sticky and shadows the
+  // environment; otherwise FMMSW_FAULT_PLAN is re-read at every Arm so
+  // an unsetenv + re-run is clean. A malformed env plan is ignored (the
+  // guard must not throw from Arm): tests drive the parser directly.
+  // relaxed: driving-thread stores, published like the ones above.
+  if (!plan_set_.load(std::memory_order_relaxed)) {
+    FaultPlan plan;
+    const char* env = std::getenv("FMMSW_FAULT_PLAN");
+    if (env != nullptr && *env != '\0') {
+      ParseFaultPlan(env, &plan, nullptr);
+    }
+    for (int s = 0; s < kNumFaultSites; ++s) {
+      plan_at_[s].store(plan.at[s], std::memory_order_relaxed);
+      plan_every_[s].store(plan.every[s], std::memory_order_relaxed);
+    }
+    has_plan_.store(!plan.empty(), std::memory_order_relaxed);
+  }
   // Cancel() issued before Arm() sticks: it targets "the next guarded
   // execution" and trips the first poll. armed_ goes true iff any poll
   // must take the slow path.
   // relaxed: driving-thread loads/store; pre-Arm writers (Cancel,
-  // SetFaultAt, SetPollHook) install before the run they target.
+  // SetFaultAt, SetFaultPlan, SetPollHook) install before the run they
+  // target.
   const bool armed = limits.deadline_ms > 0 ||
                      limits.memory_budget_bytes > 0 ||
                      limits.max_output_rows > 0 ||
                      fault_at_.load(std::memory_order_relaxed) > 0 ||
+                     has_plan_.load(std::memory_order_relaxed) ||
                      has_hook_.load(std::memory_order_relaxed) ||
                      cancelled_.load(std::memory_order_relaxed);
   armed_.store(armed, std::memory_order_relaxed);
@@ -50,13 +151,24 @@ void QueryGuard::Arm(const QueryLimits& limits) {
 void QueryGuard::Disarm() {
   // relaxed: like Arm() — every store below runs on the driving thread
   // after the fan-in, so the pool handshake already ordered it against
-  // every worker.
+  // every worker. A programmatic fault plan survives Disarm by design
+  // (plan_set_): recovery retries re-arm and must stay under fault.
   armed_.store(false, std::memory_order_relaxed);
   cancelled_.store(false, std::memory_order_relaxed);
   deadline_ns_.store(0, std::memory_order_relaxed);
   mem_budget_.store(0, std::memory_order_relaxed);
   row_limit_.store(0, std::memory_order_relaxed);
   fault_at_.store(0, std::memory_order_relaxed);
+  // relaxed: driving-thread stores after the fan-in (see the function
+  // comment above) — clears an env-sourced plan; a sticky programmatic
+  // plan (plan_set_) is left armed for the next run.
+  if (!plan_set_.load(std::memory_order_relaxed)) {
+    for (int s = 0; s < kNumFaultSites; ++s) {
+      plan_at_[s].store(0, std::memory_order_relaxed);
+      plan_every_[s].store(0, std::memory_order_relaxed);
+    }
+    has_plan_.store(false, std::memory_order_relaxed);
+  }
 }
 
 void QueryGuard::SetPollHook(std::function<void(int64_t)> hook) {
@@ -67,8 +179,10 @@ void QueryGuard::SetPollHook(std::function<void(int64_t)> hook) {
   has_hook_.store(static_cast<bool>(hook_), std::memory_order_relaxed);
 }
 
-void QueryGuard::PollSlow() {
-  // relaxed: poll ordinal is an exact atomic RMW; fault/limit loads are
+void QueryGuard::PollSlow(FaultSite site) {
+  // relaxed: poll ordinals are exact atomic RMWs (each ordinal is
+  // observed by exactly one worker, which is what makes the fault plan
+  // deterministic across thread counts); fault/limit loads are
   // published by Arm() before the fan-out (see Arm above) and latches
   // like cancelled_ are re-polled every morsel, so delayed visibility
   // delays an abort by one poll at most.
@@ -78,6 +192,22 @@ void QueryGuard::PollSlow() {
     throw QueryAbort(ExecStatus::kCancelled,
                      "fault injection fired at poll #" +
                          std::to_string(poll));
+  }
+  // relaxed: per-site ordinal RMWs are exact; the plan gate and rules
+  // are published by Arm/SetFaultPlan before the fan-out (see the block
+  // comment above).
+  if (has_plan_.load(std::memory_order_relaxed)) {
+    const int s = static_cast<int>(site);
+    const int64_t ordinal =
+        site_polls_[s].fetch_add(1, std::memory_order_relaxed) + 1;
+    const int64_t at = plan_at_[s].load(std::memory_order_relaxed);
+    if (at > 0 && ordinal >= at) ThrowPlanFault(site, ordinal);
+    const int64_t every = plan_every_[s].load(std::memory_order_relaxed);
+    if (every > 0 && ordinal % every == 0) ThrowPlanFault(site, ordinal);
+  } else {
+    // relaxed: diagnostic per-site ordinal (site_polls accessor).
+    site_polls_[static_cast<int>(site)].fetch_add(1,
+                                                  std::memory_order_relaxed);
   }
   if (has_hook_.load(std::memory_order_relaxed)) {
     // Invoked under hook_mu_: a concurrent SetPollHook can never destroy
@@ -115,6 +245,16 @@ void QueryGuard::ThrowRowLimit(int64_t now, int64_t limit) {
   throw QueryAbort(ExecStatus::kCapacityExceeded,
                    "max_output_rows exceeded: " + std::to_string(now) +
                        " rows emitted > limit " + std::to_string(limit));
+}
+
+void QueryGuard::ThrowPlanFault(FaultSite site, int64_t ordinal) {
+  // kMemoryLimitExceeded, not kCancelled: plan faults simulate resource
+  // pressure so the recovery ladder treats them as retryable.
+  throw QueryAbort(ExecStatus::kMemoryLimitExceeded,
+                   std::string("fault plan fired at site ") +
+                       FaultSiteName(site) + " poll #" +
+                       std::to_string(ordinal) +
+                       " (simulated memory pressure)");
 }
 
 void ExecStats::Reset() {
@@ -157,6 +297,11 @@ void ExecStats::Reset() {
   plan_ns = 0;
   mem_current_bytes = 0;
   mem_peak_bytes = 0;
+  admitted = 0;
+  queued_ns = 0;
+  shed = 0;
+  retries = 0;
+  degraded_runs = 0;
 }
 
 std::string ExecStats::ToString() const {
@@ -210,6 +355,11 @@ std::string ExecStats::ToString() const {
   row("plan_ns             ", plan_ns);
   row("mem_current_bytes   ", mem_current_bytes);
   row("mem_peak_bytes      ", mem_peak_bytes);
+  row("admitted            ", admitted);
+  row("queued_ns           ", queued_ns);
+  row("shed                ", shed);
+  row("retries             ", retries);
+  row("degraded_runs       ", degraded_runs);
   return out;
 }
 

@@ -22,7 +22,13 @@
 ///     deadline, memory budget, max-output-rows) polled at every morsel
 ///     boundary of the exec pipeline and armed per run by the
 ///     status-returning entry points (RunGuarded below, the *Guarded
-///     engine wrappers, core/api.h EvaluateBooleanGuarded).
+///     engine wrappers, core/api.h EvaluateBooleanGuarded). Each poll
+///     point names its FaultSite plane, which the deterministic fault
+///     harness (FaultPlan / FMMSW_FAULT_PLAN) keys on to inject
+///     retryable aborts site-by-site; the recovery plane
+///     (core/recovery.h) and admission controller (core/admission.h)
+///     sit on top and report through the admitted/queued_ns/shed/
+///     retries/degraded_runs counters.
 ///
 /// Every operator and engine entry point accepts an `ExecContext* ctx`
 /// (nullptr = the process-default context, ExecContext::Default()). An
@@ -146,6 +152,12 @@ struct ExecStats {
   // records, trie buffers, flat-index slot arrays, MM pads/panels):
   std::atomic<int64_t> mem_current_bytes{0};    ///< tracked live allocation bytes
   std::atomic<int64_t> mem_peak_bytes{0};       ///< high-water mark of the above
+  // Recovery & admission counters (core/recovery.h + core/admission.h):
+  std::atomic<int64_t> admitted{0};             ///< queries admitted to a slot
+  std::atomic<int64_t> queued_ns{0};            ///< wall ns queued for admission
+  std::atomic<int64_t> shed{0};                 ///< queries shed with kRejected
+  std::atomic<int64_t> retries{0};              ///< retryable aborts absorbed
+  std::atomic<int64_t> degraded_runs{0};        ///< attempts below the top rung
 
   void Reset();
   /// Human-readable counter dump (one `name : value` line per counter).
@@ -160,18 +172,79 @@ inline void Bump(std::atomic<int64_t>& counter, int64_t delta = 1) {
   counter.fetch_add(delta, std::memory_order_relaxed);
 }
 
+/// Stable tag identifying *which plane* a poll point sits in. Every
+/// Poll() call site names its plane, which gives the fault harness a
+/// deterministic per-site ordinal stream: the k-th mm poll of a run is
+/// the k-th mm poll at every thread count, because per-site ordinals are
+/// handed out by an atomic fetch_add (exactly one worker observes each
+/// ordinal, regardless of interleaving). The `fault-site-coverage` lint
+/// in tools/check_contracts.py keeps every tag wired to at least one
+/// live call site.
+enum class FaultSite {
+  kWcoj = 0,  ///< generic-WCOJ task claims and depth-1 coop blocks
+  kSort,      ///< radix sort passes and scatter chunks (util/radix)
+  kIndex,     ///< sharded flat-index build chunks (relation/flat_index)
+  kMm,        ///< MM slabs, Strassen recursions, bit-plane rows (mm/)
+  kLp,        ///< simplex pivots and width-search steps (lp/ + width/)
+  kPanda,     ///< PANDA proof-sequence steps (panda/)
+  kOps,       ///< relational operators + TD/elimination glue loops
+};
+inline constexpr int kNumFaultSites = 7;
+
+/// Lower-case tag name used by the FMMSW_FAULT_PLAN grammar, logs, and
+/// the fault-site-coverage lint.
+const char* FaultSiteName(FaultSite site);
+
+/// A deterministic per-site fault schedule. For each site, at most one
+/// rule of each kind:
+///   - `at[s]  = n` (n > 0): every poll of site `s` with per-site
+///     ordinal >= n throws — sticky, like a real resource violation, so
+///     all workers of a fan-out abort promptly once one trips.
+///   - `every[s] = k` (k > 0): polls whose per-site ordinal is a
+///     multiple of k throw — a repeating schedule that survives
+///     re-arms, for soaking retry loops.
+/// Injected aborts carry ExecStatus::kMemoryLimitExceeded so they are
+/// *retryable*: the recovery plane (core/recovery.h) treats them as
+/// genuine memory pressure and walks its degradation ladder, which is
+/// exactly the path CI soaks site-by-site. (The legacy single-counter
+/// FMMSW_FAULT_AT/SetFaultAt harness keeps throwing kCancelled and is
+/// unaffected.)
+struct FaultPlan {
+  int64_t at[kNumFaultSites] = {0, 0, 0, 0, 0, 0, 0};
+  int64_t every[kNumFaultSites] = {0, 0, 0, 0, 0, 0, 0};
+
+  bool empty() const {
+    for (int s = 0; s < kNumFaultSites; ++s) {
+      if (at[s] > 0 || every[s] > 0) return false;
+    }
+    return true;
+  }
+};
+
+/// Parses the FMMSW_FAULT_PLAN grammar: `;`-separated clauses, each
+/// `<site>:<n>` (fire at per-site poll n and after) or
+/// `<site>:every-<k>` (fire at every k-th per-site poll), where <site>
+/// is a FaultSiteName. Example: "wcoj:7;sort:every-64;lp:100".
+/// Returns false (with a diagnostic in *error) on an unknown site tag,
+/// a non-positive count, or a malformed clause; *plan is only written
+/// on success.
+bool ParseFaultPlan(const std::string& spec, FaultPlan* plan,
+                    std::string* error);
+
 /// Cooperative guardrails for one query at a time on an ExecContext:
 /// a cancellation token, a wall-clock deadline, a memory budget, and a
 /// max-output-rows limit (see QueryLimits in exec_status.h).
 ///
-/// The engines call Poll() at every morsel boundary — WCOJ task claims
-/// and depth-1 coop blocks, ParallelFor chunk claims, radix sort passes
-/// and scatter chunks, sharded index-build chunks, MM slabs/Strassen
-/// recursions, PANDA proof steps. The fast path is a single relaxed load
-/// of `armed_`: an unguarded query (no limits armed, no Cancel() issued)
-/// pays ~1ns per poll. When armed, a violation throws QueryAbort, which
-/// unwinds through the (exception-safe) engines to the status-returning
-/// entry point that armed the guard (RunGuarded below).
+/// The engines call Poll(site) at every morsel boundary — WCOJ task
+/// claims and depth-1 coop blocks, ParallelFor chunk claims, radix sort
+/// passes and scatter chunks, sharded index-build chunks, MM
+/// slabs/Strassen recursions, PANDA proof steps — naming the FaultSite
+/// plane the boundary belongs to. The fast path is a single relaxed
+/// load of `armed_`: an unguarded query (no limits armed, no Cancel()
+/// issued) pays ~1ns per poll. When armed, a violation throws
+/// QueryAbort, which unwinds through the (exception-safe) engines to
+/// the status-returning entry point that armed the guard (RunGuarded
+/// below).
 ///
 /// Memory accounting runs unconditionally (it feeds the
 /// mem_current_bytes/mem_peak_bytes stats); the budget is only enforced
@@ -182,12 +255,21 @@ inline void Bump(std::atomic<int64_t>& counter, int64_t delta = 1) {
 /// worker inside a fan-out aborts at its next poll once any one of
 /// them trips a limit.
 ///
-/// Fault injection for the unwind tests: FMMSW_FAULT_AT=<n> in the
-/// environment (read at Arm() time) or SetFaultAt(n) aborts the query
-/// with kCancelled at the n-th armed poll; SetPollHook installs a
-/// callback invoked with each armed poll's ordinal (it may Cancel() or
-/// throw QueryAbort itself; it must be thread-safe and must not call
-/// SetPollHook reentrantly — the hook is invoked under hook_mu_).
+/// Fault injection for the unwind tests, two harnesses:
+///   - Legacy global counter: FMMSW_FAULT_AT=<n> in the environment
+///     (read at Arm() time) or SetFaultAt(n) aborts the query with
+///     kCancelled at the n-th armed poll of any site.
+///   - Site-keyed plan: FMMSW_FAULT_PLAN=<grammar> (re-read at every
+///     Arm(), so unsetenv + re-run is clean) or SetFaultPlan(plan)
+///     injects *retryable* kMemoryLimitExceeded aborts on per-site
+///     ordinals (see FaultPlan above). A programmatic plan is sticky
+///     across Arm/Disarm — it shadows the environment until cleared
+///     with SetFaultPlan(FaultPlan{}) — so a recovery ladder's re-armed
+///     retries stay under fault, which is the point.
+/// SetPollHook installs a callback invoked with each armed poll's
+/// global ordinal (it may Cancel() or throw QueryAbort itself; it must
+/// be thread-safe and must not call SetPollHook reentrantly — the hook
+/// is invoked under hook_mu_).
 ///
 /// Synchronization model (checked by clang -Wthread-safety and the
 /// `relaxed-justified` lint): all guard state is either an atomic with a
@@ -223,14 +305,15 @@ class QueryGuard {
 
   // ---- poll points ----
   /// Throws QueryAbort if the query was cancelled, the deadline passed,
-  /// the memory budget is exceeded, or fault injection fires. No-op (one
-  /// relaxed load) when nothing is armed.
-  void Poll() {
+  /// the memory budget is exceeded, or fault injection fires. `site`
+  /// names the poll point's plane for the site-keyed fault harness.
+  /// No-op (one relaxed load) when nothing is armed.
+  void Poll(FaultSite site) {
     // relaxed: the ~1ns disarmed fast path. Arm() happens-before the
     // fan-out that polls (pool handshake), so an armed query always sees
     // true; an async Cancel() is a latch re-polled at the next morsel.
     if (!armed_.load(std::memory_order_relaxed)) return;
-    PollSlow();
+    PollSlow(site);
   }
 
   // ---- memory accounting ----
@@ -288,16 +371,28 @@ class QueryGuard {
     fault_at_.store(poll_number, std::memory_order_relaxed);
     if (poll_number > 0) armed_.store(true, std::memory_order_relaxed);
   }
+  /// Installs a programmatic site-keyed fault plan. Sticky across
+  /// Arm/Disarm (so re-armed recovery retries stay under fault) and
+  /// shadows FMMSW_FAULT_PLAN until cleared by passing an empty plan.
+  /// Call from the driving thread between guarded executions only.
+  void SetFaultPlan(const FaultPlan& plan);
   void SetPollHook(std::function<void(int64_t)> hook) FMMSW_EXCLUDES(hook_mu_);
 
   /// Armed polls observed since the last Arm().
   // relaxed: monotone test/diagnostic counter, read after the run.
   int64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+  /// Armed polls of one site observed since the last Arm().
+  int64_t site_polls(FaultSite site) const {
+    // relaxed: monotone test/diagnostic counter, read after the run.
+    return site_polls_[static_cast<int>(site)].load(
+        std::memory_order_relaxed);
+  }
 
  private:
-  void PollSlow() FMMSW_EXCLUDES(hook_mu_);
+  void PollSlow(FaultSite site) FMMSW_EXCLUDES(hook_mu_);
   [[noreturn]] void ThrowMemoryLimit(int64_t now, int64_t budget);
   [[noreturn]] void ThrowRowLimit(int64_t now, int64_t limit);
+  [[noreturn]] void ThrowPlanFault(FaultSite site, int64_t ordinal);
 
   ExecStats* stats_;
   /// True iff any poll must take the slow path (limit armed, Cancel()
@@ -310,6 +405,17 @@ class QueryGuard {
   std::atomic<int64_t> rows_{0};
   std::atomic<int64_t> polls_{0};
   std::atomic<int64_t> fault_at_{0};     ///< 0 = disabled
+  // Site-keyed fault plane. plan_at_/plan_every_ hold the active plan's
+  // rules (0 = none); site_polls_ are the per-site ordinal streams,
+  // reset at every Arm(). plan_set_ marks a sticky programmatic plan
+  // (SetFaultPlan); otherwise Arm() re-reads FMMSW_FAULT_PLAN.
+  std::atomic<int64_t> plan_at_[kNumFaultSites] = {};
+  std::atomic<int64_t> plan_every_[kNumFaultSites] = {};
+  std::atomic<int64_t> site_polls_[kNumFaultSites] = {};
+  /// Fast gate: true iff any plan rule is active this arm.
+  std::atomic<bool> has_plan_{false};
+  /// True while a programmatic plan (SetFaultPlan) shadows the env.
+  std::atomic<bool> plan_set_{false};
   /// Fast-path gate for hook_ below: polls skip the mutex entirely when
   /// no hook is installed (the production case).
   std::atomic<bool> has_hook_{false};
@@ -500,7 +606,15 @@ class MemCharge {
  public:
   MemCharge() = default;
   MemCharge(ExecContext& ec, int64_t bytes) : guard_(&ec.guard()) {
-    Add(bytes);
+    try {
+      Add(bytes);
+    } catch (...) {
+      // A throwing constructor never runs the destructor: release the
+      // bytes ChargeMem already recorded or they outlive the unwind and
+      // shrink every later query's budget on this context.
+      if (bytes_ != 0) guard_->ReleaseMem(bytes_);
+      throw;
+    }
   }
   explicit MemCharge(ExecContext& ec) : guard_(&ec.guard()) {}
   MemCharge(MemCharge&& other) noexcept
@@ -559,14 +673,16 @@ ExecResult RunGuarded(ExecContext& ec, const QueryLimits& limits, Fn&& fn) {
 /// ParallelFor over a context's pool that polls the context's guard at
 /// every chunk claim — the standard morsel boundary for data-parallel
 /// loops (MM row slabs, rectangular block grids, bit-plane rows).
-inline void ParallelFor(ExecContext& ec, int64_t n,
+/// `site` tags the polls for the site-keyed fault harness (callers pass
+/// the plane the loop body belongs to, e.g. FaultSite::kMm).
+inline void ParallelFor(ExecContext& ec, FaultSite site, int64_t n,
                         const std::function<void(int64_t, int64_t)>& chunk,
                         int64_t grain = 1) {
   QueryGuard& g = ec.guard();
   ParallelFor(
       ec.pool(), n,
-      [&g, &chunk](int64_t begin, int64_t end) {
-        g.Poll();
+      [&g, site, &chunk](int64_t begin, int64_t end) {
+        g.Poll(site);
         chunk(begin, end);
       },
       grain);

@@ -16,6 +16,14 @@
 /// ExecResult. Programmer errors (contract violations) remain
 /// FMMSW_CHECK aborts; QueryAbort is reserved for data- and
 /// resource-dependent failures a correct program can hit at runtime.
+///
+/// The recovery plane (core/recovery.h) splits the taxonomy into
+/// *retryable* statuses — resource pressure a cheaper plan can dodge
+/// (kMemoryLimitExceeded, kCapacityExceeded) — and *terminal* ones that
+/// no retry can fix (kCancelled, kDeadlineExceeded, kInvalidArgument).
+/// kRejected and kRetryExhausted are produced above the engines: by the
+/// admission controller shedding an overloaded queue (core/admission.h)
+/// and by RunWithRecovery running out of degradation-ladder rungs.
 
 #include <stdexcept>
 #include <string>
@@ -29,12 +37,19 @@ enum class ExecStatus {
   kDeadlineExceeded,     ///< wall-clock deadline passed at a poll point
   kMemoryLimitExceeded,  ///< tracked allocations exceeded the byte budget
   kCapacityExceeded,     ///< structural cap (2^30-entry flat index,
-                         ///< max-output-rows limit) exceeded
+                         ///< max-output-rows limit, LP pivot budget) hit
   kInvalidArgument,      ///< malformed query/database (arity mismatch,
                          ///< unknown variable, edge/relation count skew)
+  kRejected,             ///< shed by the admission controller: no slot and
+                         ///< the bounded FIFO queue is full
+  kRetryExhausted,       ///< every degradation-ladder rung (or the retry
+                         ///< budget) failed with a retryable status
 };
 
-/// Stable lower-case name for a status (logs, bench JSON, tests).
+/// Stable lower-case name for a status (logs, bench JSON, tests). The
+/// switch is total and has no default, so adding an ExecStatus value
+/// without naming it here fails the -Wswitch/-Werror CI builds;
+/// recovery_test round-trips every value.
 inline const char* StatusString(ExecStatus s) {
   switch (s) {
     case ExecStatus::kOk: return "ok";
@@ -43,6 +58,8 @@ inline const char* StatusString(ExecStatus s) {
     case ExecStatus::kMemoryLimitExceeded: return "memory_limit_exceeded";
     case ExecStatus::kCapacityExceeded: return "capacity_exceeded";
     case ExecStatus::kInvalidArgument: return "invalid_argument";
+    case ExecStatus::kRejected: return "rejected";
+    case ExecStatus::kRetryExhausted: return "retry_exhausted";
   }
   return "unknown";
 }

@@ -364,7 +364,7 @@ bool ExecutePlan(const Hypergraph& h, const Database& db,
   s.rels = db.relations;
   VarSet eliminated;
   for (const PlanStep& step : plan.steps) {
-    ec.guard().Poll();  // elimination steps are the plan's morsels
+    ec.guard().Poll(FaultSite::kOps);  // elimination steps are the plan's morsels
     FMMSW_CHECK(s.hg.vertices().ContainsAll(step.block));
     if (s.definitely_empty) return false;
     for (const Relation& r : s.rels) {

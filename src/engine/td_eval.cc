@@ -91,7 +91,7 @@ bool TdBoolean(const Hypergraph& h, const Database& db,
   std::vector<Relation> bags;
   bags.reserve(td.bags.size());
   for (VarSet bag : td.bags) {
-    ec.guard().Poll();  // bag materializations are the TD plan's morsels
+    ec.guard().Poll(FaultSite::kOps);  // bag materializations are the TD plan's morsels
     bags.push_back(MaterializeBag(h, db, bag, &ec));
     if (bags.back().empty()) return false;
   }

@@ -142,7 +142,7 @@ class GenericJoin {
     uint32_t pos = 0;
     uint32_t runs = 0;
     while (pos < pend) {
-      if ((++runs & 1023) == 0) guard_->Poll();
+      if ((++runs & 1023) == 0) guard_->Poll(FaultSite::kWcoj);
       const Value value = pr.At(pos, 0);
       uint32_t run_end = pos + 1;
       while (run_end < pend && pr.At(run_end, 0) == value) ++run_end;
@@ -271,7 +271,7 @@ class GenericJoin {
       // outputs are published by the pool's fan-in.
       const uint32_t lo = cursor->fetch_add(block, std::memory_order_relaxed);
       if (lo >= end) break;
-      guard_->Poll();
+      guard_->Poll(FaultSite::kWcoj);
       begin_block(task, lo);
       keep_going = RunBlock(st, task, lo, std::min(lo + block, end), emit);
     }
@@ -329,7 +329,7 @@ class GenericJoin {
       // keeps the armed slow path — an atomic fetch_add on a shared
       // counter — off the per-run critical path; depth-1 coop block
       // claims still poll unconditionally, bounding abort latency).
-      if (next_depth <= 2 && (++st->poll_tick & 255) == 0) guard_->Poll();
+      if (next_depth <= 2 && (++st->poll_tick & 255) == 0) guard_->Poll(FaultSite::kWcoj);
       const Value value = pr.At(pos, plevel);
       uint32_t run_end = pos + 1;
       while (run_end < prange.end && pr.At(run_end, plevel) == value) {
@@ -586,7 +586,7 @@ void DriveParallel(ExecContext& ec, GenericJoin& gj, size_t ntasks,
       // outputs are published by the pool's fan-in (see RunTaskCoop).
       const int64_t t = next.fetch_add(1, std::memory_order_relaxed);
       if (t >= static_cast<int64_t>(ntasks)) break;
-      guard.Poll();
+      guard.Poll(FaultSite::kWcoj);
       if (plan.coop[t]) {
         Bump(stats.wcoj_coop_tasks);
         if (!gj.RunTaskCoop(&st, t, &plan.cursors[t],
@@ -601,7 +601,7 @@ void DriveParallel(ExecContext& ec, GenericJoin& gj, size_t ntasks,
     }
     // Dry: steal depth-1 blocks from the heaviest unfinished coop task.
     while (!stop()) {
-      guard.Poll();
+      guard.Poll(FaultSite::kWcoj);
       const size_t t = plan.Heaviest(gj);
       if (t == SIZE_MAX) return;
       if (!gj.RunTaskCoop(&st, t, &plan.cursors[t],

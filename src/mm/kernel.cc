@@ -243,7 +243,7 @@ void GemmAddAt(SimdLevel level, const int64_t* a, int lda, const int64_t* b,
   ExecContext& ec = ExecContext::Resolve(ctx);
   // One poll per base-case product: every blocked slab, Strassen leaf and
   // rectangular block passes through here.
-  ec.guard().Poll();
+  ec.guard().Poll(FaultSite::kMm);
   Bump(ec.stats().mm_base_calls);
   if (level != SimdLevel::kScalar) Bump(ec.stats().mm_simd_calls);
   const MicroFn micro = MicroKernelFor(level);
@@ -431,7 +431,7 @@ Matrix MultiplyBitSliced(const Matrix& a, const Matrix& b,
   }
   Bump(ec.stats().mm_pack_ns, static_cast<int64_t>(sw.Seconds() * 1e9));
   ParallelFor(
-      ec, m,
+      ec, FaultSite::kMm, m,
       [&](int64_t row_begin, int64_t row_end) {
         for (int64_t i = row_begin; i < row_end; ++i) {
           const uint64_t* arow = &abits[static_cast<size_t>(i) * words];

@@ -45,7 +45,7 @@ Matrix MultiplyBlocked(const Matrix& a, const Matrix& b, ExecContext* ctx) {
   // repack is <1% of the slab's multiply work.
   constexpr int kSlab = 128;
   ParallelFor(
-      ec, (a.rows() + kSlab - 1) / kSlab,
+      ec, FaultSite::kMm, (a.rows() + kSlab - 1) / kSlab,
       [&](int64_t slab_begin, int64_t slab_end) {
         // No caller scratch: ParallelFor may invoke this chunk callback
         // once per claimed slab, so a local MmPackScratch would
@@ -79,7 +79,7 @@ BitMatrix BitMatrix::Multiply(const BitMatrix& a, const BitMatrix& b,
   const int b_words = b.words_;
   MemCharge charge(ec, static_cast<int64_t>(out.data_.size()) * 8);
   ParallelFor(
-      ec, a.rows(),
+      ec, FaultSite::kMm, a.rows(),
       [&](int64_t row_begin, int64_t row_end) {
         for (int64_t i = row_begin; i < row_end; ++i) {
           uint64_t* out_row = &out.data_[static_cast<size_t>(i) * b_words];

@@ -96,7 +96,7 @@ void StrassenRec(View a, View b, MutView c, int n, int cutoff,
   }
   // One poll per recursion node: 7^depth nodes, each doing O(h^2) adds
   // and a recursive product — a natural morsel boundary.
-  kc.guard->Poll();
+  kc.guard->Poll(FaultSite::kMm);
   const int h = n / 2;
   const size_t q = static_cast<size_t>(h) * h;
   int64_t* t1 = scratch;
@@ -245,7 +245,7 @@ Matrix MultiplyRectangular(const Matrix& a, const Matrix& b, int cutoff,
   Matrix out(a.rows(), b.cols());
   MemCharge charge(ec, static_cast<int64_t>(a.rows()) * b.cols() * 8);
   ParallelFor(
-      ec, static_cast<int64_t>(ra) * cb,
+      ec, FaultSite::kMm, static_cast<int64_t>(ra) * cb,
       [&](int64_t begin, int64_t end) {
         for (int64_t task = begin; task < end; ++task) {
           const int bi = static_cast<int>(task / cb);

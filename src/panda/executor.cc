@@ -91,7 +91,7 @@ bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
   for (const ProofStep& s : seq.steps) {
     // One poll per proof step: each step is at least a whole relational
     // operator, the executor's natural morsel.
-    ec.guard().Poll();
+    ec.guard().Poll(FaultSite::kPanda);
     switch (s.kind) {
       case ProofStepKind::kDecomposition: {
         // h(c,x,y): partition the table on deg(y | c x) at the threshold.
@@ -148,7 +148,7 @@ bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
       }
     }
     for (const Relation& p : *all) {
-      ec.guard().Poll();
+      ec.guard().Poll(FaultSite::kPanda);
       if (stats != nullptr) ++stats->plain_tables;
       if (!SemijoinAll(p, filters, &ec).empty()) return true;
     }
@@ -158,7 +158,7 @@ bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
   // matrices come from the atoms spanning (x,y) and (y,z); the result is
   // checked against the atom spanning (x,z).
   for (const MmLhsTerm& t : ineq.mm) {
-    ec.guard().Poll();
+    ec.guard().Poll(FaultSite::kPanda);
     FMMSW_CHECK(t.g.empty() &&
                 "executor scope: group-by-free MM groups (Figure 1 class)");
     const Relation* rxy = AtomWithSchema(h, db, t.x | t.y);

@@ -73,7 +73,7 @@ bool VerifyShannon(const OmegaShannonInequality& ineq, VarSet universe,
     append(t.g, VarSet::Empty(), t.kappa);
   }
   for (const CondTerm& t : ineq.rhs) append(t.y, t.x, -t.w);
-  if (ctx != nullptr) ctx->guard().Poll();
+  if (ctx != nullptr) ctx->guard().Poll(FaultSite::kPanda);
   auto res = SolveSimplex(lp.model());
   FMMSW_CHECK(res.status == LpStatus::kOptimal);
   if (ctx != nullptr) {

@@ -44,7 +44,7 @@ void PartitionRows(const Relation& r, const KeySpec& spec, ExecContext& ec,
       // scanned buffers are published by the pool's fan-in.
       const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= nchunks) return;
-      guard.Poll();
+      guard.Poll(FaultSite::kIndex);
       std::vector<ShardEntry>* chunk_bufs = bufs->data() + c * kShards;
       const size_t begin = c * n / nchunks;
       const size_t end = (c + 1) * n / nchunks;
@@ -132,7 +132,7 @@ void FlatMultimap::BuildSharded(const Relation& r, const KeySpec& spec,
       // disjoint sub-tables are published by the pool's fan-in.
       const size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
       if (s >= kShards) return;
-      guard.Poll();
+      guard.Poll(FaultSite::kIndex);
       const size_t base = shard_off_[s];
       const uint32_t m = shard_mask_[s];
       for (size_t c = 0; c < nchunks; ++c) {
@@ -211,7 +211,7 @@ void FlatInterner::BuildSharded(const Relation& r, const KeySpec& spec,
       // disjoint sub-tables are published by the pool's fan-in.
       const size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
       if (s >= kShards) return;
-      guard.Poll();
+      guard.Poll(FaultSite::kIndex);
       const size_t base = shard_off_[s];
       const uint32_t m = shard_mask_[s];
       std::vector<std::pair<uint64_t, uint32_t>>& mine = firsts[s];

@@ -115,7 +115,7 @@ Relation Join(const Relation& a, const Relation& b, const JoinOpts& opts,
   for (size_t pr = 0; pr < probe.size() && !(opts.limit > 0 &&
                                              emitted >= opts.limit);
        ++pr) {
-    if ((pr & 1023) == 0) guard.Poll();
+    if ((pr & 1023) == 0) guard.Poll(FaultSite::kOps);
     const Value* prow = probe.Row(pr);
     const uint64_t key = kprobe.KeyOf(prow);
     int32_t br = index.First(key);
@@ -173,7 +173,7 @@ Relation FilterByMatch(const Relation& a, const Relation& b,
   Relation out(a.schema());
   QueryGuard& guard = ExecContext::Resolve(ctx).guard();
   for (size_t r = 0; r < a.size(); ++r) {
-    if ((r & 1023) == 0) guard.Poll();
+    if ((r & 1023) == 0) guard.Poll(FaultSite::kOps);
     const Value* arow = a.Row(r);
     int32_t br = index.First(ka.KeyOf(arow));
     bool match = br >= 0;
@@ -233,7 +233,7 @@ Relation SemijoinAll(const Relation& a,
   Relation out(a.schema());
   QueryGuard& guard = ExecContext::Resolve(ctx).guard();
   for (size_t r = 0; r < a.size(); ++r) {
-    if ((r & 1023) == 0) guard.Poll();
+    if ((r & 1023) == 0) guard.Poll(FaultSite::kOps);
     const Value* arow = a.Row(r);
     bool pass = true;
     for (const ExistProbe& p : probes) {

@@ -63,7 +63,7 @@ void RunChunks(ThreadPool& pool, int chunks, QueryGuard* guard,
       // pool's mutex fan-in, not by this counter.
       const int c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) return;
-      if (guard != nullptr) guard->Poll();
+      if (guard != nullptr) guard->Poll(FaultSite::kSort);
       fn(c);
     }
   });
@@ -90,7 +90,7 @@ void SortSerial(Rec<S>* v, size_t n, int key_words, Rec<S>* tmp,
   Rec<S>* src = v;
   Rec<S>* dst = tmp;
   for (int a = 0; a < n_passes; ++a) {
-    if (guard != nullptr) guard->Poll();
+    if (guard != nullptr) guard->Poll(FaultSite::kSort);
     const int word = passes[a].word;
     const int shift = passes[a].shift;
     const size_t* h = &hist[static_cast<size_t>(a) * 256];

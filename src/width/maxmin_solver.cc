@@ -84,7 +84,7 @@ LpResult<S> MaxMinSolver::RunLp(SelModel<S>* m, const std::vector<int>& sel,
                                 WarmStart* warm, bool canonical) {
   EnsureModel(m);
   ApplySelection(m, sel);
-  if (ctx_ != nullptr) ctx_->guard().Poll();
+  if (ctx_ != nullptr) ctx_->guard().Poll(FaultSite::kLp);
   SimplexOptions opts;
   opts.max_pivots = max_pivots_;
   opts.lex_canonical = canonical;

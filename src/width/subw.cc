@@ -39,7 +39,7 @@ Rational FractionalEdgeCover(const Hypergraph& h, VarSet target,
     }
     FMMSW_CHECK(!row.coeffs.empty() && "vertex not covered by any edge");
   }
-  if (ctx != nullptr) ctx->guard().Poll();
+  if (ctx != nullptr) ctx->guard().Poll(FaultSite::kLp);
   auto res = SolveSimplex(m);
   FMMSW_CHECK(res.status == LpStatus::kOptimal);
   if (ctx != nullptr) {

@@ -502,6 +502,59 @@ TEST(PlannerGuardrailTest, PivotBudgetRaisesRecoverableAbort) {
   }
 }
 
+TEST(PlannerGuardrailTest, FaultMidSolveNeverCachesPartialResults) {
+  // A QueryAbort unwinding out of OmegaSubw mid-solve must never insert
+  // a partial entry into the process WidthCache: fault the lp plane at
+  // several poll ordinals, then verify a clean re-solve is a cache
+  // *miss* that computes the correct exact value.
+  const Rational omega(5, 2);
+  OmegaSubwOptions opts;  // use_width_cache = true by default
+  ExecContext ec(2);
+  for (int64_t k : {1, 2, 5}) {
+    WidthCache::Global().Clear();
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(ParseFaultPlan("lp:" + std::to_string(k), &plan, &err))
+        << err;
+    ec.guard().SetFaultPlan(plan);
+    const ExecResult r = RunGuarded(ec, {}, [&] {
+      OmegaSubw(Hypergraph::Clique(4), omega, opts, &ec);
+    });
+    EXPECT_EQ(r.status, ExecStatus::kMemoryLimitExceeded) << "lp:" << k;
+    EXPECT_EQ(WidthCache::Global().size(), 0u)
+        << "aborted solve leaked a partial cache entry at lp:" << k;
+    ec.guard().SetFaultPlan(FaultPlan{});
+    const auto clean = OmegaSubw(Hypergraph::Clique(4), omega, opts, &ec);
+    EXPECT_FALSE(clean.from_cache) << "lp:" << k;
+    EXPECT_TRUE(clean.exact);
+    EXPECT_EQ(clean.value, cf::OmegaSubwClique4(omega));
+    EXPECT_EQ(WidthCache::Global().size(), 1u);
+  }
+  WidthCache::Global().Clear();
+}
+
+TEST(PlannerGuardrailTest, PivotLimitRecoversToClosedForm) {
+  // With recover_pivot_limit set, the same starved pivot budget degrades
+  // to the Table 2 closed form instead of aborting — exact, witness-free
+  // and (deliberately) never cached.
+  WidthCache::Global().Clear();
+  ExecContext ec(1);
+  OmegaSubwOptions opts;
+  opts.use_width_cache = true;  // on, to prove the degraded result skips it
+  opts.max_pivots = 1;
+  opts.recover_pivot_limit = true;
+  const auto r = OmegaSubw(Hypergraph::Clique(4), Rational(5, 2), opts, &ec);
+  EXPECT_TRUE(r.degraded_closed_form);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.value, cf::OmegaSubwClique4(Rational(5, 2)));
+  EXPECT_EQ(r.lower, r.value);
+  EXPECT_EQ(r.upper, r.value);
+  EXPECT_FALSE(r.from_cache);
+  EXPECT_EQ(WidthCache::Global().size(), 0u)
+      << "degraded result must not be cached";
+  EXPECT_GE(ec.stats().degraded_runs.load(), 1);
+}
+
 TEST(PlannerStatsTest, CountersFlowIntoExecContext) {
   const Rational omega(2371552, 1000000);
   ExecContext ec(1);

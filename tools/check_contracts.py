@@ -47,6 +47,21 @@ comments and PR descriptions. This linter turns them into build failures
                       (util/random.h) and the steady clock (timing stats)
                       are the sanctioned tools.
 
+  queryabort-status   Every `throw QueryAbort(...)` in src/ must name an
+                      ExecStatus (so core/recovery.h can classify it as
+                      retryable or terminal) and carry a human-readable
+                      message with at least one string literal. A bare or
+                      status-less abort is unroutable by the recovery
+                      plane and undiagnosable in logs.
+
+  fault-site-coverage Every site tag registered in kFaultSiteNames
+                      (core/exec_context.cc) must appear at >= 1
+                      Poll(FaultSite::...) / ParallelFor(..., FaultSite::...)
+                      call site outside core/exec_context.*. A registered
+                      tag nobody polls makes FMMSW_FAULT_PLAN silently
+                      inert for that plane — the CI soak would test
+                      nothing.
+
 Allow marker: a site that legitimately violates a rule carries, on the
 same line or the line directly above,
 
@@ -196,8 +211,12 @@ def check_stats_coverage(header_text, impl_text, header_path, impl_path):
 # Declarations that legitimately take no ExecContext: pure metadata or
 # plan-shaping helpers with no execution side.
 CTX_EXEMPT = {
-    "StatusString",      # enum -> string, no execution
-    "ForLoopPlan",       # pure plan construction from the hypergraph
+    "StatusString",          # enum -> string, no execution
+    "ForLoopPlan",           # pure plan construction from the hypergraph
+    "TriangleCountLadder",   # strategy capability metadata, no execution
+    "TriangleBooleanLadder", # strategy capability metadata, no execution
+    "GenericBooleanLadder",  # strategy capability metadata, no execution
+    "IsTriangleQuery",       # pure shape predicate on the hypergraph
 }
 
 DECL_NAME_RE = re.compile(r"(\w+)\s*\($")
@@ -307,6 +326,84 @@ def check_nondeterminism(text, path):
 
 
 # --------------------------------------------------------------------------
+# Rule: queryabort-status
+
+
+THROW_ABORT_RE = re.compile(r"\bthrow\s+QueryAbort\s*\(")
+
+
+def check_queryabort_status(text, path):
+    """Every throw QueryAbort(...) names an ExecStatus and carries a
+    string-literal message. Throw statements wrap; join lines up to the
+    terminating ';' before checking."""
+    violations = []
+    lines = strip_block_comments(text).split("\n")
+    allowed, _ = allow_markers(lines)
+    i = 0
+    while i < len(lines):
+        code = strip_line_comment(lines[i])
+        m = THROW_ABORT_RE.search(code)
+        if not m or "queryabort-status" in allowed.get(i + 1, ()):
+            i += 1
+            continue
+        stmt = code[m.start():]
+        j = i
+        while ";" not in stmt and j + 1 < len(lines):
+            j += 1
+            stmt += " " + strip_line_comment(lines[j])
+        stmt = stmt.split(";", 1)[0]
+        if "ExecStatus::k" not in stmt:
+            violations.append(Violation(
+                "queryabort-status", path, i + 1,
+                "throw QueryAbort(...) without an ExecStatus::k* status "
+                "(the recovery plane cannot classify it)"))
+        if '"' not in stmt:
+            violations.append(Violation(
+                "queryabort-status", path, i + 1,
+                "throw QueryAbort(...) without a string-literal message"))
+        i = j + 1
+    return violations
+
+
+# --------------------------------------------------------------------------
+# Rule: fault-site-coverage
+
+
+SITE_TABLE_RE = re.compile(
+    r"kFaultSiteNames\s*\[[^\]]*\]\s*=\s*\{(.*?)\}", re.S)
+SITE_USE_RE = re.compile(r"FaultSite::k(\w+)")
+
+
+def registered_fault_sites(impl_text):
+    """Site tags from the kFaultSiteNames table in exec_context.cc, in
+    order; None if the table is missing."""
+    m = SITE_TABLE_RE.search(strip_block_comments(impl_text))
+    if not m:
+        return None
+    return re.findall(r'"([a-z0-9]+)"', m.group(1))
+
+
+def check_fault_site_coverage(impl_text, uses_text, impl_path):
+    """`uses_text` is the concatenation of every src/ file outside
+    core/exec_context.* — each registered tag must be polled somewhere
+    out there, or the fault plan for that plane tests nothing."""
+    sites = registered_fault_sites(impl_text)
+    if sites is None:
+        return [Violation("fault-site-coverage", impl_path, 0,
+                          "kFaultSiteNames table not found")]
+    used = {u.lower() for u in SITE_USE_RE.findall(uses_text)}
+    violations = []
+    for tag in sites:
+        if tag not in used:
+            violations.append(Violation(
+                "fault-site-coverage", impl_path, 0,
+                f"fault site '{tag}' is registered but never polled "
+                "(no Poll(FaultSite::...) / site-tagged ParallelFor "
+                "outside core/exec_context.*)"))
+    return violations
+
+
+# --------------------------------------------------------------------------
 # Rule: relaxed-justified
 
 
@@ -371,6 +468,7 @@ def lint_repo(repo):
         header_text, impl_text, "src/core/exec_context.h",
         "src/core/exec_context.cc")
 
+    site_uses = []
     for root, _, files in os.walk(src):
         for fname in sorted(files):
             if not fname.endswith((".h", ".cc")):
@@ -382,8 +480,14 @@ def lint_repo(repo):
             violations += check_relaxed_justified(text, rel)
             violations += check_tsa_escape(text, rel)
             violations += check_nondeterminism(text, rel)
+            violations += check_queryabort_status(text, rel)
+            if rel.replace(os.sep, "/") not in (
+                    "src/core/exec_context.h", "src/core/exec_context.cc"):
+                site_uses.append(text)
             if is_hot_path(rel):
                 violations += check_banned_tokens(text, rel, BANNED)
+    violations += check_fault_site_coverage(
+        impl_text, "\n".join(site_uses), "src/core/exec_context.cc")
 
     for rel in ["src/relation/ops.h"] + sorted(
             "src/engine/" + f for f in os.listdir(os.path.join(src, "engine"))
@@ -505,6 +609,46 @@ uint64_t c = SplitMixRandom(x);
     # rand() + srand( + time( -> note srand/time share one line: both
     # patterns are alternatives of one regex, first match per line wins.
     expect("nondet", v, "no-nondeterminism", 2)
+
+    # queryabort-status: status-less and message-less throws fire (also
+    # across wrapped lines); a conforming throw and a comment mention
+    # don't; an allow-marked site doesn't.
+    src = """
+throw QueryAbort(ExecStatus::kCancelled, "query cancelled");
+throw QueryAbort(ExecStatus::kMemoryLimitExceeded,
+                 "memory budget exceeded: " + std::to_string(now) +
+                     " bytes");
+throw QueryAbort("no status here");
+throw QueryAbort(ExecStatus::kCancelled,
+                 status_only_variable_message);
+// a doc comment may say `throw QueryAbort` without firing
+// contracts: allow(queryabort-status) rethrow helper, status attached upstream
+throw QueryAbort(wrapped);
+"""
+    v = check_queryabort_status(src, "src")
+    # "no status here": missing status; variable-message throw: missing
+    # string literal.
+    expect("abort", v, "queryabort-status", 2)
+
+    # fault-site-coverage: a registered-but-never-polled tag fires; the
+    # polled tags (via Poll or site-tagged ParallelFor) don't; a missing
+    # table is itself a violation.
+    impl = """
+const char* const kFaultSiteNames[kNumFaultSites] = {
+    "wcoj", "sort", "mm",
+};
+"""
+    uses = """
+guard.Poll(FaultSite::kWcoj);
+ParallelFor(ec, FaultSite::kSort, n, chunk);
+"""
+    v = check_fault_site_coverage(impl, uses, "cc")
+    expect("site", v, "fault-site-coverage", 1)  # "mm" never polled
+    v = check_fault_site_coverage(impl, uses + "g.Poll(FaultSite::kMm);",
+                                  "cc")
+    expect("site-clean", v, "fault-site-coverage", 0)
+    v = check_fault_site_coverage("// no table", uses, "cc")
+    expect("site-notable", v, "fault-site-coverage", 1)
 
     if failures:
         for f in failures:
