@@ -80,7 +80,7 @@ void KernelAblation() {
   opts.tuples_per_relation = 32000;
   opts.domain = 8000;
   opts.seed = 5;
-  Database db = MakeWorkload(Hypergraph::Triangle(), opts);
+  QueryInput db = MakeWorkload(Hypergraph::Triangle(), opts);
   auto time_it = [&](MmKernel kernel, double omega) {
     Stopwatch sw;
     bool sink = TriangleMm(db, omega, kernel);

@@ -83,7 +83,7 @@ void Run() {
       opts.domain = kind == WorkloadKind::kDense ? 25 : 60;
       opts.seed = seed;
       opts.plant_witness = seed % 2 == 0;
-      Database db = MakeWorkload(Hypergraph::Triangle(), opts);
+      QueryInput db = MakeWorkload(Hypergraph::Triangle(), opts);
       PandaStats stats;
       const bool derived =
           PandaTriangleBoolean(db, 2.371552, MmKernel::kBoolean, &stats);

@@ -57,7 +57,7 @@ void Run() {
     };
     const Value star_y = static_cast<Value>(d + 1);
     const Value star_w = static_cast<Value>(d + 2);
-    Database db;
+    QueryInput db;
     // R(X,Y): star on y*, odd X. S(Y,Z): star on y*.
     db.relations.push_back(side(VarSet{0, 1}, 1, star_y, true, false));
     db.relations.push_back(side(VarSet{1, 2}, 0, star_y, false, false));

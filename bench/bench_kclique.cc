@@ -31,7 +31,7 @@ void RunK(int k) {
     opts.domain = d;
     opts.dense_density = 0.9;
     opts.seed = 29;
-    Database db = MakeWorkload(Hypergraph::Clique(k), opts);
+    QueryInput db = MakeWorkload(Hypergraph::Clique(k), opts);
     {
       // Clique-free instance via a parity obstruction that only fires at
       // the *last* join level: every pair relation keeps even-sum pairs
@@ -50,7 +50,7 @@ void RunK(int k) {
       for (size_t e = 0; e < db.relations.size(); ++e) {
         // Edge (0, k-1) has index k-2 in Hypergraph::Clique's order.
         const int parity = (static_cast<int>(e) == k - 2) ? 1 : 0;
-        db.relations[e] = filter(db.relations[e], parity);
+        db.relations.Set(e, filter(db.relations[e], parity));
       }
     }
     if (!bench::StepEnabled(static_cast<long long>(db.TotalSize()))) {

@@ -28,7 +28,7 @@ void Run() {
     const int64_t d = std::max<int64_t>(
         4, static_cast<int64_t>(std::pow(static_cast<double>(n), 0.4)));
     Rng rng(37);
-    Database db;
+    QueryInput db;
     db.relations.push_back(UniformRelation(VarSet{0, 1}, n, d, &rng));
     db.relations.push_back(UniformRelation(VarSet{0, 2}, n, d, &rng));
     {

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   opts.zipf_alpha = 1.3;
   opts.seed = 99;
   Hypergraph q = Hypergraph::Cycle(4);
-  Database db = MakeWorkload(q, opts);
+  QueryInput db = MakeWorkload(q, opts);
   std::printf("4-cycle query %s\n", q.ToString().c_str());
   std::printf("instance: N = %zu tuples (Zipf)\n\n", db.TotalSize());
   ExecContext ctx;

@@ -32,7 +32,7 @@ int main() {
   opts.tuples_per_relation = 5000;
   opts.domain = 1200;
   opts.plant_witness = true;
-  Database db = MakeWorkload(q, opts);
+  QueryInput db = MakeWorkload(q, opts);
   std::printf("instance: N = %zu tuples\n", db.TotalSize());
 
   // 4. Evaluate: generic worst-case-optimal join vs the Figure-1

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   }
   graph_s.SortAndDedupe();
   graph_t.SortAndDedupe();
-  Database db;
+  QueryInput db;
   db.relations = {graph_r, graph_s, graph_t};
   std::printf("social graph: %zu follow edges (Zipf 1.3)\n", graph_r.size());
   std::printf("max out-degree deg(Y|X) = %lld\n",

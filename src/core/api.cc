@@ -60,7 +60,7 @@ std::string FormatWidthReport(const Hypergraph& h, const Rational& omega,
   return out;
 }
 
-bool EvaluateBoolean(const Hypergraph& h, const Database& db,
+bool EvaluateBoolean(const Hypergraph& h, const QueryInput& db,
                      EvalStrategy strategy, ExecContext* ctx) {
   switch (strategy) {
     case EvalStrategy::kWcoj:
@@ -75,7 +75,7 @@ bool EvaluateBoolean(const Hypergraph& h, const Database& db,
   return false;
 }
 
-ExecResult ValidateQuery(const Hypergraph& h, const Database& db) {
+ExecResult ValidateQuery(const Hypergraph& h, const QueryInput& db) {
   const auto invalid = [](std::string msg) {
     return ExecResult{ExecStatus::kInvalidArgument, std::move(msg)};
   };
@@ -101,7 +101,7 @@ ExecResult ValidateQuery(const Hypergraph& h, const Database& db) {
   return {};
 }
 
-ExecResult EvaluateBooleanGuarded(const Hypergraph& h, const Database& db,
+ExecResult EvaluateBooleanGuarded(const Hypergraph& h, const QueryInput& db,
                                   bool* result, EvalStrategy strategy,
                                   ExecContext* ctx,
                                   const QueryLimits& limits) {
@@ -113,7 +113,7 @@ ExecResult EvaluateBooleanGuarded(const Hypergraph& h, const Database& db,
   });
 }
 
-ExecResult EvaluateCountGuarded(const Hypergraph& h, const Database& db,
+ExecResult EvaluateCountGuarded(const Hypergraph& h, const QueryInput& db,
                                 int64_t* count, ExecContext* ctx,
                                 const QueryLimits& limits) {
   ExecResult valid = ValidateQuery(h, db);
@@ -122,7 +122,7 @@ ExecResult EvaluateCountGuarded(const Hypergraph& h, const Database& db,
   return RunGuarded(ec, limits, [&] { *count = WcojCount(h, db, &ec); });
 }
 
-ExecResult EvaluateJoinGuarded(const Hypergraph& h, const Database& db,
+ExecResult EvaluateJoinGuarded(const Hypergraph& h, const QueryInput& db,
                                VarSet output_vars, Relation* result,
                                ExecContext* ctx, const QueryLimits& limits) {
   ExecResult valid = ValidateQuery(h, db);
@@ -138,7 +138,7 @@ namespace {
 /// Maps a strategy card to a Boolean-query rung closure. `*result` is
 /// only written on normal return (an abort unwinds first), so a failed
 /// rung can never leak a partial answer.
-std::vector<PlanRung> BooleanLadder(const Hypergraph& h, const Database& db,
+std::vector<PlanRung> BooleanLadder(const Hypergraph& h, const QueryInput& db,
                                     bool* result) {
   std::vector<PlanRung> ladder;
   if (IsTriangleQuery(h)) {
@@ -169,7 +169,7 @@ std::vector<PlanRung> BooleanLadder(const Hypergraph& h, const Database& db,
   return ladder;
 }
 
-std::vector<PlanRung> CountLadder(const Hypergraph& h, const Database& db,
+std::vector<PlanRung> CountLadder(const Hypergraph& h, const QueryInput& db,
                                   int64_t* count) {
   std::vector<PlanRung> ladder;
   if (IsTriangleQuery(h)) {
@@ -194,7 +194,7 @@ std::vector<PlanRung> CountLadder(const Hypergraph& h, const Database& db,
 
 }  // namespace
 
-ExecResult EvaluateBooleanWithRecovery(const Hypergraph& h, const Database& db,
+ExecResult EvaluateBooleanWithRecovery(const Hypergraph& h, const QueryInput& db,
                                        bool* result, ExecContext* ctx,
                                        const QueryLimits& limits,
                                        const RetryPolicy& policy,
@@ -209,7 +209,7 @@ ExecResult EvaluateBooleanWithRecovery(const Hypergraph& h, const Database& db,
   return r;
 }
 
-ExecResult EvaluateCountWithRecovery(const Hypergraph& h, const Database& db,
+ExecResult EvaluateCountWithRecovery(const Hypergraph& h, const QueryInput& db,
                                      int64_t* count, ExecContext* ctx,
                                      const QueryLimits& limits,
                                      const RetryPolicy& policy,
@@ -224,7 +224,7 @@ ExecResult EvaluateCountWithRecovery(const Hypergraph& h, const Database& db,
   return r;
 }
 
-ExecResult EvaluateJoinWithRecovery(const Hypergraph& h, const Database& db,
+ExecResult EvaluateJoinWithRecovery(const Hypergraph& h, const QueryInput& db,
                                     VarSet output_vars, Relation* result,
                                     ExecContext* ctx,
                                     const QueryLimits& limits,

@@ -65,7 +65,7 @@ enum class EvalStrategy {
 /// `ctx` supplies the thread pool, scratch arenas and per-op stats the
 /// evaluation runs on (see core/exec_context.h); nullptr uses the
 /// process-default context sized by FMMSW_THREADS.
-bool EvaluateBoolean(const Hypergraph& h, const Database& db,
+bool EvaluateBoolean(const Hypergraph& h, const QueryInput& db,
                      EvalStrategy strategy = EvalStrategy::kWcoj,
                      ExecContext* ctx = nullptr);
 
@@ -75,7 +75,7 @@ bool EvaluateBoolean(const Hypergraph& h, const Database& db,
 /// kOk or kInvalidArgument with a message naming the first mismatch.
 /// The guarded evaluation below runs this before touching the engines;
 /// call it directly to validate inputs without evaluating.
-ExecResult ValidateQuery(const Hypergraph& h, const Database& db);
+ExecResult ValidateQuery(const Hypergraph& h, const QueryInput& db);
 
 /// Status-returning evaluation with guardrails: validates inputs
 /// (kInvalidArgument), arms `limits` — wall-clock deadline, memory
@@ -85,7 +85,7 @@ ExecResult ValidateQuery(const Hypergraph& h, const Database& db);
 /// non-kOk status `*result` is untouched and the context is immediately
 /// reusable for the next query (arenas released, stats preserved). See
 /// the "Error handling & guardrails" section of the README.
-ExecResult EvaluateBooleanGuarded(const Hypergraph& h, const Database& db,
+ExecResult EvaluateBooleanGuarded(const Hypergraph& h, const QueryInput& db,
                                   bool* result,
                                   EvalStrategy strategy = EvalStrategy::kWcoj,
                                   ExecContext* ctx = nullptr,
@@ -94,7 +94,7 @@ ExecResult EvaluateBooleanGuarded(const Hypergraph& h, const Database& db,
 /// Guarded counting evaluation: validates, arms `limits`, and counts the
 /// full join (WcojCount — no materialization, so max_output_rows does not
 /// apply). On any non-kOk status `*count` is untouched.
-ExecResult EvaluateCountGuarded(const Hypergraph& h, const Database& db,
+ExecResult EvaluateCountGuarded(const Hypergraph& h, const QueryInput& db,
                                 int64_t* count, ExecContext* ctx = nullptr,
                                 const QueryLimits& limits = {});
 
@@ -102,7 +102,7 @@ ExecResult EvaluateCountGuarded(const Hypergraph& h, const Database& db,
 /// materializes the join projected onto `output_vars` (canonically
 /// sorted; max_output_rows applies). On any non-kOk status `*result` is
 /// untouched.
-ExecResult EvaluateJoinGuarded(const Hypergraph& h, const Database& db,
+ExecResult EvaluateJoinGuarded(const Hypergraph& h, const QueryInput& db,
                                VarSet output_vars, Relation* result,
                                ExecContext* ctx = nullptr,
                                const QueryLimits& limits = {});
@@ -123,15 +123,15 @@ ExecResult EvaluateJoinGuarded(const Hypergraph& h, const Database& db,
 /// ladder walk (attempts, failures, winning rung).
 /// @{
 ExecResult EvaluateBooleanWithRecovery(
-    const Hypergraph& h, const Database& db, bool* result,
+    const Hypergraph& h, const QueryInput& db, bool* result,
     ExecContext* ctx = nullptr, const QueryLimits& limits = {},
     const RetryPolicy& policy = {}, RecoveryReport* report = nullptr);
 ExecResult EvaluateCountWithRecovery(
-    const Hypergraph& h, const Database& db, int64_t* count,
+    const Hypergraph& h, const QueryInput& db, int64_t* count,
     ExecContext* ctx = nullptr, const QueryLimits& limits = {},
     const RetryPolicy& policy = {}, RecoveryReport* report = nullptr);
 ExecResult EvaluateJoinWithRecovery(
-    const Hypergraph& h, const Database& db, VarSet output_vars,
+    const Hypergraph& h, const QueryInput& db, VarSet output_vars,
     Relation* result, ExecContext* ctx = nullptr,
     const QueryLimits& limits = {}, const RetryPolicy& policy = {},
     RecoveryReport* report = nullptr);

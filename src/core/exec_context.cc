@@ -62,10 +62,22 @@ bool ParseFaultPlan(const std::string& spec, FaultPlan* plan,
     }
     const bool repeating = count.rfind("every-", 0) == 0;
     if (repeating) count = count.substr(6);
+    // Hostile-input hardening: the digits-only check rejects embedded
+    // NULs and junk; the length cap rejects overflow ordinals before
+    // any conversion runs (atoll/strtoll overflow would be UB /
+    // saturation, and a count that large is certainly a typo).
+    constexpr size_t kMaxCountDigits = 18;  // < digits10(int64_t)
     long long n = 0;
-    if (count.empty() ||
-        count.find_first_not_of("0123456789") != std::string::npos ||
-        (n = std::atoll(count.c_str())) <= 0) {
+    if (count.empty() || count.size() > kMaxCountDigits ||
+        count.find_first_not_of("0123456789") != std::string::npos) {
+      if (error != nullptr) {
+        *error = "fault-plan clause '" + clause +
+                 "' needs a positive integer count";
+      }
+      return false;
+    }
+    for (char c : count) n = n * 10 + (c - '0');
+    if (n <= 0) {
       if (error != nullptr) {
         *error = "fault-plan clause '" + clause +
                  "' needs a positive integer count";
@@ -302,6 +314,11 @@ void ExecStats::Reset() {
   shed = 0;
   retries = 0;
   degraded_runs = 0;
+  commits = 0;
+  rollbacks = 0;
+  snapshots_pinned = 0;
+  versions_retired = 0;
+  width_cache_evictions = 0;
 }
 
 std::string ExecStats::ToString() const {
@@ -360,6 +377,11 @@ std::string ExecStats::ToString() const {
   row("shed                ", shed);
   row("retries             ", retries);
   row("degraded_runs       ", degraded_runs);
+  row("commits             ", commits);
+  row("rollbacks           ", rollbacks);
+  row("snapshots_pinned    ", snapshots_pinned);
+  row("versions_retired    ", versions_retired);
+  row("width_cache_evictions", width_cache_evictions);
   return out;
 }
 

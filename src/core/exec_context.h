@@ -158,6 +158,12 @@ struct ExecStats {
   std::atomic<int64_t> shed{0};                 ///< queries shed with kRejected
   std::atomic<int64_t> retries{0};              ///< retryable aborts absorbed
   std::atomic<int64_t> degraded_runs{0};        ///< attempts below the top rung
+  // Catalog & snapshot counters (core/database.h):
+  std::atomic<int64_t> commits{0};              ///< catalog transactions committed
+  std::atomic<int64_t> rollbacks{0};            ///< transactions rolled back
+  std::atomic<int64_t> snapshots_pinned{0};     ///< catalog snapshots handed out
+  std::atomic<int64_t> versions_retired{0};     ///< relation versions superseded
+  std::atomic<int64_t> width_cache_evictions{0};///< WidthCache LRU evictions
 
   void Reset();
   /// Human-readable counter dump (one `name : value` line per counter).

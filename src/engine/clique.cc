@@ -45,7 +45,7 @@ bool HasPair(const FlatSet& set, Value a, Value b) {
 /// Enumerates the sub-cliques of a variable group: the WCOJ join of the
 /// pair relations inside the group, with singleton groups reduced to the
 /// intersection of their incident projections.
-Relation GroupCliques(int k, const Database& db, const std::vector<int>& g,
+Relation GroupCliques(int k, const QueryInput& db, const std::vector<int>& g,
                       ExecContext* ec) {
   VarSet group;
   for (int v : g) group.Add(v);
@@ -64,12 +64,12 @@ Relation GroupCliques(int k, const Database& db, const std::vector<int>& g,
   }
   Hypergraph sub(k);
   sub = sub.Eliminate(VarSet::Full(k) - group);
-  Database sub_db;
+  QueryInput sub_db;
   for (size_t i = 0; i < g.size(); ++i) {
     for (size_t j = i + 1; j < g.size(); ++j) {
       const int a = std::min(g[i], g[j]), b = std::max(g[i], g[j]);
       sub.AddEdge(VarSet{a, b});
-      sub_db.relations.push_back(db.relations[PairEdgeIndex(k, a, b)]);
+      sub_db.relations.push_back(db.relations.ptr(PairEdgeIndex(k, a, b)));
     }
   }
   return WcojJoin(sub, sub_db, group, nullptr, ec);
@@ -77,7 +77,7 @@ Relation GroupCliques(int k, const Database& db, const std::vector<int>& g,
 
 /// Cross-group compatibility: cliques ta, tb are compatible iff every
 /// cross pair is present in its relation.
-bool Compatible(int k, const Database& db,
+bool Compatible(int k, const QueryInput& db,
                 const std::vector<FlatSet>& pair_sets,
                 const std::vector<int>& ga, const Relation& ra, size_t rowa,
                 const std::vector<int>& gb, const Relation& rb,
@@ -97,11 +97,11 @@ bool Compatible(int k, const Database& db,
 
 }  // namespace
 
-bool CliqueCombinatorial(int k, const Database& db, ExecContext* ctx) {
+bool CliqueCombinatorial(int k, const QueryInput& db, ExecContext* ctx) {
   return WcojBoolean(Hypergraph::Clique(k), db, ctx);
 }
 
-bool CliqueMm(int k, const Database& db, MmKernel kernel, CliqueStats* stats,
+bool CliqueMm(int k, const QueryInput& db, MmKernel kernel, CliqueStats* stats,
               ExecContext* ctx) {
   ExecContext& ec = ExecContext::Resolve(ctx);
   FMMSW_CHECK(k >= 3);

@@ -25,11 +25,11 @@ struct CliqueStats {
 };
 
 /// Combinatorial baseline: generic join, O(N^{k/2}).
-bool CliqueCombinatorial(int k, const Database& db,
+bool CliqueCombinatorial(int k, const QueryInput& db,
                          ExecContext* ctx = nullptr);
 
 /// MM-based detection via the 3-group split.
-bool CliqueMm(int k, const Database& db, MmKernel kernel = MmKernel::kBoolean,
+bool CliqueMm(int k, const QueryInput& db, MmKernel kernel = MmKernel::kBoolean,
               CliqueStats* stats = nullptr, ExecContext* ctx = nullptr);
 
 }  // namespace fmmsw

@@ -31,7 +31,7 @@ void EliminateForLoop(State* s, VarSet block, EliminationStats* stats,
   FMMSW_CHECK(!incident.empty());
   Hypergraph sub(s->hg.num_vars(), s->hg.names());
   sub = sub.Eliminate(VarSet::Full(s->hg.num_vars()) - s->hg.U(block));
-  Database sub_db;
+  QueryInput sub_db;
   // contracts: allow(no-node-map) schema-keyed merge pool, O(#edges)
   // entries per elimination step.
   std::map<VarSet, Relation> merged;
@@ -145,7 +145,7 @@ void EliminateMm(State* s, VarSet block, const MmExpr& mm,
   const VarSet b_side = mm.y | mm.g | block;
   const std::vector<int> incident = s->hg.IncidentEdges(block);
   FMMSW_CHECK(!incident.empty());
-  Database a_db, b_db;
+  QueryInput a_db, b_db;
   Hypergraph a_hg(s->hg.num_vars(), s->hg.names());
   a_hg = a_hg.Eliminate(VarSet::Full(s->hg.num_vars()) - a_side);
   Hypergraph b_hg(s->hg.num_vars(), s->hg.names());
@@ -161,7 +161,7 @@ void EliminateMm(State* s, VarSet block, const MmExpr& mm,
       } else {
         for (size_t i = 0; i < a_hg.edges().size(); ++i) {
           if (a_hg.edges()[i] == schema) {
-            a_db.relations[i] = Intersect(a_db.relations[i], s->rels[e], ec);
+            a_db.relations.Set(i, Intersect(a_db.relations[i], s->rels[e], ec));
           }
         }
       }
@@ -175,7 +175,7 @@ void EliminateMm(State* s, VarSet block, const MmExpr& mm,
       } else {
         for (size_t i = 0; i < b_hg.edges().size(); ++i) {
           if (b_hg.edges()[i] == schema) {
-            b_db.relations[i] = Intersect(b_db.relations[i], s->rels[e], ec);
+            b_db.relations.Set(i, Intersect(b_db.relations[i], s->rels[e], ec));
           }
         }
       }
@@ -354,14 +354,14 @@ EliminationPlan ForLoopPlan(const Hypergraph& h,
   return plan;
 }
 
-bool ExecutePlan(const Hypergraph& h, const Database& db,
+bool ExecutePlan(const Hypergraph& h, const QueryInput& db,
                  const EliminationPlan& plan, const EliminationOptions& opts,
                  EliminationStats* stats, ExecContext* ctx) {
   ExecContext& ec = ExecContext::Resolve(ctx);
   FMMSW_CHECK(db.relations.size() == h.edges().size());
   State s;
   s.hg = h;
-  s.rels = db.relations;
+  s.rels = db.relations.Materialize();
   VarSet eliminated;
   for (const PlanStep& step : plan.steps) {
     ec.guard().Poll(FaultSite::kOps);  // elimination steps are the plan's morsels

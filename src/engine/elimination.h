@@ -60,7 +60,7 @@ EliminationPlan ForLoopPlan(const Hypergraph& h,
 /// Executes the plan on the database; returns the Boolean answer. The plan
 /// must eliminate every vertex of `h`. CHECKs that each MM step's
 /// expression is valid for the hypergraph state it executes against.
-bool ExecutePlan(const Hypergraph& h, const Database& db,
+bool ExecutePlan(const Hypergraph& h, const QueryInput& db,
                  const EliminationPlan& plan,
                  const EliminationOptions& opts = {},
                  EliminationStats* stats = nullptr,

@@ -93,7 +93,7 @@ bool ForEachHeavy(ExecContext& ec, const Relation& heavy,
 
 }  // namespace
 
-bool FourCycleTd(const Database& db, ExecContext* ctx) {
+bool FourCycleTd(const QueryInput& db, ExecContext* ctx) {
   ExecContext& ec = ExecContext::Resolve(ctx);
   // Single TD {XYZ}, {ZWX}: materialize both bags fully (O(N^2)).
   const Relation& r = db.relations[0];
@@ -105,7 +105,7 @@ bool FourCycleTd(const Database& db, ExecContext* ctx) {
   return !Intersect(p, q, &ec).empty();
 }
 
-bool FourCycleCombinatorial(const Database& db, FourCycleStats* stats,
+bool FourCycleCombinatorial(const QueryInput& db, FourCycleStats* stats,
                             ExecContext* ctx) {
   FMMSW_CHECK(db.relations.size() == 4);
   ExecContext& ec = ExecContext::Resolve(ctx);
@@ -163,7 +163,7 @@ bool FourCycleCombinatorial(const Database& db, FourCycleStats* stats,
   return !q.empty();
 }
 
-bool FourCycleMm(const Database& db, double omega, MmKernel kernel,
+bool FourCycleMm(const QueryInput& db, double omega, MmKernel kernel,
                  FourCycleStats* stats, ExecContext* ctx) {
   FMMSW_CHECK(db.relations.size() == 4);
   ExecContext& ec = ExecContext::Resolve(ctx);

@@ -35,15 +35,15 @@ struct FourCycleStats {
 
 /// One-bag-at-a-time TD plan (the O(N^2) baseline the paper's Section 1.1
 /// motivates against).
-bool FourCycleTd(const Database& db, ExecContext* ctx = nullptr);
+bool FourCycleTd(const QueryInput& db, ExecContext* ctx = nullptr);
 
 /// Degree-partitioned combinatorial algorithm, O(N^{3/2}).
-bool FourCycleCombinatorial(const Database& db,
+bool FourCycleCombinatorial(const QueryInput& db,
                             FourCycleStats* stats = nullptr,
                             ExecContext* ctx = nullptr);
 
 /// MM hybrid at the given omega.
-bool FourCycleMm(const Database& db, double omega,
+bool FourCycleMm(const QueryInput& db, double omega,
                  MmKernel kernel = MmKernel::kBoolean,
                  FourCycleStats* stats = nullptr, ExecContext* ctx = nullptr);
 

@@ -21,11 +21,11 @@ constexpr int kX1 = 1, kX2 = 2, kX3 = 3;
 
 }  // namespace
 
-bool Pyramid3Combinatorial(const Database& db, ExecContext* ctx) {
+bool Pyramid3Combinatorial(const QueryInput& db, ExecContext* ctx) {
   return WcojBoolean(Hypergraph::Pyramid(3), db, ctx);
 }
 
-bool Pyramid3Mm(const Database& db, double omega, MmKernel kernel,
+bool Pyramid3Mm(const QueryInput& db, double omega, MmKernel kernel,
                 PyramidStats* stats, ExecContext* ctx) {
   FMMSW_CHECK(db.relations.size() == 4);
   ExecContext& ec = ExecContext::Resolve(ctx);

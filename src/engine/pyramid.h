@@ -15,7 +15,7 @@
 ///     MM(X2; X3; Y | X1) — for each x1 compatible with y, multiply the
 ///     X2-by-Y and Y-by-X3 Boolean matrices, then probe the base.
 ///
-/// Database layout per Hypergraph::Pyramid(3): relations
+/// QueryInput layout per Hypergraph::Pyramid(3): relations
 /// [R1(Y,X1), R2(Y,X2), R3(Y,X3), B(X1,X2,X3)].
 
 #include "engine/elimination.h"
@@ -35,10 +35,10 @@ struct PyramidStats {
 
 /// Combinatorial baseline: generic join (the PANDA-style N^{2-1/k} plan is
 /// within a log factor of this on the generated workloads).
-bool Pyramid3Combinatorial(const Database& db, ExecContext* ctx = nullptr);
+bool Pyramid3Combinatorial(const QueryInput& db, ExecContext* ctx = nullptr);
 
 /// The Lemma C.13 MM algorithm at the given omega.
-bool Pyramid3Mm(const Database& db, double omega,
+bool Pyramid3Mm(const QueryInput& db, double omega,
                 MmKernel kernel = MmKernel::kBoolean,
                 PyramidStats* stats = nullptr, ExecContext* ctx = nullptr);
 

@@ -15,7 +15,7 @@ namespace {
 /// Materializes the bag relation: the WCOJ join over the projections onto
 /// the bag of every relation intersecting it. Sound (a superset of the
 /// projection of the full join onto the bag) and O(N^{rho*(bag)}).
-Relation MaterializeBag(const Hypergraph& h, const Database& db, VarSet bag,
+Relation MaterializeBag(const Hypergraph& h, const QueryInput& db, VarSet bag,
                         ExecContext* ec) {
   // Merge relations with the same projected schema by intersection so the
   // sub-hypergraph's edges and relations stay aligned.
@@ -34,7 +34,7 @@ Relation MaterializeBag(const Hypergraph& h, const Database& db, VarSet bag,
     }
   }
   Hypergraph sub(h.num_vars(), h.names());
-  Database sub_db;
+  QueryInput sub_db;
   // Restrict the vertex set to the bag by eliminating the complement.
   sub = Hypergraph(h.num_vars(), h.names()).Eliminate(VarSet::Full(
       h.num_vars()) - bag);
@@ -84,7 +84,7 @@ bool YannakakisBoolean(std::vector<Relation> bags,
   return !bags[0].empty();
 }
 
-bool TdBoolean(const Hypergraph& h, const Database& db,
+bool TdBoolean(const Hypergraph& h, const QueryInput& db,
                const TreeDecomposition& td, ExecContext* ctx) {
   ExecContext& ec = ExecContext::Resolve(ctx);
   FMMSW_CHECK(IsValidTd(h, td));
@@ -98,7 +98,7 @@ bool TdBoolean(const Hypergraph& h, const Database& db,
   return YannakakisBoolean(std::move(bags), TreeEdges(td), &ec);
 }
 
-bool TdBooleanBest(const Hypergraph& h, const Database& db,
+bool TdBooleanBest(const Hypergraph& h, const QueryInput& db,
                    ExecContext* ctx) {
   auto tds = EnumerateTds(h);
   FMMSW_CHECK(!tds.empty());

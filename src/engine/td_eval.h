@@ -19,11 +19,11 @@ class ExecContext;
 /// Evaluates the Boolean query along the given TD: materializes each bag
 /// via WCOJ (using only relations intersecting the bag, semijoin-reduced to
 /// it), then runs Yannakakis over the join tree.
-bool TdBoolean(const Hypergraph& h, const Database& db,
+bool TdBoolean(const Hypergraph& h, const QueryInput& db,
                const TreeDecomposition& td, ExecContext* ctx = nullptr);
 
 /// Picks the minimum-fhtw TD and evaluates along it.
-bool TdBooleanBest(const Hypergraph& h, const Database& db,
+bool TdBooleanBest(const Hypergraph& h, const QueryInput& db,
                    ExecContext* ctx = nullptr);
 
 /// Yannakakis over already-materialized bag relations arranged in a join

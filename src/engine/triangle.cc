@@ -34,11 +34,11 @@ class ValueIndex {
 
 }  // namespace
 
-bool TriangleCombinatorial(const Database& db, ExecContext* ctx) {
+bool TriangleCombinatorial(const QueryInput& db, ExecContext* ctx) {
   return WcojBoolean(Hypergraph::Triangle(), db, ctx);
 }
 
-bool TriangleMm(const Database& db, double omega, MmKernel kernel,
+bool TriangleMm(const QueryInput& db, double omega, MmKernel kernel,
                 TriangleStats* stats, ExecContext* ctx) {
   FMMSW_CHECK(db.relations.size() == 3);
   ExecContext& ec = ExecContext::Resolve(ctx);
@@ -132,7 +132,7 @@ bool TriangleMm(const Database& db, double omega, MmKernel kernel,
   return false;
 }
 
-int64_t TriangleCountMm(const Database& db, MmKernel kernel,
+int64_t TriangleCountMm(const QueryInput& db, MmKernel kernel,
                         ExecContext* ctx) {
   FMMSW_CHECK(db.relations.size() == 3);
   ExecContext& ec = ExecContext::Resolve(ctx);

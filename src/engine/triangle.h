@@ -32,12 +32,12 @@ struct TriangleStats {
 };
 
 /// Combinatorial baseline: generic join, O(N^{3/2}).
-bool TriangleCombinatorial(const Database& db, ExecContext* ctx = nullptr);
+bool TriangleCombinatorial(const QueryInput& db, ExecContext* ctx = nullptr);
 
 /// The Figure-1 algorithm. `omega` sets the partition threshold
 /// Delta = N^{(omega-1)/(omega+1)}; pass log2(7) when using the Strassen
 /// kernel so threshold and kernel agree.
-bool TriangleMm(const Database& db, double omega,
+bool TriangleMm(const QueryInput& db, double omega,
                 MmKernel kernel = MmKernel::kBoolean,
                 TriangleStats* stats = nullptr, ExecContext* ctx = nullptr);
 
@@ -45,7 +45,7 @@ bool TriangleMm(const Database& db, double omega,
 /// the heavy part is not enough for counts; this counts all triangles by
 /// summing the entrywise product of (M1 x M2) with T). Used by tests to
 /// cross-check against WcojCount.
-int64_t TriangleCountMm(const Database& db, MmKernel kernel,
+int64_t TriangleCountMm(const QueryInput& db, MmKernel kernel,
                         ExecContext* ctx = nullptr);
 
 }  // namespace fmmsw

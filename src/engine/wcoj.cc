@@ -54,7 +54,7 @@ struct EnumState {
 
 class GenericJoin {
  public:
-  GenericJoin(const Hypergraph& h, const Database& db,
+  GenericJoin(const Hypergraph& h, const QueryInput& db,
               const std::vector<int>& order, ExecContext& ec)
       : order_(order), guard_(&ec.guard()), trie_charge_(ec) {
     FMMSW_CHECK(db.relations.size() == h.edges().size());
@@ -615,7 +615,7 @@ void DriveParallel(ExecContext& ec, GenericJoin& gj, size_t ntasks,
 
 }  // namespace
 
-bool WcojBoolean(const Hypergraph& h, const Database& db, ExecContext* ctx) {
+bool WcojBoolean(const Hypergraph& h, const QueryInput& db, ExecContext* ctx) {
   ExecContext& ec = ExecContext::Resolve(ctx);
   Bump(ec.stats().wcoj_runs);
   GenericJoin gj(h, db, DefaultOrder(h), ec);
@@ -650,7 +650,7 @@ bool WcojBoolean(const Hypergraph& h, const Database& db, ExecContext* ctx) {
   return found.load();
 }
 
-Relation WcojJoin(const Hypergraph& h, const Database& db, VarSet output_vars,
+Relation WcojJoin(const Hypergraph& h, const QueryInput& db, VarSet output_vars,
                   const std::vector<int>* order, ExecContext* ctx) {
   ExecContext& ec = ExecContext::Resolve(ctx);
   Bump(ec.stats().wcoj_runs);
@@ -775,7 +775,7 @@ Relation WcojJoin(const Hypergraph& h, const Database& db, VarSet output_vars,
   return out;
 }
 
-int64_t WcojCount(const Hypergraph& h, const Database& db, ExecContext* ctx) {
+int64_t WcojCount(const Hypergraph& h, const QueryInput& db, ExecContext* ctx) {
   ExecContext& ec = ExecContext::Resolve(ctx);
   Bump(ec.stats().wcoj_runs);
   GenericJoin gj(h, db, DefaultOrder(h), ec);
@@ -819,7 +819,7 @@ int64_t WcojCount(const Hypergraph& h, const Database& db, ExecContext* ctx) {
   return total.load();
 }
 
-ExecResult WcojBooleanGuarded(const Hypergraph& h, const Database& db,
+ExecResult WcojBooleanGuarded(const Hypergraph& h, const QueryInput& db,
                               bool* result, ExecContext* ctx,
                               const QueryLimits& limits) {
   ExecContext& ec = ExecContext::Resolve(ctx);
@@ -827,7 +827,7 @@ ExecResult WcojBooleanGuarded(const Hypergraph& h, const Database& db,
                     [&] { *result = WcojBoolean(h, db, &ec); });
 }
 
-ExecResult WcojJoinGuarded(const Hypergraph& h, const Database& db,
+ExecResult WcojJoinGuarded(const Hypergraph& h, const QueryInput& db,
                            VarSet output_vars, Relation* result,
                            const std::vector<int>* order, ExecContext* ctx,
                            const QueryLimits& limits) {
@@ -837,7 +837,7 @@ ExecResult WcojJoinGuarded(const Hypergraph& h, const Database& db,
   });
 }
 
-ExecResult WcojCountGuarded(const Hypergraph& h, const Database& db,
+ExecResult WcojCountGuarded(const Hypergraph& h, const QueryInput& db,
                             int64_t* result, ExecContext* ctx,
                             const QueryLimits& limits) {
   ExecContext& ec = ExecContext::Resolve(ctx);

@@ -24,19 +24,19 @@ namespace fmmsw {
 class ExecContext;
 
 /// Evaluates the Boolean query: is the full natural join non-empty?
-bool WcojBoolean(const Hypergraph& h, const Database& db,
+bool WcojBoolean(const Hypergraph& h, const QueryInput& db,
                  ExecContext* ctx = nullptr);
 
 /// Computes the full join result projected onto `output_vars` (pass the
 /// full vertex set for the complete join). Variables are instantiated in
 /// increasing index order unless `order` is given. Output is canonically
 /// sorted and deduplicated.
-Relation WcojJoin(const Hypergraph& h, const Database& db, VarSet output_vars,
+Relation WcojJoin(const Hypergraph& h, const QueryInput& db, VarSet output_vars,
                   const std::vector<int>* order = nullptr,
                   ExecContext* ctx = nullptr);
 
 /// Counts the tuples of the full join without materializing projections.
-int64_t WcojCount(const Hypergraph& h, const Database& db,
+int64_t WcojCount(const Hypergraph& h, const QueryInput& db,
                   ExecContext* ctx = nullptr);
 
 /// \name Guarded entry points
@@ -47,15 +47,15 @@ int64_t WcojCount(const Hypergraph& h, const Database& db,
 /// enforces deadline/memory/cancellation but not max_output_rows (a count
 /// materializes nothing).
 /// @{
-ExecResult WcojBooleanGuarded(const Hypergraph& h, const Database& db,
+ExecResult WcojBooleanGuarded(const Hypergraph& h, const QueryInput& db,
                               bool* result, ExecContext* ctx = nullptr,
                               const QueryLimits& limits = {});
-ExecResult WcojJoinGuarded(const Hypergraph& h, const Database& db,
+ExecResult WcojJoinGuarded(const Hypergraph& h, const QueryInput& db,
                            VarSet output_vars, Relation* result,
                            const std::vector<int>* order = nullptr,
                            ExecContext* ctx = nullptr,
                            const QueryLimits& limits = {});
-ExecResult WcojCountGuarded(const Hypergraph& h, const Database& db,
+ExecResult WcojCountGuarded(const Hypergraph& h, const QueryInput& db,
                             int64_t* result, ExecContext* ctx = nullptr,
                             const QueryLimits& limits = {});
 /// @}

@@ -57,7 +57,7 @@ class TableMap {
 };
 
 /// Finds an input relation with exactly the given schema.
-const Relation* AtomWithSchema(const Hypergraph& h, const Database& db,
+const Relation* AtomWithSchema(const Hypergraph& h, const QueryInput& db,
                                VarSet schema) {
   for (size_t e = 0; e < h.edges().size(); ++e) {
     if (h.edges()[e] == schema) return &db.relations[e];
@@ -67,7 +67,7 @@ const Relation* AtomWithSchema(const Hypergraph& h, const Database& db,
 
 }  // namespace
 
-bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
+bool ExecuteProofSequence(const Hypergraph& h, const QueryInput& db,
                           const OmegaShannonInequality& ineq,
                           const ProofSequence& seq, int64_t threshold,
                           MmKernel kernel, PandaStats* stats,
@@ -229,7 +229,7 @@ bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
   return false;
 }
 
-bool PandaTriangleBoolean(const Database& db, double omega, MmKernel kernel,
+bool PandaTriangleBoolean(const QueryInput& db, double omega, MmKernel kernel,
                           PandaStats* stats, ExecContext* ctx) {
   const double n = static_cast<double>(db.TotalSize());
   if (n == 0) return false;

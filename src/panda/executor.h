@@ -37,7 +37,7 @@ struct PandaStats {
 /// an ExecContext::SortOrderScope: decomposition steps re-partitioning a
 /// table already held by the executor reuse its grouping sort order from
 /// the context's arena.
-bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
+bool ExecuteProofSequence(const Hypergraph& h, const QueryInput& db,
                           const OmegaShannonInequality& ineq,
                           const ProofSequence& seq, int64_t threshold,
                           MmKernel kernel = MmKernel::kBoolean,
@@ -46,7 +46,7 @@ bool ExecuteProofSequence(const Hypergraph& h, const Database& db,
 
 /// End-to-end: the Figure-1 triangle algorithm derived from its proof
 /// sequence.
-bool PandaTriangleBoolean(const Database& db, double omega,
+bool PandaTriangleBoolean(const QueryInput& db, double omega,
                           MmKernel kernel = MmKernel::kBoolean,
                           PandaStats* stats = nullptr,
                           ExecContext* ctx = nullptr);

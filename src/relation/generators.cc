@@ -53,22 +53,24 @@ Relation DenseRelation(VarSet schema, int64_t domain, double density,
   return r;
 }
 
-Database MakeWorkload(const Hypergraph& h, const WorkloadOptions& opts) {
+QueryInput MakeWorkload(const Hypergraph& h, const WorkloadOptions& opts) {
   Rng rng(opts.seed);
-  Database db;
+  // Relations are staged mutable here and only wrapped into shared
+  // versions at the end: bindings hold immutable versions, so the
+  // witness rows must be planted before the wrap.
+  std::vector<Relation> staged;
   for (const VarSet& e : h.edges()) {
     switch (opts.kind) {
       case WorkloadKind::kUniform:
-        db.relations.push_back(
+        staged.push_back(
             UniformRelation(e, opts.tuples_per_relation, opts.domain, &rng));
         break;
       case WorkloadKind::kZipf:
-        db.relations.push_back(ZipfRelation(e, opts.tuples_per_relation,
-                                            opts.domain, opts.zipf_alpha,
-                                            &rng));
+        staged.push_back(ZipfRelation(e, opts.tuples_per_relation,
+                                      opts.domain, opts.zipf_alpha, &rng));
         break;
       case WorkloadKind::kDense:
-        db.relations.push_back(
+        staged.push_back(
             DenseRelation(e, opts.domain, opts.dense_density, &rng));
         break;
     }
@@ -82,14 +84,17 @@ Database MakeWorkload(const Hypergraph& h, const WorkloadOptions& opts) {
     for (size_t e = 0; e < h.edges().size(); ++e) {
       std::vector<Value> t;
       for (int v : h.edges()[e].Members()) t.push_back(assign[v]);
-      db.relations[e].Add(t);
-      db.relations[e].SortAndDedupe();
+      staged[e].Add(t);
+      staged[e].SortAndDedupe();
     }
   }
+  QueryInput db;
+  db.relations.reserve(staged.size());
+  for (Relation& r : staged) db.relations.push_back(std::move(r));
   return db;
 }
 
-bool BruteForceBoolean(const Hypergraph& h, const Database& db) {
+bool BruteForceBoolean(const Hypergraph& h, const QueryInput& db) {
   FMMSW_CHECK(db.relations.size() == h.edges().size());
   Relation acc;  // nullary "true"
   {

@@ -51,11 +51,11 @@ struct WorkloadOptions {
 };
 
 /// One relation per hyperedge of `h`.
-Database MakeWorkload(const Hypergraph& h, const WorkloadOptions& opts);
+QueryInput MakeWorkload(const Hypergraph& h, const WorkloadOptions& opts);
 
 /// Brute-force evaluation of the Boolean query by joining all relations
 /// (exponential; ground truth for tests on small instances).
-bool BruteForceBoolean(const Hypergraph& h, const Database& db);
+bool BruteForceBoolean(const Hypergraph& h, const QueryInput& db);
 
 }  // namespace fmmsw
 

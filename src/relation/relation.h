@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -131,10 +132,98 @@ class Relation {
   bool empty_nullary_ = true;
 };
 
-/// A database instance for a query hypergraph: relations_[i] is the
-/// instance of the i-th hyperedge/atom.
-struct Database {
-  std::vector<Relation> relations;
+/// Shared handle to one immutable relation version. Bindings, the
+/// versioned catalog (core/database.h) and engine scratch all share
+/// versions by pointer; nothing mutates a Relation behind one of these
+/// (copy-on-write: updates build a fresh Relation and swap the pointer).
+using RelationPtr = std::shared_ptr<const Relation>;
+
+/// Content digest of a relation version: folds the schema, the row count
+/// and every row value. Two versions with equal digests are treated as
+/// interchangeable by version-keyed caches (width/width_cache.h), so the
+/// digest must change whenever any result-affecting content changes.
+uint64_t RelationStatsDigest(const Relation& r);
+
+/// An ordered list of shared, immutable relation versions — the storage
+/// behind QueryInput. Element access yields `const Relation&`, so engine
+/// code reads bindings exactly as it would a plain vector of relations,
+/// while the backing rows are shared by pointer with the catalog and with
+/// other bindings. Replacing an element (Set) swaps the pointer and never
+/// touches the old version, which stays valid for every other holder.
+class RelationList {
+ public:
+  RelationList() = default;
+  RelationList(std::initializer_list<Relation> rels) {
+    ptrs_.reserve(rels.size());
+    for (const Relation& r : rels) push_back(r);
+  }
+
+  size_t size() const { return ptrs_.size(); }
+  bool empty() const { return ptrs_.empty(); }
+  const Relation& operator[](size_t i) const { return *ptrs_[i]; }
+  /// Shared handle to the i-th version (share without copying rows).
+  const RelationPtr& ptr(size_t i) const { return ptrs_[i]; }
+
+  void push_back(Relation r) {
+    ptrs_.push_back(std::make_shared<const Relation>(std::move(r)));
+  }
+  void push_back(RelationPtr p) { ptrs_.push_back(std::move(p)); }
+  /// Copy-on-write replacement of the i-th version.
+  void Set(size_t i, Relation r) {
+    ptrs_[i] = std::make_shared<const Relation>(std::move(r));
+  }
+  void Set(size_t i, RelationPtr p) { ptrs_[i] = std::move(p); }
+  void Swap(size_t i, size_t j) { ptrs_[i].swap(ptrs_[j]); }
+  void clear() { ptrs_.clear(); }
+  void reserve(size_t n) { ptrs_.reserve(n); }
+
+  /// Deep copy into plain mutable relations (engine-local scratch that
+  /// needs to edit rows in place, e.g. variable elimination state).
+  std::vector<Relation> Materialize() const {
+    std::vector<Relation> out;
+    out.reserve(ptrs_.size());
+    for (const RelationPtr& p : ptrs_) out.push_back(*p);
+    return out;
+  }
+
+  /// Forward iterator yielding `const Relation&` so range-for over a
+  /// binding reads like iteration over a vector of relations.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Relation;
+    using reference = const Relation&;
+    using pointer = const Relation*;
+    using difference_type = std::ptrdiff_t;
+    explicit const_iterator(const RelationPtr* it) : it_(it) {}
+    const Relation& operator*() const { return **it_; }
+    const Relation* operator->() const { return it_->get(); }
+    const_iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return it_ == o.it_; }
+    bool operator!=(const const_iterator& o) const { return it_ != o.it_; }
+
+   private:
+    const RelationPtr* it_;
+  };
+  const_iterator begin() const { return const_iterator(ptrs_.data()); }
+  const_iterator end() const {
+    return const_iterator(ptrs_.data() + ptrs_.size());
+  }
+
+ private:
+  std::vector<RelationPtr> ptrs_;
+};
+
+/// The relations bound to one query hypergraph: relations[i] is the
+/// instance of the i-th hyperedge/atom. Versions are shared, immutable
+/// snapshots (see RelationList); a binding built from a catalog Snapshot
+/// pins its versions for the query's whole lifetime at zero row-copy
+/// cost.
+struct QueryInput {
+  RelationList relations;
 
   /// Total input size N = sum of relation sizes.
   size_t TotalSize() const {

@@ -479,7 +479,12 @@ OmegaSubwResult OmegaSubw(const Hypergraph& h, const Rational& omega,
     Bump(ec.stats().degraded_runs);
     return degraded;
   }
-  if (opts.use_width_cache) WidthCache::Global().Insert(key, out);
+  if (opts.use_width_cache) {
+    const size_t evicted = WidthCache::Global().Insert(key, out);
+    if (evicted > 0) {
+      Bump(ec.stats().width_cache_evictions, static_cast<int64_t>(evicted));
+    }
+  }
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "width/width_cache.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <vector>
 
 namespace fmmsw {
@@ -12,6 +13,17 @@ uint64_t SplitMix(uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
   return x ^ (x >> 31);
+}
+
+size_t GlobalCapacityFromEnv() {
+  const char* env = std::getenv("FMMSW_WIDTH_CACHE_CAP");
+  if (env == nullptr || *env == '\0') return WidthCache::kDefaultCapacity;
+  char* end = nullptr;
+  const long long cap = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || cap < 0) {
+    return WidthCache::kDefaultCapacity;
+  }
+  return static_cast<size_t>(cap);
 }
 
 }  // namespace
@@ -39,6 +51,10 @@ std::string WidthCacheKey(const Hypergraph& h, const Rational& omega,
   key += "|cap" + std::to_string(opts.gveo_cap);
   key += "|mie" + std::to_string(opts.emm.max_incident_edges);
   key += "|mp" + std::to_string(opts.max_pivots);
+  // Relation-version digest (catalog snapshots): identical shapes over
+  // different committed data key separately, so a commit can never
+  // serve a stale cached plan. 0 = shape-only (direct ComputeWidths).
+  key += "|d" + std::to_string(opts.stats_digest);
   for (const SetFn<Rational>& w : opts.witnesses) {
     key += "|W" + std::to_string(w.universe().mask()) + ":";
     for (VarSet s : Subsets(w.universe())) {
@@ -48,8 +64,10 @@ std::string WidthCacheKey(const Hypergraph& h, const Rational& omega,
   return key;
 }
 
+WidthCache::WidthCache(size_t capacity) : capacity_(capacity) {}
+
 WidthCache& WidthCache::Global() {
-  static WidthCache cache;
+  static WidthCache cache(GlobalCapacityFromEnv());
   return cache;
 }
 
@@ -57,21 +75,57 @@ bool WidthCache::Lookup(const std::string& key, OmegaSubwResult* out) {
   MutexLock lock(&mu_);
   auto it = map_.find(key);
   if (it == map_.end()) return false;
-  *out = it->second;
+  *out = it->second.result;
+  // Refresh recency: move the key to the MRU front.
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
   ++hits_;
   return true;
 }
 
-void WidthCache::Insert(const std::string& key,
-                        const OmegaSubwResult& result) {
+void WidthCache::EvictOne() {
+  map_.erase(lru_.back());
+  lru_.pop_back();
+  ++evictions_;
+}
+
+size_t WidthCache::Insert(const std::string& key,
+                          const OmegaSubwResult& result) {
   MutexLock lock(&mu_);
-  map_.emplace(key, result);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Determinism contract: a concurrent Insert of the same key carries
+    // an identical result, so keep the stored one and just refresh.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return 0;
+  }
+  if (capacity_ == 0) return 0;  // "hold nothing": drop on the floor
+  size_t evicted = 0;
+  while (map_.size() >= capacity_) {
+    EvictOne();
+    ++evicted;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{result, lru_.begin()});
+  return evicted;
 }
 
 void WidthCache::Clear() {
   MutexLock lock(&mu_);
   map_.clear();
+  lru_.clear();
   hits_ = 0;
+  evictions_ = 0;
+}
+
+size_t WidthCache::SetCapacity(size_t capacity) {
+  MutexLock lock(&mu_);
+  capacity_ = capacity;
+  size_t evicted = 0;
+  while (map_.size() > capacity_) {
+    EvictOne();
+    ++evicted;
+  }
+  return evicted;
 }
 
 size_t WidthCache::size() const {
@@ -79,9 +133,19 @@ size_t WidthCache::size() const {
   return map_.size();
 }
 
+size_t WidthCache::capacity() const {
+  MutexLock lock(&mu_);
+  return capacity_;
+}
+
 int64_t WidthCache::hits() const {
   MutexLock lock(&mu_);
   return hits_;
+}
+
+int64_t WidthCache::evictions() const {
+  MutexLock lock(&mu_);
+  return evictions_;
 }
 
 }  // namespace fmmsw

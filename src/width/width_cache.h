@@ -11,10 +11,22 @@
 /// The key is a canonical string: the sorted edge masks and every
 /// result-affecting option are spelled out in full (plus a 128-bit
 /// multiset hash as a cheap prefix), so two distinct inputs can never
-/// collide. Lookup/Insert are mutex-protected; the stored results are
-/// returned by value.
+/// collide. When the planner runs against a catalog snapshot
+/// (core/database.h), the snapshot's relation-version digest
+/// (OmegaSubwOptions::stats_digest) is part of the key, so a commit can
+/// never serve a stale cached plan to a new query.
+///
+/// The cache is bounded: entries evict least-recently-used once `size()`
+/// would pass `capacity()` (default kDefaultCapacity, overridable via
+/// FMMSW_WIDTH_CACHE_CAP for the process-wide instance or SetCapacity
+/// in tests), so a service-layer stream of millions of distinct query
+/// shapes cannot grow it without limit. Evictions are reported by
+/// Insert's return value and land in the `width_cache_evictions`
+/// ExecStats counter at the planner call site. Lookup/Insert are
+/// mutex-protected; the stored results are returned by value.
 
 #include <cstdint>
+#include <list>
 #include <string>
 #include <unordered_map>
 
@@ -25,32 +37,63 @@ namespace fmmsw {
 
 /// The canonical cache key for OmegaSubw(h, omega, opts). Includes every
 /// option that affects the result's value *or* its reported counters
-/// (full_enumeration changes lps_solved; warm_start changes lp_pivots).
+/// (full_enumeration changes lps_solved; warm_start changes lp_pivots),
+/// plus the relation-version digest when planning against a snapshot.
 std::string WidthCacheKey(const Hypergraph& h, const Rational& omega,
                           const OmegaSubwOptions& opts);
 
 /// Thread-safe: every member is mutex-protected (clang -Wthread-safety
 /// verifies the discipline via the annotations below). Concurrent
 /// Lookup/Insert of the same key are benign — both compute, one wins the
-/// emplace, the results are identical by the determinism contract.
+/// insert, the results are identical by the determinism contract.
 class WidthCache {
  public:
+  /// Default entry cap: generous for any test/bench workload while
+  /// keeping worst-case retained results bounded.
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit WidthCache(size_t capacity = kDefaultCapacity);
+
+  /// Process-wide instance; capacity from FMMSW_WIDTH_CACHE_CAP (read
+  /// once at first use; invalid or missing -> kDefaultCapacity).
   static WidthCache& Global();
 
-  /// Returns true and copies the stored result on a hit (bumping hits()).
+  /// Returns true and copies the stored result on a hit (bumping hits()
+  /// and refreshing the entry's LRU position).
   bool Lookup(const std::string& key, OmegaSubwResult* out)
       FMMSW_EXCLUDES(mu_);
-  void Insert(const std::string& key, const OmegaSubwResult& result)
+  /// Inserts (or refreshes the recency of) `key`; returns the number of
+  /// entries evicted to stay within capacity (0 or 1) so the caller can
+  /// bump the context's width_cache_evictions counter.
+  size_t Insert(const std::string& key, const OmegaSubwResult& result)
       FMMSW_EXCLUDES(mu_);
   void Clear() FMMSW_EXCLUDES(mu_);
 
+  /// Rebounds the cache, evicting LRU entries down to `capacity`
+  /// immediately (capacity 0 means "hold nothing"). Test hook.
+  size_t SetCapacity(size_t capacity) FMMSW_EXCLUDES(mu_);
+
   size_t size() const FMMSW_EXCLUDES(mu_);
+  size_t capacity() const FMMSW_EXCLUDES(mu_);
   int64_t hits() const FMMSW_EXCLUDES(mu_);
+  int64_t evictions() const FMMSW_EXCLUDES(mu_);
 
  private:
+  struct Entry {
+    OmegaSubwResult result;
+    /// Position in lru_ (front = most recent) for O(1) refresh.
+    std::list<std::string>::iterator lru_it;
+  };
+
+  /// Pops the least-recently-used entry; mu_ must be held.
+  void EvictOne() FMMSW_REQUIRES(mu_);
+
   mutable Mutex mu_;
-  std::unordered_map<std::string, OmegaSubwResult> map_ FMMSW_GUARDED_BY(mu_);
+  size_t capacity_ FMMSW_GUARDED_BY(mu_);
+  std::list<std::string> lru_ FMMSW_GUARDED_BY(mu_);
+  std::unordered_map<std::string, Entry> map_ FMMSW_GUARDED_BY(mu_);
   int64_t hits_ FMMSW_GUARDED_BY(mu_) = 0;
+  int64_t evictions_ FMMSW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace fmmsw

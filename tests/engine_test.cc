@@ -24,10 +24,10 @@ Relation MakeRel(VarSet schema, std::vector<std::vector<Value>> rows) {
   return r;
 }
 
-Database TriangleDb(std::vector<std::vector<Value>> r,
+QueryInput TriangleDb(std::vector<std::vector<Value>> r,
                     std::vector<std::vector<Value>> s,
                     std::vector<std::vector<Value>> t) {
-  Database db;
+  QueryInput db;
   db.relations.push_back(MakeRel(VarSet{0, 1}, std::move(r)));
   db.relations.push_back(MakeRel(VarSet{1, 2}, std::move(s)));
   db.relations.push_back(MakeRel(VarSet{0, 2}, std::move(t)));
@@ -38,11 +38,11 @@ Database TriangleDb(std::vector<std::vector<Value>> r,
 
 TEST(WcojTest, TriangleHandChecked) {
   // Triangle (1, 10, 100) present.
-  Database db = TriangleDb({{1, 10}, {2, 20}}, {{10, 100}, {20, 300}},
+  QueryInput db = TriangleDb({{1, 10}, {2, 20}}, {{10, 100}, {20, 300}},
                            {{1, 100}, {2, 200}});
   EXPECT_TRUE(WcojBoolean(Hypergraph::Triangle(), db));
   // Remove T(1,100): no triangle.
-  db.relations[2] = MakeRel(VarSet{0, 2}, {{2, 200}});
+  db.relations.Set(2, MakeRel(VarSet{0, 2}, {{2, 200}}));
   EXPECT_FALSE(WcojBoolean(Hypergraph::Triangle(), db));
 }
 
@@ -52,7 +52,7 @@ TEST(WcojTest, CountMatchesJoinSize) {
   opts.tuples_per_relation = 60;
   opts.domain = 10;
   Hypergraph h = Hypergraph::Triangle();
-  Database db = MakeWorkload(h, opts);
+  QueryInput db = MakeWorkload(h, opts);
   Relation full = WcojJoin(h, db, VarSet::Full(3));
   EXPECT_EQ(WcojCount(h, db), static_cast<int64_t>(full.size()));
 }
@@ -66,7 +66,7 @@ TEST(WcojTest, AgreesWithBruteForceAcrossQueries) {
       opts.tuples_per_relation = 40;
       opts.domain = 8;
       opts.seed = seed;
-      Database db = MakeWorkload(h, opts);
+      QueryInput db = MakeWorkload(h, opts);
       EXPECT_EQ(WcojBoolean(h, db), BruteForceBoolean(h, db))
           << h.ToString() << " seed=" << seed;
     }
@@ -84,7 +84,7 @@ TEST(TdEvalTest, AgreesWithWcoj) {
       opts.tuples_per_relation = 50;
       opts.domain = 9;
       opts.seed = seed + 100;
-      Database db = MakeWorkload(h, opts);
+      QueryInput db = MakeWorkload(h, opts);
       EXPECT_EQ(TdBooleanBest(h, db), WcojBoolean(h, db))
           << h.ToString() << " seed=" << seed;
     }
@@ -97,7 +97,7 @@ TEST(TdEvalTest, PositiveOnPlantedWitness) {
   opts.domain = 500;
   opts.plant_witness = true;
   Hypergraph h = Hypergraph::Cycle(4);
-  Database db = MakeWorkload(h, opts);
+  QueryInput db = MakeWorkload(h, opts);
   EXPECT_TRUE(TdBooleanBest(h, db));
 }
 
@@ -112,7 +112,7 @@ TEST(EliminationTest, ForLoopPlanMatchesWcoj) {
       opts.tuples_per_relation = 40;
       opts.domain = 8;
       opts.seed = seed + 7;
-      Database db = MakeWorkload(h, opts);
+      QueryInput db = MakeWorkload(h, opts);
       EliminationPlan plan = ForLoopPlan(h);
       EXPECT_EQ(ExecutePlan(h, db, plan), WcojBoolean(h, db))
           << h.ToString() << " seed=" << seed;
@@ -128,7 +128,7 @@ TEST(EliminationTest, MmStepMatchesForLoopOnTriangle) {
     opts.domain = 9;
     opts.seed = seed + 31;
     Hypergraph h = Hypergraph::Triangle();
-    Database db = MakeWorkload(h, opts);
+    QueryInput db = MakeWorkload(h, opts);
     EliminationPlan plan;
     PlanStep mm_step;
     mm_step.block = VarSet{1};
@@ -159,7 +159,7 @@ TEST(EliminationTest, MmWithGroupByOnFourClique) {
     opts.domain = 6;
     opts.seed = seed + 53;
     Hypergraph h = Hypergraph::Clique(4);
-    Database db = MakeWorkload(h, opts);
+    QueryInput db = MakeWorkload(h, opts);
     EliminationPlan plan;
     PlanStep mm_step;
     mm_step.block = VarSet{0};
@@ -183,7 +183,7 @@ TEST(EliminationTest, StrassenKernelMatchesBoolean) {
   opts.domain = 10;
   opts.seed = 77;
   Hypergraph h = Hypergraph::Triangle();
-  Database db = MakeWorkload(h, opts);
+  QueryInput db = MakeWorkload(h, opts);
   EliminationPlan plan;
   PlanStep mm_step;
   mm_step.block = VarSet{1};
@@ -214,7 +214,7 @@ TEST_P(TriangleRegimeTest, AllAlgorithmsAgree) {
   opts.seed = static_cast<uint64_t>(seed);
   opts.plant_witness = (seed % 2 == 0);
   Hypergraph h = Hypergraph::Triangle();
-  Database db = MakeWorkload(h, opts);
+  QueryInput db = MakeWorkload(h, opts);
   const bool expect = BruteForceBoolean(h, db);
   EXPECT_EQ(TriangleCombinatorial(db), expect);
   EXPECT_EQ(TriangleMm(db, 2.0), expect);
@@ -237,7 +237,7 @@ TEST(TriangleTest, CountMatchesWcojCount) {
   opts.domain = 15;
   opts.seed = 5;
   Hypergraph h = Hypergraph::Triangle();
-  Database db = MakeWorkload(h, opts);
+  QueryInput db = MakeWorkload(h, opts);
   EXPECT_EQ(TriangleCountMm(db, MmKernel::kNaive), WcojCount(h, db));
   EXPECT_EQ(TriangleCountMm(db, MmKernel::kStrassen), WcojCount(h, db));
   EXPECT_EQ(TriangleCountMm(db, MmKernel::kBitSliced), WcojCount(h, db));
@@ -250,7 +250,7 @@ TEST(TriangleTest, HeavyPartSizeBound) {
   opts.tuples_per_relation = 2000;
   opts.domain = 300;
   opts.seed = 11;
-  Database db = MakeWorkload(Hypergraph::Triangle(), opts);
+  QueryInput db = MakeWorkload(Hypergraph::Triangle(), opts);
   TriangleStats stats;
   TriangleMm(db, 2.371552, MmKernel::kBoolean, &stats);
   const double n = static_cast<double>(db.TotalSize());
@@ -274,7 +274,7 @@ TEST_P(FourCycleRegimeTest, AllAlgorithmsAgree) {
   opts.seed = static_cast<uint64_t>(seed) + 900;
   opts.plant_witness = (seed % 2 == 1);
   Hypergraph h = Hypergraph::Cycle(4);
-  Database db = MakeWorkload(h, opts);
+  QueryInput db = MakeWorkload(h, opts);
   const bool expect = BruteForceBoolean(h, db);
   EXPECT_EQ(FourCycleTd(db), expect) << "seed=" << seed;
   EXPECT_EQ(FourCycleCombinatorial(db), expect) << "seed=" << seed;
@@ -307,7 +307,7 @@ TEST_P(CliqueRegimeTest, MmAgreesWithCombinatorial) {
     opts.seed = seed + 17 * k;
     opts.plant_witness = (seed == 3);
     Hypergraph h = Hypergraph::Clique(k);
-    Database db = MakeWorkload(h, opts);
+    QueryInput db = MakeWorkload(h, opts);
     const bool expect = CliqueCombinatorial(k, db);
     EXPECT_EQ(CliqueMm(k, db), expect) << "k=" << k << " seed=" << seed;
     EXPECT_EQ(CliqueMm(k, db, MmKernel::kStrassen), expect)
@@ -324,7 +324,7 @@ TEST(CliqueTest, GroupDimensionsReported) {
   opts.kind = WorkloadKind::kDense;
   opts.domain = 8;
   opts.seed = 3;
-  Database db = MakeWorkload(Hypergraph::Clique(6), opts);
+  QueryInput db = MakeWorkload(Hypergraph::Clique(6), opts);
   CliqueStats stats;
   CliqueMm(6, db, MmKernel::kBoolean, &stats);
   EXPECT_GT(stats.group_cliques[0], 0);
@@ -346,7 +346,7 @@ TEST_P(PyramidRegimeTest, MmAgreesWithCombinatorial) {
   opts.seed = static_cast<uint64_t>(seed) + 400;
   opts.plant_witness = (seed % 3 == 0);
   Hypergraph h = Hypergraph::Pyramid(3);
-  Database db = MakeWorkload(h, opts);
+  QueryInput db = MakeWorkload(h, opts);
   const bool expect = Pyramid3Combinatorial(db);
   EXPECT_EQ(Pyramid3Mm(db, 2.0), expect) << "seed=" << seed;
   EXPECT_EQ(Pyramid3Mm(db, 2.371552), expect) << "seed=" << seed;
@@ -380,7 +380,7 @@ TEST(ApiTest, EvaluateStrategiesAgree) {
   opts.domain = 9;
   opts.seed = 12;
   Hypergraph h = Hypergraph::Cycle(4);
-  Database db = MakeWorkload(h, opts);
+  QueryInput db = MakeWorkload(h, opts);
   const bool expect = BruteForceBoolean(h, db);
   EXPECT_EQ(EvaluateBoolean(h, db, EvalStrategy::kWcoj), expect);
   EXPECT_EQ(EvaluateBoolean(h, db, EvalStrategy::kBestTd), expect);

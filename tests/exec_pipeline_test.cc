@@ -122,7 +122,7 @@ TEST(SemijoinAllTest, MatchesSemijoinChain) {
 TEST(FusedStatsTest, TriangleLightPathMaterializesNothingWhenNegative) {
   // Dense-square triangle-free instance: S carries even Z, T odd Z.
   Rng rng(19);
-  Database db;
+  QueryInput db;
   const int64_t n = 3000, d = 55;
   db.relations.push_back(UniformRelation(VarSet{0, 1}, n, d, &rng));
   Relation raw_s = UniformRelation(VarSet{1, 2}, n, d, &rng);
@@ -155,7 +155,7 @@ TEST(FusedStatsTest, FourCycleResidualIsFused) {
   opts.tuples_per_relation = 400;
   opts.domain = 900;  // sparse: likely negative, light middles
   opts.seed = 5;
-  Database db = MakeWorkload(Hypergraph::Cycle(4), opts);
+  QueryInput db = MakeWorkload(Hypergraph::Cycle(4), opts);
   ExecContext ec(1);
   FourCycleStats stats;
   const bool ans = FourCycleCombinatorial(db, &stats, &ec);
@@ -291,7 +291,7 @@ TEST(ExecContextTest, ScratchArenaMovePreservesBuffersWhenFree) {
 /// 8 threads (the in-process equivalent of FMMSW_THREADS=1,2,4,8) and
 /// checks the canonical outputs are identical.
 void ExpectDeterministicAcrossThreadCounts(const Hypergraph& h,
-                                           const Database& db,
+                                           const QueryInput& db,
                                            VarSet output_vars) {
   ExecContext base(1);
   Relation ref = WcojJoin(h, db, output_vars, nullptr, &base);
@@ -311,11 +311,12 @@ void ExpectDeterministicAcrossThreadCounts(const Hypergraph& h,
 
 /// Plants a heavy hitter: `hot` appears in the first column of the first
 /// relation against many partners (skew regime of the paper).
-void PlantHeavyHitter(Database* db, Value hot, int fanout) {
-  Relation& r = db->relations[0];
+void PlantHeavyHitter(QueryInput* db, Value hot, int fanout) {
+  Relation r = db->relations[0];  // copy-on-write: edit a copy, swap it in
   for (int i = 0; i < fanout; ++i) {
     r.Add({hot, static_cast<Value>(i)});
   }
+  db->relations.Set(0, std::move(r));
 }
 
 TEST(ParallelWcojTest, TriangleDeterministicAcrossThreadCounts) {
@@ -327,7 +328,7 @@ TEST(ParallelWcojTest, TriangleDeterministicAcrossThreadCounts) {
     opts.seed = seed;
     opts.plant_witness = true;
     Hypergraph h = Hypergraph::Triangle();
-    Database db = MakeWorkload(h, opts);
+    QueryInput db = MakeWorkload(h, opts);
     ExpectDeterministicAcrossThreadCounts(h, db, h.vertices());
   }
 }
@@ -340,7 +341,7 @@ TEST(ParallelWcojTest, TriangleSkewedHeavyHitter) {
   opts.zipf_alpha = 1.4;
   opts.seed = 3;
   Hypergraph h = Hypergraph::Triangle();
-  Database db = MakeWorkload(h, opts);
+  QueryInput db = MakeWorkload(h, opts);
   PlantHeavyHitter(&db, /*hot=*/0, /*fanout=*/100);
   ExpectDeterministicAcrossThreadCounts(h, db, h.vertices());
   // Projected outputs too (exercises the merge + canonical sort).
@@ -354,7 +355,7 @@ TEST(ParallelWcojTest, FourCycleDeterministicAcrossThreadCounts) {
   opts.domain = 70;
   opts.seed = 4;
   Hypergraph h = Hypergraph::Cycle(4);
-  Database db = MakeWorkload(h, opts);
+  QueryInput db = MakeWorkload(h, opts);
   ExpectDeterministicAcrossThreadCounts(h, db, h.vertices());
 }
 
@@ -368,7 +369,7 @@ TEST(ParallelWcojTest, FiveVariableGenericQuery) {
     opts.zipf_alpha = 1.3;
     opts.seed = 9;
     Hypergraph h = Hypergraph::Cycle(5);
-    Database db = MakeWorkload(h, opts);
+    QueryInput db = MakeWorkload(h, opts);
     PlantHeavyHitter(&db, /*hot=*/1, /*fanout=*/80);
     ExpectDeterministicAcrossThreadCounts(h, db, h.vertices());
   }
@@ -401,7 +402,7 @@ TEST(ParallelWcojTest, SubLevelStealingOnDominantTask) {
   r.SortAndDedupe();
   s.SortAndDedupe();
   t.SortAndDedupe();
-  Database db;
+  QueryInput db;
   db.relations = {r, s, t};
   ExpectDeterministicAcrossThreadCounts(h, db, h.vertices());
   ExpectDeterministicAcrossThreadCounts(h, db, VarSet{1, 2});
@@ -424,7 +425,7 @@ TEST(ParallelWcojTest, StealCursorsStableUnderRepeatedEightWorkerRuns) {
   opts.zipf_alpha = 1.4;
   opts.seed = 9;
   Hypergraph h = Hypergraph::Triangle();
-  Database db = MakeWorkload(h, opts);
+  QueryInput db = MakeWorkload(h, opts);
   PlantHeavyHitter(&db, /*hot=*/0, /*fanout=*/150);
   ExecContext ref(1);
   const Relation expect = WcojJoin(h, db, h.vertices(), nullptr, &ref);
@@ -443,7 +444,7 @@ TEST(ParallelWcojTest, EnginesAgreeUnderParallelContext) {
   opts.domain = 90;
   opts.seed = 21;
   Hypergraph h = Hypergraph::Triangle();
-  Database db = MakeWorkload(h, opts);
+  QueryInput db = MakeWorkload(h, opts);
   ExecContext ec(4);
   const bool expect = TriangleCombinatorial(db, &ec);
   EXPECT_EQ(EvaluateBoolean(h, db, EvalStrategy::kWcoj, &ec), expect);
@@ -567,7 +568,7 @@ TEST(WideSortTest, SortStatsAccounted) {
   // output sort.
   ec.stats().Reset();
   Rng rng(53);
-  Database db;
+  QueryInput db;
   Hypergraph h = Hypergraph::Triangle();
   for (int e = 0; e < 3; ++e) {
     db.relations.push_back(
@@ -582,7 +583,7 @@ TEST(WideSortTest, SortStatsAccounted) {
 /// Triangle workload big enough that every engine layer (index builds,
 /// trie sorts, WCOJ fan-out, canonical output sort) passes many poll
 /// points.
-Database GuardWorkload(uint64_t seed) {
+QueryInput GuardWorkload(uint64_t seed) {
   WorkloadOptions opts;
   opts.kind = WorkloadKind::kUniform;
   opts.tuples_per_relation = 4000;
@@ -594,7 +595,7 @@ Database GuardWorkload(uint64_t seed) {
 
 TEST(GuardrailTest, FaultInjectionUnwindsAndContextIsReusable) {
   const Hypergraph h = Hypergraph::Triangle();
-  const Database db = GuardWorkload(71);
+  const QueryInput db = GuardWorkload(71);
   ExecContext ref_ec(1);
   const Relation ref = WcojJoin(h, db, h.vertices(), nullptr, &ref_ec);
   ASSERT_FALSE(ref.empty());
@@ -678,7 +679,7 @@ TEST(GuardrailTest, EnvFaultInjection) {
     GTEST_SKIP() << "set FMMSW_FAULT_AT=<poll#> to run";
   }
   const Hypergraph h = Hypergraph::Triangle();
-  const Database db = GuardWorkload(79);
+  const QueryInput db = GuardWorkload(79);
   ExecContext ec(4);
   Relation out;
   const ExecResult r = WcojJoinGuarded(h, db, h.vertices(), &out, nullptr,
@@ -699,7 +700,7 @@ TEST(GuardrailTest, EnvFaultInjection) {
 
 TEST(GuardrailTest, CancellationViaPollHook) {
   const Hypergraph h = Hypergraph::Triangle();
-  const Database db = GuardWorkload(74);
+  const QueryInput db = GuardWorkload(74);
   ExecContext ec(4);
   ec.guard().SetPollHook([&ec](int64_t poll) {
     if (poll == 10) ec.guard().Cancel();
@@ -725,7 +726,7 @@ TEST(GuardrailTest, PollHookFiresConcurrentlyAtEightWorkers) {
   // empirically; the counts check that every armed poll fired the hook
   // exactly once.
   const Hypergraph h = Hypergraph::Triangle();
-  const Database db = GuardWorkload(76);
+  const QueryInput db = GuardWorkload(76);
   ExecContext ec(8);
   std::atomic<int64_t> fires(0);
   ec.guard().SetPollHook([&fires](int64_t) { fires.fetch_add(1); });
@@ -741,7 +742,7 @@ TEST(GuardrailTest, PollHookFiresConcurrentlyAtEightWorkers) {
 
 TEST(GuardrailTest, DeadlineExceededTerminatesEarly) {
   const Hypergraph h = Hypergraph::Triangle();
-  const Database db = GuardWorkload(75);
+  const QueryInput db = GuardWorkload(75);
   ExecContext ec(4);
   // Each armed poll sleeps ~1ms and an armed deadline reads the clock at
   // every poll, so the 5ms budget expires within the first handful of
@@ -767,7 +768,7 @@ TEST(GuardrailTest, DeadlineExceededTerminatesEarly) {
 
 TEST(GuardrailTest, MemoryBudgetExceededAndBalancedAfter) {
   const Hypergraph h = Hypergraph::Triangle();
-  const Database db = GuardWorkload(76);
+  const QueryInput db = GuardWorkload(76);
   ExecContext ec(2);
   Relation out;
   // The trie build alone charges ~3 * 4000 rows * 2 cols * 8 bytes.
@@ -807,16 +808,16 @@ TEST(GuardrailTest, RowLimitExceeded) {
 
 TEST(GuardrailTest, InvalidArgumentFromValidation) {
   const Hypergraph h = Hypergraph::Triangle();
-  Database db = GuardWorkload(77);
+  QueryInput db = GuardWorkload(77);
   bool answer = false;
   // Relation-count mismatch.
-  Database short_db;
-  short_db.relations.push_back(db.relations[0]);
+  QueryInput short_db;
+  short_db.relations.push_back(db.relations.ptr(0));
   EXPECT_EQ(EvaluateBooleanGuarded(h, short_db, &answer).status,
             ExecStatus::kInvalidArgument);
   // Schema mismatch: swap two relations so schemas disagree with edges.
-  Database swapped = db;
-  std::swap(swapped.relations[0], swapped.relations[1]);
+  QueryInput swapped = db;
+  swapped.relations.Swap(0, 1);
   EXPECT_EQ(EvaluateBooleanGuarded(h, swapped, &answer).status,
             ExecStatus::kInvalidArgument);
   EXPECT_EQ(ValidateQuery(h, swapped).status, ExecStatus::kInvalidArgument);
@@ -829,7 +830,7 @@ TEST(GuardrailTest, InvalidArgumentFromValidation) {
 
 TEST(GuardrailTest, GuardedMatchesUnguardedForEveryStrategy) {
   const Hypergraph h = Hypergraph::Triangle();
-  const Database db = GuardWorkload(78);
+  const QueryInput db = GuardWorkload(78);
   for (EvalStrategy strategy : {EvalStrategy::kWcoj, EvalStrategy::kBestTd,
                                 EvalStrategy::kElimination}) {
     ExecContext ec(4);
@@ -862,7 +863,7 @@ TEST(WideSortTest, TrieBuildOrderInvariantUnderColumnPermutation) {
   // must agree with the default order's canonical output.
   Rng rng(54);
   Hypergraph h = Hypergraph::Triangle();
-  Database db;
+  QueryInput db;
   for (int e = 0; e < 3; ++e) {
     db.relations.push_back(
         UniformRelation(h.edges()[e], 2500, 45, &rng));

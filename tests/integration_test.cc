@@ -28,7 +28,7 @@ TEST(MultiVarMmTest, DoubleTriangleCombinedDimension) {
     opts.seed = seed + 1000;
     opts.plant_witness = seed % 2 == 0;
     Hypergraph h = Hypergraph::DoubleTriangle();
-    Database db = MakeWorkload(h, opts);
+    QueryInput db = MakeWorkload(h, opts);
 
     EliminationPlan plan;
     PlanStep mm_step;
@@ -67,7 +67,7 @@ TEST(MultiVarMmTest, DoubleTriangleGroupByOption) {
     opts.tuples_per_relation = 40;
     opts.domain = 7;
     opts.seed = seed + 2000;
-    Database db = MakeWorkload(h, opts);
+    QueryInput db = MakeWorkload(h, opts);
     EliminationPlan plan;
     PlanStep mm_step;
     mm_step.block = VarSet{1};
@@ -94,7 +94,7 @@ TEST(GveoBlockTest, BlockEliminationMatchesSingleton) {
     opts.domain = 8;
     opts.seed = seed + 3000;
     Hypergraph h = Hypergraph::Cycle(4);
-    Database db = MakeWorkload(h, opts);
+    QueryInput db = MakeWorkload(h, opts);
     EliminationPlan block_plan;
     PlanStep s1;
     s1.block = VarSet{1, 3};  // eliminate Y and W together
@@ -154,7 +154,7 @@ TEST_P(AllEnginesTest, EverythingAgreesWithBruteForce) {
     opts.domain = opts.kind == WorkloadKind::kDense ? 6 : 9;
     opts.seed = static_cast<uint64_t>(seed) * 7919 + 13;
     opts.plant_witness = seed % 2 == 0;
-    Database db = MakeWorkload(h, opts);
+    QueryInput db = MakeWorkload(h, opts);
     const bool expect = BruteForceBoolean(h, db);
     EXPECT_EQ(EvaluateBoolean(h, db, EvalStrategy::kWcoj), expect)
         << h.ToString() << " seed=" << seed;

@@ -104,7 +104,7 @@ TEST(ExecutorTest, DerivedTriangleAlgorithmMatchesBruteForce) {
       opts.seed = seed + 600;
       opts.plant_witness = (seed % 2 == 0);
       Hypergraph h = Hypergraph::Triangle();
-      Database db = MakeWorkload(h, opts);
+      QueryInput db = MakeWorkload(h, opts);
       const bool expect = BruteForceBoolean(h, db);
       EXPECT_EQ(PandaTriangleBoolean(db, 2.371552), expect)
           << "seed=" << seed;
@@ -121,7 +121,7 @@ TEST(ExecutorTest, MatchesSpecializedTriangleAlgorithm) {
     opts.tuples_per_relation = 120;
     opts.domain = 40;
     opts.seed = seed + 70;
-    Database db = MakeWorkload(Hypergraph::Triangle(), opts);
+    QueryInput db = MakeWorkload(Hypergraph::Triangle(), opts);
     EXPECT_EQ(PandaTriangleBoolean(db, 2.371552),
               TriangleMm(db, 2.371552))
         << "seed=" << seed;
@@ -134,7 +134,7 @@ TEST(ExecutorTest, StatsReportFigureOneShape) {
   opts.tuples_per_relation = 300;
   opts.domain = 60;
   opts.seed = 1;
-  Database db = MakeWorkload(Hypergraph::Triangle(), opts);
+  QueryInput db = MakeWorkload(Hypergraph::Triangle(), opts);
   PandaStats stats;
   PandaTriangleBoolean(db, 2.371552, MmKernel::kBoolean, &stats);
   // Figure 1: three partitions (R, S, T) and three light-join
@@ -152,7 +152,7 @@ TEST(ExecutorTest, FlatInternedDimensionsHandleExtremeValues) {
   const Value lo = std::numeric_limits<Value>::min();
   const Value hi = std::numeric_limits<Value>::max();
   for (bool plant : {false, true}) {
-    Database db;
+    QueryInput db;
     Relation r(VarSet{0, 1}), s(VarSet{1, 2}), t(VarSet{0, 2});
     // Dense small-domain skeleton over extreme values so every value is
     // heavy and the MM group executes.
@@ -189,7 +189,7 @@ TEST(ExecutorTest, ProofSequenceRunsUnderSortOrderScope) {
   opts.tuples_per_relation = 200;
   opts.domain = 50;
   opts.seed = 12;
-  Database db = MakeWorkload(Hypergraph::Triangle(), opts);
+  QueryInput db = MakeWorkload(Hypergraph::Triangle(), opts);
   ExecContext ec(1);
   const bool expect = BruteForceBoolean(Hypergraph::Triangle(), db);
   for (int rep = 0; rep < 3; ++rep) {

@@ -47,7 +47,7 @@ constexpr ExecStatus kAllStatuses[] = {
     ExecStatus::kRetryExhausted,
 };
 
-Database TriangleWorkload(uint64_t seed) {
+QueryInput TriangleWorkload(uint64_t seed) {
   WorkloadOptions opts;
   opts.kind = WorkloadKind::kUniform;
   opts.tuples_per_relation = 4000;
@@ -128,7 +128,7 @@ TEST(FaultPlanTest, ParseRejectsMalformedSpecs) {
 
 TEST(FaultPlanTest, PlanFaultIsRetryableAndSiteKeyed) {
   const Hypergraph h = Hypergraph::Triangle();
-  const Database db = TriangleWorkload(91);
+  const QueryInput db = TriangleWorkload(91);
   ExecContext ec(2);
   ec.guard().SetFaultPlan(MustParse("mm:1"));
   // An MM-plane fault aborts the MM engine with retryable status...
@@ -155,7 +155,7 @@ TEST(FaultPlanTest, PlanFaultIsRetryableAndSiteKeyed) {
 
 TEST(RecoveryTest, LadderFallsBackUnderMmPressureAtEveryThreadCount) {
   const Hypergraph h = Hypergraph::Triangle();
-  const Database db = TriangleWorkload(101);
+  const QueryInput db = TriangleWorkload(101);
   ExecContext ref_ec(1);
   const int64_t clean_count = WcojCount(h, db, &ref_ec);
   ASSERT_GT(clean_count, 0);
@@ -190,7 +190,7 @@ TEST(RecoveryTest, LadderFallsBackUnderMmPressureAtEveryThreadCount) {
 
 TEST(RecoveryTest, BooleanLadderRecoversAndMatches) {
   const Hypergraph h = Hypergraph::Triangle();
-  const Database db = TriangleWorkload(103);
+  const QueryInput db = TriangleWorkload(103);
   ExecContext ref_ec(1);
   const bool clean = WcojBoolean(h, db, &ref_ec);
   for (int threads : {1, 4}) {
@@ -217,7 +217,7 @@ TEST(RecoveryTest, BooleanLadderRecoversAndMatches) {
 
 TEST(RecoveryTest, TerminalStatusIsNotRetried) {
   const Hypergraph h = Hypergraph::Triangle();
-  const Database db = TriangleWorkload(105);
+  const QueryInput db = TriangleWorkload(105);
   ExecContext ec(2);
   ec.guard().Cancel();
   int64_t count = -1;
@@ -237,7 +237,7 @@ TEST(RecoveryTest, TerminalStatusIsNotRetried) {
 
 TEST(RecoveryTest, RetryExhaustedWhenEveryRungFaults) {
   const Hypergraph h = Hypergraph::Triangle();
-  const Database db = TriangleWorkload(107);
+  const QueryInput db = TriangleWorkload(107);
   ExecContext ec(4);
   // Kill every plane: no rung can survive.
   ec.guard().SetFaultPlan(
@@ -256,7 +256,7 @@ TEST(RecoveryTest, RetryExhaustedWhenEveryRungFaults) {
 
 TEST(RecoveryTest, MaxAttemptsCapsTheLadder) {
   const Hypergraph h = Hypergraph::Triangle();
-  const Database db = TriangleWorkload(109);
+  const QueryInput db = TriangleWorkload(109);
   ExecContext ec(2);
   ec.guard().SetFaultPlan(MustParse("mm:1"));
   RetryPolicy policy;
@@ -274,7 +274,7 @@ TEST(RecoveryTest, MaxAttemptsCapsTheLadder) {
 
 TEST(RecoveryTest, DeadlineBudgetIsSharedAcrossAttempts) {
   const Hypergraph h = Hypergraph::Triangle();
-  const Database db = TriangleWorkload(111);
+  const QueryInput db = TriangleWorkload(111);
   ExecContext ec(2);
   // min_remaining_ms above the whole deadline: the walk must refuse to
   // launch even the first attempt rather than start with too little
@@ -310,7 +310,7 @@ TEST(RecoveryTest, EmptyLadderIsInvalidArgument) {
 
 TEST(RecoveryTest, JoinWithRecoveryMatchesCleanJoin) {
   const Hypergraph h = Hypergraph::Triangle();
-  const Database db = TriangleWorkload(113);
+  const QueryInput db = TriangleWorkload(113);
   ExecContext ref_ec(1);
   const Relation ref = WcojJoin(h, db, h.vertices(), nullptr, &ref_ec);
   ExecContext ec(4);
@@ -366,7 +366,7 @@ TEST(RecoveryTest, BudgetAbortLeavesMemoryChargesBalanced) {
 // must not perturb results).
 TEST(FaultPlanTest, PerSiteSoakRecoversOrMatchesCleanRun) {
   const Hypergraph h = Hypergraph::Triangle();
-  const Database db = TriangleWorkload(115);
+  const QueryInput db = TriangleWorkload(115);
   ExecContext ref_ec(1);
   const int64_t clean_count = WcojCount(h, db, &ref_ec);
   const Rational omega(5, 2);
@@ -423,7 +423,7 @@ TEST(FaultPlanTest, EnvFaultPlanSoak) {
     GTEST_SKIP() << "set FMMSW_FAULT_PLAN to run the env soak";
   }
   const Hypergraph h = Hypergraph::Triangle();
-  const Database db = TriangleWorkload(117);
+  const QueryInput db = TriangleWorkload(117);
   const int64_t clean_count = WcojCount(h, db);
   const bool clean_bool = WcojBoolean(h, db);
   ExecContext ec;  // process pool, sized by FMMSW_THREADS

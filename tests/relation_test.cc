@@ -531,10 +531,10 @@ TEST(GeneratorTest, PlantedWitnessMakesQueryTrue) {
   opts.domain = 1000;  // sparse: almost surely no triangle by chance
   opts.plant_witness = true;
   Hypergraph tri = Hypergraph::Triangle();
-  Database db = MakeWorkload(tri, opts);
+  QueryInput db = MakeWorkload(tri, opts);
   EXPECT_TRUE(BruteForceBoolean(tri, db));
   opts.plant_witness = false;
-  Database db2 = MakeWorkload(tri, opts);
+  QueryInput db2 = MakeWorkload(tri, opts);
   EXPECT_FALSE(BruteForceBoolean(tri, db2));
 }
 
@@ -543,7 +543,7 @@ TEST(GeneratorTest, WorkloadHasOneRelationPerEdge) {
   WorkloadOptions opts;
   opts.tuples_per_relation = 50;
   opts.domain = 20;
-  Database db = MakeWorkload(h, opts);
+  QueryInput db = MakeWorkload(h, opts);
   ASSERT_EQ(db.relations.size(), h.edges().size());
   for (size_t e = 0; e < h.edges().size(); ++e) {
     EXPECT_EQ(db.relations[e].schema(), h.edges()[e]);
@@ -556,8 +556,8 @@ TEST(GeneratorTest, DeterministicSeeds) {
   opts.domain = 30;
   opts.seed = 7;
   Hypergraph h = Hypergraph::Cycle(4);
-  Database a = MakeWorkload(h, opts);
-  Database b = MakeWorkload(h, opts);
+  QueryInput a = MakeWorkload(h, opts);
+  QueryInput b = MakeWorkload(h, opts);
   for (size_t e = 0; e < a.relations.size(); ++e) {
     EXPECT_EQ(a.relations[e].size(), b.relations[e].size());
   }

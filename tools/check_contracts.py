@@ -54,6 +54,19 @@ comments and PR descriptions. This linter turns them into build failures
                       status-less abort is unroutable by the recovery
                       plane and undiagnosable in logs.
 
+  no-catalog-mutation Registered relation versions are immutable: the
+                      catalog (core/database.h) publishes them as
+                      shared_ptr<const Relation>, and snapshot isolation
+                      holds only if nobody casts the const away. Hence
+                      `const_cast<Relation` and `const_pointer_cast` are
+                      banned in src/ outside core/database.cc (which is
+                      itself clean today; the carve-out exists so a
+                      future in-place compaction under the catalog lock
+                      lands in the one file the reviewers watch). Code
+                      that needs a mutable copy takes one:
+                      RelationList::Materialize() or Relation's copy
+                      constructor.
+
   fault-site-coverage Every site tag registered in kFaultSiteNames
                       (core/exec_context.cc) must appear at >= 1
                       Poll(FaultSite::...) / ParallelFor(..., FaultSite::...)
@@ -326,6 +339,34 @@ def check_nondeterminism(text, path):
 
 
 # --------------------------------------------------------------------------
+# Rule: no-catalog-mutation
+
+
+CATALOG_MUTATION_RE = re.compile(
+    r"const_cast\s*<\s*Relation\b|std::const_pointer_cast\s*<")
+
+
+def check_catalog_mutation(text, path):
+    """Casting the const off a Relation (or any shared_ptr pointee) breaks
+    the immutable-version contract the snapshot plane rests on; only
+    core/database.cc may ever hold such a cast, under the catalog lock."""
+    violations = []
+    lines = strip_block_comments(text).split("\n")
+    allowed, _ = allow_markers(lines)
+    for i, raw in enumerate(lines, start=1):
+        code = strip_line_comment(raw)
+        m = CATALOG_MUTATION_RE.search(code)
+        if m and "no-catalog-mutation" not in allowed.get(i, ()):
+            violations.append(Violation(
+                "no-catalog-mutation", path, i,
+                f"{m.group(0).strip()!r} mutates a published relation "
+                "version; registered versions are immutable (copy via "
+                "RelationList::Materialize() instead, or move the code "
+                "into core/database.cc under the catalog lock)"))
+    return violations
+
+
+# --------------------------------------------------------------------------
 # Rule: queryabort-status
 
 
@@ -481,6 +522,8 @@ def lint_repo(repo):
             violations += check_tsa_escape(text, rel)
             violations += check_nondeterminism(text, rel)
             violations += check_queryabort_status(text, rel)
+            if rel.replace(os.sep, "/") != "src/core/database.cc":
+                violations += check_catalog_mutation(text, rel)
             if rel.replace(os.sep, "/") not in (
                     "src/core/exec_context.h", "src/core/exec_context.cc"):
                 site_uses.append(text)
@@ -629,6 +672,20 @@ throw QueryAbort(wrapped);
     # "no status here": missing status; variable-message throw: missing
     # string literal.
     expect("abort", v, "queryabort-status", 2)
+
+    # no-catalog-mutation: const_cast<Relation and const_pointer_cast
+    # fire; a const_cast to another type, a comment mention, and an
+    # allow-marked site don't.
+    src = """
+Relation& r = const_cast<Relation&>(snap.Find("R"));
+auto p = std::const_pointer_cast<Relation>(versioned);
+int& i = const_cast<int&>(ci);
+// a doc comment may mention const_cast<Relation without firing
+// contracts: allow(no-catalog-mutation) private pre-publication buffer
+auto q = std::const_pointer_cast<Relation>(unpublished);
+"""
+    v = check_catalog_mutation(src, "src")
+    expect("catalog", v, "no-catalog-mutation", 2)
 
     # fault-site-coverage: a registered-but-never-polled tag fires; the
     # polled tags (via Poll or site-tagged ParallelFor) don't; a missing
